@@ -1,0 +1,49 @@
+//! Criterion microbenchmarks of the hyper-join grouping algorithms:
+//! the bottom-up heuristic (Fig. 6), the approximate set algorithm
+//! (Fig. 5), and the exact branch-and-bound (the paper's ILP).
+//! Backs the Fig. 17b runtime claims at controlled sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use adaptdb_common::rng::seeded;
+use adaptdb_common::{Value, ValueRange};
+use adaptdb_join::{approx, bottom_up, exact, OverlapMatrix};
+use rand::RngExt;
+
+/// Offset-interval instance with ~2 overlaps per block.
+fn instance(n: usize, m: usize, seed: u64) -> OverlapMatrix {
+    let mut rng = seeded(seed);
+    let rr: Vec<ValueRange> = (0..n)
+        .map(|i| {
+            let lo = i as i64 * 100 + rng.random_range(0..60);
+            ValueRange::new(Value::Int(lo), Value::Int(lo + 120))
+        })
+        .collect();
+    let ss: Vec<ValueRange> = (0..m)
+        .map(|j| ValueRange::new(Value::Int(j as i64 * 100), Value::Int(j as i64 * 100 + 99)))
+        .collect();
+    OverlapMatrix::compute_naive(&rr, &ss)
+}
+
+fn bench_grouping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grouping");
+    for n in [32usize, 128, 512] {
+        let overlap = instance(n, n / 4, 7);
+        group.bench_with_input(BenchmarkId::new("bottom_up", n), &overlap, |b, o| {
+            b.iter(|| black_box(bottom_up::solve(o, 8)).cost())
+        });
+        group.bench_with_input(BenchmarkId::new("approx_greedy", n), &overlap, |b, o| {
+            b.iter(|| black_box(approx::solve(o, 8, approx::InnerStrategy::Greedy)).cost())
+        });
+    }
+    // Exact solver only at a size it finishes quickly.
+    let overlap = instance(24, 8, 7);
+    group.bench_function("exact_n24", |b| {
+        b.iter(|| black_box(exact::solve(&overlap, 6, 1_000_000)).cost)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_grouping);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion end-to-end join microbenchmark: hyper-join vs shuffle join
+//! executing for real on the storage engine (the kernel behind Fig. 1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use adaptdb::{Database, DbConfig, Mode};
+use adaptdb_common::{JoinQuery, Query, ScanQuery};
+use adaptdb_workloads::tpch::{li, ord, TpchGen};
+
+fn join_query() -> Query {
+    Query::Join(JoinQuery::new(
+        ScanQuery::full("lineitem"),
+        ScanQuery::full("orders"),
+        li::ORDERKEY,
+        ord::ORDERKEY,
+    ))
+}
+
+fn bench_join_exec(c: &mut Criterion) {
+    let gen = TpchGen::new(0.05, 11);
+    let config = DbConfig {
+        rows_per_block: 100,
+        buffer_blocks: 8,
+        threads: 2,
+        adapt_selections: false,
+        ..DbConfig::default()
+    };
+
+    let mut hyper_db = Database::new(config.clone().with_mode(Mode::Fixed));
+    gen.load_converged(&mut hyper_db, li::ORDERKEY).unwrap();
+    c.bench_function("hyper_join_sf005", |b| {
+        b.iter(|| black_box(hyper_db.run(&join_query()).unwrap().rows.len()))
+    });
+
+    let mut shuffle_db = Database::new(config.clone().with_mode(Mode::Amoeba));
+    gen.load_converged(&mut shuffle_db, li::ORDERKEY).unwrap();
+    c.bench_function("shuffle_join_sf005", |b| {
+        b.iter(|| black_box(shuffle_db.run(&join_query()).unwrap().rows.len()))
+    });
+}
+
+criterion_group!(benches, bench_join_exec);
+criterion_main!(benches);

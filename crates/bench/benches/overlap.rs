@@ -1,0 +1,40 @@
+//! Criterion microbenchmarks of overlap-matrix computation: the naive
+//! O(nm) pass (§4.1.1) vs the sorted sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use adaptdb_common::rng::seeded;
+use adaptdb_common::{Value, ValueRange};
+use adaptdb_join::OverlapMatrix;
+use rand::RngExt;
+
+fn ranges(n: usize, width: i64, seed: u64) -> Vec<ValueRange> {
+    let mut rng = seeded(seed);
+    (0..n)
+        .map(|_| {
+            let lo = rng.random_range(0..(n as i64 * 100));
+            ValueRange::new(Value::Int(lo), Value::Int(lo + width))
+        })
+        .collect()
+}
+
+fn bench_overlap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlap");
+    for n in [64usize, 256, 1024] {
+        // Narrow intervals: sparse overlap — the favourable case for the
+        // sweep (a well-partitioned join attribute).
+        let rr = ranges(n, 50, 1);
+        let ss = ranges(n, 50, 2);
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| black_box(OverlapMatrix::compute_naive(&rr, &ss)))
+        });
+        group.bench_with_input(BenchmarkId::new("sweep", n), &n, |b, _| {
+            b.iter(|| black_box(OverlapMatrix::compute_sweep(&rr, &ss)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overlap);
+criterion_main!(benches);

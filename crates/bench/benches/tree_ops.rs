@@ -1,0 +1,52 @@
+//! Criterion microbenchmarks of partitioning-tree operations: build
+//! (upfront and two-phase), routing, and lookup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use adaptdb_common::rng::seeded;
+use adaptdb_common::{CmpOp, Predicate, PredicateSet, Row, Value};
+use adaptdb_tree::{TwoPhaseBuilder, UpfrontPartitioner};
+use rand::RngExt;
+
+fn sample(n: usize, arity: usize, seed: u64) -> Vec<Row> {
+    let mut rng = seeded(seed);
+    (0..n)
+        .map(|_| Row::new((0..arity).map(|_| Value::Int(rng.random_range(0..1_000_000))).collect()))
+        .collect()
+}
+
+fn bench_tree_ops(c: &mut Criterion) {
+    let rows = sample(4000, 4, 3);
+
+    c.bench_function("upfront_build_depth8", |b| {
+        let p = UpfrontPartitioner::new(4, vec![0, 1, 2, 3], 8, 5);
+        b.iter(|| black_box(p.build(&rows)))
+    });
+    c.bench_function("two_phase_build_depth8", |b| {
+        let p = TwoPhaseBuilder::new(4, 0, 4, vec![1, 2, 3], 8, 5);
+        b.iter(|| black_box(p.build(&rows)))
+    });
+
+    let tree = TwoPhaseBuilder::new(4, 0, 4, vec![1, 2, 3], 8, 5).build(&rows);
+    c.bench_function("route_row", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % rows.len();
+            black_box(tree.route(&rows[i]))
+        })
+    });
+    c.bench_function("lookup_point_query", |b| {
+        let preds = PredicateSet::none().and(Predicate::new(0, CmpOp::Eq, 500_000i64));
+        b.iter(|| black_box(tree.lookup(&preds)))
+    });
+    c.bench_function("lookup_range_query", |b| {
+        let preds = PredicateSet::none()
+            .and(Predicate::new(0, CmpOp::Ge, 250_000i64))
+            .and(Predicate::new(0, CmpOp::Lt, 750_000i64));
+        b.iter(|| black_box(tree.lookup(&preds)))
+    });
+}
+
+criterion_group!(benches, bench_tree_ops);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Fig. 12 — execution time for TPC-H templates across four systems.
+
+use adaptdb::{Database, DbConfig, Mode};
+use adaptdb_common::rng;
+use adaptdb_workloads::pref;
+use adaptdb_workloads::tpch::{Template, TpchGen};
+
+use crate::figures::bench_config;
+use crate::harness::{print_table, secs, BenchOpts};
+
+/// Fig. 12 — AdaptDB w/ hyper-join vs AdaptDB w/ shuffle join vs Amoeba
+/// vs PREF, on q3, q5, q8, q10, q12, q14, q19. Paper: hyper-join wins
+/// every template, 1.60× over shuffle on average (max 2.16×); PREF wins
+/// over shuffle on the non-selective q3/q5/q8 but loses to hyper-join
+/// everywhere.
+pub fn fig12_tpch(opts: &BenchOpts) {
+    let gen = TpchGen::new(opts.scale, opts.seed);
+    let config = bench_config(opts.seed);
+    let runs = if opts.quick { 1 } else { 3 };
+
+    let mut table_rows = Vec::new();
+    let mut speedups = Vec::new();
+    for t in Template::join_templates() {
+        let join_attr = t.lineitem_join_attr().expect("join templates join lineitem");
+
+        // "we ran the smooth partitioning algorithm ... until just one
+        // tree with the join attribute existed" (§7.2): converged trees.
+        let mut hyper_db = Database::new(config.clone().with_mode(Mode::Fixed));
+        gen.load_converged(&mut hyper_db, join_attr).unwrap();
+
+        let shuffle_cfg = DbConfig { adapt_selections: false, ..config.clone() };
+        let mut shuffle_db = Database::new(shuffle_cfg.with_mode(Mode::Amoeba));
+        gen.load_converged(&mut shuffle_db, join_attr).unwrap();
+
+        // Amoeba: upfront partitioning + selection-only adaptation;
+        // warm up so its trees converge on the template's predicates.
+        let mut amoeba_db = Database::new(config.clone().with_mode(Mode::Amoeba));
+        gen.load_upfront(&mut amoeba_db).unwrap();
+        let mut warm_rng = rng::derived(opts.seed, "fig12-warm");
+        for _ in 0..5 {
+            let q = t.instantiate(&mut warm_rng);
+            amoeba_db.run(&q).unwrap();
+        }
+
+        let mut pref_db = pref::build_pref_tpch(&gen, &config, pref::DEFAULT_COPIES).unwrap();
+
+        // Identical query instances across systems.
+        let mut avg = [0.0f64; 4];
+        let mut q_rng = rng::derived(opts.seed, "fig12-measure");
+        for _ in 0..runs {
+            let q = t.instantiate(&mut q_rng);
+            let systems: [(&mut Database, usize); 4] = [
+                (&mut hyper_db, 0),
+                (&mut shuffle_db, 1),
+                (&mut amoeba_db, 2),
+                (&mut pref_db, 3),
+            ];
+            for (db, i) in systems {
+                let res = db.run(&q).unwrap();
+                avg[i] += res.simulated_secs(db.config()) / runs as f64;
+            }
+        }
+        let speedup = avg[1] / avg[0];
+        speedups.push(speedup);
+        table_rows.push(vec![
+            t.name().to_string(),
+            secs(avg[0]),
+            secs(avg[1]),
+            secs(avg[2]),
+            secs(avg[3]),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+    print_table(
+        "Fig. 12: TPC-H per-template runtime (paper: hyper wins all; avg 1.60x, max 2.16x over shuffle)",
+        &["template", "AdaptDB hyper", "AdaptDB shuffle", "Amoeba", "PREF", "hyper speedup"],
+        &table_rows,
+    );
+    let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    let max = speedups.iter().fold(0.0f64, |a, b| a.max(*b));
+    println!("hyper-join vs shuffle: average {avg:.2}x, max {max:.2}x");
+}

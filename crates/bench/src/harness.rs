@@ -1,0 +1,116 @@
+//! Shared harness utilities: option parsing, table printing, timing.
+
+use std::time::Instant;
+
+/// Options shared by every figure binary.
+#[derive(Debug, Clone)]
+pub struct BenchOpts {
+    /// Micro scale factor for generated data.
+    pub scale: f64,
+    /// Quick mode: smaller sweeps for smoke runs (`--quick`).
+    pub quick: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        BenchOpts { scale: 0.2, quick: false, seed: 42 }
+    }
+}
+
+/// Parse `--scale X`, `--seed N`, `--quick` from argv; unknown flags are
+/// returned for figure-specific handling.
+pub fn parse_args() -> (BenchOpts, Vec<String>) {
+    let mut opts = BenchOpts::default();
+    let mut rest = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                opts.scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale needs a number");
+            }
+            "--seed" => {
+                opts.seed =
+                    args.next().and_then(|v| v.parse().ok()).expect("--seed needs a number");
+            }
+            "--quick" => opts.quick = true,
+            other => rest.push(other.to_string()),
+        }
+    }
+    (opts, rest)
+}
+
+/// Print a fixed-width table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let header_line: Vec<String> =
+        headers.iter().zip(&widths).map(|(h, w)| format!("{h:>w$}")).collect();
+    println!("{}", header_line.join("  "));
+    for row in rows {
+        let line: Vec<String> =
+            row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Format seconds with 1 decimal.
+pub fn secs(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Wall-clock stopwatch for optimizer-runtime measurements (Fig. 17b).
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Start timing.
+    pub fn start() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    /// Elapsed milliseconds.
+    pub fn ms(&self) -> f64 {
+        self.0.elapsed().as_secs_f64() * 1e3
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Stopwatch::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = BenchOpts::default();
+        assert!(o.scale > 0.0);
+        assert!(!o.quick);
+    }
+
+    #[test]
+    fn secs_formats_one_decimal() {
+        assert_eq!(secs(1.25), "1.2");
+        assert_eq!(secs(10.0), "10.0");
+    }
+
+    #[test]
+    fn stopwatch_measures_nonnegative() {
+        let s = Stopwatch::start();
+        assert!(s.ms() >= 0.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error handling shared by every AdaptDB crate.
+
+use std::fmt;
+
+/// The error type used across the AdaptDB workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A schema lookup failed (unknown attribute or table).
+    UnknownAttribute(String),
+    /// A named table does not exist in the catalog.
+    UnknownTable(String),
+    /// Two values of incompatible types were compared or combined.
+    TypeMismatch {
+        /// What the operation expected.
+        expected: &'static str,
+        /// What it actually received.
+        got: &'static str,
+    },
+    /// A binary blob could not be decoded (corrupt or truncated).
+    Codec(String),
+    /// A block id was requested that the store does not contain.
+    UnknownBlock(u32),
+    /// Configuration is invalid (e.g. zero block size).
+    InvalidConfig(String),
+    /// The planner/optimizer was asked something unsatisfiable.
+    Plan(String),
+    /// The exact solver exceeded its node budget (mirrors the paper's
+    /// ">96 hours" GLPK timeout in Fig. 17).
+    SolverTimeout {
+        /// Branch-and-bound nodes explored before giving up.
+        explored: u64,
+    },
+    /// Wrapper for I/O-like failures in the simulated DFS.
+    Dfs(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownAttribute(a) => write!(f, "unknown attribute: {a}"),
+            Error::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            Error::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            Error::Codec(msg) => write!(f, "codec error: {msg}"),
+            Error::UnknownBlock(id) => write!(f, "unknown block id: {id}"),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::Plan(msg) => write!(f, "planning error: {msg}"),
+            Error::SolverTimeout { explored } => {
+                write!(f, "exact solver timed out after {explored} nodes")
+            }
+            Error::Dfs(msg) => write!(f, "dfs error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(
+            Error::UnknownAttribute("x".into()).to_string(),
+            "unknown attribute: x"
+        );
+        assert_eq!(Error::UnknownBlock(7).to_string(), "unknown block id: 7");
+        assert_eq!(
+            Error::TypeMismatch { expected: "Int", got: "Str" }.to_string(),
+            "type mismatch: expected Int, got Str"
+        );
+        assert_eq!(
+            Error::SolverTimeout { explored: 10 }.to_string(),
+            "exact solver timed out after 10 nodes"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,205 @@
+//! Query descriptions handed to the AdaptDB storage manager.
+//!
+//! AdaptDB is a storage manager, not a SQL engine: queries are
+//! predicate-based scans and equi-joins between tables (§2). Multi-way
+//! joins (§4.3) are expressed as a chain of [`JoinStep`]s; the planner
+//! decides per step whether to hyper-join or shuffle.
+
+use crate::predicate::PredicateSet;
+use crate::schema::AttrId;
+
+/// A predicate-based scan over one table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanQuery {
+    /// Table name.
+    pub table: String,
+    /// Conjunctive predicates.
+    pub predicates: PredicateSet,
+}
+
+impl ScanQuery {
+    /// Construct a scan query.
+    pub fn new(table: impl Into<String>, predicates: PredicateSet) -> Self {
+        ScanQuery { table: table.into(), predicates }
+    }
+
+    /// Scan with no predicates (full table).
+    pub fn full(table: impl Into<String>) -> Self {
+        ScanQuery::new(table, PredicateSet::none())
+    }
+}
+
+/// A two-table equi-join with per-side predicates.
+///
+/// `left.left_attr == right.right_attr`; both sides filtered first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinQuery {
+    /// Left (build-side candidate) scan.
+    pub left: ScanQuery,
+    /// Right (probe-side candidate) scan.
+    pub right: ScanQuery,
+    /// Join attribute on the left table.
+    pub left_attr: AttrId,
+    /// Join attribute on the right table.
+    pub right_attr: AttrId,
+}
+
+impl JoinQuery {
+    /// Construct a join query.
+    pub fn new(left: ScanQuery, right: ScanQuery, left_attr: AttrId, right_attr: AttrId) -> Self {
+        JoinQuery { left, right, left_attr, right_attr }
+    }
+}
+
+/// One step of a multi-way join chain: joins the running intermediate
+/// result (on `intermediate_attr`, an attribute index into the
+/// *accumulated* output schema) against a base table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinStep {
+    /// Attribute of the intermediate result to join on.
+    pub intermediate_attr: AttrId,
+    /// The base table side.
+    pub table: ScanQuery,
+    /// Join attribute on the base table.
+    pub table_attr: AttrId,
+}
+
+/// Any query AdaptDB accepts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// Single-table predicate scan.
+    Scan(ScanQuery),
+    /// Two-table equi-join.
+    Join(JoinQuery),
+    /// Left-deep multi-way join: `first ⋈ steps[0] ⋈ steps[1] ⋈ …`.
+    MultiJoin {
+        /// The initial two-table join.
+        first: JoinQuery,
+        /// Subsequent steps applied to the running intermediate.
+        steps: Vec<JoinStep>,
+    },
+}
+
+impl Query {
+    /// The join attribute this query exercises on a given table, if any —
+    /// the signal the smooth-repartitioning optimizer tracks per table
+    /// (Fig. 11 counts queries in the window by join attribute).
+    pub fn join_attr_for(&self, table: &str) -> Option<AttrId> {
+        match self {
+            Query::Scan(_) => None,
+            Query::Join(j) => {
+                if j.left.table == table {
+                    Some(j.left_attr)
+                } else if j.right.table == table {
+                    Some(j.right_attr)
+                } else {
+                    None
+                }
+            }
+            Query::MultiJoin { first, steps } => {
+                if first.left.table == table {
+                    Some(first.left_attr)
+                } else if first.right.table == table {
+                    Some(first.right_attr)
+                } else {
+                    steps.iter().find(|s| s.table.table == table).map(|s| s.table_attr)
+                }
+            }
+        }
+    }
+
+    /// Predicates this query applies to a given table (empty if the table
+    /// is not referenced).
+    pub fn predicates_for(&self, table: &str) -> PredicateSet {
+        let scans: Vec<&ScanQuery> = self.scans();
+        scans
+            .iter()
+            .find(|s| s.table == table)
+            .map(|s| s.predicates.clone())
+            .unwrap_or_else(PredicateSet::none)
+    }
+
+    /// All per-table scans referenced by the query.
+    pub fn scans(&self) -> Vec<&ScanQuery> {
+        match self {
+            Query::Scan(s) => vec![s],
+            Query::Join(j) => vec![&j.left, &j.right],
+            Query::MultiJoin { first, steps } => {
+                let mut v = vec![&first.left, &first.right];
+                v.extend(steps.iter().map(|s| &s.table));
+                v
+            }
+        }
+    }
+
+    /// Names of all referenced tables, in plan order.
+    pub fn tables(&self) -> Vec<&str> {
+        self.scans().into_iter().map(|s| s.table.as_str()).collect()
+    }
+}
+
+impl From<ScanQuery> for Query {
+    fn from(s: ScanQuery) -> Self {
+        Query::Scan(s)
+    }
+}
+
+impl From<JoinQuery> for Query {
+    fn from(j: JoinQuery) -> Self {
+        Query::Join(j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{CmpOp, Predicate};
+
+    fn join() -> JoinQuery {
+        JoinQuery::new(
+            ScanQuery::new(
+                "lineitem",
+                PredicateSet::none().and(Predicate::new(6, CmpOp::Gt, 10i64)),
+            ),
+            ScanQuery::full("orders"),
+            0,
+            0,
+        )
+    }
+
+    #[test]
+    fn join_attr_lookup() {
+        let q: Query = join().into();
+        assert_eq!(q.join_attr_for("lineitem"), Some(0));
+        assert_eq!(q.join_attr_for("orders"), Some(0));
+        assert_eq!(q.join_attr_for("part"), None);
+    }
+
+    #[test]
+    fn predicates_for_table() {
+        let q: Query = join().into();
+        assert_eq!(q.predicates_for("lineitem").predicates().len(), 1);
+        assert!(q.predicates_for("orders").is_empty());
+        assert!(q.predicates_for("nope").is_empty());
+    }
+
+    #[test]
+    fn multi_join_tables() {
+        let q = Query::MultiJoin {
+            first: join(),
+            steps: vec![JoinStep {
+                intermediate_attr: 3,
+                table: ScanQuery::full("customer"),
+                table_attr: 0,
+            }],
+        };
+        assert_eq!(q.tables(), vec!["lineitem", "orders", "customer"]);
+        assert_eq!(q.join_attr_for("customer"), Some(0));
+    }
+
+    #[test]
+    fn scan_has_no_join_attr() {
+        let q: Query = ScanQuery::full("lineitem").into();
+        assert_eq!(q.join_attr_for("lineitem"), None);
+    }
+}

@@ -1,0 +1,179 @@
+//! Per-attribute min/max intervals — the paper's `Range_t(x)`.
+//!
+//! Every stored block records, for each attribute, the closed interval
+//! `[min, max]` of values it contains. Hyper-join's overlap vectors
+//! (§4.1.1) are computed from these: `v_ij = 1(Range_t(r_i) ∩ Range_t(s_j) ≠ ∅)`.
+//! The same intervals drive partitioning-tree pruning for predicates.
+
+use crate::value::Value;
+
+/// A closed interval `[min, max]` over [`Value`]s, possibly empty.
+///
+/// `ValueRange::empty()` represents "no rows seen"; inserting widens the
+/// interval. Predicate evaluation narrows copies of it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueRange {
+    bounds: Option<(Value, Value)>,
+}
+
+impl ValueRange {
+    /// The empty interval.
+    pub fn empty() -> Self {
+        ValueRange { bounds: None }
+    }
+
+    /// An interval containing exactly one value.
+    pub fn point(v: Value) -> Self {
+        ValueRange { bounds: Some((v.clone(), v)) }
+    }
+
+    /// An interval with explicit bounds; panics if `min > max` (construction
+    /// sites are internal and a violation is a logic error).
+    pub fn new(min: Value, max: Value) -> Self {
+        assert!(min <= max, "range min must not exceed max");
+        ValueRange { bounds: Some((min, max)) }
+    }
+
+    /// True when the interval contains no values.
+    pub fn is_empty(&self) -> bool {
+        self.bounds.is_none()
+    }
+
+    /// Lower bound, if non-empty.
+    pub fn min(&self) -> Option<&Value> {
+        self.bounds.as_ref().map(|(lo, _)| lo)
+    }
+
+    /// Upper bound, if non-empty.
+    pub fn max(&self) -> Option<&Value> {
+        self.bounds.as_ref().map(|(_, hi)| hi)
+    }
+
+    /// Widen to include `v` (used when writing rows into a block).
+    pub fn insert(&mut self, v: &Value) {
+        match &mut self.bounds {
+            None => self.bounds = Some((v.clone(), v.clone())),
+            Some((lo, hi)) => {
+                if v < lo {
+                    *lo = v.clone();
+                }
+                if v > hi {
+                    *hi = v.clone();
+                }
+            }
+        }
+    }
+
+    /// Widen to include all of `other`.
+    pub fn merge(&mut self, other: &ValueRange) {
+        if let Some((lo, hi)) = &other.bounds {
+            self.insert(lo);
+            // `insert` clones; avoid double clone for the common case where
+            // hi differs from lo.
+            if hi != lo {
+                self.insert(hi);
+            }
+        }
+    }
+
+    /// True when the two closed intervals share at least one value —
+    /// the `1(Range_t(r_i) ∩ Range_t(s_j) ≠ ∅)` test of §4.1.1.
+    pub fn overlaps(&self, other: &ValueRange) -> bool {
+        match (&self.bounds, &other.bounds) {
+            (Some((alo, ahi)), Some((blo, bhi))) => alo <= bhi && blo <= ahi,
+            _ => false,
+        }
+    }
+
+    /// True when `v` lies within the interval.
+    pub fn contains(&self, v: &Value) -> bool {
+        match &self.bounds {
+            Some((lo, hi)) => lo <= v && v <= hi,
+            None => false,
+        }
+    }
+
+    /// Intersect with `other`, returning the (possibly empty) overlap.
+    pub fn intersect(&self, other: &ValueRange) -> ValueRange {
+        match (&self.bounds, &other.bounds) {
+            (Some((alo, ahi)), Some((blo, bhi))) => {
+                let lo = alo.max(blo).clone();
+                let hi = ahi.min(bhi).clone();
+                if lo <= hi {
+                    ValueRange::new(lo, hi)
+                } else {
+                    ValueRange::empty()
+                }
+            }
+            _ => ValueRange::empty(),
+        }
+    }
+}
+
+impl Default for ValueRange {
+    fn default() -> Self {
+        ValueRange::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(lo: i64, hi: i64) -> ValueRange {
+        ValueRange::new(Value::Int(lo), Value::Int(hi))
+    }
+
+    #[test]
+    fn overlap_cases_from_figure_4() {
+        // Paper Fig. 4: R ranges [0,100),[100,200),[200,300),[300,400)
+        // stored as closed intervals of observed values; S ranges
+        // [0,150),[150,250),[250,350),[350,400). r2=[100,199] overlaps
+        // s1=[0,149] and s2=[150,249].
+        let r2 = r(100, 199);
+        assert!(r2.overlaps(&r(0, 149)));
+        assert!(r2.overlaps(&r(150, 249)));
+        assert!(!r2.overlaps(&r(250, 349)));
+    }
+
+    #[test]
+    fn empty_never_overlaps() {
+        assert!(!ValueRange::empty().overlaps(&r(0, 10)));
+        assert!(!r(0, 10).overlaps(&ValueRange::empty()));
+        assert!(!ValueRange::empty().overlaps(&ValueRange::empty()));
+    }
+
+    #[test]
+    fn insert_widens() {
+        let mut range = ValueRange::empty();
+        range.insert(&Value::Int(5));
+        range.insert(&Value::Int(2));
+        range.insert(&Value::Int(9));
+        assert_eq!(range.min(), Some(&Value::Int(2)));
+        assert_eq!(range.max(), Some(&Value::Int(9)));
+        assert!(range.contains(&Value::Int(5)));
+        assert!(!range.contains(&Value::Int(10)));
+    }
+
+    #[test]
+    fn merge_and_intersect() {
+        let mut a = r(0, 10);
+        a.merge(&r(20, 30));
+        assert_eq!(a, r(0, 30));
+
+        assert_eq!(r(0, 10).intersect(&r(5, 20)), r(5, 10));
+        assert!(r(0, 10).intersect(&r(11, 20)).is_empty());
+    }
+
+    #[test]
+    fn touching_endpoints_overlap() {
+        // Closed intervals sharing an endpoint do overlap.
+        assert!(r(0, 10).overlaps(&r(10, 20)));
+    }
+
+    #[test]
+    #[should_panic(expected = "range min must not exceed max")]
+    fn inverted_bounds_panic() {
+        ValueRange::new(Value::Int(5), Value::Int(1));
+    }
+}

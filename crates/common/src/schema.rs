@@ -1,0 +1,144 @@
+//! Table schemas.
+//!
+//! Attributes are addressed by dense [`AttrId`]s (their column index),
+//! which is what partitioning-tree nodes, predicates, and join specs store.
+
+use crate::error::{Error, Result};
+use crate::value::ValueType;
+
+/// Index of an attribute within a table schema.
+pub type AttrId = u16;
+
+/// One column in a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name (unique within a schema).
+    pub name: String,
+    /// Column type.
+    pub ty: ValueType,
+}
+
+impl Field {
+    /// Construct a field.
+    pub fn new(name: impl Into<String>, ty: ValueType) -> Self {
+        Field { name: name.into(), ty }
+    }
+}
+
+/// An ordered collection of named, typed columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema from fields. Panics on duplicate names — schemas are
+    /// constructed by generators/tests, so a duplicate is a programming bug.
+    pub fn new(fields: Vec<Field>) -> Self {
+        for (i, f) in fields.iter().enumerate() {
+            for g in &fields[i + 1..] {
+                assert_ne!(f.name, g.name, "duplicate field name {:?}", f.name);
+            }
+        }
+        Schema { fields }
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn from_pairs(pairs: &[(&str, ValueType)]) -> Self {
+        Schema::new(pairs.iter().map(|(n, t)| Field::new(*n, *t)).collect())
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// All fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Field at an attribute id.
+    pub fn field(&self, attr: AttrId) -> &Field {
+        &self.fields[attr as usize]
+    }
+
+    /// Resolve a column name to its [`AttrId`].
+    pub fn attr_id(&self, name: &str) -> Result<AttrId> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| i as AttrId)
+            .ok_or_else(|| Error::UnknownAttribute(name.to_string()))
+    }
+
+    /// All attribute ids, in column order.
+    pub fn attr_ids(&self) -> impl Iterator<Item = AttrId> + '_ {
+        0..self.fields.len() as AttrId
+    }
+
+    /// Concatenate two schemas (used for join output), prefixing names to
+    /// keep them unique: `l.name` / `r.name` only when a collision exists.
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = Vec::with_capacity(self.len() + other.len());
+        fields.extend(self.fields.iter().cloned());
+        for f in &other.fields {
+            let name = if self.fields.iter().any(|g| g.name == f.name) {
+                format!("r.{}", f.name)
+            } else {
+                f.name.clone()
+            };
+            fields.push(Field::new(name, f.ty));
+        }
+        Schema::new(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("orderkey", ValueType::Int),
+            ("price", ValueType::Double),
+            ("comment", ValueType::Str),
+        ])
+    }
+
+    #[test]
+    fn attr_resolution() {
+        let s = schema();
+        assert_eq!(s.attr_id("orderkey").unwrap(), 0);
+        assert_eq!(s.attr_id("comment").unwrap(), 2);
+        assert!(s.attr_id("nope").is_err());
+        assert_eq!(s.field(1).ty, ValueType::Double);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate field name")]
+    fn duplicate_names_panic() {
+        Schema::from_pairs(&[("a", ValueType::Int), ("a", ValueType::Int)]);
+    }
+
+    #[test]
+    fn join_disambiguates_collisions() {
+        let l = Schema::from_pairs(&[("k", ValueType::Int), ("x", ValueType::Int)]);
+        let r = Schema::from_pairs(&[("k", ValueType::Int), ("y", ValueType::Int)]);
+        let j = l.join(&r);
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.field(2).name, "r.k");
+        assert_eq!(j.field(3).name, "y");
+    }
+
+    #[test]
+    fn attr_ids_iterates_in_order() {
+        let ids: Vec<_> = schema().attr_ids().collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Execution statistics.
+//!
+//! Every query run returns a [`QueryStats`] so experiments can report
+//! both block-level I/O counts (the paper's analytical currency) and
+//! simulated seconds (the paper's plotted currency).
+
+use crate::cost::CostParams;
+
+/// Raw I/O tallies accumulated during one query (or one phase).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Blocks read from a node that stores them.
+    pub local_reads: usize,
+    /// Blocks read across the simulated network.
+    pub remote_reads: usize,
+    /// Blocks written (repartitioning output, shuffle spill).
+    pub writes: usize,
+    /// Rows that passed predicate filters into operators.
+    pub rows_scanned: usize,
+    /// Rows produced by the query.
+    pub rows_out: usize,
+}
+
+impl IoStats {
+    /// Total blocks read.
+    pub fn reads(&self) -> usize {
+        self.local_reads + self.remote_reads
+    }
+
+    /// Merge another tally into this one.
+    pub fn merge(&mut self, other: &IoStats) {
+        self.local_reads += other.local_reads;
+        self.remote_reads += other.remote_reads;
+        self.writes += other.writes;
+        self.rows_scanned += other.rows_scanned;
+        self.rows_out += other.rows_out;
+    }
+
+    /// Simulated seconds under a cost model.
+    pub fn simulated_secs(&self, params: &CostParams) -> f64 {
+        params.secs_for(self.local_reads, self.remote_reads, self.writes)
+    }
+}
+
+/// Which join strategy the planner chose for a query (§6 "Query Planner").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// No join in the query.
+    ScanOnly,
+    /// Hyper-join on both sides (planner case 1).
+    HyperJoin,
+    /// Hyper-join for blocks in the matching tree, shuffle for the rest
+    /// (planner case 2, mid-migration).
+    Mixed,
+    /// Full shuffle join (planner case 3).
+    ShuffleJoin,
+}
+
+impl std::fmt::Display for JoinStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            JoinStrategy::ScanOnly => "scan",
+            JoinStrategy::HyperJoin => "hyper-join",
+            JoinStrategy::Mixed => "mixed",
+            JoinStrategy::ShuffleJoin => "shuffle-join",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Everything recorded about one executed query.
+#[derive(Debug, Clone)]
+pub struct QueryStats {
+    /// I/O performed answering the query itself.
+    pub query_io: IoStats,
+    /// I/O performed by adaptive repartitioning piggybacked on the query
+    /// (Type-2 blocks: scanned *and* rewritten, §6 "Optimizer").
+    pub repartition_io: IoStats,
+    /// Join strategy chosen.
+    pub strategy: JoinStrategy,
+    /// The planner's estimated `C_HyJ` for the chosen plan, if a join.
+    pub estimated_c_hyj: Option<f64>,
+    /// Wall-clock seconds actually spent executing (real CPU time).
+    pub wall_secs: f64,
+}
+
+impl QueryStats {
+    /// A zeroed stats record for a scan.
+    pub fn empty(strategy: JoinStrategy) -> Self {
+        QueryStats {
+            query_io: IoStats::default(),
+            repartition_io: IoStats::default(),
+            strategy,
+            estimated_c_hyj: None,
+            wall_secs: 0.0,
+        }
+    }
+
+    /// Combined I/O (query + repartitioning work).
+    pub fn total_io(&self) -> IoStats {
+        let mut io = self.query_io;
+        io.merge(&self.repartition_io);
+        io
+    }
+
+    /// Simulated end-to-end seconds for the query including piggybacked
+    /// repartitioning — the y-axis of Figs. 13, 15, 18.
+    pub fn simulated_secs(&self, params: &CostParams) -> f64 {
+        self.total_io().simulated_secs(params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = IoStats { local_reads: 1, remote_reads: 2, writes: 3, ..Default::default() };
+        let b = IoStats { local_reads: 10, remote_reads: 20, writes: 30, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.local_reads, 11);
+        assert_eq!(a.remote_reads, 22);
+        assert_eq!(a.writes, 33);
+        assert_eq!(a.reads(), 33);
+    }
+
+    #[test]
+    fn total_io_includes_repartitioning() {
+        let mut qs = QueryStats::empty(JoinStrategy::HyperJoin);
+        qs.query_io.local_reads = 5;
+        qs.repartition_io.writes = 7;
+        let t = qs.total_io();
+        assert_eq!(t.local_reads, 5);
+        assert_eq!(t.writes, 7);
+    }
+
+    #[test]
+    fn strategy_display() {
+        assert_eq!(JoinStrategy::HyperJoin.to_string(), "hyper-join");
+        assert_eq!(JoinStrategy::ShuffleJoin.to_string(), "shuffle-join");
+    }
+
+    #[test]
+    fn simulated_secs_positive_when_io() {
+        let mut qs = QueryStats::empty(JoinStrategy::ScanOnly);
+        qs.query_io.local_reads = 10;
+        assert!(qs.simulated_secs(&CostParams::default()) > 0.0);
+    }
+}

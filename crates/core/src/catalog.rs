@@ -1,0 +1,314 @@
+//! Catalog persistence: snapshot and restore of table metadata.
+//!
+//! AdaptDB's storage engine keeps "meta-data that tracks the split
+//! points for the data in the tree" alongside the blocks (§2). This
+//! module serializes that catalog — schemas, partitioning trees, and
+//! bucket→block maps — to a self-contained binary blob, so a database
+//! can persist its adaptive state across restarts (the simulated DFS
+//! retains the blocks; the catalog retains how to interpret them).
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! catalog := "ADBK" u16 version u32 n_tables table*
+//! table   := str(name) schema u16 n_candidate_attrs attr* u32 n_trees tree*
+//! schema  := u16 n_fields (str(name) u8 type_tag)*
+//! tree    := u32 len bytes(PartitionTree::encode)
+//!            u32 n_buckets (u32 bucket u32 n_blocks u32*)*
+//! str     := u16 len utf8-bytes
+//! ```
+
+use adaptdb_common::{AttrId, BlockId, Error, Result, Schema, ValueType};
+use adaptdb_storage::writer::BucketId;
+use adaptdb_tree::PartitionTree;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::BTreeMap;
+
+use crate::table::{TableState, TreeInfo};
+
+const MAGIC: &[u8; 4] = b"ADBK";
+const VERSION: u16 = 1;
+
+/// A deserialized catalog entry, ready to validate against a store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSnapshot {
+    /// Table name.
+    pub name: String,
+    /// Schema.
+    pub schema: Schema,
+    /// Selection-candidate attributes.
+    pub candidate_attrs: Vec<AttrId>,
+    /// Trees with their bucket→block maps.
+    pub trees: Vec<(PartitionTree, BTreeMap<BucketId, Vec<BlockId>>)>,
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u16_le(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String> {
+    if buf.remaining() < 2 {
+        return Err(Error::Codec("truncated string length".into()));
+    }
+    let len = buf.get_u16_le() as usize;
+    if buf.remaining() < len {
+        return Err(Error::Codec("truncated string payload".into()));
+    }
+    let raw = buf.split_to(len);
+    String::from_utf8(raw.to_vec()).map_err(|e| Error::Codec(format!("invalid utf8: {e}")))
+}
+
+fn type_tag(t: ValueType) -> u8 {
+    match t {
+        ValueType::Int => 0,
+        ValueType::Double => 1,
+        ValueType::Str => 2,
+        ValueType::Date => 3,
+        ValueType::Bool => 4,
+    }
+}
+
+fn tag_type(tag: u8) -> Result<ValueType> {
+    Ok(match tag {
+        0 => ValueType::Int,
+        1 => ValueType::Double,
+        2 => ValueType::Str,
+        3 => ValueType::Date,
+        4 => ValueType::Bool,
+        other => return Err(Error::Codec(format!("bad type tag {other}"))),
+    })
+}
+
+/// Serialize table states into a catalog blob.
+pub fn encode_catalog<'a>(tables: impl IntoIterator<Item = &'a TableState>) -> Bytes {
+    let tables: Vec<&TableState> = tables.into_iter().collect();
+    let mut buf = BytesMut::with_capacity(1024);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(tables.len() as u32);
+    for ts in tables {
+        put_str(&mut buf, &ts.name);
+        buf.put_u16_le(ts.schema.len() as u16);
+        for f in ts.schema.fields() {
+            put_str(&mut buf, &f.name);
+            buf.put_u8(type_tag(f.ty));
+        }
+        buf.put_u16_le(ts.candidate_attrs.len() as u16);
+        for a in &ts.candidate_attrs {
+            buf.put_u16_le(*a);
+        }
+        buf.put_u32_le(ts.trees.len() as u32);
+        for info in &ts.trees {
+            let tree = info.tree.encode();
+            buf.put_u32_le(tree.len() as u32);
+            buf.put_slice(&tree);
+            buf.put_u32_le(info.buckets.len() as u32);
+            for (bucket, blocks) in &info.buckets {
+                buf.put_u32_le(*bucket);
+                buf.put_u32_le(blocks.len() as u32);
+                for b in blocks {
+                    buf.put_u32_le(*b);
+                }
+            }
+        }
+    }
+    buf.freeze()
+}
+
+macro_rules! need {
+    ($buf:expr, $n:expr) => {
+        if $buf.remaining() < $n {
+            return Err(Error::Codec("truncated catalog".into()));
+        }
+    };
+}
+
+/// Parse a catalog blob.
+pub fn decode_catalog(mut buf: Bytes) -> Result<Vec<TableSnapshot>> {
+    need!(buf, 10);
+    if &buf.split_to(4)[..] != MAGIC {
+        return Err(Error::Codec("bad catalog magic".into()));
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(Error::Codec(format!("unsupported catalog version {version}")));
+    }
+    let n_tables = buf.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(n_tables);
+    for _ in 0..n_tables {
+        let name = get_str(&mut buf)?;
+        need!(buf, 2);
+        let n_fields = buf.get_u16_le() as usize;
+        let mut fields = Vec::with_capacity(n_fields);
+        for _ in 0..n_fields {
+            let fname = get_str(&mut buf)?;
+            need!(buf, 1);
+            let ty = tag_type(buf.get_u8())?;
+            fields.push(adaptdb_common::Field::new(fname, ty));
+        }
+        need!(buf, 2);
+        let n_cands = buf.get_u16_le() as usize;
+        let mut candidate_attrs = Vec::with_capacity(n_cands);
+        for _ in 0..n_cands {
+            need!(buf, 2);
+            candidate_attrs.push(buf.get_u16_le());
+        }
+        need!(buf, 4);
+        let n_trees = buf.get_u32_le() as usize;
+        let mut trees = Vec::with_capacity(n_trees);
+        for _ in 0..n_trees {
+            need!(buf, 4);
+            let tlen = buf.get_u32_le() as usize;
+            need!(buf, tlen);
+            let tree = PartitionTree::decode(buf.split_to(tlen))?;
+            need!(buf, 4);
+            let n_buckets = buf.get_u32_le() as usize;
+            let mut buckets = BTreeMap::new();
+            for _ in 0..n_buckets {
+                need!(buf, 8);
+                let bucket = buf.get_u32_le();
+                let n_blocks = buf.get_u32_le() as usize;
+                need!(buf, 4 * n_blocks);
+                let blocks = (0..n_blocks).map(|_| buf.get_u32_le()).collect();
+                buckets.insert(bucket, blocks);
+            }
+            trees.push((tree, buckets));
+        }
+        out.push(TableSnapshot { name, schema: Schema::new(fields), candidate_attrs, trees });
+    }
+    if buf.has_remaining() {
+        return Err(Error::Codec("trailing bytes after catalog".into()));
+    }
+    Ok(out)
+}
+
+/// Rebuild a [`TableState`]'s trees from a snapshot (schema must match;
+/// the caller validates block references against its store).
+pub fn apply_snapshot(ts: &mut TableState, snap: &TableSnapshot) -> Result<()> {
+    if ts.schema != snap.schema {
+        return Err(Error::Plan(format!("schema mismatch restoring table {}", snap.name)));
+    }
+    ts.candidate_attrs = snap.candidate_attrs.clone();
+    ts.trees = snap
+        .trees
+        .iter()
+        .map(|(tree, buckets)| {
+            let mut info = TreeInfo::empty(tree.clone());
+            info.add_blocks(buckets.clone());
+            info
+        })
+        .collect();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptdb_common::Value;
+    use adaptdb_storage::Reservoir;
+    use adaptdb_tree::{Node, QueryWindow};
+
+    fn sample_state() -> TableState {
+        let tree = PartitionTree::from_root(
+            Node::internal(0, Value::Int(5), Node::leaf(0), Node::leaf(1)),
+            2,
+            Some(0),
+            1,
+        );
+        let mut info = TreeInfo::empty(tree);
+        info.add_blocks(BTreeMap::from([(0, vec![10, 11]), (1, vec![12])]));
+        TableState {
+            name: "orders".into(),
+            schema: Schema::from_pairs(&[
+                ("o_orderkey", ValueType::Int),
+                ("o_comment", ValueType::Str),
+            ]),
+            trees: vec![info],
+            sample: Reservoir::new(8, 1),
+            window: QueryWindow::new(4),
+            candidate_attrs: vec![1],
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let ts = sample_state();
+        let blob = encode_catalog([&ts]);
+        let snaps = decode_catalog(blob).unwrap();
+        assert_eq!(snaps.len(), 1);
+        let s = &snaps[0];
+        assert_eq!(s.name, "orders");
+        assert_eq!(s.schema, ts.schema);
+        assert_eq!(s.candidate_attrs, vec![1]);
+        assert_eq!(s.trees.len(), 1);
+        assert_eq!(s.trees[0].0, ts.trees[0].tree);
+        assert_eq!(s.trees[0].1, ts.trees[0].buckets);
+    }
+
+    #[test]
+    fn apply_snapshot_restores_trees() {
+        let ts = sample_state();
+        let blob = encode_catalog([&ts]);
+        let snaps = decode_catalog(blob).unwrap();
+        // A fresh state with matching schema but no trees.
+        let mut fresh = TableState {
+            name: "orders".into(),
+            schema: ts.schema.clone(),
+            trees: vec![],
+            sample: Reservoir::new(8, 1),
+            window: QueryWindow::new(4),
+            candidate_attrs: vec![],
+        };
+        apply_snapshot(&mut fresh, &snaps[0]).unwrap();
+        assert_eq!(fresh.trees.len(), 1);
+        assert_eq!(fresh.trees[0].tree, ts.trees[0].tree);
+        assert_eq!(fresh.trees[0].all_blocks(), vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let ts = sample_state();
+        let snaps = decode_catalog(encode_catalog([&ts])).unwrap();
+        let mut wrong = sample_state();
+        wrong.schema = Schema::from_pairs(&[("different", ValueType::Int)]);
+        assert!(apply_snapshot(&mut wrong, &snaps[0]).is_err());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let ts = sample_state();
+        let blob = encode_catalog([&ts]);
+        for cut in (1..blob.len()).step_by(3) {
+            assert!(decode_catalog(blob.slice(0..cut)).is_err(), "cut {cut}");
+        }
+        let mut garbled = BytesMut::from(blob.as_ref());
+        garbled[0] = b'X';
+        assert!(decode_catalog(garbled.freeze()).is_err());
+    }
+
+    #[test]
+    fn version_check() {
+        let ts = sample_state();
+        let blob = encode_catalog([&ts]);
+        let mut garbled = BytesMut::from(blob.as_ref());
+        garbled[4] = 99;
+        assert!(matches!(decode_catalog(garbled.freeze()), Err(Error::Codec(_))));
+    }
+
+    #[test]
+    fn multi_table_catalogs() {
+        let a = sample_state();
+        let mut b = sample_state();
+        b.name = "lineitem".into();
+        let snaps = decode_catalog(encode_catalog([&a, &b])).unwrap();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[1].name, "lineitem");
+    }
+
+    #[test]
+    fn empty_catalog_round_trips() {
+        let snaps = decode_catalog(encode_catalog([])).unwrap();
+        assert!(snaps.is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! Database configuration.
+
+use adaptdb_common::CostParams;
+
+/// Which system variant runs — AdaptDB proper or one of the paper's
+/// baselines (Figs. 12, 13, 18).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Full AdaptDB: smooth repartitioning toward join attributes,
+    /// Amoeba-style selection adaptation, cost-based hyper-join.
+    Adaptive,
+    /// "Full Scan" baseline: partitioning trees are ignored for pruning
+    /// and every join is a shuffle join over all blocks.
+    FullScan,
+    /// "Repartitioning" baseline: no smooth migration — when half the
+    /// query window uses a new join attribute, the whole table is
+    /// repartitioned at once (the latency spikes of Figs. 13/18).
+    FullRepartition,
+    /// Amoeba baseline: selection-predicate adaptation only, shuffle
+    /// joins always (its trees carry no join attribute).
+    Amoeba,
+    /// Static partitioning as loaded (hand-tuned / "best guess"
+    /// baselines); the planner still chooses hyper vs shuffle by cost.
+    Fixed,
+}
+
+/// Tuning knobs for a [`crate::Database`].
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// Simulated cluster size (paper: 10 machines).
+    pub nodes: usize,
+    /// DFS replication factor (HDFS default: 3).
+    pub replication: usize,
+    /// Block-size budget expressed in rows (the paper's `B` bytes; all
+    /// rows of a table are near-constant size, so rows are the unit).
+    pub rows_per_block: usize,
+    /// Query-window length `|W|` (paper default: 10, §7.1).
+    pub window_size: usize,
+    /// Hyper-join memory budget in blocks per worker (Fig. 14 sweeps
+    /// this; paper lands on 4 GB ≈ tens of blocks).
+    pub buffer_blocks: usize,
+    /// Fraction of tree levels reserved for the join attribute in
+    /// two-phase trees (paper default: half, §7.1).
+    pub join_levels_fraction: f64,
+    /// Minimum number of window queries with a new join attribute before
+    /// a tree is created for it (`f_min`, §5.2).
+    pub min_join_frequency: usize,
+    /// Enable Amoeba-style selection-predicate adaptation.
+    pub adapt_selections: bool,
+    /// Cost model for simulated seconds and plan comparison.
+    pub cost: CostParams,
+    /// System variant.
+    pub mode: Mode,
+    /// Worker threads for execution.
+    pub threads: usize,
+    /// Master seed; all randomness derives from it.
+    pub seed: u64,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            nodes: 10,
+            replication: 3,
+            rows_per_block: 200,
+            window_size: 10,
+            buffer_blocks: 4,
+            join_levels_fraction: 0.5,
+            min_join_frequency: 1,
+            adapt_selections: true,
+            cost: CostParams::default(),
+            mode: Mode::Adaptive,
+            threads: 2,
+            seed: 42,
+        }
+    }
+}
+
+impl DbConfig {
+    /// A small configuration suited to unit tests and doc examples:
+    /// 4 nodes, no replication, tiny blocks.
+    pub fn small() -> Self {
+        DbConfig {
+            nodes: 4,
+            replication: 1,
+            rows_per_block: 16,
+            buffer_blocks: 2,
+            threads: 1,
+            ..DbConfig::default()
+        }
+    }
+
+    /// Same configuration with a different [`Mode`] — used to build the
+    /// baseline systems in experiments.
+    pub fn with_mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Tree depth for a table of `rows` rows: enough levels that leaf
+    /// buckets hold about one block each.
+    pub fn depth_for_rows(&self, rows: usize) -> usize {
+        if rows <= self.rows_per_block {
+            return 0;
+        }
+        (rows as f64 / self.rows_per_block as f64).log2().ceil() as usize
+    }
+
+    /// Join levels for a tree of `depth` levels under the configured
+    /// fraction.
+    pub fn join_levels_for(&self, depth: usize) -> usize {
+        ((depth as f64 * self.join_levels_fraction).round() as usize).min(depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_scales_logarithmically() {
+        let c = DbConfig { rows_per_block: 100, ..DbConfig::default() };
+        assert_eq!(c.depth_for_rows(50), 0);
+        assert_eq!(c.depth_for_rows(100), 0);
+        assert_eq!(c.depth_for_rows(200), 1);
+        assert_eq!(c.depth_for_rows(800), 3);
+        assert_eq!(c.depth_for_rows(1000), 4); // ceil(log2(10)) = 4
+    }
+
+    #[test]
+    fn join_levels_follow_fraction() {
+        let c = DbConfig { join_levels_fraction: 0.5, ..DbConfig::default() };
+        assert_eq!(c.join_levels_for(8), 4);
+        assert_eq!(c.join_levels_for(7), 4); // round(3.5) = 4
+        let c = DbConfig { join_levels_fraction: 1.0, ..DbConfig::default() };
+        assert_eq!(c.join_levels_for(6), 6);
+    }
+
+    #[test]
+    fn with_mode_builder() {
+        let c = DbConfig::small().with_mode(Mode::FullScan);
+        assert_eq!(c.mode, Mode::FullScan);
+    }
+}

@@ -1,0 +1,1095 @@
+//! The `Database` facade: catalog, optimizer, planner, executor glue.
+
+use std::collections::{BTreeMap, HashSet};
+use std::time::Instant;
+
+use adaptdb_common::rng;
+use adaptdb_common::stats::JoinStrategy;
+use adaptdb_common::{
+    AttrId, BlockId, Error, PredicateSet, Query, QueryStats, Result, Row, Schema,
+};
+use adaptdb_dfs::SimClock;
+use adaptdb_exec::{
+    hyper_join, scan_blocks, shuffle_join, shuffle_join_rows, ExecContext, HyperJoinSpec,
+    ShuffleJoinSpec,
+};
+use adaptdb_join::{planner as join_planner, JoinDecision};
+use adaptdb_storage::{BlockStore, PartitionedWriter, Reservoir};
+use adaptdb_tree::{
+    AdaptConfig, Adapter, PartitionTree, QueryWindow, TwoPhaseBuilder, UpfrontPartitioner,
+    WindowEntry,
+};
+use rand::rngs::StdRng;
+
+use crate::config::{DbConfig, Mode};
+use crate::optimizer;
+use crate::planner::{block_ranges, classify_candidates, SideCandidates};
+use crate::table::{TableState, TreeInfo};
+
+/// Rows plus execution statistics for one query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Output rows (join output: left columns then right columns).
+    pub rows: Vec<Row>,
+    /// Everything measured while answering.
+    pub stats: QueryStats,
+}
+
+impl QueryResult {
+    /// Simulated running time under the database's cost model — the
+    /// y-axis of the paper's workload figures.
+    pub fn simulated_secs(&self, config: &DbConfig) -> f64 {
+        self.stats.simulated_secs(&config.cost)
+    }
+}
+
+/// The AdaptDB storage manager.
+#[derive(Debug)]
+pub struct Database {
+    config: DbConfig,
+    store: BlockStore,
+    tables: BTreeMap<String, TableState>,
+    rng: StdRng,
+    /// Monotone query counter, for adaptation cooldowns.
+    queries_run: usize,
+    /// Per-table query index of the last selection adaptation. One
+    /// adaptation per window of queries amortizes rewrite cost and
+    /// prevents oscillation when predicate constants vary between
+    /// instances of the same template.
+    last_selection_adapt: BTreeMap<String, usize>,
+}
+
+impl Database {
+    /// Create a database over a fresh simulated cluster.
+    pub fn new(config: DbConfig) -> Self {
+        let store = BlockStore::new(config.nodes, config.replication, config.seed);
+        let rng = rng::derived(config.seed, "database");
+        Database {
+            config,
+            store,
+            tables: BTreeMap::new(),
+            rng,
+            queries_run: 0,
+            last_selection_adapt: BTreeMap::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DbConfig {
+        &self.config
+    }
+
+    /// Change the hyper-join memory budget (blocks per worker). The
+    /// Fig. 14 sweep varies this on a loaded database; partitioning is
+    /// unaffected, only planning.
+    pub fn set_buffer_blocks(&mut self, blocks: usize) {
+        self.config.buffer_blocks = blocks.max(1);
+    }
+
+    /// Serialize the catalog (schemas, partitioning trees, bucket maps)
+    /// to a self-contained blob — the metadata the paper stores next to
+    /// the blocks (§2).
+    pub fn export_catalog(&self) -> bytes::Bytes {
+        crate::catalog::encode_catalog(self.tables.values())
+    }
+
+    /// Restore catalog state from [`Database::export_catalog`] output.
+    /// Every referenced block must still exist in the store; schemas
+    /// must match the registered tables.
+    pub fn import_catalog(&mut self, blob: bytes::Bytes) -> Result<()> {
+        let snaps = crate::catalog::decode_catalog(blob)?;
+        for snap in &snaps {
+            let ts = self
+                .tables
+                .get_mut(&snap.name)
+                .ok_or_else(|| Error::UnknownTable(snap.name.clone()))?;
+            // Validate block references before touching state.
+            for (_, buckets) in &snap.trees {
+                for blocks in buckets.values() {
+                    for b in blocks {
+                        self.store.block_meta(&snap.name, *b)?;
+                    }
+                }
+            }
+            crate::catalog::apply_snapshot(ts, snap)?;
+        }
+        Ok(())
+    }
+
+    /// Read access to the block store (for experiments and tests).
+    pub fn store(&self) -> &BlockStore {
+        &self.store
+    }
+
+    /// Fault injection: fail a simulated cluster node. With replication
+    /// ≥ 2 queries keep working through surviving replicas (reads that
+    /// would have been local become remote); unreplicated blocks on the
+    /// failed node surface as [`Error::Dfs`] from `run`.
+    pub fn inject_node_failure(&mut self, node: adaptdb_dfs::NodeId) {
+        self.store.dfs_mut().fail_node(node);
+    }
+
+    /// Fault injection: bring a failed node back.
+    pub fn recover_node(&mut self, node: adaptdb_dfs::NodeId) {
+        self.store.dfs_mut().recover_node(node);
+    }
+
+    /// Catalog state of a table.
+    pub fn table(&self, name: &str) -> Result<&TableState> {
+        self.tables.get(name).ok_or_else(|| Error::UnknownTable(name.to_string()))
+    }
+
+    /// Register a table. `candidate_attrs` are the attributes the
+    /// upfront partitioner and selection adapter may split on.
+    pub fn create_table(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        candidate_attrs: Vec<AttrId>,
+    ) -> Result<()> {
+        if candidate_attrs.iter().any(|a| *a as usize >= schema.len()) {
+            return Err(Error::InvalidConfig(format!(
+                "candidate attribute out of range for table {name}"
+            )));
+        }
+        let sample_cap = 2_000;
+        let state = TableState {
+            name: name.to_string(),
+            schema,
+            trees: Vec::new(),
+            sample: Reservoir::new(sample_cap, self.config.seed ^ name.len() as u64),
+            window: QueryWindow::new(self.config.window_size),
+            candidate_attrs,
+        };
+        self.tables.insert(name.to_string(), state);
+        Ok(())
+    }
+
+    /// Bulk-load rows through the Amoeba upfront partitioner (§3.1):
+    /// sample, build a workload-oblivious tree over the candidate
+    /// attributes, then route every row into blocks.
+    pub fn load_rows(
+        &mut self,
+        table: &str,
+        rows: impl IntoIterator<Item = Row>,
+    ) -> Result<usize> {
+        let buffered: Vec<Row> = rows.into_iter().collect();
+        let ts = self.tables.get_mut(table).ok_or_else(|| Error::UnknownTable(table.into()))?;
+        for r in &buffered {
+            ts.sample.offer(r.clone());
+        }
+        let depth = self.config.depth_for_rows(buffered.len());
+        let arity = ts.schema.len();
+        let attrs = if ts.candidate_attrs.is_empty() {
+            ts.schema.attr_ids().collect()
+        } else {
+            ts.candidate_attrs.clone()
+        };
+        let tree = UpfrontPartitioner::new(arity, attrs, depth, self.config.seed)
+            .build(ts.sample.rows());
+        Self::write_through_tree(
+            &mut self.store,
+            ts,
+            tree,
+            buffered,
+            self.config.rows_per_block,
+        )
+    }
+
+    /// Load rows under an explicit tree (hand-tuned / "best guess"
+    /// baselines, Fig. 18). `rows_per_block` overrides the configured
+    /// block budget when given — the PREF baseline uses smaller
+    /// effective blocks to model its tuple replication overhead.
+    pub fn load_with_tree(
+        &mut self,
+        table: &str,
+        rows: Vec<Row>,
+        tree: PartitionTree,
+        rows_per_block: Option<usize>,
+    ) -> Result<usize> {
+        let budget = rows_per_block.unwrap_or(self.config.rows_per_block);
+        let ts = self.tables.get_mut(table).ok_or_else(|| Error::UnknownTable(table.into()))?;
+        for r in &rows {
+            ts.sample.offer(r.clone());
+        }
+        Self::write_through_tree(&mut self.store, ts, tree, rows, budget)
+    }
+
+    /// Load rows under a converged two-phase tree for `join_attr` —
+    /// what smooth repartitioning would eventually produce. Experiments
+    /// use this to start from the paper's "ran the smooth partitioning
+    /// algorithm for several iterations until just one tree existed"
+    /// state (§7.2) without replaying the queries.
+    pub fn load_two_phase(
+        &mut self,
+        table: &str,
+        rows: Vec<Row>,
+        join_attr: AttrId,
+        join_levels: Option<usize>,
+    ) -> Result<usize> {
+        let depth = self.config.depth_for_rows(rows.len());
+        let levels = join_levels.unwrap_or_else(|| self.config.join_levels_for(depth));
+        if levels > depth {
+            return Err(Error::InvalidConfig(format!(
+                "join levels {levels} exceed tree depth {depth}"
+            )));
+        }
+        let ts = self.tables.get_mut(table).ok_or_else(|| Error::UnknownTable(table.into()))?;
+        for r in &rows {
+            ts.sample.offer(r.clone());
+        }
+        let selection: Vec<AttrId> =
+            ts.candidate_attrs.iter().copied().filter(|a| *a != join_attr).collect();
+        let tree = TwoPhaseBuilder::new(
+            ts.schema.len(),
+            join_attr,
+            levels,
+            selection,
+            depth,
+            self.config.seed,
+        )
+        .build(ts.sample.rows());
+        Self::write_through_tree(&mut self.store, ts, tree, rows, self.config.rows_per_block)
+    }
+
+    fn write_through_tree(
+        store: &mut BlockStore,
+        ts: &mut TableState,
+        tree: PartitionTree,
+        rows: Vec<Row>,
+        rows_per_block: usize,
+    ) -> Result<usize> {
+        let n = rows.len();
+        let arity = ts.schema.len();
+        let mut writer = PartitionedWriter::new(store, &ts.name, arity, rows_per_block, None);
+        for row in rows {
+            writer.push(tree.route(&row), row);
+        }
+        let map = writer.finish();
+        let mut info = TreeInfo::empty(tree);
+        info.add_blocks(map);
+        ts.trees = vec![info];
+        Ok(n)
+    }
+
+    /// Run one query: update windows, adapt partitioning (mode-dependent),
+    /// plan, execute, and account.
+    pub fn run(&mut self, query: &Query) -> Result<QueryResult> {
+        let started = Instant::now();
+        self.queries_run += 1;
+        self.observe(query)?;
+
+        let repart_clock = SimClock::new();
+        self.adapt(query, &repart_clock)?;
+
+        let query_clock = SimClock::new();
+        let (rows, strategy, c_hyj) = self.execute(query, &query_clock)?;
+
+        let mut stats = QueryStats::empty(strategy);
+        stats.query_io = query_clock.snapshot();
+        stats.repartition_io = repart_clock.snapshot();
+        stats.estimated_c_hyj = c_hyj;
+        stats.wall_secs = started.elapsed().as_secs_f64();
+        Ok(QueryResult { rows, stats })
+    }
+
+    // ----- window bookkeeping ------------------------------------------
+
+    fn observe(&mut self, query: &Query) -> Result<()> {
+        for name in query.tables() {
+            let ts = self
+                .tables
+                .get_mut(name)
+                .ok_or_else(|| Error::UnknownTable(name.to_string()))?;
+            ts.window.push(WindowEntry {
+                join_attr: query.join_attr_for(name),
+                predicates: query.predicates_for(name),
+            });
+        }
+        Ok(())
+    }
+
+    // ----- adaptation (the optimizer of §6) ----------------------------
+
+    fn adapt(&mut self, query: &Query, clock: &SimClock) -> Result<()> {
+        let mut tables: Vec<&str> = query.tables();
+        tables.dedup();
+        let tables: Vec<String> = tables.into_iter().map(String::from).collect();
+        match self.config.mode {
+            Mode::Adaptive => {
+                for t in &tables {
+                    if let Some(attr) = query.join_attr_for(t) {
+                        self.smooth_migrate(t, attr, clock)?;
+                    }
+                    if self.config.adapt_selections {
+                        self.adapt_selections(t, clock)?;
+                    }
+                }
+            }
+            Mode::Amoeba => {
+                for t in &tables {
+                    self.adapt_selections(t, clock)?;
+                }
+            }
+            Mode::FullRepartition => {
+                for t in &tables {
+                    if let Some(attr) = query.join_attr_for(t) {
+                        self.maybe_full_repartition(t, attr, clock)?;
+                    }
+                }
+            }
+            Mode::FullScan | Mode::Fixed => {}
+        }
+        Ok(())
+    }
+
+    /// Smooth repartitioning toward `attr` for one table (Fig. 11).
+    fn smooth_migrate(&mut self, table: &str, attr: AttrId, clock: &SimClock) -> Result<()> {
+        let config = self.config.clone();
+        let total_rows = self.store.row_count(table);
+        let ts = self.tables.get_mut(table).ok_or_else(|| Error::UnknownTable(table.into()))?;
+        let total = ts.total_blocks();
+        if total == 0 {
+            return Ok(());
+        }
+        let n = ts.window.count_join_attr(attr);
+        let target_idx = match ts.tree_for_join_attr(attr) {
+            Some(i) => i,
+            None => {
+                if !optimizer::should_create_tree(n, config.min_join_frequency) {
+                    return Ok(());
+                }
+                let depth = config.depth_for_rows(total_rows);
+                let levels = config.join_levels_for(depth);
+                let selection: Vec<AttrId> =
+                    ts.candidate_attrs.iter().copied().filter(|a| *a != attr).collect();
+                let tree = TwoPhaseBuilder::new(
+                    ts.schema.len(),
+                    attr,
+                    levels,
+                    selection,
+                    depth,
+                    config.seed ^ (attr as u64) << 32,
+                )
+                .build(ts.sample.rows());
+                ts.trees.push(TreeInfo::empty(tree));
+                ts.trees.len() - 1
+            }
+        };
+        // |W| is the configured window length (§5.2 "where |W| is the
+        // length of the query window"), not the current occupancy — a
+        // cold window must not trigger a full migration. Sizes `|T|` are
+        // measured in rows, not block counts: migrated rows land in
+        // partially-filled blocks, so block counts would overstate the
+        // target tree's share.
+        let tree_rows = |info: &TreeInfo, store: &BlockStore| -> usize {
+            info.all_blocks()
+                .iter()
+                .filter_map(|b| store.block_meta(table, *b).ok())
+                .map(|m| m.row_count)
+                .sum()
+        };
+        let target_rows = tree_rows(&ts.trees[target_idx], &self.store);
+        let quota =
+            optimizer::smooth_migration_size(n, ts.window.capacity(), target_rows, total_rows);
+        if quota == 0 {
+            ts.prune_empty_trees();
+            return Ok(());
+        }
+        // Random victim blocks from the other trees (§5.2: "randomly
+        // choosing 1/|W| of the blocks in the old tree"), taken until
+        // their rows cover the quota.
+        let pool: Vec<BlockId> = ts
+            .trees
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != target_idx)
+            .flat_map(|(_, t)| t.all_blocks())
+            .collect();
+        let order = rng::sample_indices(&mut self.rng, pool.len(), pool.len());
+        let mut victims: Vec<BlockId> = Vec::new();
+        let mut rows_taken = 0usize;
+        for i in order {
+            if rows_taken >= quota {
+                break;
+            }
+            let b = pool[i];
+            rows_taken += self.store.block_meta(table, b).map(|m| m.row_count).unwrap_or(0);
+            victims.push(b);
+        }
+        if victims.is_empty() {
+            ts.prune_empty_trees();
+            return Ok(());
+        }
+        let target_tree = ts.trees[target_idx].tree.clone();
+        let outcome = adaptdb_exec::repartition_blocks(
+            &mut self.store,
+            clock,
+            table,
+            &victims,
+            &target_tree,
+            config.rows_per_block,
+            &ts.trees[target_idx].buckets,
+        )?;
+        let mut dead: HashSet<BlockId> = victims.into_iter().collect();
+        dead.extend(outcome.absorbed.iter().copied());
+        for info in ts.trees.iter_mut() {
+            info.remove_blocks(&dead);
+        }
+        ts.trees[target_idx].add_blocks(outcome.added);
+        ts.prune_empty_trees();
+        Ok(())
+    }
+
+    /// The Repartitioning baseline: rebuild the whole table at once when
+    /// half the window joins on a new attribute.
+    fn maybe_full_repartition(&mut self, table: &str, attr: AttrId, clock: &SimClock) -> Result<()> {
+        let config = self.config.clone();
+        let total_rows = self.store.row_count(table);
+        let ts = self.tables.get_mut(table).ok_or_else(|| Error::UnknownTable(table.into()))?;
+        if ts.tree_for_join_attr(attr).is_some() || ts.total_blocks() == 0 {
+            return Ok(());
+        }
+        let n = ts.window.count_join_attr(attr);
+        if !optimizer::full_repartition_trigger(n, ts.window.capacity()) {
+            return Ok(());
+        }
+        let depth = config.depth_for_rows(total_rows);
+        let levels = config.join_levels_for(depth);
+        let selection: Vec<AttrId> =
+            ts.candidate_attrs.iter().copied().filter(|a| *a != attr).collect();
+        let tree = TwoPhaseBuilder::new(
+            ts.schema.len(),
+            attr,
+            levels,
+            selection,
+            depth,
+            config.seed ^ (attr as u64) << 32,
+        )
+        .build(ts.sample.rows());
+        let all = ts.all_blocks();
+        let outcome = adaptdb_exec::repartition_blocks(
+            &mut self.store,
+            clock,
+            table,
+            &all,
+            &tree,
+            config.rows_per_block,
+            &std::collections::BTreeMap::new(),
+        )?;
+        let mut info = TreeInfo::empty(tree);
+        info.add_blocks(outcome.added);
+        ts.trees = vec![info];
+        Ok(())
+    }
+
+    /// Amoeba-style selection adaptation on the table's largest tree,
+    /// rate-limited to once per window of queries.
+    fn adapt_selections(&mut self, table: &str, clock: &SimClock) -> Result<()> {
+        let config = self.config.clone();
+        if let Some(&last) = self.last_selection_adapt.get(table) {
+            if self.queries_run.saturating_sub(last) < config.window_size {
+                return Ok(());
+            }
+        }
+        let ts = self.tables.get_mut(table).ok_or_else(|| Error::UnknownTable(table.into()))?;
+        let Some(idx) = (0..ts.trees.len()).max_by_key(|&i| ts.trees[i].block_count()) else {
+            return Ok(());
+        };
+        if ts.trees[idx].block_count() == 0 {
+            return Ok(());
+        }
+        let adapter =
+            Adapter::new(AdaptConfig { seed: config.seed, ..AdaptConfig::default() });
+        let Some(plan) = adapter.propose(&ts.trees[idx].tree, ts.sample.rows(), &ts.window)
+        else {
+            return Ok(());
+        };
+        let affected: Vec<BlockId> = plan
+            .old_buckets
+            .iter()
+            .filter_map(|b| ts.trees[idx].buckets.get(b))
+            .flatten()
+            .copied()
+            .collect();
+        if affected.is_empty() {
+            // Structure-only change (buckets held no blocks): just swap.
+            for b in &plan.old_buckets {
+                ts.trees[idx].buckets.remove(b);
+            }
+            ts.trees[idx].tree = plan.new_tree;
+            self.last_selection_adapt.insert(table.to_string(), self.queries_run);
+            return Ok(());
+        }
+        let outcome = adaptdb_exec::repartition_blocks(
+            &mut self.store,
+            clock,
+            table,
+            &affected,
+            &plan.new_tree,
+            config.rows_per_block,
+            &ts.trees[idx].buckets,
+        )?;
+        for b in &plan.old_buckets {
+            ts.trees[idx].buckets.remove(b);
+        }
+        let dead: HashSet<BlockId> = outcome.absorbed.iter().copied().collect();
+        ts.trees[idx].remove_blocks(&dead);
+        ts.trees[idx].tree = plan.new_tree;
+        ts.trees[idx].add_blocks(outcome.added);
+        self.last_selection_adapt.insert(table.to_string(), self.queries_run);
+        Ok(())
+    }
+
+    // ----- execution ----------------------------------------------------
+
+    fn execute(
+        &self,
+        query: &Query,
+        clock: &SimClock,
+    ) -> Result<(Vec<Row>, JoinStrategy, Option<f64>)> {
+        match query {
+            Query::Scan(s) => {
+                let rows = self.execute_scan(&s.table, &s.predicates, clock)?;
+                Ok((rows, JoinStrategy::ScanOnly, None))
+            }
+            Query::Join(j) => {
+                let (rows, strategy, c) = self.execute_join(
+                    &j.left.table,
+                    &j.left.predicates,
+                    j.left_attr,
+                    &j.right.table,
+                    &j.right.predicates,
+                    j.right_attr,
+                    clock,
+                )?;
+                Ok((rows, strategy, c))
+            }
+            Query::MultiJoin { first, steps } => {
+                let (mut rows, mut strategy, c) = self.execute_join(
+                    &first.left.table,
+                    &first.left.predicates,
+                    first.left_attr,
+                    &first.right.table,
+                    &first.right.predicates,
+                    first.right_attr,
+                    clock,
+                )?;
+                for step in steps {
+                    let (step_rows, used_hyper) = self.execute_step(step, rows, clock)?;
+                    rows = step_rows;
+                    if !used_hyper && strategy == JoinStrategy::HyperJoin {
+                        strategy = JoinStrategy::Mixed;
+                    }
+                }
+                Ok((rows, strategy, c))
+            }
+        }
+    }
+
+    fn exec_ctx<'a>(&'a self, clock: &'a SimClock) -> ExecContext<'a> {
+        ExecContext::new(&self.store, clock, self.config.threads)
+    }
+
+    /// Execute one multi-way join step (§4.3). When the base table has a
+    /// tree on the step's join attribute covering all candidate blocks,
+    /// only the intermediate is shuffled and the base table is read
+    /// through a hyper-join schedule ("AdaptDB only needs to shuffle
+    /// tempLO based on custkey, and can then use hyper-join"). Otherwise
+    /// the step falls back to scanning the table and shuffling both
+    /// sides. Returns the joined rows and whether the hyper path ran.
+    fn execute_step(
+        &self,
+        step: &adaptdb_common::JoinStep,
+        intermediate: Vec<Row>,
+        clock: &SimClock,
+    ) -> Result<(Vec<Row>, bool)> {
+        let table = &step.table.table;
+        let preds = &step.table.predicates;
+        let ts = self.table(table)?;
+        let allow_hyper =
+            matches!(self.config.mode, Mode::Adaptive | Mode::FullRepartition | Mode::Fixed);
+        if allow_hyper {
+            let candidates = classify_candidates(ts, preds, step.table_attr);
+            if !candidates.matching.is_empty() && candidates.other.is_empty() {
+                // Group the stored side exactly like a two-table
+                // hyper-join would, with per-group key ranges for
+                // routing the intermediate.
+                let ranges =
+                    block_ranges(&self.store, table, &candidates.matching, step.table_attr)?;
+                let plain: Vec<adaptdb_common::ValueRange> =
+                    ranges.iter().map(|(_, r)| r.clone()).collect();
+                let overlap = adaptdb_join::OverlapMatrix::compute_sweep(&plain, &plain);
+                let grouping = adaptdb_join::bottom_up::solve(
+                    &overlap,
+                    self.config.buffer_blocks.max(1),
+                );
+                let groups: Vec<adaptdb_exec::StepGroup> = grouping
+                    .groups()
+                    .iter()
+                    .map(|members| {
+                        let mut range = adaptdb_common::ValueRange::empty();
+                        let blocks = members
+                            .iter()
+                            .map(|&i| {
+                                range.merge(&ranges[i].1);
+                                ranges[i].0
+                            })
+                            .collect();
+                        adaptdb_exec::StepGroup { blocks, range }
+                    })
+                    .collect();
+                let rows = adaptdb_exec::hyper_step_join(
+                    self.exec_ctx(clock),
+                    table,
+                    groups,
+                    step.table_attr,
+                    preds,
+                    intermediate,
+                    step.intermediate_attr,
+                    self.config.rows_per_block,
+                )?;
+                return Ok((rows, true));
+            }
+        }
+        // Fallback: scan through the trees, shuffle both sides.
+        let side = self.execute_scan(table, preds, clock)?;
+        let rows = shuffle_join_rows(
+            self.exec_ctx(clock),
+            intermediate,
+            side,
+            step.intermediate_attr,
+            step.table_attr,
+            self.config.rows_per_block,
+        );
+        Ok((rows, false))
+    }
+
+    fn execute_scan(
+        &self,
+        table: &str,
+        preds: &PredicateSet,
+        clock: &SimClock,
+    ) -> Result<Vec<Row>> {
+        let ts = self.table(table)?;
+        if self.config.mode == Mode::FullScan {
+            // Baseline: no tree pruning, no metadata skipping.
+            let blocks = ts.all_blocks();
+            let rows = scan_blocks(self.exec_ctx(clock), table, &blocks, &PredicateSet::none())?;
+            return Ok(rows.into_iter().filter(|r| preds.matches(r)).collect());
+        }
+        let blocks = ts.lookup_blocks(preds);
+        scan_blocks(self.exec_ctx(clock), table, &blocks, preds)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn execute_join(
+        &self,
+        left: &str,
+        left_preds: &PredicateSet,
+        left_attr: AttrId,
+        right: &str,
+        right_preds: &PredicateSet,
+        right_attr: AttrId,
+        clock: &SimClock,
+    ) -> Result<(Vec<Row>, JoinStrategy, Option<f64>)> {
+        let lt = self.table(left)?;
+        let rt = self.table(right)?;
+        let allow_hyper =
+            matches!(self.config.mode, Mode::Adaptive | Mode::FullRepartition | Mode::Fixed);
+
+        let (lc, rc) = if self.config.mode == Mode::FullScan {
+            (
+                SideCandidates { matching: vec![], other: lt.all_blocks() },
+                SideCandidates { matching: vec![], other: rt.all_blocks() },
+            )
+        } else {
+            (
+                classify_candidates(lt, left_preds, left_attr),
+                classify_candidates(rt, right_preds, right_attr),
+            )
+        };
+
+        if !allow_hyper {
+            let rows = self.run_shuffle(
+                left, &lc.all(), left_preds, left_attr,
+                right, &rc.all(), right_preds, right_attr,
+                clock,
+            )?;
+            return Ok((rows, JoinStrategy::ShuffleJoin, None));
+        }
+
+        // Choose the hyper candidate sets: matching×matching when both
+        // sides are (at least partially) organized for this join;
+        // otherwise try everything (the "up-front partitioning happens to
+        // work out" clause of case 3).
+        let both_matching = !lc.matching.is_empty() && !rc.matching.is_empty();
+        let (l_hyper, l_rest, r_hyper, r_rest) = if both_matching {
+            (lc.matching.clone(), lc.other.clone(), rc.matching.clone(), rc.other.clone())
+        } else {
+            (lc.all(), Vec::new(), rc.all(), Vec::new())
+        };
+
+        let l_ranges = block_ranges(&self.store, left, &l_hyper, left_attr)?;
+        let r_ranges = block_ranges(&self.store, right, &r_hyper, right_attr)?;
+        let decision =
+            join_planner::plan(&l_ranges, &r_ranges, self.config.buffer_blocks, &self.config.cost);
+
+        // Cost check for the mixed case (§5.4): the hyper part plus the
+        // remainder shuffles must beat one full shuffle, else shuffling
+        // everything at once is cheaper.
+        let decision = match decision {
+            JoinDecision::Hyper(plan) if !l_rest.is_empty() || !r_rest.is_empty() => {
+                let cost = &self.config.cost;
+                let mut mixed = plan.est_total_reads() as f64;
+                if !r_rest.is_empty() {
+                    mixed += cost.shuffle_join_cost(l_hyper.len(), r_rest.len());
+                }
+                if !l_rest.is_empty() {
+                    mixed += cost.shuffle_join_cost(l_rest.len(), rc.len());
+                }
+                let full = cost.shuffle_join_cost(lc.len(), rc.len());
+                if mixed < full {
+                    JoinDecision::Hyper(plan)
+                } else {
+                    JoinDecision::Shuffle { est_cost: full, hyper_cost: mixed }
+                }
+            }
+            other => other,
+        };
+
+        match decision {
+            JoinDecision::Hyper(plan) => {
+                let mut rows = hyper_join(
+                    self.exec_ctx(clock),
+                    HyperJoinSpec {
+                        left_table: left,
+                        right_table: right,
+                        left_attr,
+                        right_attr,
+                        left_preds,
+                        right_preds,
+                        plan: &plan,
+                    },
+                )?;
+                let mut mixed = false;
+                // Remainder joins for mid-migration blocks (planner case 2).
+                if !r_rest.is_empty() {
+                    mixed = true;
+                    rows.extend(self.run_shuffle(
+                        left, &l_hyper, left_preds, left_attr,
+                        right, &r_rest, right_preds, right_attr,
+                        clock,
+                    )?);
+                }
+                if !l_rest.is_empty() {
+                    mixed = true;
+                    let r_all = rc.all();
+                    rows.extend(self.run_shuffle(
+                        left, &l_rest, left_preds, left_attr,
+                        right, &r_all, right_preds, right_attr,
+                        clock,
+                    )?);
+                }
+                let strategy = if mixed { JoinStrategy::Mixed } else { JoinStrategy::HyperJoin };
+                Ok((rows, strategy, Some(plan.c_hyj)))
+            }
+            JoinDecision::Shuffle { .. } => {
+                let rows = self.run_shuffle(
+                    left, &lc.all(), left_preds, left_attr,
+                    right, &rc.all(), right_preds, right_attr,
+                    clock,
+                )?;
+                Ok((rows, JoinStrategy::ShuffleJoin, None))
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_shuffle(
+        &self,
+        left: &str,
+        left_blocks: &[BlockId],
+        left_preds: &PredicateSet,
+        left_attr: AttrId,
+        right: &str,
+        right_blocks: &[BlockId],
+        right_preds: &PredicateSet,
+        right_attr: AttrId,
+        clock: &SimClock,
+    ) -> Result<Vec<Row>> {
+        shuffle_join(
+            self.exec_ctx(clock),
+            ShuffleJoinSpec {
+                left_table: left,
+                left_blocks,
+                right_table: right,
+                right_blocks,
+                left_attr,
+                right_attr,
+                left_preds,
+                right_preds,
+                partitions: self.config.nodes,
+                rows_per_block: self.config.rows_per_block,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptdb_common::{row, CmpOp, JoinQuery, Predicate, ScanQuery, ValueType};
+
+    fn schema2() -> Schema {
+        Schema::from_pairs(&[("k", ValueType::Int), ("x", ValueType::Int)])
+    }
+
+    fn db(mode: Mode) -> Database {
+        let config = DbConfig {
+            rows_per_block: 10,
+            window_size: 5,
+            buffer_blocks: 2,
+            mode,
+            ..DbConfig::small()
+        };
+        let mut db = Database::new(config);
+        db.create_table("l", schema2(), vec![0, 1]).unwrap();
+        db.create_table("r", schema2(), vec![0, 1]).unwrap();
+        db.load_rows("l", (0..200i64).map(|i| row![i % 100, i])).unwrap();
+        db.load_rows("r", (0..100i64).map(|i| row![i, i * 2])).unwrap();
+        db
+    }
+
+    fn join_query() -> Query {
+        Query::Join(JoinQuery::new(ScanQuery::full("l"), ScanQuery::full("r"), 0, 0))
+    }
+
+    #[test]
+    fn scan_returns_matching_rows() {
+        let mut d = db(Mode::Adaptive);
+        let q = Query::Scan(ScanQuery::new(
+            "r",
+            PredicateSet::none().and(Predicate::new(0, CmpOp::Lt, 10i64)),
+        ));
+        let res = d.run(&q).unwrap();
+        assert_eq!(res.rows.len(), 10);
+        assert_eq!(res.stats.strategy, JoinStrategy::ScanOnly);
+        assert!(res.stats.query_io.reads() > 0);
+    }
+
+    #[test]
+    fn join_is_correct_in_every_mode() {
+        for mode in [Mode::Adaptive, Mode::FullScan, Mode::FullRepartition, Mode::Amoeba, Mode::Fixed]
+        {
+            let mut d = db(mode);
+            let res = d.run(&join_query()).unwrap();
+            // Each l-row (k in 0..100, twice) matches exactly one r-row.
+            assert_eq!(res.rows.len(), 200, "mode {mode:?}");
+            for r in &res.rows {
+                assert_eq!(
+                    r.get(2).as_int().unwrap(),
+                    r.get(0).as_int().unwrap(),
+                    "join keys must match in mode {mode:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_converges_to_hyper_join() {
+        let mut d = db(Mode::Adaptive);
+        let mut last = None;
+        for _ in 0..8 {
+            last = Some(d.run(&join_query()).unwrap());
+        }
+        let res = last.unwrap();
+        assert_eq!(res.stats.strategy, JoinStrategy::HyperJoin, "should converge");
+        // Converged: no more repartitioning I/O.
+        assert_eq!(res.stats.repartition_io.writes, 0);
+        // Both tables now hold exactly one tree, on attr 0.
+        for t in ["l", "r"] {
+            let ts = d.table(t).unwrap();
+            assert_eq!(ts.trees.len(), 1, "{t} trees");
+            assert_eq!(ts.trees[0].join_attr(), Some(0));
+        }
+    }
+
+    #[test]
+    fn full_scan_mode_never_uses_hyper_join_or_pruning() {
+        let mut d = db(Mode::FullScan);
+        for _ in 0..4 {
+            let res = d.run(&join_query()).unwrap();
+            assert_eq!(res.stats.strategy, JoinStrategy::ShuffleJoin);
+            assert_eq!(res.stats.repartition_io.writes, 0, "no adaptation");
+        }
+        // Predicated scan still reads every block.
+        let q = Query::Scan(ScanQuery::new(
+            "r",
+            PredicateSet::none().and(Predicate::new(0, CmpOp::Lt, 5i64)),
+        ));
+        let res = d.run(&q).unwrap();
+        assert_eq!(res.rows.len(), 5);
+        assert_eq!(res.stats.query_io.reads(), d.table("r").unwrap().total_blocks());
+    }
+
+    #[test]
+    fn full_repartition_spikes_then_settles() {
+        let mut d = db(Mode::FullRepartition);
+        let mut spike_at = None;
+        for i in 0..6 {
+            let res = d.run(&join_query()).unwrap();
+            if res.stats.repartition_io.writes > 0 && spike_at.is_none() {
+                spike_at = Some(i);
+                // The spike rewrites entire tables at once.
+                let total = d.table("l").unwrap().total_blocks()
+                    + d.table("r").unwrap().total_blocks();
+                assert!(res.stats.repartition_io.writes >= total / 2);
+            }
+        }
+        let spike = spike_at.expect("full repartition must trigger");
+        // After the spike, joins are hyper and no further writes happen.
+        let res = d.run(&join_query()).unwrap();
+        assert_eq!(res.stats.repartition_io.writes, 0);
+        assert_eq!(res.stats.strategy, JoinStrategy::HyperJoin);
+        assert!(spike >= 2, "needs half the window first (got {spike})");
+    }
+
+    #[test]
+    fn amoeba_mode_keeps_shuffling_but_adapts_selections() {
+        // Partition only on attr 0 upfront so predicates on attr 1 leave
+        // clear adaptation headroom.
+        let config = DbConfig {
+            rows_per_block: 10,
+            window_size: 5,
+            buffer_blocks: 2,
+            mode: Mode::Amoeba,
+            ..DbConfig::small()
+        };
+        let mut d = Database::new(config);
+        d.create_table("l", schema2(), vec![0]).unwrap();
+        d.create_table("r", schema2(), vec![0]).unwrap();
+        d.load_rows("l", (0..200i64).map(|i| row![i % 100, i])).unwrap();
+        d.load_rows("r", (0..100i64).map(|i| row![i, i * 2])).unwrap();
+        let q = Query::Join(JoinQuery::new(
+            ScanQuery::new("l", PredicateSet::none().and(Predicate::new(1, CmpOp::Lt, 40i64))),
+            ScanQuery::full("r"),
+            0,
+            0,
+        ));
+        let mut adapted = false;
+        let mut reads_first = 0usize;
+        let mut reads_last = 0usize;
+        // The adapter needs a window's worth of evidence before a rewrite
+        // clears the benefit/cost hysteresis, so run a few windows.
+        for i in 0..15 {
+            let res = d.run(&q).unwrap();
+            assert_eq!(res.stats.strategy, JoinStrategy::ShuffleJoin);
+            if res.stats.repartition_io.writes > 0 {
+                adapted = true;
+            }
+            if i == 0 {
+                reads_first = res.stats.query_io.reads();
+            }
+            reads_last = res.stats.query_io.reads();
+        }
+        assert!(adapted, "selection adaptation should have fired");
+        assert!(reads_last <= reads_first, "{reads_last} vs {reads_first}");
+    }
+
+    #[test]
+    fn mid_migration_uses_mixed_strategy() {
+        // Large window so migration is slow, guaranteeing a mid state.
+        let config = DbConfig {
+            rows_per_block: 10,
+            window_size: 20,
+            buffer_blocks: 2,
+            adapt_selections: false,
+            ..DbConfig::small()
+        };
+        let mut d = Database::new(config);
+        d.create_table("l", schema2(), vec![0, 1]).unwrap();
+        d.create_table("r", schema2(), vec![0, 1]).unwrap();
+        d.load_rows("l", (0..400i64).map(|i| row![i % 200, i])).unwrap();
+        d.load_rows("r", (0..200i64).map(|i| row![i, i * 2])).unwrap();
+        let mut saw_mixed_or_shuffle = false;
+        for _ in 0..3 {
+            let res = d.run(&join_query()).unwrap();
+            assert_eq!(res.rows.len(), 400);
+            if matches!(res.stats.strategy, JoinStrategy::Mixed | JoinStrategy::ShuffleJoin) {
+                saw_mixed_or_shuffle = true;
+            }
+        }
+        assert!(saw_mixed_or_shuffle, "early queries run before trees converge");
+        // Trees exist for attr 0 on both tables, partially filled.
+        let ts = d.table("l").unwrap();
+        assert!(ts.tree_for_join_attr(0).is_some());
+    }
+
+    #[test]
+    fn multi_join_chains_through_steps() {
+        let mut d = db(Mode::Adaptive);
+        // Third table keyed on l.x % 10.
+        d.create_table("c", schema2(), vec![0]).unwrap();
+        d.load_rows("c", (0..10i64).map(|i| row![i, i * 100])).unwrap();
+        let q = Query::MultiJoin {
+            first: JoinQuery::new(ScanQuery::full("l"), ScanQuery::full("r"), 0, 0),
+            steps: vec![adaptdb_common::JoinStep {
+                // l⋈r output: [l.k, l.x, r.k, r.x]; join c on r.k % ... use l.k.
+                intermediate_attr: 0,
+                table: ScanQuery::new(
+                    "c",
+                    PredicateSet::none().and(Predicate::new(0, CmpOp::Lt, 100i64)),
+                ),
+                table_attr: 0,
+            }],
+        };
+        let res = d.run(&q).unwrap();
+        // l.k in 0..100; only k in 0..10 match c.
+        assert_eq!(res.rows.len(), 20);
+        for r in &res.rows {
+            assert_eq!(r.arity(), 6);
+            assert_eq!(r.get(0), r.get(4));
+        }
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let mut d = db(Mode::Adaptive);
+        let q = Query::Scan(ScanQuery::full("nope"));
+        assert!(matches!(d.run(&q), Err(Error::UnknownTable(_))));
+    }
+
+    #[test]
+    fn load_two_phase_enables_immediate_hyper_join() {
+        let config = DbConfig { rows_per_block: 10, buffer_blocks: 2, ..DbConfig::small() };
+        let mut d = Database::new(config.with_mode(Mode::Fixed));
+        d.create_table("l", schema2(), vec![1]).unwrap();
+        d.create_table("r", schema2(), vec![1]).unwrap();
+        d.load_two_phase("l", (0..200i64).map(|i| row![i % 100, i]).collect(), 0, None)
+            .unwrap();
+        d.load_two_phase("r", (0..100i64).map(|i| row![i, i * 2]).collect(), 0, None)
+            .unwrap();
+        let res = d.run(&join_query()).unwrap();
+        assert_eq!(res.stats.strategy, JoinStrategy::HyperJoin);
+        assert_eq!(res.rows.len(), 200);
+        let c_hyj = res.stats.estimated_c_hyj.unwrap();
+        assert!(c_hyj < 2.5, "two-phase partitioning should give low C_HyJ, got {c_hyj}");
+    }
+
+    #[test]
+    fn simulated_seconds_are_positive_and_mode_ordered() {
+        // Converged AdaptDB should beat FullScan on the same query.
+        let mut fast = db(Mode::Adaptive);
+        for _ in 0..6 {
+            fast.run(&join_query()).unwrap();
+        }
+        let fast_res = fast.run(&join_query()).unwrap();
+        let mut slow = db(Mode::FullScan);
+        let slow_res = slow.run(&join_query()).unwrap();
+        let f = fast_res.simulated_secs(fast.config());
+        let s = slow_res.simulated_secs(slow.config());
+        assert!(f > 0.0 && s > 0.0);
+        assert!(f < s, "converged hyper-join ({f}) must beat full scan ({s})");
+    }
+}

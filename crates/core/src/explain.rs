@@ -1,0 +1,260 @@
+//! `EXPLAIN` for the AdaptDB planner: report the plan a query would get
+//! — strategy, candidate block counts, cost estimates — without reading
+//! any data. Experiments and operators use this to see *why* the
+//! planner picks hyper-join or shuffle (the §5.4 decision) at the
+//! current state of migration.
+
+use adaptdb_common::stats::JoinStrategy;
+use adaptdb_common::{CostParams, Query, Result};
+use adaptdb_join::{planner as join_planner, JoinDecision, JoinSide};
+
+use crate::database::Database;
+use crate::planner::{block_ranges, classify_candidates};
+use crate::Mode;
+
+/// What the planner would do for one query, and why.
+#[derive(Debug, Clone)]
+pub struct ExplainReport {
+    /// The strategy the executor would run.
+    pub strategy: JoinStrategy,
+    /// Candidate blocks per referenced table, after `lookup(T, q)`
+    /// pruning: `(table, matching-tree blocks, other-tree blocks)`.
+    pub candidates: Vec<(String, usize, usize)>,
+    /// Eq. 1 estimate for shuffling the candidates.
+    pub est_shuffle_cost: f64,
+    /// Estimated total block reads of the hyper-join schedule, if one
+    /// was considered.
+    pub est_hyper_reads: Option<usize>,
+    /// Estimated `C_HyJ` of the schedule.
+    pub est_c_hyj: Option<f64>,
+    /// Which side the hash tables would be built over.
+    pub build_side: Option<JoinSide>,
+    /// Number of build groups in the schedule.
+    pub groups: Option<usize>,
+}
+
+impl std::fmt::Display for ExplainReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "strategy: {}", self.strategy)?;
+        for (t, m, o) in &self.candidates {
+            writeln!(f, "  {t}: {m} matching-tree blocks, {o} other blocks")?;
+        }
+        writeln!(f, "  shuffle estimate (Eq.1): {:.1} block-I/Os", self.est_shuffle_cost)?;
+        if let (Some(reads), Some(c)) = (self.est_hyper_reads, self.est_c_hyj) {
+            writeln!(f, "  hyper estimate (Eq.2): {reads} block reads, C_HyJ = {c:.2}")?;
+        }
+        if let (Some(side), Some(groups)) = (self.build_side, self.groups) {
+            writeln!(f, "  build side: {side:?}, {groups} groups")?;
+        }
+        Ok(())
+    }
+}
+
+impl Database {
+    /// Explain the plan for `query` without executing it (and without
+    /// triggering any adaptation — the query is *not* added to windows).
+    pub fn explain(&self, query: &Query) -> Result<ExplainReport> {
+        let params: &CostParams = &self.config().cost;
+        match query {
+            Query::Scan(s) => {
+                let ts = self.table(&s.table)?;
+                let blocks = if self.config().mode == Mode::FullScan {
+                    ts.all_blocks().len()
+                } else {
+                    ts.lookup_blocks(&s.predicates).len()
+                };
+                Ok(ExplainReport {
+                    strategy: JoinStrategy::ScanOnly,
+                    candidates: vec![(s.table.clone(), 0, blocks)],
+                    est_shuffle_cost: 0.0,
+                    est_hyper_reads: None,
+                    est_c_hyj: None,
+                    build_side: None,
+                    groups: None,
+                })
+            }
+            Query::Join(j) => self.explain_join(
+                &j.left.table,
+                &j.left.predicates,
+                j.left_attr,
+                &j.right.table,
+                &j.right.predicates,
+                j.right_attr,
+                params,
+            ),
+            Query::MultiJoin { first, steps } => {
+                let mut report = self.explain_join(
+                    &first.left.table,
+                    &first.left.predicates,
+                    first.left_attr,
+                    &first.right.table,
+                    &first.right.predicates,
+                    first.right_attr,
+                    params,
+                )?;
+                for step in steps {
+                    let ts = self.table(&step.table.table)?;
+                    let c = classify_candidates(ts, &step.table.predicates, step.table_attr);
+                    report.candidates.push((
+                        step.table.table.clone(),
+                        c.matching.len(),
+                        c.other.len(),
+                    ));
+                }
+                Ok(report)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn explain_join(
+        &self,
+        left: &str,
+        left_preds: &adaptdb_common::PredicateSet,
+        left_attr: adaptdb_common::AttrId,
+        right: &str,
+        right_preds: &adaptdb_common::PredicateSet,
+        right_attr: adaptdb_common::AttrId,
+        params: &CostParams,
+    ) -> Result<ExplainReport> {
+        let lt = self.table(left)?;
+        let rt = self.table(right)?;
+        let lc = classify_candidates(lt, left_preds, left_attr);
+        let rc = classify_candidates(rt, right_preds, right_attr);
+        let candidates = vec![
+            (left.to_string(), lc.matching.len(), lc.other.len()),
+            (right.to_string(), rc.matching.len(), rc.other.len()),
+        ];
+        let est_shuffle_cost = params.shuffle_join_cost(lc.len(), rc.len());
+        let allow_hyper =
+            matches!(self.config().mode, Mode::Adaptive | Mode::FullRepartition | Mode::Fixed);
+        if !allow_hyper {
+            return Ok(ExplainReport {
+                strategy: JoinStrategy::ShuffleJoin,
+                candidates,
+                est_shuffle_cost,
+                est_hyper_reads: None,
+                est_c_hyj: None,
+                build_side: None,
+                groups: None,
+            });
+        }
+        let both_matching = !lc.matching.is_empty() && !rc.matching.is_empty();
+        let (l_hyper, r_hyper) = if both_matching {
+            (lc.matching.clone(), rc.matching.clone())
+        } else {
+            (lc.all(), rc.all())
+        };
+        let l_ranges = block_ranges(self.store(), left, &l_hyper, left_attr)?;
+        let r_ranges = block_ranges(self.store(), right, &r_hyper, right_attr)?;
+        let decision =
+            join_planner::plan(&l_ranges, &r_ranges, self.config().buffer_blocks, params);
+        Ok(match decision {
+            JoinDecision::Hyper(plan) => {
+                let mixed = both_matching && (!lc.other.is_empty() || !rc.other.is_empty());
+                ExplainReport {
+                    strategy: if mixed { JoinStrategy::Mixed } else { JoinStrategy::HyperJoin },
+                    candidates,
+                    est_shuffle_cost,
+                    est_hyper_reads: Some(plan.est_total_reads()),
+                    est_c_hyj: Some(plan.c_hyj),
+                    build_side: Some(plan.build_side),
+                    groups: Some(plan.groups.len()),
+                }
+            }
+            JoinDecision::Shuffle { hyper_cost, .. } => ExplainReport {
+                strategy: JoinStrategy::ShuffleJoin,
+                candidates,
+                est_shuffle_cost,
+                est_hyper_reads: if hyper_cost.is_finite() {
+                    Some(hyper_cost as usize)
+                } else {
+                    None
+                },
+                est_c_hyj: None,
+                build_side: None,
+                groups: None,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DbConfig, Mode};
+    use adaptdb_common::{row, JoinQuery, PredicateSet, ScanQuery, Schema, ValueType};
+
+    fn db(mode: Mode) -> Database {
+        let mut db = Database::new(
+            DbConfig { rows_per_block: 10, buffer_blocks: 4, ..DbConfig::small() }
+                .with_mode(mode),
+        );
+        let schema = Schema::from_pairs(&[("k", ValueType::Int), ("x", ValueType::Int)]);
+        db.create_table("l", schema.clone(), vec![1]).unwrap();
+        db.create_table("r", schema, vec![1]).unwrap();
+        db.load_two_phase("l", (0..200i64).map(|i| row![i % 100, i]).collect(), 0, None)
+            .unwrap();
+        db.load_two_phase("r", (0..100i64).map(|i| row![i, i]).collect(), 0, None).unwrap();
+        db
+    }
+
+    fn join() -> Query {
+        Query::Join(JoinQuery::new(ScanQuery::full("l"), ScanQuery::full("r"), 0, 0))
+    }
+
+    #[test]
+    fn explain_matches_execution_strategy() {
+        let mut d = db(Mode::Fixed);
+        let report = d.explain(&join()).unwrap();
+        assert_eq!(report.strategy, JoinStrategy::HyperJoin);
+        assert!(report.est_hyper_reads.unwrap() > 0);
+        assert!(report.est_c_hyj.unwrap() >= 1.0);
+        assert!((report.est_hyper_reads.unwrap() as f64) < report.est_shuffle_cost);
+        let res = d.run(&join()).unwrap();
+        assert_eq!(res.stats.strategy, report.strategy);
+    }
+
+    #[test]
+    fn explain_does_not_execute_or_adapt() {
+        let d = db(Mode::Fixed);
+        let before_blocks = d.store().block_count("l");
+        let report = d.explain(&join()).unwrap();
+        assert_eq!(d.store().block_count("l"), before_blocks);
+        // Windows untouched: explain is read-only.
+        assert!(d.table("l").unwrap().window.is_empty());
+        assert!(report.groups.unwrap() >= 1);
+    }
+
+    #[test]
+    fn shuffle_mode_explains_shuffle() {
+        let d = db(Mode::Amoeba);
+        let report = d.explain(&join()).unwrap();
+        assert_eq!(report.strategy, JoinStrategy::ShuffleJoin);
+        assert!(report.build_side.is_none());
+        assert!(report.est_shuffle_cost > 0.0);
+    }
+
+    #[test]
+    fn scan_explain_counts_pruned_blocks() {
+        use adaptdb_common::{CmpOp, Predicate};
+        let d = db(Mode::Fixed);
+        let q = Query::Scan(ScanQuery::new(
+            "l",
+            PredicateSet::none().and(Predicate::new(0, CmpOp::Lt, 10i64)),
+        ));
+        let report = d.explain(&q).unwrap();
+        assert_eq!(report.strategy, JoinStrategy::ScanOnly);
+        let (_, _, pruned) = report.candidates[0];
+        let full = d.table("l").unwrap().total_blocks();
+        assert!(pruned < full, "{pruned} vs {full}");
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let d = db(Mode::Fixed);
+        let text = d.explain(&join()).unwrap().to_string();
+        assert!(text.contains("strategy: hyper-join"));
+        assert!(text.contains("C_HyJ"));
+    }
+}

@@ -1,0 +1,56 @@
+//! # AdaptDB
+//!
+//! A from-scratch reproduction of **AdaptDB: Adaptive Partitioning for
+//! Distributed Joins** (Lu, Shanbhag, Jindal, Madden — VLDB 2017), as a
+//! Rust library over a simulated distributed filesystem.
+//!
+//! AdaptDB is a self-tuning storage manager: tables are split into
+//! blocks spread over a cluster by *partitioning trees*; as join queries
+//! arrive, **smooth repartitioning** migrates blocks into join-aware
+//! **two-phase** trees, and the **hyper-join** algorithm executes joins
+//! by grouping overlapping blocks instead of shuffling the network.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use adaptdb::{Database, DbConfig};
+//! use adaptdb_common::{row, CmpOp, Predicate, PredicateSet, Query, JoinQuery, ScanQuery};
+//! use adaptdb_common::{Schema, ValueType};
+//!
+//! let mut db = Database::new(DbConfig { rows_per_block: 8, ..DbConfig::small() });
+//!
+//! let orders = Schema::from_pairs(&[("o_orderkey", ValueType::Int),
+//!                                   ("o_custkey", ValueType::Int)]);
+//! let lineitem = Schema::from_pairs(&[("l_orderkey", ValueType::Int),
+//!                                     ("l_quantity", ValueType::Int)]);
+//! db.create_table("orders", orders.clone(), vec![0, 1]).unwrap();
+//! db.create_table("lineitem", lineitem.clone(), vec![0, 1]).unwrap();
+//! db.load_rows("orders", (0..64i64).map(|i| row![i, i % 7])).unwrap();
+//! db.load_rows("lineitem", (0..256i64).map(|i| row![i % 64, i % 13])).unwrap();
+//!
+//! let q = Query::Join(JoinQuery::new(
+//!     ScanQuery::full("lineitem"),
+//!     ScanQuery::new("orders", PredicateSet::none()
+//!         .and(Predicate::new(1, CmpOp::Lt, 3i64))),
+//!     0, 0,
+//! ));
+//! let result = db.run(&q).unwrap();
+//! assert!(result.rows.iter().all(|r| r.get(3).as_int().unwrap() < 3));
+//! ```
+//!
+//! See the workspace `examples/` directory for end-to-end scenarios and
+//! `crates/bench` for the binaries regenerating every figure of the
+//! paper's evaluation.
+
+pub mod catalog;
+pub mod config;
+pub mod database;
+pub mod explain;
+pub mod optimizer;
+pub mod planner;
+pub mod table;
+
+pub use config::{DbConfig, Mode};
+pub use database::{Database, QueryResult};
+pub use explain::ExplainReport;
+pub use table::{TableState, TreeInfo};

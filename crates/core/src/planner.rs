@@ -1,0 +1,168 @@
+//! Query-planning helpers: the three tree-configuration cases of §6.
+//!
+//! 1. both tables have one tree on the join attribute → pure hyper-join;
+//! 2. one table is mid-migration (several trees) → hyper-join for the
+//!    blocks under the matching tree plus shuffle join for the rest;
+//! 3. no tree matches → shuffle join (unless the up-front partitioning
+//!    "happens to work out", which the cost comparison detects).
+//!
+//! The split below classifies a table's candidate blocks into the
+//! *matching* set (stored under a tree whose join attribute equals the
+//! query's) and the *other* set; the database then hyper-joins matching
+//! × matching and shuffles the remainder.
+
+use adaptdb_common::{AttrId, BlockId, PredicateSet, Result, ValueRange};
+use adaptdb_join::planner::BlockRange;
+use adaptdb_storage::BlockStore;
+
+use crate::table::TableState;
+
+/// Candidate blocks for one side of a join, split by tree affinity.
+#[derive(Debug, Clone, Default)]
+pub struct SideCandidates {
+    /// Blocks stored under a tree organized for the query's join attr.
+    pub matching: Vec<BlockId>,
+    /// Blocks stored under any other tree.
+    pub other: Vec<BlockId>,
+}
+
+impl SideCandidates {
+    /// All candidate blocks.
+    pub fn all(&self) -> Vec<BlockId> {
+        let mut v = self.matching.clone();
+        v.extend_from_slice(&self.other);
+        v
+    }
+
+    /// Total candidate count.
+    pub fn len(&self) -> usize {
+        self.matching.len() + self.other.len()
+    }
+
+    /// True when no blocks qualify.
+    pub fn is_empty(&self) -> bool {
+        self.matching.is_empty() && self.other.is_empty()
+    }
+}
+
+/// Classify a table's `lookup` results by whether their tree matches the
+/// join attribute.
+pub fn classify_candidates(
+    table: &TableState,
+    preds: &PredicateSet,
+    join_attr: AttrId,
+) -> SideCandidates {
+    let mut out = SideCandidates::default();
+    for info in &table.trees {
+        let blocks = info.lookup_blocks(preds);
+        if info.join_attr() == Some(join_attr) {
+            out.matching.extend(blocks);
+        } else {
+            out.other.extend(blocks);
+        }
+    }
+    out
+}
+
+/// Fetch `(block, join-attribute range)` pairs for the hyper-join
+/// planner from block metadata.
+pub fn block_ranges(
+    store: &BlockStore,
+    table: &str,
+    blocks: &[BlockId],
+    attr: AttrId,
+) -> Result<Vec<BlockRange>> {
+    blocks
+        .iter()
+        .map(|&b| {
+            let meta = store.block_meta(table, b)?;
+            let range: ValueRange = meta.range(attr).clone();
+            Ok((b, range))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptdb_common::{row, Schema, Value, ValueType};
+    use adaptdb_storage::Reservoir;
+    use adaptdb_tree::{Node, PartitionTree, QueryWindow};
+    use std::collections::BTreeMap;
+
+    use crate::table::TreeInfo;
+
+    fn two_tree_table() -> TableState {
+        // Tree A on attr 0, tree B on attr 1.
+        let t0 = PartitionTree::from_root(
+            Node::internal(0, Value::Int(10), Node::leaf(0), Node::leaf(1)),
+            2,
+            Some(0),
+            1,
+        );
+        let t1 = PartitionTree::from_root(
+            Node::internal(1, Value::Int(5), Node::leaf(0), Node::leaf(1)),
+            2,
+            Some(1),
+            1,
+        );
+        let mut a = TreeInfo::empty(t0);
+        a.add_blocks(BTreeMap::from([(0, vec![1]), (1, vec![2])]));
+        let mut b = TreeInfo::empty(t1);
+        b.add_blocks(BTreeMap::from([(0, vec![3]), (1, vec![4])]));
+        TableState {
+            name: "t".into(),
+            schema: Schema::from_pairs(&[("k", ValueType::Int), ("x", ValueType::Int)]),
+            trees: vec![a, b],
+            sample: Reservoir::new(4, 1),
+            window: QueryWindow::new(4),
+            candidate_attrs: vec![0, 1],
+        }
+    }
+
+    #[test]
+    fn classification_follows_tree_join_attr() {
+        let t = two_tree_table();
+        let c = classify_candidates(&t, &PredicateSet::none(), 0);
+        assert_eq!(c.matching, vec![1, 2]);
+        assert_eq!(c.other, vec![3, 4]);
+        let c = classify_candidates(&t, &PredicateSet::none(), 1);
+        assert_eq!(c.matching, vec![3, 4]);
+        assert_eq!(c.other, vec![1, 2]);
+        // Unknown attr: everything "other" (planner case 3).
+        let c = classify_candidates(&t, &PredicateSet::none(), 7);
+        assert!(c.matching.is_empty());
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn predicates_prune_within_each_tree() {
+        use adaptdb_common::{CmpOp, Predicate};
+        let t = two_tree_table();
+        let preds = PredicateSet::none().and(Predicate::new(0, CmpOp::Le, 10i64));
+        let c = classify_candidates(&t, &preds, 0);
+        // Tree A prunes to bucket 0 → block 1; tree B cannot prune attr 0.
+        assert_eq!(c.matching, vec![1]);
+        assert_eq!(c.other, vec![3, 4]);
+    }
+
+    #[test]
+    fn block_ranges_read_from_meta() {
+        let mut store = BlockStore::new(2, 1, 1);
+        let id = store.write_block("t", vec![row![5i64, 1i64], row![9i64, 2i64]], 2, None);
+        let ranges = block_ranges(&store, "t", &[id], 0).unwrap();
+        assert_eq!(ranges[0].0, id);
+        assert_eq!(ranges[0].1.min(), Some(&Value::Int(5)));
+        assert_eq!(ranges[0].1.max(), Some(&Value::Int(9)));
+        assert!(block_ranges(&store, "t", &[99], 0).is_err());
+    }
+
+    #[test]
+    fn side_candidates_helpers() {
+        let c = SideCandidates { matching: vec![1], other: vec![2, 3] };
+        assert_eq!(c.all(), vec![1, 2, 3]);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert!(SideCandidates::default().is_empty());
+    }
+}

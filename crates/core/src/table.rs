@@ -1,0 +1,201 @@
+//! Per-table catalog state: trees, bucket→block maps, samples, windows.
+
+use std::collections::BTreeMap;
+
+use adaptdb_common::{AttrId, BlockId, PredicateSet, Schema};
+use adaptdb_storage::writer::BucketId;
+use adaptdb_storage::Reservoir;
+use adaptdb_tree::{PartitionTree, QueryWindow};
+
+/// One partitioning tree of a table plus the blocks currently stored
+/// under it. During smooth repartitioning a table has several of these —
+/// "one tree per frequent join attribute" (§5.2).
+#[derive(Debug, Clone)]
+pub struct TreeInfo {
+    /// The tree structure.
+    pub tree: PartitionTree,
+    /// Map from the tree's leaf buckets to the stored blocks holding
+    /// their rows (several blocks per bucket under skew).
+    pub buckets: BTreeMap<BucketId, Vec<BlockId>>,
+}
+
+impl TreeInfo {
+    /// A tree with no data yet (a freshly created migration target).
+    pub fn empty(tree: PartitionTree) -> Self {
+        TreeInfo { tree, buckets: BTreeMap::new() }
+    }
+
+    /// The join attribute this tree is organized for.
+    pub fn join_attr(&self) -> Option<AttrId> {
+        self.tree.join_attr()
+    }
+
+    /// Number of blocks currently stored under this tree — the paper's
+    /// `|T|` in the smooth-repartitioning formula (Fig. 11).
+    pub fn block_count(&self) -> usize {
+        self.buckets.values().map(Vec::len).sum()
+    }
+
+    /// All block ids under this tree.
+    pub fn all_blocks(&self) -> Vec<BlockId> {
+        self.buckets.values().flatten().copied().collect()
+    }
+
+    /// `lookup(T, q)` resolved to block ids.
+    pub fn lookup_blocks(&self, preds: &PredicateSet) -> Vec<BlockId> {
+        let mut out = Vec::new();
+        for bucket in self.tree.lookup(preds) {
+            if let Some(blocks) = self.buckets.get(&bucket) {
+                out.extend_from_slice(blocks);
+            }
+        }
+        out
+    }
+
+    /// Remove a set of blocks (after they migrated elsewhere); prunes
+    /// emptied buckets.
+    pub fn remove_blocks(&mut self, ids: &std::collections::HashSet<BlockId>) {
+        for blocks in self.buckets.values_mut() {
+            blocks.retain(|b| !ids.contains(b));
+        }
+        self.buckets.retain(|_, v| !v.is_empty());
+    }
+
+    /// Merge newly written blocks into the bucket map.
+    pub fn add_blocks(&mut self, map: BTreeMap<BucketId, Vec<BlockId>>) {
+        for (bucket, blocks) in map {
+            self.buckets.entry(bucket).or_default().extend(blocks);
+        }
+    }
+}
+
+/// Catalog state for one table.
+#[derive(Debug)]
+pub struct TableState {
+    /// Table name.
+    pub name: String,
+    /// Schema.
+    pub schema: Schema,
+    /// Partitioning trees (usually one; several mid-migration).
+    pub trees: Vec<TreeInfo>,
+    /// Reservoir sample used for cut-point selection (§3.1).
+    pub sample: Reservoir,
+    /// Recent-query window for this table (§3.2).
+    pub window: QueryWindow,
+    /// Attributes eligible as selection-partitioning candidates.
+    pub candidate_attrs: Vec<AttrId>,
+}
+
+impl TableState {
+    /// Total stored blocks across all trees.
+    pub fn total_blocks(&self) -> usize {
+        self.trees.iter().map(TreeInfo::block_count).sum()
+    }
+
+    /// Index of the tree organized for `attr`, if one exists.
+    pub fn tree_for_join_attr(&self, attr: AttrId) -> Option<usize> {
+        self.trees.iter().position(|t| t.join_attr() == Some(attr))
+    }
+
+    /// All blocks of the table.
+    pub fn all_blocks(&self) -> Vec<BlockId> {
+        self.trees.iter().flat_map(TreeInfo::all_blocks).collect()
+    }
+
+    /// `lookup` across every tree (a query may touch blocks under any
+    /// tree while migration is in flight).
+    pub fn lookup_blocks(&self, preds: &PredicateSet) -> Vec<BlockId> {
+        self.trees.iter().flat_map(|t| t.lookup_blocks(preds)).collect()
+    }
+
+    /// Drop trees that no longer hold any blocks (migration completed —
+    /// the last sub-figure of Fig. 10), keeping at least one tree.
+    pub fn prune_empty_trees(&mut self) {
+        if self.trees.len() <= 1 {
+            return;
+        }
+        let keep_one = self.trees.iter().any(|t| t.block_count() > 0);
+        if keep_one {
+            self.trees.retain(|t| t.block_count() > 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptdb_common::{CmpOp, Predicate, Value, ValueType};
+    use adaptdb_tree::Node;
+
+    fn tree_info() -> TreeInfo {
+        let root = Node::internal(0, Value::Int(10), Node::leaf(0), Node::leaf(1));
+        let tree = PartitionTree::from_root(root, 1, Some(0), 1);
+        let mut ti = TreeInfo::empty(tree);
+        ti.add_blocks(BTreeMap::from([(0, vec![100, 101]), (1, vec![102])]));
+        ti
+    }
+
+    #[test]
+    fn block_counting_and_lookup() {
+        let ti = tree_info();
+        assert_eq!(ti.block_count(), 3);
+        assert_eq!(ti.all_blocks(), vec![100, 101, 102]);
+        let preds = PredicateSet::none().and(Predicate::new(0, CmpOp::Le, 5i64));
+        assert_eq!(ti.lookup_blocks(&preds), vec![100, 101]);
+        let preds = PredicateSet::none().and(Predicate::new(0, CmpOp::Gt, 10i64));
+        assert_eq!(ti.lookup_blocks(&preds), vec![102]);
+    }
+
+    #[test]
+    fn remove_blocks_prunes_buckets() {
+        let mut ti = tree_info();
+        let dead: std::collections::HashSet<BlockId> = [100, 102].into_iter().collect();
+        ti.remove_blocks(&dead);
+        assert_eq!(ti.block_count(), 1);
+        assert_eq!(ti.all_blocks(), vec![101]);
+        assert!(!ti.buckets.contains_key(&1), "emptied bucket must go away");
+    }
+
+    #[test]
+    fn table_state_prunes_empty_trees() {
+        let schema = Schema::from_pairs(&[("k", ValueType::Int)]);
+        let mut ts = TableState {
+            name: "t".into(),
+            schema,
+            trees: vec![tree_info(), TreeInfo::empty(tree_info().tree)],
+            sample: Reservoir::new(8, 1),
+            window: QueryWindow::new(4),
+            candidate_attrs: vec![0],
+        };
+        assert_eq!(ts.trees.len(), 2);
+        ts.prune_empty_trees();
+        assert_eq!(ts.trees.len(), 1);
+        assert_eq!(ts.total_blocks(), 3);
+        // Never drop the final tree even if empty.
+        let mut empty = TableState {
+            name: "e".into(),
+            schema: Schema::from_pairs(&[("k", ValueType::Int)]),
+            trees: vec![TreeInfo::empty(tree_info().tree)],
+            sample: Reservoir::new(8, 1),
+            window: QueryWindow::new(4),
+            candidate_attrs: vec![0],
+        };
+        empty.prune_empty_trees();
+        assert_eq!(empty.trees.len(), 1);
+    }
+
+    #[test]
+    fn tree_for_join_attr_finds_match() {
+        let schema = Schema::from_pairs(&[("k", ValueType::Int)]);
+        let ts = TableState {
+            name: "t".into(),
+            schema,
+            trees: vec![tree_info()],
+            sample: Reservoir::new(8, 1),
+            window: QueryWindow::new(4),
+            candidate_attrs: vec![0],
+        };
+        assert_eq!(ts.tree_for_join_attr(0), Some(0));
+        assert_eq!(ts.tree_for_join_attr(5), None);
+    }
+}

@@ -1,0 +1,114 @@
+//! Simulated time accounting.
+//!
+//! A [`SimClock`] accumulates block-level I/O events and converts them to
+//! simulated seconds under a [`CostParams`]. Executors thread a clock
+//! through their operators; experiments read it per query. The clock is
+//! internally synchronized so parallel executor workers can share one.
+
+use adaptdb_common::{CostParams, IoStats};
+use parking_lot::Mutex;
+
+use crate::cluster::ReadKind;
+
+/// Thread-safe I/O tally with cost conversion.
+#[derive(Debug, Default)]
+pub struct SimClock {
+    io: Mutex<IoStats>,
+}
+
+impl SimClock {
+    /// A fresh, zeroed clock.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Record a block read of the given kind.
+    pub fn record_read(&self, kind: ReadKind) {
+        let mut io = self.io.lock();
+        match kind {
+            ReadKind::Local => io.local_reads += 1,
+            ReadKind::Remote => io.remote_reads += 1,
+        }
+    }
+
+    /// Record `n` block writes.
+    pub fn record_writes(&self, n: usize) {
+        self.io.lock().writes += n;
+    }
+
+    /// Record rows flowing through operators.
+    pub fn record_rows(&self, scanned: usize, out: usize) {
+        let mut io = self.io.lock();
+        io.rows_scanned += scanned;
+        io.rows_out += out;
+    }
+
+    /// Snapshot of the tally so far.
+    pub fn snapshot(&self) -> IoStats {
+        *self.io.lock()
+    }
+
+    /// Reset to zero, returning the previous tally.
+    pub fn take(&self) -> IoStats {
+        std::mem::take(&mut *self.io.lock())
+    }
+
+    /// Simulated seconds for the tally so far.
+    pub fn simulated_secs(&self, params: &CostParams) -> f64 {
+        self.snapshot().simulated_secs(params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let c = SimClock::new();
+        c.record_read(ReadKind::Local);
+        c.record_read(ReadKind::Remote);
+        c.record_read(ReadKind::Remote);
+        c.record_writes(4);
+        c.record_rows(100, 10);
+        let io = c.snapshot();
+        assert_eq!(io.local_reads, 1);
+        assert_eq!(io.remote_reads, 2);
+        assert_eq!(io.writes, 4);
+        assert_eq!(io.rows_scanned, 100);
+        assert_eq!(io.rows_out, 10);
+    }
+
+    #[test]
+    fn take_resets() {
+        let c = SimClock::new();
+        c.record_writes(2);
+        let io = c.take();
+        assert_eq!(io.writes, 2);
+        assert_eq!(c.snapshot(), IoStats::default());
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent() {
+        let c = std::sync::Arc::new(SimClock::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.record_read(ReadKind::Local);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.snapshot().local_reads, 4000);
+    }
+
+    #[test]
+    fn simulated_secs_uses_params() {
+        let c = SimClock::new();
+        c.record_read(ReadKind::Local);
+        let params = CostParams { parallelism: 1, cpu_per_block_secs: 0.0, ..CostParams::default() };
+        assert_eq!(c.simulated_secs(&params), params.block_read_secs);
+    }
+}

@@ -1,0 +1,32 @@
+//! # adaptdb-dfs
+//!
+//! A deterministic, in-process simulation of the distributed filesystem
+//! AdaptDB runs on (the paper uses HDFS on a 10-node cluster).
+//!
+//! ## What is simulated, and why it is enough
+//!
+//! The paper's evaluation quantities are *block accesses*: how many blocks
+//! each join strategy reads, whether reads are node-local or remote, and
+//! how much data repartitioning writes (§4.2 argues running time is
+//! proportional to blocks accessed; Fig. 8 verifies it). This crate
+//! therefore models exactly:
+//!
+//! * a set of [`cluster::SimDfs`] nodes,
+//! * block **placement** with a configurable replication factor
+//!   (HDFS-style: first replica on the writing node, the rest spread),
+//! * **local vs remote** classification of every read, and
+//! * append-only writes (HDFS files are append-only, which is what makes
+//!   smooth repartitioning safe to run concurrently with queries — §5.2).
+//!
+//! [`locality::TaskScheduler`] reproduces the map-task placement used for
+//! the locality micro-benchmark of Fig. 7, and
+//! [`clock::SimClock`] converts tallies into simulated seconds via
+//! [`adaptdb_common::CostParams`].
+
+pub mod clock;
+pub mod cluster;
+pub mod locality;
+
+pub use clock::SimClock;
+pub use cluster::{NodeId, Placement, ReadKind, SimDfs};
+pub use locality::TaskScheduler;

@@ -1,0 +1,195 @@
+//! Map-task scheduling and the locality model of Fig. 7.
+//!
+//! The paper verifies (§4.2) that remote reads cost barely more than
+//! local ones by running a map-only job at varying locality fractions.
+//! [`TaskScheduler`] reproduces both sides of that experiment:
+//! locality-aware scheduling (each block processed on a node holding a
+//! replica when possible) and *forced-locality* scheduling, where a
+//! chosen fraction of tasks is deliberately placed off-replica.
+
+use adaptdb_common::rng;
+use adaptdb_common::{CostParams, GlobalBlockId, Result};
+use rand::RngExt;
+
+use crate::cluster::{NodeId, ReadKind, SimDfs};
+
+/// Assignment of one block-processing task to a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskAssignment {
+    /// Block the task reads.
+    pub block: GlobalBlockId,
+    /// Node the task runs on.
+    pub node: NodeId,
+    /// Whether the read ends up local.
+    pub kind: ReadKind,
+}
+
+/// Schedules block-processing tasks onto cluster nodes.
+#[derive(Debug)]
+pub struct TaskScheduler<'a> {
+    dfs: &'a SimDfs,
+}
+
+impl<'a> TaskScheduler<'a> {
+    /// Scheduler over a cluster.
+    pub fn new(dfs: &'a SimDfs) -> Self {
+        TaskScheduler { dfs }
+    }
+
+    /// Locality-aware assignment: every task runs on the primary replica's
+    /// node, with simple load balancing across replicas (pick the replica
+    /// with the fewest tasks so far).
+    pub fn assign_local(&self, blocks: &[GlobalBlockId]) -> Result<Vec<TaskAssignment>> {
+        let mut load = vec![0usize; self.dfs.node_count()];
+        let mut out = Vec::with_capacity(blocks.len());
+        for b in blocks {
+            let placement = self.dfs.locate(b)?;
+            let node = *placement
+                .replicas
+                .iter()
+                .min_by_key(|n| load[**n as usize])
+                .expect("placement has at least one replica");
+            load[node as usize] += 1;
+            out.push(TaskAssignment { block: b.clone(), node, kind: ReadKind::Local });
+        }
+        Ok(out)
+    }
+
+    /// Forced-locality assignment: approximately `locality` (0..=1) of
+    /// tasks run on a replica node; the rest are deliberately placed on a
+    /// non-replica node. This is the independent variable of Fig. 7.
+    pub fn assign_with_locality(
+        &self,
+        blocks: &[GlobalBlockId],
+        locality: f64,
+        seed: u64,
+    ) -> Result<Vec<TaskAssignment>> {
+        assert!((0.0..=1.0).contains(&locality), "locality must be in [0,1]");
+        let mut rng = rng::derived(seed, "locality");
+        let mut load = vec![0usize; self.dfs.node_count()];
+        let mut out = Vec::with_capacity(blocks.len());
+        for b in blocks {
+            let placement = self.dfs.locate(b)?;
+            let make_local = rng.random_bool(locality);
+            let node = if make_local || placement.replicas.len() >= self.dfs.node_count() {
+                *placement
+                    .replicas
+                    .iter()
+                    .min_by_key(|n| load[**n as usize])
+                    .expect("placement has at least one replica")
+            } else {
+                // Least-loaded node that does NOT hold a replica.
+                (0..self.dfs.node_count() as NodeId)
+                    .filter(|n| !placement.replicas.contains(n))
+                    .min_by_key(|n| load[*n as usize])
+                    .expect("non-replica node exists")
+            };
+            load[node as usize] += 1;
+            let kind = self.dfs.read_from(b, node)?;
+            out.push(TaskAssignment { block: b.clone(), node, kind });
+        }
+        Ok(out)
+    }
+}
+
+/// Fraction of assignments whose reads are local.
+pub fn locality_fraction(assignments: &[TaskAssignment]) -> f64 {
+    if assignments.is_empty() {
+        return 1.0;
+    }
+    let local = assignments.iter().filter(|a| a.kind == ReadKind::Local).count();
+    local as f64 / assignments.len() as f64
+}
+
+/// Response time of a map-only job: nodes work in parallel, each
+/// processing its assigned blocks serially; the job finishes when the
+/// slowest node does (this is what Fig. 7 plots).
+pub fn job_response_time(
+    assignments: &[TaskAssignment],
+    nodes: usize,
+    params: &CostParams,
+) -> f64 {
+    let mut per_node = vec![0.0f64; nodes];
+    for a in assignments {
+        let cost = match a.kind {
+            ReadKind::Local => params.block_read_secs,
+            ReadKind::Remote => params.block_read_secs * params.remote_read_penalty,
+        } + params.cpu_per_block_secs;
+        per_node[a.node as usize] += cost;
+    }
+    per_node.into_iter().fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster_with_blocks(n_blocks: u32) -> (SimDfs, Vec<GlobalBlockId>) {
+        let mut dfs = SimDfs::new(4, 1, 7);
+        let blocks: Vec<GlobalBlockId> = (0..n_blocks)
+            .map(|b| {
+                let id = GlobalBlockId::new("t", b);
+                dfs.write_block(id.clone(), 64, None);
+                id
+            })
+            .collect();
+        (dfs, blocks)
+    }
+
+    #[test]
+    fn local_assignment_is_fully_local() {
+        let (dfs, blocks) = cluster_with_blocks(40);
+        let sched = TaskScheduler::new(&dfs);
+        let asg = sched.assign_local(&blocks).unwrap();
+        assert_eq!(locality_fraction(&asg), 1.0);
+    }
+
+    #[test]
+    fn forced_locality_hits_target_roughly() {
+        let (dfs, blocks) = cluster_with_blocks(400);
+        let sched = TaskScheduler::new(&dfs);
+        let asg = sched.assign_with_locality(&blocks, 0.27, 1).unwrap();
+        let f = locality_fraction(&asg);
+        assert!((f - 0.27).abs() < 0.08, "got locality {f}");
+    }
+
+    #[test]
+    fn lower_locality_is_slower_but_not_catastrophic() {
+        // The shape of Fig. 7: 27% locality should be slower than 100%,
+        // but by well under 2x (paper: 18% slower).
+        let (dfs, blocks) = cluster_with_blocks(400);
+        let sched = TaskScheduler::new(&dfs);
+        let params = CostParams::default();
+        let t100 = job_response_time(&sched.assign_local(&blocks).unwrap(), 4, &params);
+        let t27 = job_response_time(
+            &sched.assign_with_locality(&blocks, 0.27, 1).unwrap(),
+            4,
+            &params,
+        );
+        assert!(t27 > t100);
+        assert!(t27 < t100 * 1.5, "t27={t27} t100={t100}");
+    }
+
+    #[test]
+    fn response_time_is_max_over_nodes() {
+        let a = TaskAssignment {
+            block: GlobalBlockId::new("t", 0),
+            node: 0,
+            kind: ReadKind::Local,
+        };
+        let b = TaskAssignment {
+            block: GlobalBlockId::new("t", 1),
+            node: 0,
+            kind: ReadKind::Local,
+        };
+        let params = CostParams { block_read_secs: 1.0, cpu_per_block_secs: 0.0, ..CostParams::default() };
+        // Both tasks on node 0 → serial → 2s, even with 4 nodes available.
+        assert_eq!(job_response_time(&[a, b], 4, &params), 2.0);
+    }
+
+    #[test]
+    fn empty_job_is_instant_and_fully_local() {
+        assert_eq!(locality_fraction(&[]), 1.0);
+        assert_eq!(job_response_time(&[], 4, &CostParams::default()), 0.0);
+    }
+}

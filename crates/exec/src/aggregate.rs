@@ -1,0 +1,78 @@
+//! Small aggregation layer.
+//!
+//! AdaptDB itself is a storage manager ("users can conduct more complex
+//! analysis on top of the returned RDDs", §6); the workloads and
+//! examples still need counts and sums to look like the TPC-H templates,
+//! so a minimal aggregate kit lives here.
+
+use std::collections::BTreeMap;
+
+use adaptdb_common::{AttrId, Result, Row, Value};
+
+/// Count rows.
+pub fn count(rows: &[Row]) -> usize {
+    rows.len()
+}
+
+/// Sum a numeric attribute (ints and dates coerce to f64).
+pub fn sum(rows: &[Row], attr: AttrId) -> Result<f64> {
+    let mut acc = 0.0;
+    for r in rows {
+        acc += r.get(attr).as_double()?;
+    }
+    Ok(acc)
+}
+
+/// Average of a numeric attribute; `None` for empty input.
+pub fn avg(rows: &[Row], attr: AttrId) -> Result<Option<f64>> {
+    if rows.is_empty() {
+        return Ok(None);
+    }
+    Ok(Some(sum(rows, attr)? / rows.len() as f64))
+}
+
+/// `SUM(expr) GROUP BY key` where `expr` is a per-row function — enough
+/// to express TPC-H-style revenue aggregations.
+pub fn group_sum<F>(rows: &[Row], key: AttrId, expr: F) -> Result<BTreeMap<Value, f64>>
+where
+    F: Fn(&Row) -> Result<f64>,
+{
+    let mut out: BTreeMap<Value, f64> = BTreeMap::new();
+    for r in rows {
+        *out.entry(r.get(key).clone()).or_insert(0.0) += expr(r)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptdb_common::row;
+
+    fn rows() -> Vec<Row> {
+        vec![row![1i64, 10.0], row![1i64, 20.0], row![2i64, 5.0]]
+    }
+
+    #[test]
+    fn count_sum_avg() {
+        let r = rows();
+        assert_eq!(count(&r), 3);
+        assert_eq!(sum(&r, 1).unwrap(), 35.0);
+        assert_eq!(avg(&r, 1).unwrap(), Some(35.0 / 3.0));
+        assert_eq!(avg(&[], 1).unwrap(), None);
+    }
+
+    #[test]
+    fn group_sum_groups_by_key() {
+        let r = rows();
+        let g = group_sum(&r, 0, |row| row.get(1).as_double()).unwrap();
+        assert_eq!(g[&Value::Int(1)], 30.0);
+        assert_eq!(g[&Value::Int(2)], 5.0);
+    }
+
+    #[test]
+    fn sum_rejects_strings() {
+        let r = vec![row!["oops"]];
+        assert!(sum(&r, 0).is_err());
+    }
+}

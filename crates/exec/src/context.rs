@@ -1,0 +1,28 @@
+//! Shared execution context.
+
+use adaptdb_dfs::SimClock;
+use adaptdb_storage::BlockStore;
+
+/// Everything an operator needs to run: the block store, the simulated
+/// clock collecting I/O accounting, and the worker-thread budget.
+#[derive(Clone, Copy)]
+pub struct ExecContext<'a> {
+    /// Block storage (read-only during query execution).
+    pub store: &'a BlockStore,
+    /// I/O accounting clock.
+    pub clock: &'a SimClock,
+    /// Number of worker threads operators may use.
+    pub threads: usize,
+}
+
+impl<'a> ExecContext<'a> {
+    /// Context with an explicit thread budget.
+    pub fn new(store: &'a BlockStore, clock: &'a SimClock, threads: usize) -> Self {
+        ExecContext { store, clock, threads: threads.max(1) }
+    }
+
+    /// Single-threaded context (deterministic row order; used in tests).
+    pub fn single(store: &'a BlockStore, clock: &'a SimClock) -> Self {
+        ExecContext::new(store, clock, 1)
+    }
+}

@@ -1,0 +1,121 @@
+//! Join hash tables.
+//!
+//! Keys are [`Value`]s; hashing goes through [`Value::stable_hash`] with a
+//! pass-through `Hasher` (the value hash is already well-mixed FNV-1a),
+//! following the perf-book guidance to avoid SipHash for hot integer-keyed
+//! tables while keeping runs reproducible.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use adaptdb_common::{AttrId, Row, Value};
+
+/// A `Hasher` that passes through the 64-bit value written into it.
+#[derive(Default)]
+pub struct PassThroughHasher(u64);
+
+impl Hasher for PassThroughHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-u64 writes (not used by Value's Hash impl).
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ b as u64;
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+type Build = BuildHasherDefault<PassThroughHasher>;
+
+/// A multimap from join-key values to rows.
+#[derive(Debug, Default)]
+pub struct JoinHashTable {
+    map: HashMap<Value, Vec<Row>, Build>,
+    rows: usize,
+}
+
+impl JoinHashTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        JoinHashTable { map: HashMap::default(), rows: 0 }
+    }
+
+    /// Build from rows keyed on `attr`.
+    pub fn build(rows: impl IntoIterator<Item = Row>, attr: AttrId) -> Self {
+        let mut t = JoinHashTable::new();
+        for r in rows {
+            t.insert(attr, r);
+        }
+        t
+    }
+
+    /// Insert one row keyed on `attr`.
+    pub fn insert(&mut self, attr: AttrId, row: Row) {
+        self.rows += 1;
+        self.map.entry(row.get(attr).clone()).or_default().push(row);
+    }
+
+    /// Rows whose key equals `key`.
+    pub fn probe(&self, key: &Value) -> &[Row] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of rows stored.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True when no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptdb_common::row;
+
+    #[test]
+    fn build_and_probe() {
+        let t = JoinHashTable::build(
+            vec![row![1i64, "a"], row![2i64, "b"], row![1i64, "c"]],
+            0,
+        );
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.distinct_keys(), 2);
+        assert_eq!(t.probe(&Value::Int(1)).len(), 2);
+        assert_eq!(t.probe(&Value::Int(2)).len(), 1);
+        assert!(t.probe(&Value::Int(9)).is_empty());
+    }
+
+    #[test]
+    fn string_keys_work() {
+        let t = JoinHashTable::build(vec![row!["x", 1i64], row!["y", 2i64]], 0);
+        assert_eq!(t.probe(&Value::Str("x".into())).len(), 1);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = JoinHashTable::new();
+        assert!(t.is_empty());
+        assert!(t.probe(&Value::Int(0)).is_empty());
+    }
+
+    #[test]
+    fn pass_through_hasher_uses_value_hash() {
+        use std::hash::BuildHasher;
+        let b = Build::default();
+        let v = Value::Int(42);
+        assert_eq!(b.hash_one(&v), v.stable_hash());
+    }
+}

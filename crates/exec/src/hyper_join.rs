@@ -1,0 +1,337 @@
+//! Hyper-join execution (§4.1, §6).
+//!
+//! Each group of the plan becomes one task: read the group's build
+//! blocks, build a hash table (bounded by the memory budget the planner
+//! already enforced), then stream exactly the group's overlapping probe
+//! blocks through it. No shuffle: probe blocks are read (possibly more
+//! than once across groups — that is `C_HyJ`), never rewritten.
+
+use adaptdb_common::{AttrId, PredicateSet, Result, Row};
+use adaptdb_join::{HyperJoinPlan, JoinSide};
+
+use crate::context::ExecContext;
+use crate::hash_table::JoinHashTable;
+use crate::parallel;
+
+/// Everything needed to execute one hyper-join.
+#[derive(Debug, Clone)]
+pub struct HyperJoinSpec<'a> {
+    /// Left table name.
+    pub left_table: &'a str,
+    /// Right table name.
+    pub right_table: &'a str,
+    /// Join attribute on the left side.
+    pub left_attr: AttrId,
+    /// Join attribute on the right side.
+    pub right_attr: AttrId,
+    /// Row-level predicates on the left side.
+    pub left_preds: &'a PredicateSet,
+    /// Row-level predicates on the right side.
+    pub right_preds: &'a PredicateSet,
+    /// The block schedule produced by the planner.
+    pub plan: &'a HyperJoinPlan,
+}
+
+/// Execute a hyper-join; output rows are `left ⋈ right` (left columns
+/// first) regardless of which side the hash tables were built on.
+pub fn hyper_join(ctx: ExecContext<'_>, spec: HyperJoinSpec<'_>) -> Result<Vec<Row>> {
+    let (build_table, probe_table, build_attr, probe_attr, build_preds, probe_preds) =
+        match spec.plan.build_side {
+            JoinSide::Left => (
+                spec.left_table,
+                spec.right_table,
+                spec.left_attr,
+                spec.right_attr,
+                spec.left_preds,
+                spec.right_preds,
+            ),
+            JoinSide::Right => (
+                spec.right_table,
+                spec.left_table,
+                spec.right_attr,
+                spec.left_attr,
+                spec.right_preds,
+                spec.left_preds,
+            ),
+        };
+
+    let tasks: Vec<(Vec<u32>, Vec<u32>)> = spec
+        .plan
+        .groups
+        .iter()
+        .cloned()
+        .zip(spec.plan.probes.iter().cloned())
+        .collect();
+
+    let results = parallel::map_ordered(tasks, ctx.threads, |(build_blocks, probe_blocks)| {
+        run_group(
+            ctx,
+            build_table,
+            probe_table,
+            build_attr,
+            probe_attr,
+            build_preds,
+            probe_preds,
+            spec.plan.build_side,
+            &build_blocks,
+            &probe_blocks,
+        )
+    });
+    let mut out = Vec::new();
+    for r in results {
+        out.extend(r?);
+    }
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_group(
+    ctx: ExecContext<'_>,
+    build_table: &str,
+    probe_table: &str,
+    build_attr: AttrId,
+    probe_attr: AttrId,
+    build_preds: &PredicateSet,
+    probe_preds: &PredicateSet,
+    build_side: JoinSide,
+    build_blocks: &[u32],
+    probe_blocks: &[u32],
+) -> Result<Vec<Row>> {
+    if build_blocks.is_empty() {
+        return Ok(Vec::new());
+    }
+    // The whole group runs on the node holding the first build block's
+    // primary replica (a locality-aware scheduler would do the same);
+    // other blocks may be remote reads.
+    let node = ctx.store.preferred_node(build_table, build_blocks[0])?;
+
+    let mut table = JoinHashTable::new();
+    for &b in build_blocks {
+        let block = ctx.store.read_block(build_table, b, node, ctx.clock)?;
+        let scanned = block.rows.len();
+        let mut kept = 0usize;
+        for row in block.rows {
+            if build_preds.matches(&row) {
+                kept += 1;
+                table.insert(build_attr, row);
+            }
+        }
+        ctx.clock.record_rows(scanned, kept);
+    }
+    let mut out = Vec::new();
+    for &b in probe_blocks {
+        let block = ctx.store.read_block(probe_table, b, node, ctx.clock)?;
+        let scanned = block.rows.len();
+        let mut kept = 0usize;
+        for row in block.rows {
+            if !probe_preds.matches(&row) {
+                continue;
+            }
+            kept += 1;
+            for build_row in table.probe(row.get(probe_attr)) {
+                // Normalize output to left ⋈ right column order.
+                let joined = match build_side {
+                    JoinSide::Left => build_row.concat(&row),
+                    JoinSide::Right => row.concat(build_row),
+                };
+                out.push(joined);
+            }
+        }
+        ctx.clock.record_rows(scanned, kept);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptdb_common::{row, CmpOp, CostParams, Predicate, Value, ValueRange};
+    use adaptdb_dfs::SimClock;
+    use adaptdb_join::planner::{plan, BlockRange};
+    use adaptdb_join::JoinDecision;
+    use adaptdb_storage::BlockStore;
+
+    /// Build two co-partitioned tables: left has keys 0..n with payload,
+    /// right has the same keys with another payload; k keys per block.
+    fn setup(n: i64, per_block: i64) -> (BlockStore, Vec<BlockRange>, Vec<BlockRange>) {
+        let mut store = BlockStore::new(4, 1, 1);
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        let mut k = 0i64;
+        while k < n {
+            let hi = (k + per_block).min(n);
+            let lrows = (k..hi).map(|i| row![i, i * 10]).collect();
+            let rrows = (k..hi).map(|i| row![i, i * 100]).collect();
+            let lb = store.write_block("l", lrows, 2, None);
+            let rb = store.write_block("r", rrows, 2, None);
+            left.push((lb, ValueRange::new(Value::Int(k), Value::Int(hi - 1))));
+            right.push((rb, ValueRange::new(Value::Int(k), Value::Int(hi - 1))));
+            k = hi;
+        }
+        (store, left, right)
+    }
+
+    fn run(
+        store: &BlockStore,
+        left: &[BlockRange],
+        right: &[BlockRange],
+        buffer: usize,
+        threads: usize,
+    ) -> (Vec<Row>, adaptdb_common::IoStats) {
+        let decision = plan(left, right, buffer, &CostParams::default());
+        let JoinDecision::Hyper(p) = decision else { panic!("expected hyper-join") };
+        let clock = SimClock::new();
+        let none = PredicateSet::none();
+        let rows = hyper_join(
+            ExecContext::new(store, &clock, threads),
+            HyperJoinSpec {
+                left_table: "l",
+                right_table: "r",
+                left_attr: 0,
+                right_attr: 0,
+                left_preds: &none,
+                right_preds: &none,
+                plan: &p,
+            },
+        )
+        .unwrap();
+        (rows, clock.snapshot())
+    }
+
+    #[test]
+    fn co_partitioned_join_is_complete_and_correct() {
+        let (store, left, right) = setup(64, 8);
+        let (mut rows, io) = run(&store, &left, &right, 2, 1);
+        assert_eq!(rows.len(), 64);
+        rows.sort_by_key(|r| r.get(0).as_int().unwrap());
+        for (i, r) in rows.iter().enumerate() {
+            let i = i as i64;
+            assert_eq!(r.values(), &[Value::Int(i), Value::Int(i * 10), Value::Int(i), Value::Int(i * 100)]);
+        }
+        // Co-partitioned: 8 build reads + 8 probe reads.
+        assert_eq!(io.reads(), 16);
+        assert_eq!(io.writes, 0, "hyper-join must not shuffle");
+    }
+
+    #[test]
+    fn parallel_execution_matches_sequential() {
+        let (store, left, right) = setup(100, 10);
+        let (mut seq, io1) = run(&store, &left, &right, 3, 1);
+        let (mut par, io2) = run(&store, &left, &right, 3, 4);
+        seq.sort_by_key(|r| r.get(0).as_int().unwrap());
+        par.sort_by_key(|r| r.get(0).as_int().unwrap());
+        assert_eq!(seq, par);
+        assert_eq!(io1.reads(), io2.reads());
+    }
+
+    #[test]
+    fn output_column_order_is_left_then_right_even_building_right() {
+        // Make left much larger so the planner builds on the right.
+        let mut store = BlockStore::new(4, 1, 1);
+        let mut left = Vec::new();
+        for b in 0..8i64 {
+            let rows = (b * 10..b * 10 + 10).map(|i| row![i, 7i64]).collect();
+            let id = store.write_block("l", rows, 2, None);
+            left.push((id, ValueRange::new(Value::Int(b * 10), Value::Int(b * 10 + 9))));
+        }
+        let rrows = (0..80i64).map(|i| row![i, 9i64]).collect();
+        let rid = store.write_block("r", rrows, 2, None);
+        let right = vec![(rid, ValueRange::new(Value::Int(0), Value::Int(79)))];
+
+        let decision = plan(&right, &left, 4, &CostParams::default());
+        // Plan with right as the "left" argument to force build_side games;
+        // instead use the public API directly:
+        let JoinDecision::Hyper(p) = plan(&left, &right, 4, &CostParams::default()) else {
+            panic!("expected hyper");
+        };
+        drop(decision);
+        let clock = SimClock::new();
+        let none = PredicateSet::none();
+        let rows = hyper_join(
+            ExecContext::single(&store, &clock),
+            HyperJoinSpec {
+                left_table: "l",
+                right_table: "r",
+                left_attr: 0,
+                right_attr: 0,
+                left_preds: &none,
+                right_preds: &none,
+                plan: &p,
+            },
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 80);
+        for r in &rows {
+            assert_eq!(r.get(1), &Value::Int(7), "left payload must be column 1");
+            assert_eq!(r.get(3), &Value::Int(9), "right payload must be column 3");
+        }
+    }
+
+    #[test]
+    fn predicates_filter_both_sides() {
+        let (store, left, right) = setup(40, 5);
+        let JoinDecision::Hyper(p) = plan(&left, &right, 2, &CostParams::default()) else {
+            panic!()
+        };
+        let clock = SimClock::new();
+        let lp = PredicateSet::none().and(Predicate::new(0, CmpOp::Lt, 20i64));
+        let rp = PredicateSet::none().and(Predicate::new(0, CmpOp::Ge, 10i64));
+        let rows = hyper_join(
+            ExecContext::single(&store, &clock),
+            HyperJoinSpec {
+                left_table: "l",
+                right_table: "r",
+                left_attr: 0,
+                right_attr: 0,
+                left_preds: &lp,
+                right_preds: &rp,
+                plan: &p,
+            },
+        )
+        .unwrap();
+        // Keys in [10, 20).
+        assert_eq!(rows.len(), 10);
+    }
+
+    #[test]
+    fn offset_partitions_read_probe_blocks_multiple_times() {
+        // Shift right-side ranges so each build block overlaps two probe
+        // blocks; with capacity 1, C(P) > distinct blocks.
+        let mut store = BlockStore::new(4, 1, 1);
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for b in 0..8i64 {
+            let lrows = (b * 10 + 5..b * 10 + 15).map(|i| row![i]).collect();
+            let lid = store.write_block("l", lrows, 1, None);
+            left.push((lid, ValueRange::new(Value::Int(b * 10 + 5), Value::Int(b * 10 + 14))));
+            let rrows = (b * 10..b * 10 + 10).map(|i| row![i]).collect();
+            let rid = store.write_block("r", rrows, 1, None);
+            right.push((rid, ValueRange::new(Value::Int(b * 10), Value::Int(b * 10 + 9))));
+        }
+        let rrows = (80..90i64).map(|i| row![i]).collect();
+        let rid = store.write_block("r", rrows, 1, None);
+        right.push((rid, ValueRange::new(Value::Int(80), Value::Int(89))));
+
+        let JoinDecision::Hyper(p) = plan(&left, &right, 1, &CostParams::default()) else {
+            panic!()
+        };
+        let clock = SimClock::new();
+        let none = PredicateSet::none();
+        let rows = hyper_join(
+            ExecContext::single(&store, &clock),
+            HyperJoinSpec {
+                left_table: "l",
+                right_table: "r",
+                left_attr: 0,
+                right_attr: 0,
+                left_preds: &none,
+                right_preds: &none,
+                plan: &p,
+            },
+        )
+        .unwrap();
+        // Every left key 5..85 matches exactly one right key.
+        assert_eq!(rows.len(), 80);
+        assert!(p.c_hyj > 1.0, "offset partitioning must re-read probes");
+    }
+}

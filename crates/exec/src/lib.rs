@@ -1,0 +1,43 @@
+//! # adaptdb-exec
+//!
+//! Query execution for the AdaptDB reproduction.
+//!
+//! The paper executes queries as Spark jobs over HDFS file splits (§6);
+//! here the same operators run as multi-threaded tasks over the
+//! simulated DFS, with every block access recorded on a
+//! [`adaptdb_dfs::SimClock`]:
+//!
+//! * [`scan`] — Type-1 blocks: read, decode, filter ("a scan iterator
+//!   which simply reads all records and filters out ones that cannot
+//!   pass the predicates"),
+//! * [`hash_table`] — build/probe hash tables keyed on join values (with
+//!   a pass-through hasher over [`adaptdb_common::Value::stable_hash`]),
+//! * [`hyper_join`] — execute a [`adaptdb_join::HyperJoinPlan`]: per
+//!   group, build hash tables over the build blocks and stream the
+//!   overlapping probe blocks through them,
+//! * [`shuffle_join`] — the baseline: read both sides, hash-partition
+//!   every record (paying shuffle writes + re-reads, the `C_SJ = 3`
+//!   pattern of Eq. 1), then join each partition,
+//! * [`repartition`] — Type-2 blocks: scan *and* re-route rows into a new
+//!   partitioning tree through a buffered writer,
+//! * [`aggregate`] — the small aggregation layer used by examples and
+//!   workloads,
+//! * [`parallel`] — a scoped worker pool shared by the operators.
+
+pub mod aggregate;
+pub mod context;
+pub mod hash_table;
+pub mod hyper_join;
+pub mod parallel;
+pub mod repartition;
+pub mod scan;
+pub mod shuffle_join;
+pub mod step_join;
+
+pub use context::ExecContext;
+pub use hash_table::JoinHashTable;
+pub use hyper_join::{hyper_join, HyperJoinSpec};
+pub use repartition::{repartition_blocks, RepartitionOutcome};
+pub use scan::scan_blocks;
+pub use shuffle_join::{hash_join_rows, shuffle_join, shuffle_join_rows, ShuffleJoinSpec};
+pub use step_join::{hyper_step_join, StepGroup};

@@ -1,0 +1,321 @@
+//! Shuffle join — the baseline AdaptDB avoids (§4.2 Eq. 1).
+//!
+//! Two phases, as in the paper's description: map tasks read every
+//! relevant block and hash-partition each record to a reducer partition,
+//! *writing* the partitioned runs (shuffle spill); reducers then re-read
+//! their runs and hash-join them. Every input block is therefore paid
+//! roughly `C_SJ = 3` block-I/Os: read + shuffle write + read-back.
+
+use adaptdb_common::{AttrId, BlockId, PredicateSet, Result, Row, Value};
+
+use crate::context::ExecContext;
+use crate::hash_table::JoinHashTable;
+use crate::parallel;
+
+/// Parameters for a storage-backed shuffle join.
+#[derive(Debug, Clone)]
+pub struct ShuffleJoinSpec<'a> {
+    /// Left table name and its candidate blocks.
+    pub left_table: &'a str,
+    /// Left blocks (already `lookup`-filtered).
+    pub left_blocks: &'a [BlockId],
+    /// Right table name.
+    pub right_table: &'a str,
+    /// Right blocks.
+    pub right_blocks: &'a [BlockId],
+    /// Join attribute on the left.
+    pub left_attr: AttrId,
+    /// Join attribute on the right.
+    pub right_attr: AttrId,
+    /// Left-side predicates.
+    pub left_preds: &'a PredicateSet,
+    /// Right-side predicates.
+    pub right_preds: &'a PredicateSet,
+    /// Reducer count (the shuffle fan-out).
+    pub partitions: usize,
+    /// Rows per spilled block, for write accounting.
+    pub rows_per_block: usize,
+}
+
+/// Execute a shuffle join over stored blocks.
+pub fn shuffle_join(ctx: ExecContext<'_>, spec: ShuffleJoinSpec<'_>) -> Result<Vec<Row>> {
+    let partitions = spec.partitions.max(1);
+    // Map phase: read + filter + partition each side.
+    let left_parts = map_phase(
+        ctx,
+        spec.left_table,
+        spec.left_blocks,
+        spec.left_attr,
+        spec.left_preds,
+        partitions,
+        spec.rows_per_block,
+    )?;
+    let right_parts = map_phase(
+        ctx,
+        spec.right_table,
+        spec.right_blocks,
+        spec.right_attr,
+        spec.right_preds,
+        partitions,
+        spec.rows_per_block,
+    )?;
+    // Reduce phase: re-read the spilled runs (charged as local reads; the
+    // write above plus this read completes the C_SJ = 3 pattern) and join.
+    let spilled_blocks: usize = left_parts.iter().chain(right_parts.iter()).map(|p| blocks_for(p.len(), spec.rows_per_block)).sum();
+    for _ in 0..spilled_blocks {
+        ctx.clock.record_read(adaptdb_dfs::ReadKind::Local);
+    }
+    let tasks: Vec<(Vec<Row>, Vec<Row>)> =
+        left_parts.into_iter().zip(right_parts).collect();
+    let results = parallel::map_ordered(tasks, ctx.threads, |(l, r)| {
+        hash_join_rows(l, &r, spec.left_attr, spec.right_attr)
+    });
+    let mut out = Vec::new();
+    for r in results {
+        out.extend(r);
+    }
+    Ok(out)
+}
+
+/// Map phase for one side: returns per-partition row sets and charges
+/// input reads plus spill writes.
+fn map_phase(
+    ctx: ExecContext<'_>,
+    table: &str,
+    blocks: &[BlockId],
+    attr: AttrId,
+    preds: &PredicateSet,
+    partitions: usize,
+    rows_per_block: usize,
+) -> Result<Vec<Vec<Row>>> {
+    let mut parts: Vec<Vec<Row>> = vec![Vec::new(); partitions];
+    for &b in blocks {
+        let node = ctx.store.preferred_node(table, b)?;
+        let block = ctx.store.read_block(table, b, node, ctx.clock)?;
+        let scanned = block.rows.len();
+        let mut kept = 0usize;
+        for row in block.rows {
+            if preds.matches(&row) {
+                kept += 1;
+                let p = (row.get(attr).stable_hash() % partitions as u64) as usize;
+                parts[p].push(row);
+            }
+        }
+        ctx.clock.record_rows(scanned, kept);
+    }
+    let spilled: usize = parts.iter().map(|p| blocks_for(p.len(), rows_per_block)).sum();
+    ctx.clock.record_writes(spilled);
+    Ok(parts)
+}
+
+fn blocks_for(rows: usize, rows_per_block: usize) -> usize {
+    rows.div_ceil(rows_per_block.max(1))
+}
+
+/// Plain in-memory hash join (used by reducers and by multi-way join
+/// steps over intermediate results).
+pub fn hash_join_rows(left: Vec<Row>, right: &[Row], left_attr: AttrId, right_attr: AttrId) -> Vec<Row> {
+    // Build on the smaller side to bound memory, preserving output order
+    // semantics (left columns first).
+    if left.len() <= right.len() {
+        let table = JoinHashTable::build(left, left_attr);
+        let mut out = Vec::new();
+        for r in right {
+            for l in table.probe(r.get(right_attr)) {
+                out.push(l.concat(r));
+            }
+        }
+        out
+    } else {
+        let table = JoinHashTable::build(right.to_vec(), right_attr);
+        let mut out = Vec::new();
+        for l in &left {
+            for r in table.probe(l.get(left_attr)) {
+                out.push(l.concat(r));
+            }
+        }
+        out
+    }
+}
+
+/// Shuffle join over two already-materialized row sets (intermediate
+/// results in multi-way plans, §4.3): charges shuffle writes + re-reads
+/// for both inputs, then joins.
+pub fn shuffle_join_rows(
+    ctx: ExecContext<'_>,
+    left: Vec<Row>,
+    right: Vec<Row>,
+    left_attr: AttrId,
+    right_attr: AttrId,
+    rows_per_block: usize,
+) -> Vec<Row> {
+    let spill = blocks_for(left.len(), rows_per_block) + blocks_for(right.len(), rows_per_block);
+    ctx.clock.record_writes(spill);
+    for _ in 0..spill {
+        ctx.clock.record_read(adaptdb_dfs::ReadKind::Local);
+    }
+    let key = |v: &Value| v.stable_hash() % 7;
+    // Partition locally to mirror the real data flow (and keep the
+    // per-partition join property exercised), then join per partition.
+    let mut lp: Vec<Vec<Row>> = vec![Vec::new(); 7];
+    for r in left {
+        let p = key(r.get(left_attr)) as usize;
+        lp[p].push(r);
+    }
+    let mut rp: Vec<Vec<Row>> = vec![Vec::new(); 7];
+    for r in right {
+        let p = key(r.get(right_attr)) as usize;
+        rp[p].push(r);
+    }
+    let mut out = Vec::new();
+    for (l, r) in lp.into_iter().zip(rp) {
+        out.extend(hash_join_rows(l, &r, left_attr, right_attr));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptdb_common::{row, CmpOp, Predicate};
+    use adaptdb_dfs::SimClock;
+    use adaptdb_storage::BlockStore;
+
+    fn setup(n: i64, per_block: i64) -> (BlockStore, Vec<BlockId>, Vec<BlockId>) {
+        let mut store = BlockStore::new(4, 1, 1);
+        let mut lids = Vec::new();
+        let mut rids = Vec::new();
+        let mut k = 0i64;
+        while k < n {
+            let hi = (k + per_block).min(n);
+            lids.push(store.write_block("l", (k..hi).map(|i| row![i, i * 2]).collect(), 2, None));
+            rids.push(store.write_block("r", (k..hi).map(|i| row![i, i * 3]).collect(), 2, None));
+            k = hi;
+        }
+        (store, lids, rids)
+    }
+
+    fn spec<'a>(
+        lids: &'a [BlockId],
+        rids: &'a [BlockId],
+        preds: &'a PredicateSet,
+    ) -> ShuffleJoinSpec<'a> {
+        ShuffleJoinSpec {
+            left_table: "l",
+            left_blocks: lids,
+            right_table: "r",
+            right_blocks: rids,
+            left_attr: 0,
+            right_attr: 0,
+            left_preds: preds,
+            right_preds: preds,
+            partitions: 4,
+            rows_per_block: 10,
+        }
+    }
+
+    #[test]
+    fn join_is_complete_and_correct() {
+        let (store, lids, rids) = setup(50, 10);
+        let clock = SimClock::new();
+        let none = PredicateSet::none();
+        let mut rows =
+            shuffle_join(ExecContext::single(&store, &clock), spec(&lids, &rids, &none)).unwrap();
+        assert_eq!(rows.len(), 50);
+        rows.sort_by_key(|r| r.get(0).as_int().unwrap());
+        for (i, r) in rows.iter().enumerate() {
+            let i = i as i64;
+            assert_eq!(r.values()[1].as_int().unwrap(), i * 2);
+            assert_eq!(r.values()[3].as_int().unwrap(), i * 3);
+        }
+    }
+
+    #[test]
+    fn io_pattern_is_read_write_reread() {
+        let (store, lids, rids) = setup(100, 10);
+        let clock = SimClock::new();
+        let none = PredicateSet::none();
+        shuffle_join(ExecContext::single(&store, &clock), spec(&lids, &rids, &none)).unwrap();
+        let io = clock.snapshot();
+        // 20 input blocks read; ~20 blocks spilled (rows conserved);
+        // ~20 blocks re-read. Partition skew can add a block or two.
+        assert_eq!(io.reads() - io.writes, 20, "input reads + re-reads - writes");
+        assert!(io.writes >= 20 && io.writes <= 26, "spill writes: {}", io.writes);
+        // Total I/O ≈ C_SJ × input blocks.
+        let total = io.reads() + io.writes;
+        assert!((58..=72).contains(&total), "C_SJ≈3 pattern violated: {total}");
+    }
+
+    #[test]
+    fn predicates_reduce_output_and_spill() {
+        let (store, lids, rids) = setup(100, 10);
+        let clock = SimClock::new();
+        let preds = PredicateSet::none().and(Predicate::new(0, CmpOp::Lt, 30i64));
+        let rows =
+            shuffle_join(ExecContext::single(&store, &clock), spec(&lids, &rids, &preds)).unwrap();
+        assert_eq!(rows.len(), 30);
+        let io = clock.snapshot();
+        assert!(io.writes < 20, "filtered shuffle should spill less: {}", io.writes);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (store, lids, rids) = setup(80, 8);
+        let none = PredicateSet::none();
+        let c1 = SimClock::new();
+        let mut a =
+            shuffle_join(ExecContext::single(&store, &c1), spec(&lids, &rids, &none)).unwrap();
+        let c2 = SimClock::new();
+        let mut b =
+            shuffle_join(ExecContext::new(&store, &c2, 4), spec(&lids, &rids, &none)).unwrap();
+        a.sort_by_key(|r| r.get(0).as_int().unwrap());
+        b.sort_by_key(|r| r.get(0).as_int().unwrap());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hash_join_rows_handles_duplicates_and_misses() {
+        let left = vec![row![1i64, 10i64], row![1i64, 11i64], row![2i64, 12i64]];
+        let right = vec![row![1i64, 100i64], row![3i64, 101i64]];
+        let mut out = hash_join_rows(left, &right, 0, 0);
+        out.sort_by_key(|r| r.get(1).as_int().unwrap());
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].values()[1], Value::Int(10));
+        assert_eq!(out[1].values()[1], Value::Int(11));
+    }
+
+    #[test]
+    fn shuffle_join_rows_charges_io() {
+        let store = BlockStore::new(2, 1, 1);
+        let clock = SimClock::new();
+        let ctx = ExecContext::single(&store, &clock);
+        let left: Vec<Row> = (0..25i64).map(|i| row![i]).collect();
+        let right: Vec<Row> = (0..25i64).map(|i| row![i]).collect();
+        let out = shuffle_join_rows(ctx, left, right, 0, 0, 10);
+        assert_eq!(out.len(), 25);
+        let io = clock.snapshot();
+        assert_eq!(io.writes, 6); // ceil(25/10) * 2 sides
+        assert_eq!(io.local_reads, 6);
+    }
+
+    #[test]
+    fn empty_sides_produce_empty_output() {
+        let (store, lids, _) = setup(10, 10);
+        let clock = SimClock::new();
+        let none = PredicateSet::none();
+        let s = ShuffleJoinSpec {
+            left_table: "l",
+            left_blocks: &lids,
+            right_table: "r",
+            right_blocks: &[],
+            left_attr: 0,
+            right_attr: 0,
+            left_preds: &none,
+            right_preds: &none,
+            partitions: 4,
+            rows_per_block: 10,
+        };
+        let rows = shuffle_join(ExecContext::single(&store, &clock), s).unwrap();
+        assert!(rows.is_empty());
+    }
+}

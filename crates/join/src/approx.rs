@@ -1,0 +1,247 @@
+//! The approximate partitioning algorithm of Fig. 5.
+//!
+//! ```text
+//! R ← {r1..rn}, 𝒫 ← ∅
+//! while R is not empty:
+//!     generate P from min(B, |R|) blocks with smallest δ(ṽ(P))
+//!     remove all blocks in P from R and add P to 𝒫
+//! return 𝒫
+//! ```
+//!
+//! The inner step — pick the size-B subset with the smallest union — is
+//! itself NP-hard (§4.1.4), which is why the paper moves on to the
+//! bottom-up heuristic. We provide two inner solvers: an exact
+//! branch-and-bound usable at small `|R|` (ground truth in tests and in
+//! the Fig. 17 comparison), and the greedy relaxation (seed with the
+//! lightest block, grow by minimum marginal union), which in fact makes
+//! the whole algorithm coincide with Fig. 6's inner loop.
+
+use adaptdb_common::BitSet;
+
+use crate::grouping::Grouping;
+use crate::overlap::OverlapMatrix;
+
+/// How to solve the NP-hard inner subset-selection step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InnerStrategy {
+    /// Exact branch-and-bound over the remaining blocks. Exponential in
+    /// the worst case; fine for the ≤ a-few-dozen-block instances where
+    /// it is used as ground truth.
+    Exact,
+    /// Greedy: start from the minimum-δ block, repeatedly add the block
+    /// with the smallest marginal union growth.
+    Greedy,
+}
+
+/// Run Fig. 5's algorithm with the chosen inner strategy and capacity `b`.
+pub fn solve(overlap: &OverlapMatrix, b: usize, strategy: InnerStrategy) -> Grouping {
+    assert!(b > 0, "group capacity must be positive");
+    let n = overlap.n();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut groups = Vec::new();
+    while !remaining.is_empty() {
+        let k = b.min(remaining.len());
+        let chosen = match strategy {
+            InnerStrategy::Greedy => greedy_subset(overlap, &remaining, k),
+            InnerStrategy::Exact => exact_subset(overlap, &remaining, k),
+        };
+        remaining.retain(|i| !chosen.contains(i));
+        groups.push(chosen);
+    }
+    Grouping::from_groups(overlap, groups)
+}
+
+/// Greedy minimum-union subset of size `k` from `remaining`.
+fn greedy_subset(overlap: &OverlapMatrix, remaining: &[usize], k: usize) -> Vec<usize> {
+    let mut pool: Vec<usize> = remaining.to_vec();
+    let mut union = BitSet::new(overlap.m());
+    let mut chosen = Vec::with_capacity(k);
+    for _ in 0..k {
+        let (pos, _, _) = pool
+            .iter()
+            .enumerate()
+            .map(|(pos, &i)| (pos, i, union.union_count(overlap.vector(i))))
+            .min_by(|a, b| a.2.cmp(&b.2).then(a.1.cmp(&b.1)))
+            .expect("pool non-empty");
+        let i = pool.swap_remove(pos);
+        union.union_with(overlap.vector(i));
+        chosen.push(i);
+    }
+    chosen
+}
+
+/// Exact minimum-union subset of size `k`, by depth-first search with
+/// union-monotonicity pruning (a subset's union popcount never decreases
+/// as members are added).
+fn exact_subset(overlap: &OverlapMatrix, remaining: &[usize], k: usize) -> Vec<usize> {
+    // Order candidates ascending by δ so good solutions are found early.
+    let mut order: Vec<usize> = remaining.to_vec();
+    order.sort_by_key(|&i| overlap.delta(i));
+
+    let mut best_cost = usize::MAX;
+    let mut best: Vec<usize> = Vec::new();
+    let mut stack: Vec<usize> = Vec::with_capacity(k);
+
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        overlap: &OverlapMatrix,
+        order: &[usize],
+        start: usize,
+        k: usize,
+        union: &BitSet,
+        cost: usize,
+        stack: &mut Vec<usize>,
+        best_cost: &mut usize,
+        best: &mut Vec<usize>,
+    ) {
+        if stack.len() == k {
+            if cost < *best_cost {
+                *best_cost = cost;
+                *best = stack.clone();
+            }
+            return;
+        }
+        // Not enough candidates left to fill the subset.
+        if order.len() - start < k - stack.len() {
+            return;
+        }
+        if cost >= *best_cost {
+            return; // union can only grow
+        }
+        for pos in start..order.len() {
+            let i = order[pos];
+            let new_cost = union.union_count(overlap.vector(i));
+            if new_cost >= *best_cost {
+                continue;
+            }
+            let mut new_union = union.clone();
+            new_union.union_with(overlap.vector(i));
+            stack.push(i);
+            rec(overlap, order, pos + 1, k, &new_union, new_cost, stack, best_cost, best);
+            stack.pop();
+        }
+    }
+
+    rec(
+        overlap,
+        &order,
+        0,
+        k,
+        &BitSet::new(overlap.m()),
+        0,
+        &mut stack,
+        &mut best_cost,
+        &mut best,
+    );
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptdb_common::{Value, ValueRange};
+
+    fn r(lo: i64, hi: i64) -> ValueRange {
+        ValueRange::new(Value::Int(lo), Value::Int(hi))
+    }
+
+    fn fig4() -> OverlapMatrix {
+        OverlapMatrix::compute_naive(
+            &[r(0, 99), r(100, 199), r(200, 299), r(300, 399)],
+            &[r(0, 149), r(150, 249), r(250, 349), r(350, 399)],
+        )
+    }
+
+    #[test]
+    fn both_strategies_hit_fig4_optimum() {
+        let m = fig4();
+        for s in [InnerStrategy::Greedy, InnerStrategy::Exact] {
+            let g = solve(&m, 2, s);
+            assert!(g.validate(4, 2));
+            assert_eq!(g.cost(), 5, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exact_inner_never_loses_to_greedy_inner_per_group() {
+        use adaptdb_common::rng::seeded;
+        use rand::RngExt;
+        let mut rng = seeded(5);
+        for _ in 0..30 {
+            let n = rng.random_range(4..10usize);
+            let mranges: Vec<ValueRange> = (0..n)
+                .map(|_| {
+                    let lo = rng.random_range(0..500i64);
+                    r(lo, lo + rng.random_range(10..200i64))
+                })
+                .collect();
+            let sranges: Vec<ValueRange> = (0..n)
+                .map(|_| {
+                    let lo = rng.random_range(0..500i64);
+                    r(lo, lo + rng.random_range(10..200i64))
+                })
+                .collect();
+            let m = OverlapMatrix::compute_naive(&mranges, &sranges);
+            // The *first* group chosen by the exact inner solver must be at
+            // least as cheap as the greedy one's.
+            let remaining: Vec<usize> = (0..n).collect();
+            let k = 3.min(n);
+            let ge = exact_subset(&m, &remaining, k);
+            let gg = greedy_subset(&m, &remaining, k);
+            let cost = |sel: &[usize]| {
+                let mut u = adaptdb_common::BitSet::new(m.m());
+                for &i in sel {
+                    u.union_with(m.vector(i));
+                }
+                u.count_ones()
+            };
+            assert!(cost(&ge) <= cost(&gg));
+        }
+    }
+
+    #[test]
+    fn exact_inner_beats_greedy_on_adversarial_instance() {
+        // Greedy seeds with the lightest vector (b0: 1 bit) and then gets
+        // dragged into expensive unions; exact picks the aligned pair.
+        use adaptdb_common::BitSet;
+        // Vectors: b0 = 000001, b1 = 110000, b2 = 110000, b3 = 001110
+        let vectors =
+            ["000001", "110000", "110000", "001110"].map(BitSet::from_binary_str);
+        // Build ranges realizing these vectors: S = 6 unit ranges.
+        let ss: Vec<ValueRange> = (0..6).map(|j| r(j * 10, j * 10 + 9)).collect();
+        let rr = vec![r(50, 59), r(0, 19), r(0, 19), r(20, 45)];
+        let m = OverlapMatrix::compute_naive(&rr, &ss);
+        for (i, v) in vectors.iter().enumerate() {
+            assert_eq!(m.vector(i), v);
+        }
+        let remaining = vec![0, 1, 2, 3];
+        let exact = exact_subset(&m, &remaining, 2);
+        let cost = |sel: &[usize]| {
+            let mut u = BitSet::new(m.m());
+            for &i in sel {
+                u.union_with(m.vector(i));
+            }
+            u.count_ones()
+        };
+        assert_eq!(cost(&exact), 2, "exact must find the {{b1,b2}} pair");
+        let greedy = greedy_subset(&m, &remaining, 2);
+        assert!(cost(&greedy) >= cost(&exact));
+    }
+
+    #[test]
+    fn all_groups_valid_and_cover_input() {
+        let rr: Vec<ValueRange> = (0..11).map(|i| r(i * 20, i * 20 + 29)).collect();
+        let ss: Vec<ValueRange> = (0..11).map(|i| r(i * 20, i * 20 + 19)).collect();
+        let m = OverlapMatrix::compute_naive(&rr, &ss);
+        for s in [InnerStrategy::Greedy, InnerStrategy::Exact] {
+            let g = solve(&m, 4, s);
+            assert!(g.validate(11, 4), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let m = OverlapMatrix::compute_naive(&[], &[]);
+        assert!(solve(&m, 3, InnerStrategy::Greedy).is_empty());
+    }
+}

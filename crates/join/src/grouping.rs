@@ -1,0 +1,146 @@
+//! Groupings (partitionings `P`) of R's blocks and their cost `C(P)`.
+
+use adaptdb_common::BitSet;
+
+use crate::overlap::OverlapMatrix;
+
+/// A partitioning of R's blocks into memory-bounded groups, each with the
+/// union overlap vector `ṽ(p_k)` of its members.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grouping {
+    groups: Vec<Vec<usize>>,
+    unions: Vec<BitSet>,
+}
+
+impl Grouping {
+    /// Build a grouping from explicit member lists, computing unions.
+    pub fn from_groups(overlap: &OverlapMatrix, groups: Vec<Vec<usize>>) -> Self {
+        let unions = groups
+            .iter()
+            .map(|g| {
+                let mut u = BitSet::new(overlap.m());
+                for &i in g {
+                    u.union_with(overlap.vector(i));
+                }
+                u
+            })
+            .collect();
+        Grouping { groups, unions }
+    }
+
+    /// The groups (indices into R's block list).
+    pub fn groups(&self) -> &[Vec<usize>] {
+        &self.groups
+    }
+
+    /// Union vector `ṽ(p_k)` of group `k`.
+    pub fn union(&self, k: usize) -> &BitSet {
+        &self.unions[k]
+    }
+
+    /// Number of groups `|P|`.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True when there are no groups.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// The objective `C(P) = Σ_k δ(ṽ(p_k))`: total S-block reads.
+    pub fn cost(&self) -> usize {
+        self.unions.iter().map(BitSet::count_ones).sum()
+    }
+
+    /// Validate the grouping against Problem 1's constraints: every block
+    /// in exactly one group, and every group within `capacity`.
+    pub fn validate(&self, n_blocks: usize, capacity: usize) -> bool {
+        let mut seen = vec![false; n_blocks];
+        for g in &self.groups {
+            if g.is_empty() || g.len() > capacity {
+                return false;
+            }
+            for &i in g {
+                if i >= n_blocks || seen[i] {
+                    return false;
+                }
+                seen[i] = true;
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+
+    /// The effective `C_HyJ` of this grouping: average times each needed
+    /// S block is read (`C(P)` divided by the distinct S blocks touched).
+    /// 1.0 means perfectly co-partitioned (§4.2).
+    pub fn c_hyj(&self, overlap: &OverlapMatrix) -> f64 {
+        let distinct = overlap.distinct_s_blocks();
+        if distinct == 0 {
+            return 1.0;
+        }
+        self.cost() as f64 / distinct as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overlap::OverlapMatrix;
+    use adaptdb_common::{Value, ValueRange};
+
+    fn fig4_overlap() -> OverlapMatrix {
+        let r = |lo: i64, hi: i64| ValueRange::new(Value::Int(lo), Value::Int(hi));
+        OverlapMatrix::compute_naive(
+            &[r(0, 99), r(100, 199), r(200, 299), r(300, 399)],
+            &[r(0, 149), r(150, 249), r(250, 349), r(350, 399)],
+        )
+    }
+
+    #[test]
+    fn figure4_optimal_grouping_costs_5() {
+        // "P = {p1 = {r1, r2}, p2 = {r3, r4}} ... C(P) = 5" (§4.1.1).
+        let m = fig4_overlap();
+        let g = Grouping::from_groups(&m, vec![vec![0, 1], vec![2, 3]]);
+        assert_eq!(g.cost(), 5);
+        assert_eq!(g.union(0).count_ones(), 2);
+        assert_eq!(g.union(1).count_ones(), 3);
+        assert!(g.validate(4, 2));
+    }
+
+    #[test]
+    fn worse_grouping_costs_more() {
+        // Interleaving the blocks shares fewer reads.
+        let m = fig4_overlap();
+        let g = Grouping::from_groups(&m, vec![vec![0, 2], vec![1, 3]]);
+        assert!(g.cost() > 5, "cost was {}", g.cost());
+    }
+
+    #[test]
+    fn validate_rejects_bad_partitionings() {
+        let m = fig4_overlap();
+        // Over capacity.
+        assert!(!Grouping::from_groups(&m, vec![vec![0, 1, 2], vec![3]]).validate(4, 2));
+        // Duplicate block.
+        assert!(!Grouping::from_groups(&m, vec![vec![0, 1], vec![1, 3]]).validate(4, 2));
+        // Missing block.
+        assert!(!Grouping::from_groups(&m, vec![vec![0, 1], vec![2]]).validate(4, 2));
+        // Empty group.
+        assert!(!Grouping::from_groups(&m, vec![vec![0, 1], vec![2, 3], vec![]]).validate(4, 2));
+        // Valid grouping, but validated against a larger universe of
+        // blocks than it covers.
+        assert!(!Grouping::from_groups(&m, vec![vec![0, 1], vec![2, 3]]).validate(5, 2));
+    }
+
+    #[test]
+    fn c_hyj_is_one_when_each_s_read_once() {
+        let m = fig4_overlap();
+        // Singleton groups: cost = Σ δ(v_i) = 1+2+2+2 = 7; distinct = 4.
+        let singles = Grouping::from_groups(&m, vec![vec![0], vec![1], vec![2], vec![3]]);
+        assert_eq!(singles.cost(), 7);
+        assert!((singles.c_hyj(&m) - 7.0 / 4.0).abs() < 1e-12);
+        // Optimal pairs: 5/4.
+        let pairs = Grouping::from_groups(&m, vec![vec![0, 1], vec![2, 3]]);
+        assert!((pairs.c_hyj(&m) - 1.25).abs() < 1e-12);
+    }
+}

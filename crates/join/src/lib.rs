@@ -1,0 +1,38 @@
+//! # adaptdb-join
+//!
+//! The hyper-join optimization machinery of AdaptDB (§4).
+//!
+//! Hyper-join avoids shuffling by grouping the blocks of relation *R*
+//! into memory-bounded partitions and, for each partition, reading only
+//! the blocks of *S* that overlap it on the join attribute. Choosing the
+//! grouping is the *minimal partitioning* problem (Problem 1), which is
+//! NP-hard (§4.1.4, by reduction from maximum k-subset intersection).
+//!
+//! * [`overlap::OverlapMatrix`] — the bit vectors `v_i` (`v_ij = 1` iff
+//!   `Range_t(r_i) ∩ Range_t(s_j) ≠ ∅`), with both the naive O(nm)
+//!   computation and a sort-based sweep,
+//! * [`grouping::Grouping`] — a partitioning `P` of R's blocks with its
+//!   cost `C(P) = Σ δ(ṽ(p_k))`,
+//! * [`bottom_up`] — the practical O(n²) heuristic of Fig. 6 (what
+//!   AdaptDB actually runs),
+//! * [`approx`] — the per-partition algorithm of Fig. 5, with an exact
+//!   inner subset solver for small instances,
+//! * [`exact`] — global branch-and-bound, the stand-in for the paper's
+//!   GLPK runs in Fig. 17 (with an explicit node budget so the ">96
+//!   hours" behaviour is reproducible as a timeout),
+//! * [`mip`] — the paper's 0/1 integer-programming formulation (§4.1.2)
+//!   built explicitly, with constraint checking and solving,
+//! * [`planner`] — the cost-based choice between hyper-join and shuffle
+//!   join (Eq. 1 vs Eq. 2, §5.4), producing executable block schedules.
+
+pub mod approx;
+pub mod bottom_up;
+pub mod exact;
+pub mod grouping;
+pub mod mip;
+pub mod overlap;
+pub mod planner;
+
+pub use grouping::Grouping;
+pub use overlap::OverlapMatrix;
+pub use planner::{HyperJoinPlan, JoinDecision, JoinSide};

@@ -1,0 +1,230 @@
+//! The paper's 0/1 integer-programming formulation (§4.1.2), explicitly.
+//!
+//! Decision variables:
+//! * `x[i][k] ∈ {0,1}` — R block `i` assigned to partition `k`,
+//! * `y[j][k] ∈ {0,1}` — S block `j` must be read for partition `k`.
+//!
+//! Constraints:
+//! 1. capacity: `Σ_i x[i][k] ≤ B` for every `k`,
+//! 2. assignment: `Σ_k x[i][k] = 1` for every `i`,
+//! 3. coverage: `y[j][k] ≥ x[i][k]` for every `k` and every `i ∈ J_j`
+//!    (blocks of R overlapping S block `j`),
+//!
+//! minimizing `Σ_{j,k} y[j][k]`.
+//!
+//! The paper solved this with GLPK; here the model is built explicitly
+//! (so the formulation itself is testable) and optimized by the
+//! branch-and-bound in [`crate::exact`], which searches the same space:
+//! for fixed `x`, the optimal `y` is implied (`y[j][k] = ⋁_{i∈J_j}
+//! x[i][k]`), so minimizing over groupings is exactly this MIP. This
+//! substitution is recorded in DESIGN.md.
+
+use adaptdb_common::{BitSet, Error, Result};
+
+use crate::exact::{self, ExactResult};
+use crate::overlap::OverlapMatrix;
+
+/// The explicit MIP model for one hyper-join instance.
+#[derive(Debug, Clone)]
+pub struct MipModel {
+    overlap: OverlapMatrix,
+    /// Memory budget `B` in blocks.
+    pub b: usize,
+    /// Number of partitions `c = ⌈n/B⌉`.
+    pub c: usize,
+}
+
+/// A feasible solution: the assignment matrix and implied `y`.
+#[derive(Debug, Clone)]
+pub struct MipSolution {
+    /// `assignment[i] = k` — partition of R block `i` (dense x).
+    pub assignment: Vec<usize>,
+    /// Implied y vectors, one [`BitSet`] of S blocks per partition.
+    pub y: Vec<BitSet>,
+    /// Objective value `Σ y`.
+    pub objective: usize,
+    /// Whether branch-and-bound proved optimality within its budget.
+    pub proven_optimal: bool,
+    /// Nodes explored by the solver.
+    pub nodes_explored: u64,
+}
+
+impl MipModel {
+    /// Build the model from an overlap matrix and a memory budget.
+    pub fn new(overlap: OverlapMatrix, b: usize) -> Self {
+        assert!(b > 0, "memory budget must be positive");
+        let c = overlap.n().div_ceil(b).max(1);
+        MipModel { overlap, b, c }
+    }
+
+    /// Number of `x` variables (`n·c`).
+    pub fn num_x_vars(&self) -> usize {
+        self.overlap.n() * self.c
+    }
+
+    /// Number of `y` variables (`m·c`).
+    pub fn num_y_vars(&self) -> usize {
+        self.overlap.m() * self.c
+    }
+
+    /// Counts of (capacity, assignment, coverage) constraint rows — the
+    /// size of the model a real MIP solver would receive.
+    pub fn constraint_counts(&self) -> (usize, usize, usize) {
+        let coverage: usize =
+            (0..self.overlap.n()).map(|i| self.overlap.delta(i) * self.c).sum();
+        (self.c, self.overlap.n(), coverage)
+    }
+
+    /// Check constraints (1) and (2) for a dense assignment; returns the
+    /// violated-constraint description on failure.
+    pub fn check_assignment(&self, assignment: &[usize]) -> Result<()> {
+        if assignment.len() != self.overlap.n() {
+            return Err(Error::Plan(format!(
+                "assignment covers {} of {} blocks",
+                assignment.len(),
+                self.overlap.n()
+            )));
+        }
+        let mut counts = vec![0usize; self.c];
+        for (i, &k) in assignment.iter().enumerate() {
+            if k >= self.c {
+                return Err(Error::Plan(format!("block {i} assigned to invalid partition {k}")));
+            }
+            counts[k] += 1;
+        }
+        for (k, &cnt) in counts.iter().enumerate() {
+            if cnt > self.b {
+                return Err(Error::Plan(format!(
+                    "capacity violated: partition {k} holds {cnt} > B={}",
+                    self.b
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The minimal `y` satisfying constraint (3) for a given assignment:
+    /// `y[j][k] = 1` iff some R block in partition `k` overlaps S block `j`.
+    pub fn implied_y(&self, assignment: &[usize]) -> Vec<BitSet> {
+        let mut y = vec![BitSet::new(self.overlap.m()); self.c];
+        for (i, &k) in assignment.iter().enumerate() {
+            y[k].union_with(self.overlap.vector(i));
+        }
+        y
+    }
+
+    /// Objective `Σ_{j,k} y[j][k]` for a given assignment.
+    pub fn objective(&self, assignment: &[usize]) -> usize {
+        self.implied_y(assignment).iter().map(BitSet::count_ones).sum()
+    }
+
+    /// Verify constraint (3) holds between an assignment and a candidate
+    /// `y` (not necessarily minimal).
+    pub fn check_coverage(&self, assignment: &[usize], y: &[BitSet]) -> Result<()> {
+        for (i, &k) in assignment.iter().enumerate() {
+            for j in self.overlap.vector(i).iter_ones() {
+                if !y[k].get(j) {
+                    return Err(Error::Plan(format!(
+                        "coverage violated: y[{j}][{k}] = 0 but block {i} ∈ J_{j} is in partition {k}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Solve the model with the branch-and-bound engine; the returned
+    /// solution always satisfies all constraints (asserted).
+    pub fn solve(&self, node_budget: u64) -> Result<MipSolution> {
+        let ExactResult { grouping, cost, proven_optimal, nodes_explored } =
+            exact::solve(&self.overlap, self.b, node_budget);
+        let mut assignment = vec![usize::MAX; self.overlap.n()];
+        for (k, group) in grouping.groups().iter().enumerate() {
+            for &i in group {
+                assignment[i] = k;
+            }
+        }
+        self.check_assignment(&assignment)?;
+        let y = self.implied_y(&assignment);
+        self.check_coverage(&assignment, &y)?;
+        debug_assert_eq!(cost, y.iter().map(BitSet::count_ones).sum::<usize>());
+        Ok(MipSolution { assignment, y, objective: cost, proven_optimal, nodes_explored })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptdb_common::{Value, ValueRange};
+
+    fn r(lo: i64, hi: i64) -> ValueRange {
+        ValueRange::new(Value::Int(lo), Value::Int(hi))
+    }
+
+    fn fig4_model(b: usize) -> MipModel {
+        let overlap = OverlapMatrix::compute_naive(
+            &[r(0, 99), r(100, 199), r(200, 299), r(300, 399)],
+            &[r(0, 149), r(150, 249), r(250, 349), r(350, 399)],
+        );
+        MipModel::new(overlap, b)
+    }
+
+    #[test]
+    fn model_dimensions_match_formulation() {
+        let m = fig4_model(2);
+        assert_eq!(m.c, 2);
+        assert_eq!(m.num_x_vars(), 8); // 4 blocks × 2 partitions
+        assert_eq!(m.num_y_vars(), 8); // 4 S blocks × 2 partitions
+        let (cap, asg, cov) = m.constraint_counts();
+        assert_eq!(cap, 2);
+        assert_eq!(asg, 4);
+        assert_eq!(cov, (1 + 2 + 2 + 2) * 2);
+    }
+
+    #[test]
+    fn solve_reaches_paper_optimum() {
+        let m = fig4_model(2);
+        let sol = m.solve(1_000_000).unwrap();
+        assert_eq!(sol.objective, 5);
+        assert!(sol.proven_optimal);
+        assert_eq!(m.objective(&sol.assignment), 5);
+    }
+
+    #[test]
+    fn capacity_constraint_is_enforced() {
+        let m = fig4_model(2);
+        // Put three blocks in partition 0.
+        assert!(m.check_assignment(&[0, 0, 0, 1]).is_err());
+        assert!(m.check_assignment(&[0, 0, 1, 1]).is_ok());
+    }
+
+    #[test]
+    fn assignment_constraint_is_enforced() {
+        let m = fig4_model(2);
+        assert!(m.check_assignment(&[0, 1]).is_err()); // not all blocks
+        assert!(m.check_assignment(&[0, 1, 2, 1]).is_err()); // bad partition id
+    }
+
+    #[test]
+    fn implied_y_is_minimal_coverage() {
+        let m = fig4_model(2);
+        let assignment = vec![0, 0, 1, 1];
+        let y = m.implied_y(&assignment);
+        assert!(m.check_coverage(&assignment, &y).is_ok());
+        // Clearing any set bit must violate coverage.
+        for k in 0..y.len() {
+            for j in y[k].iter_ones().collect::<Vec<_>>() {
+                let mut broken = y.clone();
+                broken[k].clear(j);
+                assert!(m.check_coverage(&assignment, &broken).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn objective_matches_grouping_cost() {
+        let m = fig4_model(2);
+        assert_eq!(m.objective(&[0, 0, 1, 1]), 5);
+        assert_eq!(m.objective(&[0, 1, 0, 1]), 3 + 4); // interleaved is worse
+    }
+}

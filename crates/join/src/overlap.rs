@@ -1,0 +1,214 @@
+//! Overlap vectors `v_i` (§4.1.1).
+//!
+//! `v_ij = 1(Range_t(r_i) ∩ Range_t(s_j) ≠ ∅)`: whether block `r_i` of R
+//! must be joined with block `s_j` of S. The straightforward computation
+//! is O(nm); [`OverlapMatrix::compute_sweep`] sorts S's intervals once
+//! and range-scans per R block, which is output-sensitive and much
+//! faster when partitioning is good (few overlaps per block).
+
+use adaptdb_common::{BitSet, ValueRange};
+
+/// The n×m overlap bit matrix between R blocks and S blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverlapMatrix {
+    m: usize,
+    vectors: Vec<BitSet>,
+}
+
+impl OverlapMatrix {
+    /// Naive O(nm) computation from per-block join-attribute ranges.
+    pub fn compute_naive(r_ranges: &[ValueRange], s_ranges: &[ValueRange]) -> Self {
+        let m = s_ranges.len();
+        let vectors = r_ranges
+            .iter()
+            .map(|r| {
+                let mut v = BitSet::new(m);
+                for (j, s) in s_ranges.iter().enumerate() {
+                    if r.overlaps(s) {
+                        v.set(j);
+                    }
+                }
+                v
+            })
+            .collect();
+        OverlapMatrix { m, vectors }
+    }
+
+    /// Sweep computation: sort S intervals by lower bound; for each R
+    /// block, only examine S intervals whose lower bound does not exceed
+    /// R's upper bound, stopping early where possible.
+    pub fn compute_sweep(r_ranges: &[ValueRange], s_ranges: &[ValueRange]) -> Self {
+        let m = s_ranges.len();
+        // Indices of non-empty S ranges sorted by (lo, hi).
+        let mut order: Vec<usize> = (0..m).filter(|&j| !s_ranges[j].is_empty()).collect();
+        order.sort_by(|&a, &b| {
+            let (alo, ahi) = (s_ranges[a].min().unwrap(), s_ranges[a].max().unwrap());
+            let (blo, bhi) = (s_ranges[b].min().unwrap(), s_ranges[b].max().unwrap());
+            alo.cmp(blo).then(ahi.cmp(bhi))
+        });
+        // Prefix maxima of hi over the sorted order let us skip the head of
+        // the list: if max(hi[0..k]) < r.lo, none of those k overlap.
+        let mut vectors = Vec::with_capacity(r_ranges.len());
+        for r in r_ranges {
+            let mut v = BitSet::new(m);
+            if let (Some(rlo), Some(rhi)) = (r.min(), r.max()) {
+                // Binary search the first sorted S whose lo > rhi: nothing at
+                // or beyond that index can overlap.
+                let end = order.partition_point(|&j| s_ranges[j].min().unwrap() <= rhi);
+                for &j in &order[..end] {
+                    if s_ranges[j].max().unwrap() >= rlo {
+                        v.set(j);
+                    }
+                }
+            }
+            vectors.push(v);
+        }
+        OverlapMatrix { m, vectors }
+    }
+
+    /// Number of R blocks (rows of the matrix).
+    pub fn n(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Number of S blocks (bit-width of each vector).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The overlap vector of R block `i`.
+    pub fn vector(&self, i: usize) -> &BitSet {
+        &self.vectors[i]
+    }
+
+    /// All vectors.
+    pub fn vectors(&self) -> &[BitSet] {
+        &self.vectors
+    }
+
+    /// `δ(v_i)`: how many S blocks R block `i` overlaps.
+    pub fn delta(&self, i: usize) -> usize {
+        self.vectors[i].count_ones()
+    }
+
+    /// Number of distinct S blocks overlapped by *any* R block — the
+    /// denominator of the `C_HyJ` estimate (blocks S must contribute at
+    /// least once regardless of grouping).
+    pub fn distinct_s_blocks(&self) -> usize {
+        if self.vectors.is_empty() {
+            return 0;
+        }
+        let mut acc = BitSet::new(self.m);
+        for v in &self.vectors {
+            acc.union_with(v);
+        }
+        acc.count_ones()
+    }
+
+    /// Average overlaps per R block — a quick partitioning-quality signal.
+    pub fn mean_delta(&self) -> f64 {
+        if self.vectors.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.vectors.iter().map(BitSet::count_ones).sum();
+        total as f64 / self.vectors.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptdb_common::Value;
+
+    fn r(lo: i64, hi: i64) -> ValueRange {
+        ValueRange::new(Value::Int(lo), Value::Int(hi))
+    }
+
+    /// The paper's Fig. 4 instance.
+    pub(crate) fn figure4() -> (Vec<ValueRange>, Vec<ValueRange>) {
+        let r_ranges = vec![r(0, 99), r(100, 199), r(200, 299), r(300, 399)];
+        let s_ranges = vec![r(0, 149), r(150, 249), r(250, 349), r(350, 399)];
+        (r_ranges, s_ranges)
+    }
+
+    #[test]
+    fn figure4_vectors_match_paper() {
+        let (rr, ss) = figure4();
+        let m = OverlapMatrix::compute_naive(&rr, &ss);
+        assert_eq!(m.vector(0).to_string(), "1000");
+        assert_eq!(m.vector(1).to_string(), "1100");
+        assert_eq!(m.vector(2).to_string(), "0110");
+        assert_eq!(m.vector(3).to_string(), "0011");
+        assert_eq!(m.distinct_s_blocks(), 4);
+        assert_eq!(m.delta(1), 2);
+    }
+
+    #[test]
+    fn sweep_matches_naive_on_figure4() {
+        let (rr, ss) = figure4();
+        assert_eq!(OverlapMatrix::compute_sweep(&rr, &ss), OverlapMatrix::compute_naive(&rr, &ss));
+    }
+
+    #[test]
+    fn sweep_matches_naive_randomized() {
+        use adaptdb_common::rng::seeded;
+        use rand::RngExt;
+        let mut rng = seeded(11);
+        for _ in 0..50 {
+            let n = rng.random_range(0..20);
+            let m = rng.random_range(0..20);
+            let mk = |rng: &mut rand::rngs::StdRng| {
+                let lo = rng.random_range(0..1000i64);
+                let hi = lo + rng.random_range(0..300i64);
+                r(lo, hi)
+            };
+            let rr: Vec<ValueRange> = (0..n).map(|_| mk(&mut rng)).collect();
+            let ss: Vec<ValueRange> = (0..m).map(|_| mk(&mut rng)).collect();
+            assert_eq!(
+                OverlapMatrix::compute_sweep(&rr, &ss),
+                OverlapMatrix::compute_naive(&rr, &ss)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_ranges_never_overlap() {
+        let rr = vec![ValueRange::empty(), r(0, 10)];
+        let ss = vec![r(0, 100), ValueRange::empty()];
+        for m in [OverlapMatrix::compute_naive(&rr, &ss), OverlapMatrix::compute_sweep(&rr, &ss)] {
+            assert_eq!(m.delta(0), 0);
+            assert_eq!(m.vector(1).to_string(), "10");
+        }
+    }
+
+    #[test]
+    fn co_partitioned_tables_have_identity_overlap() {
+        // Perfectly aligned ranges: each r_i overlaps exactly s_i.
+        let rr: Vec<ValueRange> = (0..8).map(|i| r(i * 100, i * 100 + 99)).collect();
+        let m = OverlapMatrix::compute_naive(&rr, &rr);
+        for i in 0..8 {
+            assert_eq!(m.delta(i), 1);
+            assert!(m.vector(i).get(i));
+        }
+        assert_eq!(m.mean_delta(), 1.0);
+    }
+
+    #[test]
+    fn degenerate_wide_ranges_overlap_everything() {
+        // Un-partitioned join attribute: every block spans the domain.
+        let rr = vec![r(0, 1000); 4];
+        let ss = vec![r(0, 1000); 6];
+        let m = OverlapMatrix::compute_sweep(&rr, &ss);
+        assert_eq!(m.mean_delta(), 6.0);
+        assert_eq!(m.distinct_s_blocks(), 6);
+    }
+
+    #[test]
+    fn empty_matrix_edge_cases() {
+        let m = OverlapMatrix::compute_naive(&[], &[]);
+        assert_eq!(m.n(), 0);
+        assert_eq!(m.m(), 0);
+        assert_eq!(m.distinct_s_blocks(), 0);
+        assert_eq!(m.mean_delta(), 0.0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Cost-based choice between hyper-join and shuffle join (§5.4, §6).
+//!
+//! The planner estimates `C_HyJ` by actually running the bottom-up
+//! grouping on the candidate blocks' join-attribute ranges ("it does
+//! this by using the hyper-join algorithm to compute the schedule of
+//! blocks to read, and counts the total number of block reads that would
+//! result", §5.4), then compares Eq. 1 and Eq. 2. As an extension over
+//! the paper (which always builds on a designated table), both build
+//! directions are evaluated and the cheaper one is kept.
+
+use adaptdb_common::{BlockId, CostParams, ValueRange};
+
+use crate::bottom_up;
+use crate::grouping::Grouping;
+use crate::overlap::OverlapMatrix;
+
+/// Which side's blocks the hash tables are built over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinSide {
+    /// Build hash tables over the left relation, probe with the right.
+    Left,
+    /// Build hash tables over the right relation, probe with the left.
+    Right,
+}
+
+/// An executable hyper-join schedule.
+#[derive(Debug, Clone)]
+pub struct HyperJoinPlan {
+    /// Build side.
+    pub build_side: JoinSide,
+    /// Build-side block ids per group (each group's hash tables fit in
+    /// one worker's memory).
+    pub groups: Vec<Vec<BlockId>>,
+    /// Probe-side block ids each group must read (the set bits of
+    /// `ṽ(p_k)` mapped back to block ids).
+    pub probes: Vec<Vec<BlockId>>,
+    /// Build-side reads (= number of build blocks).
+    pub est_build_reads: usize,
+    /// Probe-side reads `C(P)`.
+    pub est_probe_reads: usize,
+    /// Estimated `C_HyJ` (probe reads / distinct probe blocks needed).
+    pub c_hyj: f64,
+}
+
+impl HyperJoinPlan {
+    /// Total estimated block reads.
+    pub fn est_total_reads(&self) -> usize {
+        self.est_build_reads + self.est_probe_reads
+    }
+}
+
+/// The planner's verdict for one join.
+#[derive(Debug, Clone)]
+pub enum JoinDecision {
+    /// Hyper-join wins; here is the schedule.
+    Hyper(HyperJoinPlan),
+    /// Shuffle join wins (or hyper-join is impossible).
+    Shuffle {
+        /// Eq. 1 estimate for the shuffle.
+        est_cost: f64,
+        /// Best hyper-join estimate it beat (∞ if no ranges available).
+        hyper_cost: f64,
+    },
+}
+
+impl JoinDecision {
+    /// True if the decision is a hyper-join.
+    pub fn is_hyper(&self) -> bool {
+        matches!(self, JoinDecision::Hyper(_))
+    }
+}
+
+/// One candidate block: its id and its join-attribute range.
+pub type BlockRange = (BlockId, ValueRange);
+
+/// Plan a join over candidate blocks (already predicate-filtered via
+/// `lookup(T, q)`), with `buffer_blocks` of build memory per worker.
+pub fn plan(
+    left: &[BlockRange],
+    right: &[BlockRange],
+    buffer_blocks: usize,
+    params: &CostParams,
+) -> JoinDecision {
+    let shuffle_cost = params.shuffle_join_cost(left.len(), right.len());
+    if left.is_empty() || right.is_empty() {
+        // Degenerate join: nothing to schedule; shuffle path handles empties.
+        return JoinDecision::Shuffle { est_cost: shuffle_cost, hyper_cost: f64::INFINITY };
+    }
+    let build_left = build_candidate(left, right, buffer_blocks, JoinSide::Left);
+    let build_right = build_candidate(right, left, buffer_blocks, JoinSide::Right);
+    let best = match (&build_left, &build_right) {
+        (Some(l), Some(r)) => {
+            if l.est_total_reads() <= r.est_total_reads() {
+                build_left
+            } else {
+                build_right
+            }
+        }
+        (Some(_), None) => build_left,
+        (None, _) => build_right,
+    };
+    match best {
+        Some(plan) if (plan.est_total_reads() as f64) < shuffle_cost => {
+            JoinDecision::Hyper(plan)
+        }
+        Some(plan) => JoinDecision::Shuffle {
+            est_cost: shuffle_cost,
+            hyper_cost: plan.est_total_reads() as f64,
+        },
+        None => JoinDecision::Shuffle { est_cost: shuffle_cost, hyper_cost: f64::INFINITY },
+    }
+}
+
+/// Build a hyper-join candidate with hash tables over `build` blocks.
+fn build_candidate(
+    build: &[BlockRange],
+    probe: &[BlockRange],
+    buffer_blocks: usize,
+    side: JoinSide,
+) -> Option<HyperJoinPlan> {
+    let build_ranges: Vec<ValueRange> = build.iter().map(|(_, r)| r.clone()).collect();
+    let probe_ranges: Vec<ValueRange> = probe.iter().map(|(_, r)| r.clone()).collect();
+    let overlap = OverlapMatrix::compute_sweep(&build_ranges, &probe_ranges);
+    let grouping = bottom_up::solve(&overlap, buffer_blocks.max(1));
+    Some(plan_from_grouping(&overlap, &grouping, build, probe, side))
+}
+
+fn plan_from_grouping(
+    overlap: &OverlapMatrix,
+    grouping: &Grouping,
+    build: &[BlockRange],
+    probe: &[BlockRange],
+    side: JoinSide,
+) -> HyperJoinPlan {
+    let groups: Vec<Vec<BlockId>> = grouping
+        .groups()
+        .iter()
+        .map(|g| g.iter().map(|&i| build[i].0).collect())
+        .collect();
+    let probes: Vec<Vec<BlockId>> = (0..grouping.len())
+        .map(|k| grouping.union(k).iter_ones().map(|j| probe[j].0).collect())
+        .collect();
+    let est_probe_reads = grouping.cost();
+    HyperJoinPlan {
+        build_side: side,
+        est_build_reads: build.len(),
+        est_probe_reads,
+        c_hyj: grouping.c_hyj(overlap),
+        groups,
+        probes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptdb_common::Value;
+
+    fn r(lo: i64, hi: i64) -> ValueRange {
+        ValueRange::new(Value::Int(lo), Value::Int(hi))
+    }
+
+    fn co_partitioned(n: usize) -> (Vec<BlockRange>, Vec<BlockRange>) {
+        let left = (0..n).map(|i| (i as BlockId, r(i as i64 * 100, i as i64 * 100 + 99))).collect();
+        let right =
+            (0..n).map(|i| (i as BlockId, r(i as i64 * 100, i as i64 * 100 + 99))).collect();
+        (left, right)
+    }
+
+    #[test]
+    fn co_partitioned_tables_choose_hyper_with_chyj_1() {
+        let (l, rt) = co_partitioned(16);
+        match plan(&l, &rt, 4, &CostParams::default()) {
+            JoinDecision::Hyper(p) => {
+                assert!((p.c_hyj - 1.0).abs() < 1e-9);
+                assert_eq!(p.est_probe_reads, 16);
+                assert_eq!(p.est_build_reads, 16);
+            }
+            other => panic!("expected hyper-join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unpartitioned_tables_fall_back_to_shuffle() {
+        // Every block spans the whole domain → every group reads all of S.
+        let l: Vec<BlockRange> = (0..12).map(|i| (i, r(0, 10_000))).collect();
+        let rt: Vec<BlockRange> = (0..12).map(|i| (i, r(0, 10_000))).collect();
+        let d = plan(&l, &rt, 2, &CostParams::default());
+        assert!(!d.is_hyper(), "degenerate ranges must shuffle: {d:?}");
+        if let JoinDecision::Shuffle { est_cost, hyper_cost } = d {
+            assert!(hyper_cost > est_cost);
+        }
+    }
+
+    #[test]
+    fn probe_lists_reference_probe_block_ids() {
+        let (l, rt) = co_partitioned(8);
+        // Give right side distinctive ids.
+        let rt: Vec<BlockRange> = rt.into_iter().map(|(i, r)| (i + 100, r)).collect();
+        if let JoinDecision::Hyper(p) = plan(&l, &rt, 4, &CostParams::default()) {
+            match p.build_side {
+                JoinSide::Left => {
+                    for probes in &p.probes {
+                        assert!(probes.iter().all(|b| *b >= 100));
+                    }
+                    let all: usize = p.groups.iter().map(Vec::len).sum();
+                    assert_eq!(all, 8);
+                }
+                JoinSide::Right => {
+                    for probes in &p.probes {
+                        assert!(probes.iter().all(|b| *b < 100));
+                    }
+                }
+            }
+        } else {
+            panic!("expected hyper");
+        }
+    }
+
+    #[test]
+    fn asymmetric_sides_pick_cheaper_build() {
+        // Left is large (32 blocks), right small (4): building on the
+        // smaller side reads fewer blocks overall when overlap is clean.
+        let left: Vec<BlockRange> =
+            (0..32).map(|i| (i, r(i as i64 * 10, i as i64 * 10 + 9))).collect();
+        let right: Vec<BlockRange> =
+            (0..4).map(|i| (i, r(i as i64 * 80, i as i64 * 80 + 79))).collect();
+        if let JoinDecision::Hyper(p) = plan(&left, &right, 4, &CostParams::default()) {
+            assert_eq!(p.build_side, JoinSide::Right);
+            assert!(p.est_total_reads() <= 32 + 4 + 4);
+        } else {
+            panic!("expected hyper");
+        }
+    }
+
+    #[test]
+    fn empty_sides_shuffle_gracefully() {
+        let (l, _) = co_partitioned(4);
+        let d = plan(&l, &[], 4, &CostParams::default());
+        assert!(!d.is_hyper());
+        let d = plan(&[], &[], 4, &CostParams::default());
+        assert!(!d.is_hyper());
+    }
+
+    #[test]
+    fn probe_reads_shrink_with_bigger_buffers() {
+        // Offset ranges so each build block overlaps two probe blocks.
+        let left: Vec<BlockRange> =
+            (0..16).map(|i| (i, r(i as i64 * 100 + 50, i as i64 * 100 + 149))).collect();
+        let right: Vec<BlockRange> =
+            (0..17).map(|i| (i, r(i as i64 * 100, i as i64 * 100 + 99))).collect();
+        let reads = |buf: usize| match plan(&left, &right, buf, &CostParams::default()) {
+            JoinDecision::Hyper(p) => p.est_probe_reads,
+            JoinDecision::Shuffle { .. } => usize::MAX,
+        };
+        let r1 = reads(1);
+        let r4 = reads(4);
+        let r16 = reads(16);
+        assert!(r1 > r4, "more memory should share probe reads: {r1} vs {r4}");
+        assert!(r4 >= r16);
+    }
+}

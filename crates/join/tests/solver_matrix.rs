@@ -1,0 +1,145 @@
+//! Cross-algorithm matrix tests: every grouping solver against
+//! structured instance families with known properties.
+
+use adaptdb_common::{Value, ValueRange};
+use adaptdb_join::{approx, bottom_up, exact, mip::MipModel, OverlapMatrix};
+
+fn r(lo: i64, hi: i64) -> ValueRange {
+    ValueRange::new(Value::Int(lo), Value::Int(hi))
+}
+
+/// Block-diagonal family: R block i overlaps exactly S block i.
+fn diagonal(n: usize) -> OverlapMatrix {
+    let rr: Vec<ValueRange> = (0..n).map(|i| r(i as i64 * 100, i as i64 * 100 + 99)).collect();
+    OverlapMatrix::compute_naive(&rr, &rr)
+}
+
+/// Chain family: R block i overlaps S blocks i and i+1.
+fn chain(n: usize) -> OverlapMatrix {
+    let rr: Vec<ValueRange> = (0..n).map(|i| r(i as i64 * 100 + 50, i as i64 * 100 + 149)).collect();
+    let ss: Vec<ValueRange> = (0..=n).map(|j| r(j as i64 * 100, j as i64 * 100 + 99)).collect();
+    OverlapMatrix::compute_naive(&rr, &ss)
+}
+
+/// Star family: every R block overlaps the hub S block 0 plus its own.
+fn star(n: usize) -> OverlapMatrix {
+    let mut rr = Vec::new();
+    let mut ss = vec![r(0, 1_000_000)]; // hub covers everything
+    for i in 0..n {
+        let lo = i as i64 * 100;
+        rr.push(r(lo, lo + 99));
+        ss.push(r(lo, lo + 99));
+    }
+    OverlapMatrix::compute_naive(&rr, &ss)
+}
+
+/// On a diagonal instance every solver must reach the ideal cost
+/// (every needed S block read exactly once), for every capacity.
+#[test]
+fn diagonal_instances_are_solved_exactly_by_everyone() {
+    for n in [4usize, 9, 16] {
+        let m = diagonal(n);
+        for cap in [1usize, 2, 3, n] {
+            assert_eq!(bottom_up::solve(&m, cap).cost(), n, "bottom-up n={n} cap={cap}");
+            assert_eq!(
+                approx::solve(&m, cap, approx::InnerStrategy::Greedy).cost(),
+                n,
+                "greedy n={n} cap={cap}"
+            );
+            let ex = exact::solve(&m, cap, 10_000_000);
+            assert_eq!(ex.cost, n);
+            assert!(ex.proven_optimal);
+        }
+    }
+}
+
+/// On chains, contiguous grouping is optimal: cost = n + ceil(n/B)
+/// (each group re-reads one boundary block). The exact solver proves
+/// it; heuristics should land within one block per group.
+#[test]
+fn chain_instances_have_known_optimum() {
+    for (n, cap) in [(8usize, 2usize), (12, 3), (12, 4)] {
+        let m = chain(n);
+        let optimal = n + n.div_ceil(cap);
+        let ex = exact::solve(&m, cap, 20_000_000);
+        assert!(ex.proven_optimal, "n={n} cap={cap}");
+        assert_eq!(ex.cost, optimal, "n={n} cap={cap}");
+        let heur = bottom_up::solve(&m, cap).cost();
+        assert!(
+            heur <= optimal + n.div_ceil(cap),
+            "heuristic too far off: {heur} vs {optimal}"
+        );
+    }
+}
+
+/// On stars, every group must read the hub: cost = n + ceil(n/B)
+/// regardless of grouping — all solvers agree exactly.
+#[test]
+fn star_instances_make_grouping_irrelevant() {
+    let n = 12;
+    let m = star(n);
+    for cap in [2usize, 3, 6] {
+        let expected = n + n.div_ceil(cap);
+        assert_eq!(bottom_up::solve(&m, cap).cost(), expected, "cap={cap}");
+        let ex = exact::solve(&m, cap, 10_000_000);
+        assert_eq!(ex.cost, expected);
+        assert!(ex.proven_optimal);
+    }
+}
+
+/// The MIP model and the specialized branch-and-bound agree on every
+/// family (they search the same space).
+#[test]
+fn mip_and_exact_agree_across_families() {
+    for m in [diagonal(6), chain(6), star(6)] {
+        for cap in [2usize, 3] {
+            let ex = exact::solve(&m, cap, 10_000_000);
+            let sol = MipModel::new(m.clone(), cap).solve(10_000_000).unwrap();
+            assert_eq!(ex.cost, sol.objective);
+        }
+    }
+}
+
+/// C_HyJ interpretations: diagonal → 1.0; star → (n + groups)/(n + 1).
+#[test]
+fn c_hyj_reflects_partitioning_quality() {
+    let n = 12;
+    let d = diagonal(n);
+    let g = bottom_up::solve(&d, 4);
+    assert_eq!(g.c_hyj(&d), 1.0);
+
+    let s = star(n);
+    let gs = bottom_up::solve(&s, 4);
+    let expected = (n + n / 4) as f64 / (n + 1) as f64;
+    assert!((gs.c_hyj(&s) - expected).abs() < 1e-9);
+}
+
+/// Degenerate all-overlap instances: hyper-join reads |P|·m blocks; the
+/// solvers must still return valid groupings and the exact cost.
+#[test]
+fn all_overlap_instances() {
+    let n = 8;
+    let rr = vec![r(0, 999); n];
+    let m = OverlapMatrix::compute_naive(&rr, &rr);
+    for cap in [2usize, 4] {
+        let groups = n.div_ceil(cap);
+        let expected = groups * n;
+        assert_eq!(bottom_up::solve(&m, cap).cost(), expected);
+        let ex = exact::solve(&m, cap, 10_000_000);
+        assert_eq!(ex.cost, expected);
+    }
+}
+
+/// Larger stress: 200-block chain solved by the heuristics in bounded
+/// time with valid output (the exact solver is not invited).
+#[test]
+fn heuristics_scale_to_hundreds_of_blocks() {
+    let m = chain(200);
+    for cap in [4usize, 16, 64] {
+        let g = bottom_up::solve(&m, cap);
+        assert!(g.validate(200, cap));
+        assert!(g.cost() >= m.distinct_s_blocks());
+        let a = approx::solve(&m, cap, approx::InnerStrategy::Greedy);
+        assert!(a.validate(200, cap));
+    }
+}

@@ -1,0 +1,103 @@
+//! Blocks and their metadata.
+//!
+//! A block is the unit of storage, I/O accounting, and join scheduling.
+//! `BlockMeta.ranges[a]` is the paper's `Range_a(block)`: the closed
+//! min/max interval of attribute `a` within the block, "stored with each
+//! block in the partitioning tree" (§4.1.1).
+
+use adaptdb_common::{BlockId, Row, ValueRange};
+
+/// An in-memory block of rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Block id, unique within its table.
+    pub id: BlockId,
+    /// The rows.
+    pub rows: Vec<Row>,
+}
+
+impl Block {
+    /// Construct a block.
+    pub fn new(id: BlockId, rows: Vec<Row>) -> Self {
+        Block { id, rows }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the block holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Compute metadata (row/byte counts and per-attribute ranges) for a
+    /// block whose rows have `arity` columns.
+    pub fn compute_meta(&self, arity: usize) -> BlockMeta {
+        let mut ranges = vec![ValueRange::empty(); arity];
+        let mut bytes = 0usize;
+        for row in &self.rows {
+            bytes += row.byte_size();
+            for (a, v) in row.values().iter().enumerate().take(arity) {
+                ranges[a].insert(v);
+            }
+        }
+        BlockMeta { id: self.id, row_count: self.rows.len(), byte_size: bytes, ranges }
+    }
+}
+
+/// Metadata describing one stored block, kept in memory by the catalog
+/// (the actual rows live encoded in the store).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// Block id, unique within its table.
+    pub id: BlockId,
+    /// Number of rows stored.
+    pub row_count: usize,
+    /// Approximate encoded size in bytes.
+    pub byte_size: usize,
+    /// Per-attribute min/max — the paper's `Range_t`.
+    pub ranges: Vec<ValueRange>,
+}
+
+impl BlockMeta {
+    /// Range of one attribute (empty if the block has no rows).
+    pub fn range(&self, attr: u16) -> &ValueRange {
+        &self.ranges[attr as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptdb_common::row;
+    use adaptdb_common::Value;
+
+    #[test]
+    fn meta_computes_ranges_per_attribute() {
+        let b = Block::new(0, vec![row![1i64, 10.0], row![5i64, 2.0], row![3i64, 7.5]]);
+        let m = b.compute_meta(2);
+        assert_eq!(m.row_count, 3);
+        assert_eq!(m.range(0).min(), Some(&Value::Int(1)));
+        assert_eq!(m.range(0).max(), Some(&Value::Int(5)));
+        assert_eq!(m.range(1).min(), Some(&Value::Double(2.0)));
+        assert_eq!(m.range(1).max(), Some(&Value::Double(10.0)));
+    }
+
+    #[test]
+    fn empty_block_has_empty_ranges() {
+        let b = Block::new(0, vec![]);
+        let m = b.compute_meta(3);
+        assert!(b.is_empty());
+        assert_eq!(m.byte_size, 0);
+        assert!(m.ranges.iter().all(ValueRange::is_empty));
+    }
+
+    #[test]
+    fn byte_size_sums_rows() {
+        let r = row![1i64];
+        let b = Block::new(1, vec![r.clone(), r.clone()]);
+        assert_eq!(b.compute_meta(1).byte_size, 2 * r.byte_size());
+    }
+}

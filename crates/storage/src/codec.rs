@@ -1,0 +1,223 @@
+//! Binary encoding of values, rows, and blocks.
+//!
+//! Blocks are stored *encoded* in the block store so every read pays a
+//! realistic decode cost, and so the format is pinned: little-endian,
+//! one tag byte per value. No external serialization framework — a
+//! storage manager's on-disk format should be explicit.
+//!
+//! ```text
+//! block  := MAGIC(4) id(u32) row_count(u32) row*
+//! row    := arity(u16) value*
+//! value  := tag(u8) payload
+//!   tag 0 = Int    payload i64 LE
+//!   tag 1 = Double payload f64 bits LE
+//!   tag 2 = Str    payload len(u32) + UTF-8 bytes
+//!   tag 3 = Date   payload i32 LE
+//!   tag 4 = Bool   payload u8
+//! ```
+
+use adaptdb_common::{Error, Result, Row, Value};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::block::Block;
+
+/// Magic prefix of every encoded block.
+pub const BLOCK_MAGIC: &[u8; 4] = b"ADB1";
+
+/// Append the encoding of one value.
+pub fn encode_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Int(x) => {
+            buf.put_u8(0);
+            buf.put_i64_le(*x);
+        }
+        Value::Double(x) => {
+            buf.put_u8(1);
+            buf.put_u64_le(x.to_bits());
+        }
+        Value::Str(s) => {
+            buf.put_u8(2);
+            buf.put_u32_le(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+        Value::Date(d) => {
+            buf.put_u8(3);
+            buf.put_i32_le(*d);
+        }
+        Value::Bool(b) => {
+            buf.put_u8(4);
+            buf.put_u8(*b as u8);
+        }
+    }
+}
+
+/// Decode one value, advancing `buf`.
+pub fn decode_value(buf: &mut Bytes) -> Result<Value> {
+    if buf.remaining() < 1 {
+        return Err(Error::Codec("truncated value tag".into()));
+    }
+    let tag = buf.get_u8();
+    macro_rules! need {
+        ($n:expr, $what:literal) => {
+            if buf.remaining() < $n {
+                return Err(Error::Codec(concat!("truncated ", $what).into()));
+            }
+        };
+    }
+    match tag {
+        0 => {
+            need!(8, "Int");
+            Ok(Value::Int(buf.get_i64_le()))
+        }
+        1 => {
+            need!(8, "Double");
+            Ok(Value::Double(f64::from_bits(buf.get_u64_le())))
+        }
+        2 => {
+            need!(4, "Str length");
+            let len = buf.get_u32_le() as usize;
+            need!(len, "Str payload");
+            let bytes = buf.split_to(len);
+            let s = std::str::from_utf8(&bytes)
+                .map_err(|e| Error::Codec(format!("invalid UTF-8 in Str: {e}")))?;
+            Ok(Value::Str(s.to_string()))
+        }
+        3 => {
+            need!(4, "Date");
+            Ok(Value::Date(buf.get_i32_le()))
+        }
+        4 => {
+            need!(1, "Bool");
+            Ok(Value::Bool(buf.get_u8() != 0))
+        }
+        other => Err(Error::Codec(format!("unknown value tag {other}"))),
+    }
+}
+
+/// Append the encoding of one row.
+pub fn encode_row(buf: &mut BytesMut, row: &Row) {
+    buf.put_u16_le(row.arity() as u16);
+    for v in row.values() {
+        encode_value(buf, v);
+    }
+}
+
+/// Decode one row, advancing `buf`.
+pub fn decode_row(buf: &mut Bytes) -> Result<Row> {
+    if buf.remaining() < 2 {
+        return Err(Error::Codec("truncated row arity".into()));
+    }
+    let arity = buf.get_u16_le() as usize;
+    let mut values = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        values.push(decode_value(buf)?);
+    }
+    Ok(Row::new(values))
+}
+
+/// Encode a whole block.
+pub fn encode_block(block: &Block) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + block.rows.len() * 32);
+    buf.put_slice(BLOCK_MAGIC);
+    buf.put_u32_le(block.id);
+    buf.put_u32_le(block.rows.len() as u32);
+    for row in &block.rows {
+        encode_row(&mut buf, row);
+    }
+    buf.freeze()
+}
+
+/// Decode a whole block.
+pub fn decode_block(mut buf: Bytes) -> Result<Block> {
+    if buf.remaining() < 12 {
+        return Err(Error::Codec("truncated block header".into()));
+    }
+    let magic = buf.split_to(4);
+    if magic.as_ref() != BLOCK_MAGIC {
+        return Err(Error::Codec("bad block magic".into()));
+    }
+    let id = buf.get_u32_le();
+    let row_count = buf.get_u32_le() as usize;
+    let mut rows = Vec::with_capacity(row_count);
+    for _ in 0..row_count {
+        rows.push(decode_row(&mut buf)?);
+    }
+    if buf.has_remaining() {
+        return Err(Error::Codec(format!("{} trailing bytes after block", buf.remaining())));
+    }
+    Ok(Block::new(id, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptdb_common::row;
+
+    fn round_trip(block: Block) {
+        let enc = encode_block(&block);
+        let dec = decode_block(enc).unwrap();
+        assert_eq!(dec, block);
+    }
+
+    #[test]
+    fn block_round_trip_all_types() {
+        round_trip(Block::new(
+            7,
+            vec![
+                row![1i64, 2.5, "hello", true],
+                Row::new(vec![Value::Date(19000), Value::Str(String::new())]),
+            ],
+        ));
+    }
+
+    #[test]
+    fn empty_block_round_trip() {
+        round_trip(Block::new(0, vec![]));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let enc = encode_block(&Block::new(1, vec![row![42i64]]));
+        for cut in 1..enc.len() {
+            let res = decode_block(enc.slice(0..cut));
+            assert!(res.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut raw = BytesMut::new();
+        raw.put_slice(b"NOPE");
+        raw.put_u32_le(0);
+        raw.put_u32_le(0);
+        assert!(matches!(decode_block(raw.freeze()), Err(Error::Codec(_))));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let enc = encode_block(&Block::new(1, vec![]));
+        let mut raw = BytesMut::from(enc.as_ref());
+        raw.put_u8(0xFF);
+        assert!(decode_block(raw.freeze()).is_err());
+    }
+
+    #[test]
+    fn nan_double_round_trips_bitwise() {
+        let block = Block::new(2, vec![Row::new(vec![Value::Double(f64::NAN)])]);
+        let dec = decode_block(encode_block(&block)).unwrap();
+        match dec.rows[0].get(0) {
+            Value::Double(d) => assert!(d.is_nan()),
+            other => panic!("expected Double, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        let mut raw = BytesMut::new();
+        raw.put_u8(9);
+        let mut b = raw.freeze();
+        assert!(decode_value(&mut b).is_err());
+    }
+
+    use adaptdb_common::{Row, Value};
+}

@@ -1,0 +1,114 @@
+//! Reservoir sampling.
+//!
+//! Amoeba/AdaptDB choose partitioning-tree cut points from a sample of
+//! the data (§3.1), and keep the sample around for repartitioning
+//! decisions (Fig. 2 "Sampled records"). Algorithm R keeps a uniform
+//! sample in one pass without knowing the stream length.
+
+use adaptdb_common::rng;
+use adaptdb_common::Row;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A uniform reservoir sample of rows.
+#[derive(Debug)]
+pub struct Reservoir {
+    capacity: usize,
+    seen: usize,
+    rows: Vec<Row>,
+    rng: StdRng,
+}
+
+impl Reservoir {
+    /// A reservoir keeping at most `capacity` rows.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Reservoir { capacity, seen: 0, rows: Vec::with_capacity(capacity), rng: rng::derived(seed, "reservoir") }
+    }
+
+    /// Offer one row to the sample.
+    pub fn offer(&mut self, row: Row) {
+        self.seen += 1;
+        if self.rows.len() < self.capacity {
+            self.rows.push(row);
+        } else {
+            let j = self.rng.random_range(0..self.seen);
+            if j < self.capacity {
+                self.rows[j] = row;
+            }
+        }
+    }
+
+    /// Offer many rows.
+    pub fn extend<I: IntoIterator<Item = Row>>(&mut self, rows: I) {
+        for r in rows {
+            self.offer(r);
+        }
+    }
+
+    /// The sampled rows (at most `capacity`).
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// How many rows have been offered in total.
+    pub fn seen(&self) -> usize {
+        self.seen
+    }
+
+    /// Capacity of the reservoir.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptdb_common::row;
+
+    #[test]
+    fn keeps_everything_under_capacity() {
+        let mut r = Reservoir::new(10, 1);
+        r.extend((0..5i64).map(|i| row![i]));
+        assert_eq!(r.rows().len(), 5);
+        assert_eq!(r.seen(), 5);
+    }
+
+    #[test]
+    fn caps_at_capacity() {
+        let mut r = Reservoir::new(10, 1);
+        r.extend((0..1000i64).map(|i| row![i]));
+        assert_eq!(r.rows().len(), 10);
+        assert_eq!(r.seen(), 1000);
+    }
+
+    #[test]
+    fn sample_is_roughly_uniform() {
+        // Offer 0..10_000; the mean of a uniform sample should be near 5000.
+        let mut r = Reservoir::new(500, 42);
+        r.extend((0..10_000i64).map(|i| row![i]));
+        let mean: f64 = r
+            .rows()
+            .iter()
+            .map(|row| row.get(0).as_int().unwrap() as f64)
+            .sum::<f64>()
+            / r.rows().len() as f64;
+        assert!((mean - 5000.0).abs() < 600.0, "mean {mean} too far from 5000");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = Reservoir::new(8, 9);
+        let mut b = Reservoir::new(8, 9);
+        a.extend((0..100i64).map(|i| row![i]));
+        b.extend((0..100i64).map(|i| row![i]));
+        assert_eq!(a.rows(), b.rows());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        Reservoir::new(0, 1);
+    }
+}

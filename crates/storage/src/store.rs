@@ -1,0 +1,218 @@
+//! The table-qualified block store over the simulated DFS.
+//!
+//! Rows live encoded (see [`crate::codec`]); metadata ([`BlockMeta`])
+//! stays in memory like a catalog would keep it. Every read is
+//! classified local/remote by the DFS and recorded on a [`SimClock`].
+
+use std::collections::{BTreeMap, HashMap};
+
+use adaptdb_common::{BlockId, Error, GlobalBlockId, Result, Row};
+use adaptdb_dfs::{NodeId, SimClock, SimDfs};
+use bytes::Bytes;
+
+use crate::block::{Block, BlockMeta};
+use crate::codec;
+
+/// Block storage for all tables of one database instance.
+#[derive(Debug)]
+pub struct BlockStore {
+    dfs: SimDfs,
+    data: HashMap<GlobalBlockId, Bytes>,
+    meta: HashMap<String, BTreeMap<BlockId, BlockMeta>>,
+    next_id: HashMap<String, BlockId>,
+}
+
+impl BlockStore {
+    /// Create a store over a fresh simulated cluster.
+    pub fn new(nodes: usize, replication: usize, seed: u64) -> Self {
+        BlockStore {
+            dfs: SimDfs::new(nodes, replication, seed),
+            data: HashMap::new(),
+            meta: HashMap::new(),
+            next_id: HashMap::new(),
+        }
+    }
+
+    /// The underlying simulated DFS.
+    pub fn dfs(&self) -> &SimDfs {
+        &self.dfs
+    }
+
+    /// Mutable DFS access — fault injection (node failure/recovery) for
+    /// resilience testing.
+    pub fn dfs_mut(&mut self) -> &mut SimDfs {
+        &mut self.dfs
+    }
+
+    /// Allocate the next block id for a table.
+    pub fn allocate_id(&mut self, table: &str) -> BlockId {
+        let next = self.next_id.entry(table.to_string()).or_insert(0);
+        let id = *next;
+        *next += 1;
+        id
+    }
+
+    /// Write a new block of rows for `table`; `arity` is the schema width
+    /// (for range metadata) and `writer` the node doing the write (None =
+    /// bulk load, placed round-robin). Returns the id.
+    pub fn write_block(
+        &mut self,
+        table: &str,
+        rows: Vec<Row>,
+        arity: usize,
+        writer: Option<NodeId>,
+    ) -> BlockId {
+        let id = self.allocate_id(table);
+        let block = Block::new(id, rows);
+        let meta = block.compute_meta(arity);
+        let encoded = codec::encode_block(&block);
+        let gid = GlobalBlockId::new(table, id);
+        self.dfs.write_block(gid.clone(), encoded.len(), writer);
+        self.data.insert(gid, encoded);
+        self.meta.entry(table.to_string()).or_default().insert(id, meta);
+        id
+    }
+
+    /// Read and decode a block, recording the access on `clock`.
+    pub fn read_block(
+        &self,
+        table: &str,
+        id: BlockId,
+        reader: NodeId,
+        clock: &SimClock,
+    ) -> Result<Block> {
+        let gid = GlobalBlockId::new(table, id);
+        let kind = self.dfs.read_from(&gid, reader)?;
+        clock.record_read(kind);
+        let bytes = self.data.get(&gid).ok_or(Error::UnknownBlock(id))?;
+        codec::decode_block(bytes.clone())
+    }
+
+    /// Read without accounting — used by tests and by the loader when it
+    /// re-reads its own buffers.
+    pub fn read_block_unaccounted(&self, table: &str, id: BlockId) -> Result<Block> {
+        let gid = GlobalBlockId::new(table, id);
+        let bytes = self.data.get(&gid).ok_or(Error::UnknownBlock(id))?;
+        codec::decode_block(bytes.clone())
+    }
+
+    /// Metadata of one block.
+    pub fn block_meta(&self, table: &str, id: BlockId) -> Result<&BlockMeta> {
+        self.meta
+            .get(table)
+            .and_then(|m| m.get(&id))
+            .ok_or(Error::UnknownBlock(id))
+    }
+
+    /// All block metadata for a table, ascending by id.
+    pub fn table_metas(&self, table: &str) -> Vec<&BlockMeta> {
+        self.meta.get(table).map(|m| m.values().collect()).unwrap_or_default()
+    }
+
+    /// Ids of all live blocks of a table, ascending.
+    pub fn block_ids(&self, table: &str) -> Vec<BlockId> {
+        self.meta.get(table).map(|m| m.keys().copied().collect()).unwrap_or_default()
+    }
+
+    /// Number of live blocks in a table.
+    pub fn block_count(&self, table: &str) -> usize {
+        self.meta.get(table).map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// Total rows across a table's live blocks (catalog-side count).
+    pub fn row_count(&self, table: &str) -> usize {
+        self.meta
+            .get(table)
+            .map(|m| m.values().map(|b| b.row_count).sum())
+            .unwrap_or(0)
+    }
+
+    /// Delete a block (repartitioning retires source blocks after their
+    /// rows have been rewritten under the new tree).
+    pub fn remove_block(&mut self, table: &str, id: BlockId) -> Result<()> {
+        let gid = GlobalBlockId::new(table, id);
+        self.dfs.remove_block(&gid)?;
+        self.data.remove(&gid);
+        if let Some(m) = self.meta.get_mut(table) {
+            m.remove(&id);
+        }
+        Ok(())
+    }
+
+    /// The node a locality-aware scheduler would run this block's task on.
+    pub fn preferred_node(&self, table: &str, id: BlockId) -> Result<NodeId> {
+        self.dfs.preferred_node(&GlobalBlockId::new(table, id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptdb_common::row;
+
+    fn store() -> BlockStore {
+        BlockStore::new(4, 1, 3)
+    }
+
+    #[test]
+    fn write_read_round_trip_with_accounting() {
+        let mut s = store();
+        let id = s.write_block("t", vec![row![1i64], row![2i64]], 1, None);
+        let clock = SimClock::new();
+        let reader = s.preferred_node("t", id).unwrap();
+        let b = s.read_block("t", id, reader, &clock).unwrap();
+        assert_eq!(b.len(), 2);
+        let io = clock.snapshot();
+        assert_eq!(io.local_reads, 1);
+        assert_eq!(io.remote_reads, 0);
+    }
+
+    #[test]
+    fn remote_read_is_classified() {
+        let mut s = store();
+        let id = s.write_block("t", vec![row![1i64]], 1, Some(0));
+        let clock = SimClock::new();
+        s.read_block("t", id, 2, &clock).unwrap();
+        assert_eq!(clock.snapshot().remote_reads, 1);
+    }
+
+    #[test]
+    fn ids_are_dense_per_table() {
+        let mut s = store();
+        assert_eq!(s.write_block("a", vec![], 1, None), 0);
+        assert_eq!(s.write_block("a", vec![], 1, None), 1);
+        assert_eq!(s.write_block("b", vec![], 1, None), 0);
+        assert_eq!(s.block_ids("a"), vec![0, 1]);
+        assert_eq!(s.block_count("b"), 1);
+    }
+
+    #[test]
+    fn meta_tracks_ranges_and_counts() {
+        let mut s = store();
+        let id = s.write_block("t", vec![row![5i64], row![9i64]], 1, None);
+        let m = s.block_meta("t", id).unwrap();
+        assert_eq!(m.row_count, 2);
+        assert_eq!(m.range(0).min(), Some(&adaptdb_common::Value::Int(5)));
+        assert_eq!(s.row_count("t"), 2);
+    }
+
+    #[test]
+    fn remove_block_clears_everywhere() {
+        let mut s = store();
+        let id = s.write_block("t", vec![row![1i64]], 1, None);
+        s.remove_block("t", id).unwrap();
+        assert_eq!(s.block_count("t"), 0);
+        assert!(s.read_block_unaccounted("t", id).is_err());
+        assert!(s.block_meta("t", id).is_err());
+        // Id space is not reused.
+        assert_eq!(s.write_block("t", vec![], 1, None), 1);
+    }
+
+    #[test]
+    fn unknown_lookups_error() {
+        let s = store();
+        assert!(s.block_meta("nope", 0).is_err());
+        assert!(s.read_block_unaccounted("nope", 0).is_err());
+        assert!(s.table_metas("nope").is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! Buffered, partition-routed block writing.
+//!
+//! Both the upfront partitioner and the repartitioning iterator (§6) route
+//! each record to a partition (a leaf *bucket* of a partitioning tree) and
+//! flush buffers as blocks once they reach the block-size budget. A bucket
+//! can end up with several physical blocks when data is skewed; the tree
+//! maps buckets to block lists.
+
+use std::collections::BTreeMap;
+
+use adaptdb_common::{BlockId, Row};
+use adaptdb_dfs::NodeId;
+
+use crate::store::BlockStore;
+
+/// Identifier of a partitioning-tree leaf bucket.
+pub type BucketId = u32;
+
+/// Routes rows into per-bucket buffers and flushes full buffers as blocks.
+#[derive(Debug)]
+pub struct PartitionedWriter<'a> {
+    store: &'a mut BlockStore,
+    table: String,
+    arity: usize,
+    /// Rows per block before a flush — the block-size budget `B` expressed
+    /// in rows (all rows of a table are near-identical size).
+    rows_per_block: usize,
+    writer_node: Option<NodeId>,
+    buffers: BTreeMap<BucketId, Vec<Row>>,
+    written: BTreeMap<BucketId, Vec<BlockId>>,
+    rows_written: usize,
+}
+
+impl<'a> PartitionedWriter<'a> {
+    /// Create a writer for `table` flushing every `rows_per_block` rows.
+    pub fn new(
+        store: &'a mut BlockStore,
+        table: impl Into<String>,
+        arity: usize,
+        rows_per_block: usize,
+        writer_node: Option<NodeId>,
+    ) -> Self {
+        assert!(rows_per_block > 0, "rows_per_block must be positive");
+        PartitionedWriter {
+            store,
+            table: table.into(),
+            arity,
+            rows_per_block,
+            writer_node,
+            buffers: BTreeMap::new(),
+            written: BTreeMap::new(),
+            rows_written: 0,
+        }
+    }
+
+    /// Route one row to `bucket`, flushing that bucket's buffer if full.
+    pub fn push(&mut self, bucket: BucketId, row: Row) {
+        let buf = self.buffers.entry(bucket).or_default();
+        buf.push(row);
+        if buf.len() >= self.rows_per_block {
+            let rows = std::mem::take(buf);
+            self.flush_rows(bucket, rows);
+        }
+    }
+
+    /// Total rows pushed so far (buffered + flushed).
+    pub fn rows_seen(&self) -> usize {
+        self.rows_written + self.buffers.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// Number of blocks flushed so far.
+    pub fn blocks_flushed(&self) -> usize {
+        self.written.values().map(Vec::len).sum()
+    }
+
+    fn flush_rows(&mut self, bucket: BucketId, rows: Vec<Row>) {
+        if rows.is_empty() {
+            return;
+        }
+        self.rows_written += rows.len();
+        let id = self.store.write_block(&self.table, rows, self.arity, self.writer_node);
+        self.written.entry(bucket).or_default().push(id);
+    }
+
+    /// Flush all remaining buffers and return the bucket → blocks map.
+    pub fn finish(mut self) -> BTreeMap<BucketId, Vec<BlockId>> {
+        let pending: Vec<(BucketId, Vec<Row>)> =
+            std::mem::take(&mut self.buffers).into_iter().collect();
+        for (bucket, rows) in pending {
+            self.flush_rows(bucket, rows);
+        }
+        self.written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptdb_common::row;
+
+    #[test]
+    fn rows_split_into_blocks_of_budget() {
+        let mut store = BlockStore::new(2, 1, 1);
+        let mut w = PartitionedWriter::new(&mut store, "t", 1, 3, None);
+        for i in 0..10i64 {
+            w.push(0, row![i]);
+        }
+        let map = w.finish();
+        let blocks = &map[&0];
+        assert_eq!(blocks.len(), 4); // 3+3+3+1
+        let sizes: Vec<usize> = blocks
+            .iter()
+            .map(|b| store.read_block_unaccounted("t", *b).unwrap().len())
+            .collect();
+        assert_eq!(sizes, vec![3, 3, 3, 1]);
+    }
+
+    #[test]
+    fn buckets_are_kept_separate() {
+        let mut store = BlockStore::new(2, 1, 1);
+        let mut w = PartitionedWriter::new(&mut store, "t", 1, 100, None);
+        w.push(1, row![10i64]);
+        w.push(2, row![20i64]);
+        w.push(1, row![11i64]);
+        let map = w.finish();
+        assert_eq!(map.len(), 2);
+        let b1 = store.read_block_unaccounted("t", map[&1][0]).unwrap();
+        assert_eq!(b1.len(), 2);
+        let b2 = store.read_block_unaccounted("t", map[&2][0]).unwrap();
+        assert_eq!(b2.len(), 1);
+    }
+
+    #[test]
+    fn counts_track_progress() {
+        let mut store = BlockStore::new(2, 1, 1);
+        let mut w = PartitionedWriter::new(&mut store, "t", 1, 2, None);
+        w.push(0, row![1i64]);
+        assert_eq!(w.rows_seen(), 1);
+        assert_eq!(w.blocks_flushed(), 0);
+        w.push(0, row![2i64]);
+        assert_eq!(w.blocks_flushed(), 1);
+        assert_eq!(w.rows_seen(), 2);
+    }
+
+    #[test]
+    fn empty_finish_writes_nothing() {
+        let mut store = BlockStore::new(2, 1, 1);
+        let w = PartitionedWriter::new(&mut store, "t", 1, 2, None);
+        assert!(w.finish().is_empty());
+        assert_eq!(store.block_count("t"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows_per_block must be positive")]
+    fn zero_budget_panics() {
+        let mut store = BlockStore::new(2, 1, 1);
+        let _ = PartitionedWriter::new(&mut store, "t", 1, 0, None);
+    }
+}

@@ -1,0 +1,170 @@
+//! Structural invariants of partitioning trees and the adapter, across
+//! randomized inputs.
+
+use adaptdb_common::rng::seeded;
+use adaptdb_common::{CmpOp, Predicate, PredicateSet, Row, Value};
+use adaptdb_tree::{AdaptConfig, Adapter, PartitionTree, QueryWindow, TwoPhaseBuilder, UpfrontPartitioner, WindowEntry};
+use rand::RngExt;
+
+fn sample(n: usize, arity: usize, seed: u64) -> Vec<Row> {
+    let mut rng = seeded(seed);
+    (0..n)
+        .map(|_| Row::new((0..arity).map(|_| Value::Int(rng.random_range(0..50_000))).collect()))
+        .collect()
+}
+
+/// A full partition: routing the sample sends every row to exactly one
+/// bucket, and the buckets jointly cover the sample.
+#[test]
+fn routing_partitions_the_data() {
+    for seed in 0..5u64 {
+        let rows = sample(2_000, 3, seed);
+        let tree = UpfrontPartitioner::new(3, vec![0, 1, 2], 5, seed).build(&rows);
+        let buckets = tree.buckets();
+        let mut seen = std::collections::BTreeMap::new();
+        for r in &rows {
+            let b = tree.route(r);
+            assert!(buckets.contains(&b), "routed to unknown bucket {b}");
+            *seen.entry(b).or_insert(0usize) += 1;
+        }
+        let total: usize = seen.values().sum();
+        assert_eq!(total, rows.len());
+    }
+}
+
+/// Lookup is monotone: adding predicates can only shrink the bucket set.
+#[test]
+fn lookup_is_monotone_in_predicates() {
+    let rows = sample(3_000, 2, 3);
+    let tree = TwoPhaseBuilder::new(2, 0, 3, vec![1], 6, 3).build(&rows);
+    let p1 = PredicateSet::none().and(Predicate::new(0, CmpOp::Lt, 25_000i64));
+    let p2 = p1.clone().and(Predicate::new(1, CmpOp::Ge, 40_000i64));
+    let all = tree.lookup(&PredicateSet::none());
+    let one = tree.lookup(&p1);
+    let two = tree.lookup(&p2);
+    assert!(one.len() <= all.len());
+    assert!(two.len() <= one.len());
+    // And every bucket in the narrower lookup appears in the wider one.
+    assert!(two.iter().all(|b| one.contains(b)));
+    assert!(one.iter().all(|b| all.contains(b)));
+}
+
+/// Adapter plans are structurally sound: old buckets existed, new
+/// buckets are fresh, the new tree contains the new buckets but none of
+/// the old, and bucket counts reconcile.
+#[test]
+fn adapter_plans_are_structurally_sound() {
+    for seed in 0..6u64 {
+        let rows = sample(3_000, 3, seed);
+        let tree = UpfrontPartitioner::new(3, vec![0], 5, seed).build(&rows);
+        let mut window = QueryWindow::new(10);
+        let mut rng = seeded(seed ^ 99);
+        for _ in 0..10 {
+            let attr = 1 + (rng.random_range(0..2u16));
+            window.push(WindowEntry {
+                join_attr: None,
+                predicates: PredicateSet::none().and(Predicate::new(
+                    attr,
+                    CmpOp::Lt,
+                    rng.random_range(1_000..20_000i64),
+                )),
+            });
+        }
+        let adapter = Adapter::new(AdaptConfig {
+            max_rewrite_fraction: 1.0,
+            seed,
+            ..AdaptConfig::default()
+        });
+        let Some(plan) = adapter.propose(&tree, &rows, &window) else { continue };
+        let old_set = tree.buckets();
+        for b in &plan.old_buckets {
+            assert!(old_set.contains(b), "old bucket {b} not in original tree");
+        }
+        let new_set = plan.new_tree.buckets();
+        for b in &plan.new_buckets {
+            assert!(new_set.contains(b), "new bucket {b} missing from new tree");
+            assert!(!old_set.contains(b), "new bucket {b} collides with old ids");
+        }
+        for b in &plan.old_buckets {
+            assert!(!new_set.contains(b), "replaced bucket {b} still reachable");
+        }
+        assert_eq!(
+            plan.new_tree.bucket_count(),
+            tree.bucket_count() - plan.old_buckets.len() + plan.new_buckets.len()
+        );
+        assert!(plan.est_benefit >= plan.est_cost, "gate must enforce benefit ≥ cost");
+        // Rows from the replaced region route into the new buckets.
+        for r in rows.iter().take(300) {
+            let old_bucket = tree.route(r);
+            if plan.old_buckets.contains(&old_bucket) {
+                let nb = plan.new_tree.route(r);
+                assert!(plan.new_buckets.contains(&nb), "row escaped the replaced region");
+            } else {
+                assert_eq!(plan.new_tree.route(r), old_bucket, "untouched region changed");
+            }
+        }
+    }
+}
+
+/// Serialization round-trips two-phase trees including join metadata.
+#[test]
+fn serialization_round_trips_two_phase_trees() {
+    for seed in 0..4u64 {
+        let rows = sample(1_500, 3, seed);
+        let tree = TwoPhaseBuilder::new(3, 1, 2, vec![0, 2], 5, seed).build(&rows);
+        let decoded = PartitionTree::decode(tree.encode()).unwrap();
+        assert_eq!(decoded, tree);
+        assert_eq!(decoded.join_attr(), Some(1));
+        assert_eq!(decoded.join_levels(), 2);
+        // Decoded tree routes identically.
+        for r in rows.iter().take(100) {
+            assert_eq!(decoded.route(r), tree.route(r));
+        }
+    }
+}
+
+/// Window and adapter interact sanely: an empty-predicate window never
+/// yields a plan; a strongly skewed window yields one for a mismatched
+/// tree.
+#[test]
+fn adapter_fires_iff_window_has_signal() {
+    let rows = sample(3_000, 2, 7);
+    let tree = UpfrontPartitioner::new(2, vec![0], 5, 7).build(&rows);
+    let adapter = Adapter::new(AdaptConfig {
+        max_rewrite_fraction: 1.0,
+        ..AdaptConfig::default()
+    });
+
+    let mut empty = QueryWindow::new(8);
+    empty.push(WindowEntry { join_attr: Some(0), predicates: PredicateSet::none() });
+    assert!(adapter.propose(&tree, &rows, &empty).is_none());
+
+    let mut strong = QueryWindow::new(8);
+    for i in 0..8 {
+        strong.push(WindowEntry {
+            join_attr: None,
+            predicates: PredicateSet::none().and(Predicate::new(
+                1,
+                CmpOp::Lt,
+                2_000 + i * 500,
+            )),
+        });
+    }
+    let plan = adapter.propose(&tree, &rows, &strong);
+    assert!(plan.is_some(), "persistent attr-1 predicates must trigger adaptation");
+}
+
+/// Bucket ids allocated after restructuring never collide, even across
+/// repeated adaptations.
+#[test]
+fn bucket_ids_never_recycle() {
+    let rows = sample(2_000, 2, 9);
+    let mut tree = UpfrontPartitioner::new(2, vec![0], 4, 9).build(&rows);
+    let mut all_ever: std::collections::BTreeSet<u32> = tree.buckets().into_iter().collect();
+    for round in 0..5 {
+        let fresh = tree.allocate_buckets(3);
+        for b in fresh {
+            assert!(all_ever.insert(b), "bucket id {b} recycled in round {round}");
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # adaptdb-workloads
+//!
+//! Workload generators for the AdaptDB reproduction's evaluation (§7).
+//!
+//! * [`tpch`] — a from-scratch TPC-H-like data generator (the five
+//!   tables the paper's eight templates touch) plus the query templates
+//!   q3, q5, q6, q8, q10, q12, q14, q19 with randomized predicate
+//!   constants ("we constructed queries with different predicate values
+//!   from each query template", §7.3),
+//! * [`patterns`] — the *switching* and *shifting* workload sequences of
+//!   Fig. 13 and the q14⇄q19 window-size workload of Fig. 15,
+//! * [`cmt`] — a synthetic version of the CMT telematics dataset and its
+//!   103-query production trace (§7.6; the paper itself used synthetic
+//!   data generated from the company's statistics),
+//! * [`pref`] — the predicate-based reference partitioning (PREF)
+//!   baseline of Fig. 12: static co-partitioning with tuple replication.
+
+pub mod cmt;
+pub mod patterns;
+pub mod pref;
+pub mod tpch;
+
+pub use tpch::{Template, TpchGen};

@@ -1,0 +1,110 @@
+//! Workload sequences of Figs. 13 and 15 (§7.3, §7.4).
+
+use adaptdb_common::rng;
+use rand::RngExt;
+
+use crate::tpch::Template;
+
+/// The *switching* workload (Fig. 13a): run each template `per_template`
+/// times, hard-switching between templates. The paper uses 20 × 8 = 160
+/// queries over q3, q5, q6, q8, q10, q12, q14, q19.
+pub fn switching(templates: &[Template], per_template: usize) -> Vec<Template> {
+    templates.iter().flat_map(|t| std::iter::repeat_n(*t, per_template)).collect()
+}
+
+/// The *shifting* workload (Fig. 13b): between consecutive templates,
+/// the probability of drawing the next template rises by
+/// `1/transition_len` per query. The paper's instance: 8 templates,
+/// 20-query transitions, 140 queries total.
+pub fn shifting(templates: &[Template], transition_len: usize, seed: u64) -> Vec<Template> {
+    assert!(transition_len > 0, "transition length must be positive");
+    let mut rng = rng::derived(seed, "shifting");
+    let mut out = Vec::new();
+    for w in templates.windows(2) {
+        let (from, to) = (w[0], w[1]);
+        for step in 0..transition_len {
+            let p_next = step as f64 / transition_len as f64;
+            out.push(if rng.random_bool(p_next) { to } else { from });
+        }
+    }
+    // Finish on the last template's plateau.
+    if let Some(&last) = templates.last() {
+        out.extend(std::iter::repeat_n(last, transition_len));
+    }
+    out
+}
+
+/// The Fig. 15 window-size workload: 10 × q14, 20-query shift to q19,
+/// 10 × q19, 20-query shift back, 10 × q14 — 70 queries.
+pub fn window_size_workload(seed: u64) -> Vec<Template> {
+    let mut rng = rng::derived(seed, "fig15");
+    let mut out = Vec::new();
+    out.extend(std::iter::repeat_n(Template::Q14, 10));
+    for step in 0..20 {
+        let p = (step + 1) as f64 / 20.0;
+        out.push(if rng.random_bool(p) { Template::Q19 } else { Template::Q14 });
+    }
+    out.extend(std::iter::repeat_n(Template::Q19, 10));
+    for step in 0..20 {
+        let p = (step + 1) as f64 / 20.0;
+        out.push(if rng.random_bool(p) { Template::Q14 } else { Template::Q19 });
+    }
+    out.extend(std::iter::repeat_n(Template::Q14, 10));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switching_matches_paper_shape() {
+        let w = switching(&Template::all(), 20);
+        assert_eq!(w.len(), 160);
+        assert!(w[..20].iter().all(|t| *t == Template::Q3));
+        assert!(w[20..40].iter().all(|t| *t == Template::Q5));
+        assert!(w[140..].iter().all(|t| *t == Template::Q19));
+    }
+
+    #[test]
+    fn shifting_matches_paper_length() {
+        // 7 transitions × 20 + final plateau 20 = 160; the paper counts
+        // 140 by excluding the final plateau — check both boundaries.
+        let w = shifting(&Template::all(), 20, 1);
+        assert_eq!(w.len(), 160);
+        // Early in transition 1, mostly Q3; late, mostly Q5.
+        let early = w[..5].iter().filter(|t| **t == Template::Q3).count();
+        assert!(early >= 4);
+        let late = w[15..20].iter().filter(|t| **t == Template::Q5).count();
+        assert!(late >= 3);
+    }
+
+    #[test]
+    fn shifting_is_monotone_in_probability() {
+        // Over many seeds, the fraction of "next" templates in the second
+        // half of a transition must exceed the first half.
+        let mut first = 0;
+        let mut second = 0;
+        for seed in 0..30 {
+            let w = shifting(&[Template::Q3, Template::Q5], 20, seed);
+            first += w[..10].iter().filter(|t| **t == Template::Q5).count();
+            second += w[10..20].iter().filter(|t| **t == Template::Q5).count();
+        }
+        assert!(second > first);
+    }
+
+    #[test]
+    fn window_workload_is_70_queries() {
+        let w = window_size_workload(3);
+        assert_eq!(w.len(), 70);
+        assert!(w[..10].iter().all(|t| *t == Template::Q14));
+        assert!(w[30..40].iter().all(|t| *t == Template::Q19));
+        assert!(w[60..].iter().all(|t| *t == Template::Q14));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(shifting(&Template::all(), 20, 9), shifting(&Template::all(), 20, 9));
+        assert_eq!(window_size_workload(5), window_size_workload(5));
+    }
+}

@@ -1,0 +1,61 @@
+//! TPC-H adaptive workload demo: run a shifting template mix and watch
+//! AdaptDB move lineitem between join-attribute trees (the §5.3
+//! "smooth shift to other join attributes" story, q12 → q14).
+//!
+//! ```sh
+//! cargo run --release --example tpch_adaptive
+//! ```
+
+use adaptdb::{Database, DbConfig};
+use adaptdb_common::rng;
+use adaptdb_workloads::tpch::{li, Template, TpchGen};
+
+fn main() {
+    let gen = TpchGen::new(0.1, 7);
+    let config = DbConfig { rows_per_block: 100, window_size: 10, ..DbConfig::default() };
+    let mut db = Database::new(config);
+    gen.load_upfront(&mut db).unwrap();
+    println!(
+        "loaded TPC-H micro-SF 0.1: {} lineitem rows in {} blocks",
+        gen.counts().lineitem,
+        db.store().block_count("lineitem"),
+    );
+
+    // 12 × q12 (orderkey join), then 12 × q14 (partkey join).
+    let mut q_rng = rng::seeded(5);
+    let workload: Vec<Template> =
+        std::iter::repeat_n(Template::Q12, 12).chain(std::iter::repeat_n(Template::Q14, 12)).collect();
+
+    println!("\nquery | tmpl | strategy     | sim secs | lineitem trees (attr: blocks)");
+    println!("------+------+--------------+----------+------------------------------");
+    for (i, t) in workload.iter().enumerate() {
+        let q = t.instantiate(&mut q_rng);
+        let res = db.run(&q).unwrap();
+        let lt = db.table("lineitem").unwrap();
+        let trees: Vec<String> = lt
+            .trees
+            .iter()
+            .map(|info| {
+                let name = match info.join_attr() {
+                    Some(a) if a == li::ORDERKEY => "orderkey",
+                    Some(a) if a == li::PARTKEY => "partkey",
+                    Some(_) => "other",
+                    None => "upfront",
+                };
+                format!("{name}: {}", info.block_count())
+            })
+            .collect();
+        println!(
+            "{:>5} | {:<4} | {:<12} | {:>8.1} | {}",
+            i,
+            t.name(),
+            res.stats.strategy.to_string(),
+            res.simulated_secs(db.config()),
+            trees.join(", "),
+        );
+    }
+
+    println!("\nThe orderkey tree fills during the q12 phase (hyper-joins appear),");
+    println!("then drains block-by-block into the partkey tree when q14 takes over —");
+    println!("never a full-table repartitioning spike.");
+}

@@ -1,0 +1,5 @@
+//! Root package of the AdaptDB reproduction workspace.
+//!
+//! This package exists to host the cross-crate integration tests in
+//! `tests/` and the runnable examples in `examples/`; the library
+//! surface is in the `adaptdb` crate (`crates/core`).
