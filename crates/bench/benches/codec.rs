@@ -29,9 +29,7 @@ fn block(rows: usize, seed: u64) -> Block {
 
 fn bench_codec(c: &mut Criterion) {
     let b200 = block(200, 3);
-    c.bench_function("encode_block_200rows", |bch| {
-        bch.iter(|| black_box(encode_block(&b200)))
-    });
+    c.bench_function("encode_block_200rows", |bch| bch.iter(|| black_box(encode_block(&b200))));
     let encoded = encode_block(&b200);
     c.bench_function("decode_block_200rows", |bch| {
         bch.iter(|| black_box(decode_block(encoded.clone()).unwrap()))

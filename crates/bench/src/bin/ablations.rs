@@ -52,8 +52,8 @@ fn ablation_merge_on_write(seed: u64) {
         let mut bucket_map: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
         for pair in sources.chunks(2) {
             let existing = if merge { bucket_map.clone() } else { BTreeMap::new() };
-            let out = repartition_blocks(&mut store, &clock, "t", pair, &tree, 10, &existing)
-                .unwrap();
+            let out =
+                repartition_blocks(&mut store, &clock, "t", pair, &tree, 10, &existing).unwrap();
             for v in bucket_map.values_mut() {
                 v.retain(|b| !out.absorbed.contains(b));
             }
@@ -189,8 +189,9 @@ fn ablation_warm_start(seed: u64) {
             ValueRange::new(Value::Int(lo), Value::Int(lo + 60))
         })
         .collect();
-    let ss: Vec<ValueRange> =
-        (0..n).map(|j| ValueRange::new(Value::Int(j as i64 * 40), Value::Int(j as i64 * 40 + 39))).collect();
+    let ss: Vec<ValueRange> = (0..n)
+        .map(|j| ValueRange::new(Value::Int(j as i64 * 40), Value::Int(j as i64 * 40 + 39)))
+        .collect();
     let overlap = OverlapMatrix::compute_naive(&rr, &ss);
     let heuristic = bottom_up::solve(&overlap, 8).cost();
     let tiny = exact::solve(&overlap, 8, 1); // budget exhausted immediately

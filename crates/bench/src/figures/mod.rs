@@ -17,7 +17,9 @@ mod static_figs;
 mod tpch_figs;
 mod workload_figs;
 
-pub use static_figs::{fig01_copartition, fig07_locality, fig08_dataset_size, fig14_buffer, fig16_levels, fig17_ilp};
+pub use static_figs::{
+    fig01_copartition, fig07_locality, fig08_dataset_size, fig14_buffer, fig16_levels, fig17_ilp,
+};
 pub use tpch_figs::fig12_tpch;
 pub use workload_figs::{fig13_workloads, fig15_window, fig18_cmt};
 

@@ -9,8 +9,8 @@ use adaptdb_dfs::{locality, SimDfs, TaskScheduler};
 use adaptdb_join::{bottom_up, mip::MipModel, OverlapMatrix};
 use adaptdb_workloads::tpch::{li, ord, TpchGen};
 
-use crate::harness::{print_table, secs, BenchOpts, Stopwatch};
 use crate::figures::bench_config;
+use crate::harness::{print_table, secs, BenchOpts, Stopwatch};
 
 fn full_join() -> Query {
     Query::Join(JoinQuery::new(
@@ -27,8 +27,7 @@ pub fn fig01_copartition(opts: &BenchOpts) {
     let gen = TpchGen::new(opts.scale, opts.seed);
     let config = bench_config(opts.seed);
 
-    let mut shuffle_db =
-        Database::new(DbAdjust::no_adapt(config.clone()).with_mode(Mode::Amoeba));
+    let mut shuffle_db = Database::new(DbAdjust::no_adapt(config.clone()).with_mode(Mode::Amoeba));
     gen.load_converged(&mut shuffle_db, li::ORDERKEY).unwrap();
     let sh = shuffle_db.run(&full_join()).unwrap();
 
@@ -154,12 +153,11 @@ pub fn fig14_buffer(opts: &BenchOpts) {
     let ot = db.table("orders").unwrap();
     let l_blocks = lt.lookup_blocks(&PredicateSet::none());
     let o_blocks = ot.lookup_blocks(&PredicateSet::none());
-    let l_ranges: Vec<ValueRange> =
-        block_ranges(db.store(), "lineitem", &l_blocks, li::ORDERKEY)
-            .unwrap()
-            .into_iter()
-            .map(|(_, r)| r)
-            .collect();
+    let l_ranges: Vec<ValueRange> = block_ranges(db.store(), "lineitem", &l_blocks, li::ORDERKEY)
+        .unwrap()
+        .into_iter()
+        .map(|(_, r)| r)
+        .collect();
     let o_ranges: Vec<ValueRange> = block_ranges(db.store(), "orders", &o_blocks, ord::ORDERKEY)
         .unwrap()
         .into_iter()
@@ -266,10 +264,7 @@ pub fn fig17_ilp(opts: &BenchOpts) {
     let rows_per_block = 50;
     let orders_rows = 32 * rows_per_block;
     let gen = TpchGen::new(orders_rows as f64 / 15_000.0, opts.seed);
-    let config = adaptdb::DbConfig {
-        rows_per_block,
-        ..bench_config(opts.seed)
-    };
+    let config = adaptdb::DbConfig { rows_per_block, ..bench_config(opts.seed) };
     let mut db = Database::new(config.clone().with_mode(Mode::Fixed));
     gen.create_tables(&mut db).unwrap();
     // Default two-phase trees (half the levels on the join attribute,
@@ -279,11 +274,7 @@ pub fn fig17_ilp(opts: &BenchOpts) {
 
     let l_cand = db.table("lineitem").unwrap().lookup_blocks(&PredicateSet::none());
     let o_cand = db.table("orders").unwrap().lookup_blocks(&PredicateSet::none());
-    println!(
-        "instance: {} lineitem blocks, {} orders blocks",
-        l_cand.len(),
-        o_cand.len()
-    );
+    println!("instance: {} lineitem blocks, {} orders blocks", l_cand.len(), o_cand.len());
     let l_ranges: Vec<ValueRange> = block_ranges(db.store(), "lineitem", &l_cand, li::ORDERKEY)
         .unwrap()
         .into_iter()

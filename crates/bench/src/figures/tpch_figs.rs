@@ -49,12 +49,8 @@ pub fn fig12_tpch(opts: &BenchOpts) {
         let mut q_rng = rng::derived(opts.seed, "fig12-measure");
         for _ in 0..runs {
             let q = t.instantiate(&mut q_rng);
-            let systems: [(&mut Database, usize); 4] = [
-                (&mut hyper_db, 0),
-                (&mut shuffle_db, 1),
-                (&mut amoeba_db, 2),
-                (&mut pref_db, 3),
-            ];
+            let systems: [(&mut Database, usize); 4] =
+                [(&mut hyper_db, 0), (&mut shuffle_db, 1), (&mut amoeba_db, 2), (&mut pref_db, 3)];
             for (db, i) in systems {
                 let res = db.run(&q).unwrap();
                 avg[i] += res.simulated_secs(db.config()) / runs as f64;

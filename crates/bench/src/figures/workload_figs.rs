@@ -40,17 +40,11 @@ fn run_sequence(
     let mut headers = vec!["query", "template"];
     headers.extend_from_slice(names);
     print_table(title, &headers, &rows);
-    let series: Vec<String> = names
-        .iter()
-        .zip(&totals)
-        .map(|(n, t)| format!("{n}: {}", secs(*t)))
-        .collect();
+    let series: Vec<String> =
+        names.iter().zip(&totals).map(|(n, t)| format!("{n}: {}", secs(*t))).collect();
     println!("cumulative sim secs — {}", series.join(" | "));
-    let spikes: Vec<String> = names
-        .iter()
-        .zip(&maxima)
-        .map(|(n, t)| format!("{n}: {}", secs(*t)))
-        .collect();
+    let spikes: Vec<String> =
+        names.iter().zip(&maxima).map(|(n, t)| format!("{n}: {}", secs(*t))).collect();
     println!("worst single-query latency — {}", spikes.join(" | "));
     totals
 }

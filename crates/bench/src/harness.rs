@@ -28,10 +28,8 @@ pub fn parse_args() -> (BenchOpts, Vec<String>) {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
-                opts.scale = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--scale needs a number");
+                opts.scale =
+                    args.next().and_then(|v| v.parse().ok()).expect("--scale needs a number");
             }
             "--seed" => {
                 opts.seed =
@@ -59,8 +57,7 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         headers.iter().zip(&widths).map(|(h, w)| format!("{h:>w$}")).collect();
     println!("{}", header_line.join("  "));
     for row in rows {
-        let line: Vec<String> =
-            row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+        let line: Vec<String> = row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
         println!("{}", line.join("  "));
     }
 }

@@ -105,11 +105,7 @@ impl BitSet {
     #[inline]
     pub fn union_count(&self, other: &BitSet) -> usize {
         debug_assert_eq!(self.bits, other.bits, "bitset width mismatch");
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .map(|(a, b)| (a | b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(other.words.iter()).map(|(a, b)| (a | b).count_ones() as usize).sum()
     }
 
     /// `δ(other \ self)` — how many *new* bits `other` would contribute.
@@ -117,11 +113,7 @@ impl BitSet {
     #[inline]
     pub fn added_count(&self, other: &BitSet) -> usize {
         debug_assert_eq!(self.bits, other.bits, "bitset width mismatch");
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .map(|(a, b)| (b & !a).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(other.words.iter()).map(|(a, b)| (b & !a).count_ones() as usize).sum()
     }
 
     /// Indices of set bits, ascending.

@@ -65,10 +65,7 @@ mod tests {
 
     #[test]
     fn display_formats_are_stable() {
-        assert_eq!(
-            Error::UnknownAttribute("x".into()).to_string(),
-            "unknown attribute: x"
-        );
+        assert_eq!(Error::UnknownAttribute("x".into()).to_string(), "unknown attribute: x");
         assert_eq!(Error::UnknownBlock(7).to_string(), "unknown block id: 7");
         assert_eq!(
             Error::TypeMismatch { expected: "Int", got: "Str" }.to_string(),

@@ -229,9 +229,11 @@ mod tests {
 
     #[test]
     fn conjunction_matches_and_prunes() {
-        let ps = PredicateSet::none()
-            .and(Predicate::new(0, CmpOp::Ge, 10i64))
-            .and(Predicate::new(0, CmpOp::Lt, 20i64));
+        let ps = PredicateSet::none().and(Predicate::new(0, CmpOp::Ge, 10i64)).and(Predicate::new(
+            0,
+            CmpOp::Lt,
+            20i64,
+        ));
         assert!(ps.matches(&row![15i64]));
         assert!(!ps.matches(&row![25i64]));
         assert!(ps.may_match(&[range(0, 100)]));
@@ -250,16 +252,20 @@ mod tests {
 
     #[test]
     fn range_for_narrows_domain() {
-        let ps = PredicateSet::none()
-            .and(Predicate::new(0, CmpOp::Ge, 10i64))
-            .and(Predicate::new(0, CmpOp::Le, 20i64));
+        let ps = PredicateSet::none().and(Predicate::new(0, CmpOp::Ge, 10i64)).and(Predicate::new(
+            0,
+            CmpOp::Le,
+            20i64,
+        ));
         assert_eq!(ps.range_for(0, &range(0, 100)), range(10, 20));
         // Unrelated attribute: unchanged domain.
         assert_eq!(ps.range_for(1, &range(0, 100)), range(0, 100));
         // Contradiction: empty.
-        let ps = PredicateSet::none()
-            .and(Predicate::new(0, CmpOp::Ge, 50i64))
-            .and(Predicate::new(0, CmpOp::Le, 20i64));
+        let ps = PredicateSet::none().and(Predicate::new(0, CmpOp::Ge, 50i64)).and(Predicate::new(
+            0,
+            CmpOp::Le,
+            20i64,
+        ));
         assert!(ps.range_for(0, &range(0, 100)).is_empty());
     }
 

@@ -45,7 +45,7 @@ impl ValueType {
 /// (doubles via `total_cmp`), and values of different types compare by a
 /// fixed type rank. Cross-type comparisons never occur in well-typed
 /// plans; the rank exists so `Value` can be used in ordered collections.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// See [`ValueType::Int`].
     Int(i64),
@@ -57,6 +57,16 @@ pub enum Value {
     Date(i32),
     /// See [`ValueType::Bool`].
     Bool(bool),
+}
+
+// Equality must agree with `Ord` (total_cmp for doubles) and with `Hash`
+// (bit-based for doubles). A derived PartialEq would use f64::eq, making
+// NaN != NaN (breaking Eq reflexivity and codec round-trips) and
+// 0.0 == -0.0 (breaking the Hash/Eq contract the join hash tables need).
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
 }
 
 impl Eq for Value {}

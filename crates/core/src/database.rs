@@ -168,11 +168,7 @@ impl Database {
     /// Bulk-load rows through the Amoeba upfront partitioner (§3.1):
     /// sample, build a workload-oblivious tree over the candidate
     /// attributes, then route every row into blocks.
-    pub fn load_rows(
-        &mut self,
-        table: &str,
-        rows: impl IntoIterator<Item = Row>,
-    ) -> Result<usize> {
+    pub fn load_rows(&mut self, table: &str, rows: impl IntoIterator<Item = Row>) -> Result<usize> {
         let buffered: Vec<Row> = rows.into_iter().collect();
         let ts = self.tables.get_mut(table).ok_or_else(|| Error::UnknownTable(table.into()))?;
         for r in &buffered {
@@ -185,15 +181,9 @@ impl Database {
         } else {
             ts.candidate_attrs.clone()
         };
-        let tree = UpfrontPartitioner::new(arity, attrs, depth, self.config.seed)
-            .build(ts.sample.rows());
-        Self::write_through_tree(
-            &mut self.store,
-            ts,
-            tree,
-            buffered,
-            self.config.rows_per_block,
-        )
+        let tree =
+            UpfrontPartitioner::new(arity, attrs, depth, self.config.seed).build(ts.sample.rows());
+        Self::write_through_tree(&mut self.store, ts, tree, buffered, self.config.rows_per_block)
     }
 
     /// Load rows under an explicit tree (hand-tuned / "best guess"
@@ -297,10 +287,8 @@ impl Database {
 
     fn observe(&mut self, query: &Query) -> Result<()> {
         for name in query.tables() {
-            let ts = self
-                .tables
-                .get_mut(name)
-                .ok_or_else(|| Error::UnknownTable(name.to_string()))?;
+            let ts =
+                self.tables.get_mut(name).ok_or_else(|| Error::UnknownTable(name.to_string()))?;
             ts.window.push(WindowEntry {
                 join_attr: query.join_attr_for(name),
                 predicates: query.predicates_for(name),
@@ -443,7 +431,12 @@ impl Database {
 
     /// The Repartitioning baseline: rebuild the whole table at once when
     /// half the window joins on a new attribute.
-    fn maybe_full_repartition(&mut self, table: &str, attr: AttrId, clock: &SimClock) -> Result<()> {
+    fn maybe_full_repartition(
+        &mut self,
+        table: &str,
+        attr: AttrId,
+        clock: &SimClock,
+    ) -> Result<()> {
         let config = self.config.clone();
         let total_rows = self.store.row_count(table);
         let ts = self.tables.get_mut(table).ok_or_else(|| Error::UnknownTable(table.into()))?;
@@ -499,10 +492,8 @@ impl Database {
         if ts.trees[idx].block_count() == 0 {
             return Ok(());
         }
-        let adapter =
-            Adapter::new(AdaptConfig { seed: config.seed, ..AdaptConfig::default() });
-        let Some(plan) = adapter.propose(&ts.trees[idx].tree, ts.sample.rows(), &ts.window)
-        else {
+        let adapter = Adapter::new(AdaptConfig { seed: config.seed, ..AdaptConfig::default() });
+        let Some(plan) = adapter.propose(&ts.trees[idx].tree, ts.sample.rows(), &ts.window) else {
             return Ok(());
         };
         let affected: Vec<BlockId> = plan
@@ -620,10 +611,8 @@ impl Database {
                 let plain: Vec<adaptdb_common::ValueRange> =
                     ranges.iter().map(|(_, r)| r.clone()).collect();
                 let overlap = adaptdb_join::OverlapMatrix::compute_sweep(&plain, &plain);
-                let grouping = adaptdb_join::bottom_up::solve(
-                    &overlap,
-                    self.config.buffer_blocks.max(1),
-                );
+                let grouping =
+                    adaptdb_join::bottom_up::solve(&overlap, self.config.buffer_blocks.max(1));
                 let groups: Vec<adaptdb_exec::StepGroup> = grouping
                     .groups()
                     .iter()
@@ -712,8 +701,14 @@ impl Database {
 
         if !allow_hyper {
             let rows = self.run_shuffle(
-                left, &lc.all(), left_preds, left_attr,
-                right, &rc.all(), right_preds, right_attr,
+                left,
+                &lc.all(),
+                left_preds,
+                left_attr,
+                right,
+                &rc.all(),
+                right_preds,
+                right_attr,
                 clock,
             )?;
             return Ok((rows, JoinStrategy::ShuffleJoin, None));
@@ -777,8 +772,14 @@ impl Database {
                 if !r_rest.is_empty() {
                     mixed = true;
                     rows.extend(self.run_shuffle(
-                        left, &l_hyper, left_preds, left_attr,
-                        right, &r_rest, right_preds, right_attr,
+                        left,
+                        &l_hyper,
+                        left_preds,
+                        left_attr,
+                        right,
+                        &r_rest,
+                        right_preds,
+                        right_attr,
                         clock,
                     )?);
                 }
@@ -786,8 +787,14 @@ impl Database {
                     mixed = true;
                     let r_all = rc.all();
                     rows.extend(self.run_shuffle(
-                        left, &l_rest, left_preds, left_attr,
-                        right, &r_all, right_preds, right_attr,
+                        left,
+                        &l_rest,
+                        left_preds,
+                        left_attr,
+                        right,
+                        &r_all,
+                        right_preds,
+                        right_attr,
                         clock,
                     )?);
                 }
@@ -796,8 +803,14 @@ impl Database {
             }
             JoinDecision::Shuffle { .. } => {
                 let rows = self.run_shuffle(
-                    left, &lc.all(), left_preds, left_attr,
-                    right, &rc.all(), right_preds, right_attr,
+                    left,
+                    &lc.all(),
+                    left_preds,
+                    left_attr,
+                    right,
+                    &rc.all(),
+                    right_preds,
+                    right_attr,
                     clock,
                 )?;
                 Ok((rows, JoinStrategy::ShuffleJoin, None))
@@ -880,7 +893,8 @@ mod tests {
 
     #[test]
     fn join_is_correct_in_every_mode() {
-        for mode in [Mode::Adaptive, Mode::FullScan, Mode::FullRepartition, Mode::Amoeba, Mode::Fixed]
+        for mode in
+            [Mode::Adaptive, Mode::FullScan, Mode::FullRepartition, Mode::Amoeba, Mode::Fixed]
         {
             let mut d = db(mode);
             let res = d.run(&join_query()).unwrap();
@@ -942,8 +956,8 @@ mod tests {
             if res.stats.repartition_io.writes > 0 && spike_at.is_none() {
                 spike_at = Some(i);
                 // The spike rewrites entire tables at once.
-                let total = d.table("l").unwrap().total_blocks()
-                    + d.table("r").unwrap().total_blocks();
+                let total =
+                    d.table("l").unwrap().total_blocks() + d.table("r").unwrap().total_blocks();
                 assert!(res.stats.repartition_io.writes >= total / 2);
             }
         }
@@ -1066,10 +1080,8 @@ mod tests {
         let mut d = Database::new(config.with_mode(Mode::Fixed));
         d.create_table("l", schema2(), vec![1]).unwrap();
         d.create_table("r", schema2(), vec![1]).unwrap();
-        d.load_two_phase("l", (0..200i64).map(|i| row![i % 100, i]).collect(), 0, None)
-            .unwrap();
-        d.load_two_phase("r", (0..100i64).map(|i| row![i, i * 2]).collect(), 0, None)
-            .unwrap();
+        d.load_two_phase("l", (0..200i64).map(|i| row![i % 100, i]).collect(), 0, None).unwrap();
+        d.load_two_phase("r", (0..100i64).map(|i| row![i, i * 2]).collect(), 0, None).unwrap();
         let res = d.run(&join_query()).unwrap();
         assert_eq!(res.stats.strategy, JoinStrategy::HyperJoin);
         assert_eq!(res.rows.len(), 200);

@@ -187,14 +187,12 @@ mod tests {
 
     fn db(mode: Mode) -> Database {
         let mut db = Database::new(
-            DbConfig { rows_per_block: 10, buffer_blocks: 4, ..DbConfig::small() }
-                .with_mode(mode),
+            DbConfig { rows_per_block: 10, buffer_blocks: 4, ..DbConfig::small() }.with_mode(mode),
         );
         let schema = Schema::from_pairs(&[("k", ValueType::Int), ("x", ValueType::Int)]);
         db.create_table("l", schema.clone(), vec![1]).unwrap();
         db.create_table("r", schema, vec![1]).unwrap();
-        db.load_two_phase("l", (0..200i64).map(|i| row![i % 100, i]).collect(), 0, None)
-            .unwrap();
+        db.load_two_phase("l", (0..200i64).map(|i| row![i % 100, i]).collect(), 0, None).unwrap();
         db.load_two_phase("r", (0..100i64).map(|i| row![i, i]).collect(), 0, None).unwrap();
         db
     }

@@ -108,7 +108,8 @@ mod tests {
     fn simulated_secs_uses_params() {
         let c = SimClock::new();
         c.record_read(ReadKind::Local);
-        let params = CostParams { parallelism: 1, cpu_per_block_secs: 0.0, ..CostParams::default() };
+        let params =
+            CostParams { parallelism: 1, cpu_per_block_secs: 0.0, ..CostParams::default() };
         assert_eq!(c.simulated_secs(&params), params.block_read_secs);
     }
 }

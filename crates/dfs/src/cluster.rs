@@ -125,10 +125,7 @@ impl SimDfs {
                     if alive(n, &self.dead) {
                         break;
                     }
-                    assert!(
-                        self.live_nodes() > 0,
-                        "cannot write a block with every node failed"
-                    );
+                    assert!(self.live_nodes() > 0, "cannot write a block with every node failed");
                 }
                 n
             }
@@ -186,16 +183,12 @@ impl SimDfs {
     /// block: its first *live* replica holder.
     pub fn preferred_node(&self, id: &GlobalBlockId) -> Result<NodeId> {
         let p = self.locate(id)?;
-        p.replicas
-            .iter()
-            .copied()
-            .find(|n| !self.dead[*n as usize])
-            .ok_or_else(|| {
-                Error::Dfs(format!(
-                    "block {}:{} unavailable: all replicas on failed nodes",
-                    id.table, id.block
-                ))
-            })
+        p.replicas.iter().copied().find(|n| !self.dead[*n as usize]).ok_or_else(|| {
+            Error::Dfs(format!(
+                "block {}:{} unavailable: all replicas on failed nodes",
+                id.table, id.block
+            ))
+        })
     }
 
     /// Per-node count of primary replicas — used by tests to check the
@@ -261,9 +254,8 @@ mod tests {
     fn replicas_make_more_reads_local() {
         let mut dfs = SimDfs::new(10, 3, 1);
         dfs.write_block(gid(1), 64, Some(0));
-        let locals = (0..10u16)
-            .filter(|n| dfs.read_from(&gid(1), *n).unwrap() == ReadKind::Local)
-            .count();
+        let locals =
+            (0..10u16).filter(|n| dfs.read_from(&gid(1), *n).unwrap() == ReadKind::Local).count();
         assert_eq!(locals, 3);
     }
 

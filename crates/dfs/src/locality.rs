@@ -104,11 +104,7 @@ pub fn locality_fraction(assignments: &[TaskAssignment]) -> f64 {
 /// Response time of a map-only job: nodes work in parallel, each
 /// processing its assigned blocks serially; the job finishes when the
 /// slowest node does (this is what Fig. 7 plots).
-pub fn job_response_time(
-    assignments: &[TaskAssignment],
-    nodes: usize,
-    params: &CostParams,
-) -> f64 {
+pub fn job_response_time(assignments: &[TaskAssignment], nodes: usize, params: &CostParams) -> f64 {
     let mut per_node = vec![0.0f64; nodes];
     for a in assignments {
         let cost = match a.kind {
@@ -161,28 +157,20 @@ mod tests {
         let sched = TaskScheduler::new(&dfs);
         let params = CostParams::default();
         let t100 = job_response_time(&sched.assign_local(&blocks).unwrap(), 4, &params);
-        let t27 = job_response_time(
-            &sched.assign_with_locality(&blocks, 0.27, 1).unwrap(),
-            4,
-            &params,
-        );
+        let t27 =
+            job_response_time(&sched.assign_with_locality(&blocks, 0.27, 1).unwrap(), 4, &params);
         assert!(t27 > t100);
         assert!(t27 < t100 * 1.5, "t27={t27} t100={t100}");
     }
 
     #[test]
     fn response_time_is_max_over_nodes() {
-        let a = TaskAssignment {
-            block: GlobalBlockId::new("t", 0),
-            node: 0,
-            kind: ReadKind::Local,
-        };
-        let b = TaskAssignment {
-            block: GlobalBlockId::new("t", 1),
-            node: 0,
-            kind: ReadKind::Local,
-        };
-        let params = CostParams { block_read_secs: 1.0, cpu_per_block_secs: 0.0, ..CostParams::default() };
+        let a =
+            TaskAssignment { block: GlobalBlockId::new("t", 0), node: 0, kind: ReadKind::Local };
+        let b =
+            TaskAssignment { block: GlobalBlockId::new("t", 1), node: 0, kind: ReadKind::Local };
+        let params =
+            CostParams { block_read_secs: 1.0, cpu_per_block_secs: 0.0, ..CostParams::default() };
         // Both tasks on node 0 → serial → 2s, even with 4 nodes available.
         assert_eq!(job_response_time(&[a, b], 4, &params), 2.0);
     }

@@ -87,10 +87,7 @@ mod tests {
 
     #[test]
     fn build_and_probe() {
-        let t = JoinHashTable::build(
-            vec![row![1i64, "a"], row![2i64, "b"], row![1i64, "c"]],
-            0,
-        );
+        let t = JoinHashTable::build(vec![row![1i64, "a"], row![2i64, "b"], row![1i64, "c"]], 0);
         assert_eq!(t.len(), 3);
         assert_eq!(t.distinct_keys(), 2);
         assert_eq!(t.probe(&Value::Int(1)).len(), 2);

@@ -55,13 +55,8 @@ pub fn hyper_join(ctx: ExecContext<'_>, spec: HyperJoinSpec<'_>) -> Result<Vec<R
             ),
         };
 
-    let tasks: Vec<(Vec<u32>, Vec<u32>)> = spec
-        .plan
-        .groups
-        .iter()
-        .cloned()
-        .zip(spec.plan.probes.iter().cloned())
-        .collect();
+    let tasks: Vec<(Vec<u32>, Vec<u32>)> =
+        spec.plan.groups.iter().cloned().zip(spec.plan.probes.iter().cloned()).collect();
 
     let results = parallel::map_ordered(tasks, ctx.threads, |(build_blocks, probe_blocks)| {
         run_group(
@@ -206,7 +201,10 @@ mod tests {
         rows.sort_by_key(|r| r.get(0).as_int().unwrap());
         for (i, r) in rows.iter().enumerate() {
             let i = i as i64;
-            assert_eq!(r.values(), &[Value::Int(i), Value::Int(i * 10), Value::Int(i), Value::Int(i * 100)]);
+            assert_eq!(
+                r.values(),
+                &[Value::Int(i), Value::Int(i * 10), Value::Int(i), Value::Int(i * 100)]
+            );
         }
         // Co-partitioned: 8 build reads + 8 probe reads.
         assert_eq!(io.reads(), 16);

@@ -131,8 +131,7 @@ mod tests {
         let clock = SimClock::new();
         let tree = tree_on_attr1();
         let out =
-            repartition_blocks(&mut store, &clock, "t", &ids, &tree, 10, &none_existing())
-                .unwrap();
+            repartition_blocks(&mut store, &clock, "t", &ids, &tree, 10, &none_existing()).unwrap();
         assert_eq!(store.row_count("t"), 50);
         for id in ids {
             assert!(store.block_meta("t", id).is_err());
@@ -155,8 +154,7 @@ mod tests {
         let clock = SimClock::new();
         let tree = tree_on_attr1();
         let out =
-            repartition_blocks(&mut store, &clock, "t", &ids, &tree, 10, &none_existing())
-                .unwrap();
+            repartition_blocks(&mut store, &clock, "t", &ids, &tree, 10, &none_existing()).unwrap();
         let io = clock.snapshot();
         assert_eq!(io.reads(), 5);
         let written: usize = out.added.values().map(Vec::len).sum();
@@ -170,22 +168,14 @@ mod tests {
         let clock = SimClock::new();
         let tree = tree_on_attr1();
         // First migration: 2 source blocks → small per-bucket blocks.
-        let first = repartition_blocks(
-            &mut store,
-            &clock,
-            "t",
-            &ids[..2],
-            &tree,
-            10,
-            &none_existing(),
-        )
-        .unwrap();
+        let first =
+            repartition_blocks(&mut store, &clock, "t", &ids[..2], &tree, 10, &none_existing())
+                .unwrap();
         let existing = first.added.clone();
         // Second migration must merge into the underfull tails rather
         // than piling up fragments.
         let second =
-            repartition_blocks(&mut store, &clock, "t", &ids[2..4], &tree, 10, &existing)
-                .unwrap();
+            repartition_blocks(&mut store, &clock, "t", &ids[2..4], &tree, 10, &existing).unwrap();
         assert!(!second.absorbed.is_empty(), "tail blocks should be absorbed");
         assert_eq!(store.row_count("t"), 50);
         // Steady state: bucket 0 holds ~4/7 of 40 migrated rows → ≤3
@@ -208,8 +198,7 @@ mod tests {
         // would, maintaining the bucket map like the catalog does.
         for pair in ids.chunks(2) {
             let out =
-                repartition_blocks(&mut store, &clock, "t", pair, &tree, 10, &bucket_map)
-                    .unwrap();
+                repartition_blocks(&mut store, &clock, "t", pair, &tree, 10, &bucket_map).unwrap();
             for (bucket, blocks) in out.added {
                 let entry = bucket_map.entry(bucket).or_default();
                 entry.retain(|b| !out.absorbed.contains(b));
@@ -234,8 +223,8 @@ mod tests {
         let clock = SimClock::new();
         let tree = tree_on_attr1();
         let existing = BTreeMap::from([(0u32, vec![full])]);
-        let out = repartition_blocks(&mut store, &clock, "t", &[src], &tree, 10, &existing)
-            .unwrap();
+        let out =
+            repartition_blocks(&mut store, &clock, "t", &[src], &tree, 10, &existing).unwrap();
         assert!(out.absorbed.is_empty(), "full tail must not be rewritten");
         assert!(store.block_meta("t", full).is_ok());
     }
@@ -245,8 +234,8 @@ mod tests {
         let (mut store, _) = store_with_rows(10);
         let clock = SimClock::new();
         let tree = tree_on_attr1();
-        let out = repartition_blocks(&mut store, &clock, "t", &[], &tree, 10, &none_existing())
-            .unwrap();
+        let out =
+            repartition_blocks(&mut store, &clock, "t", &[], &tree, 10, &none_existing()).unwrap();
         assert!(out.added.is_empty());
         assert!(out.absorbed.is_empty());
         assert_eq!(clock.snapshot().reads(), 0);

@@ -100,9 +100,8 @@ mod tests {
         let seq = scan_blocks(ExecContext::single(&store, &c1), "t", &ids, &PredicateSet::none())
             .unwrap();
         let c2 = SimClock::new();
-        let par =
-            scan_blocks(ExecContext::new(&store, &c2, 4), "t", &ids, &PredicateSet::none())
-                .unwrap();
+        let par = scan_blocks(ExecContext::new(&store, &c2, 4), "t", &ids, &PredicateSet::none())
+            .unwrap();
         assert_eq!(seq, par);
         assert_eq!(c1.snapshot().reads(), c2.snapshot().reads());
     }

@@ -61,12 +61,15 @@ pub fn shuffle_join(ctx: ExecContext<'_>, spec: ShuffleJoinSpec<'_>) -> Result<V
     )?;
     // Reduce phase: re-read the spilled runs (charged as local reads; the
     // write above plus this read completes the C_SJ = 3 pattern) and join.
-    let spilled_blocks: usize = left_parts.iter().chain(right_parts.iter()).map(|p| blocks_for(p.len(), spec.rows_per_block)).sum();
+    let spilled_blocks: usize = left_parts
+        .iter()
+        .chain(right_parts.iter())
+        .map(|p| blocks_for(p.len(), spec.rows_per_block))
+        .sum();
     for _ in 0..spilled_blocks {
         ctx.clock.record_read(adaptdb_dfs::ReadKind::Local);
     }
-    let tasks: Vec<(Vec<Row>, Vec<Row>)> =
-        left_parts.into_iter().zip(right_parts).collect();
+    let tasks: Vec<(Vec<Row>, Vec<Row>)> = left_parts.into_iter().zip(right_parts).collect();
     let results = parallel::map_ordered(tasks, ctx.threads, |(l, r)| {
         hash_join_rows(l, &r, spec.left_attr, spec.right_attr)
     });
@@ -114,7 +117,12 @@ fn blocks_for(rows: usize, rows_per_block: usize) -> usize {
 
 /// Plain in-memory hash join (used by reducers and by multi-way join
 /// steps over intermediate results).
-pub fn hash_join_rows(left: Vec<Row>, right: &[Row], left_attr: AttrId, right_attr: AttrId) -> Vec<Row> {
+pub fn hash_join_rows(
+    left: Vec<Row>,
+    right: &[Row],
+    left_attr: AttrId,
+    right_attr: AttrId,
+) -> Vec<Row> {
     // Build on the smaller side to bound memory, preserving output order
     // semantics (left columns first).
     if left.len() <= right.len() {

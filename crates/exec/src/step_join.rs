@@ -144,17 +144,8 @@ mod tests {
         let ctx = ExecContext::single(&store, &clock);
         // Intermediate rows: [payload, key] with key = attr 1.
         let intermediate: Vec<Row> = (0..40i64).map(|k| row![k * 7, k]).collect();
-        let out = hyper_step_join(
-            ctx,
-            "c",
-            groups,
-            0,
-            &PredicateSet::none(),
-            intermediate,
-            1,
-            10,
-        )
-        .unwrap();
+        let out = hyper_step_join(ctx, "c", groups, 0, &PredicateSet::none(), intermediate, 1, 10)
+            .unwrap();
         assert_eq!(out.len(), 40);
         for r in &out {
             assert_eq!(r.arity(), 4);
@@ -173,8 +164,7 @@ mod tests {
         let clock = SimClock::new();
         let ctx = ExecContext::single(&store, &clock);
         let intermediate: Vec<Row> = (0..40i64).map(|k| row![k, k]).collect();
-        hyper_step_join(ctx, "c", groups, 0, &PredicateSet::none(), intermediate, 1, 10)
-            .unwrap();
+        hyper_step_join(ctx, "c", groups, 0, &PredicateSet::none(), intermediate, 1, 10).unwrap();
         let io = clock.snapshot();
         // 4 spill re-reads + 4 block reads; 4 spill writes.
         assert_eq!(io.writes, 4);
@@ -188,17 +178,8 @@ mod tests {
         let ctx = ExecContext::single(&store, &clock);
         // Keys only in the first group's range.
         let intermediate: Vec<Row> = (0..10i64).map(|k| row![k, k]).collect();
-        let out = hyper_step_join(
-            ctx,
-            "c",
-            groups,
-            0,
-            &PredicateSet::none(),
-            intermediate,
-            1,
-            10,
-        )
-        .unwrap();
+        let out = hyper_step_join(ctx, "c", groups, 0, &PredicateSet::none(), intermediate, 1, 10)
+            .unwrap();
         assert_eq!(out.len(), 10);
         // Only the first group's 2 blocks read (+1 spill re-read).
         assert_eq!(clock.snapshot().reads(), 2 + 1);
@@ -211,8 +192,7 @@ mod tests {
         let ctx = ExecContext::single(&store, &clock);
         let preds = PredicateSet::none().and(Predicate::new(0, CmpOp::Lt, 5i64));
         let intermediate: Vec<Row> = (0..40i64).map(|k| row![k, k]).collect();
-        let out =
-            hyper_step_join(ctx, "c", groups, 0, &preds, intermediate, 1, 10).unwrap();
+        let out = hyper_step_join(ctx, "c", groups, 0, &preds, intermediate, 1, 10).unwrap();
         assert_eq!(out.len(), 5);
     }
 
@@ -221,17 +201,8 @@ mod tests {
         let (store, groups) = setup();
         let clock = SimClock::new();
         let ctx = ExecContext::single(&store, &clock);
-        let out = hyper_step_join(
-            ctx,
-            "c",
-            groups,
-            0,
-            &PredicateSet::none(),
-            Vec::new(),
-            1,
-            10,
-        )
-        .unwrap();
+        let out =
+            hyper_step_join(ctx, "c", groups, 0, &PredicateSet::none(), Vec::new(), 1, 10).unwrap();
         assert!(out.is_empty());
         assert_eq!(clock.snapshot().reads(), 0);
     }

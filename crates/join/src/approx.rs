@@ -122,17 +122,7 @@ fn exact_subset(overlap: &OverlapMatrix, remaining: &[usize], k: usize) -> Vec<u
         }
     }
 
-    rec(
-        overlap,
-        &order,
-        0,
-        k,
-        &BitSet::new(overlap.m()),
-        0,
-        &mut stack,
-        &mut best_cost,
-        &mut best,
-    );
+    rec(overlap, &order, 0, k, &BitSet::new(overlap.m()), 0, &mut stack, &mut best_cost, &mut best);
     best
 }
 
@@ -205,8 +195,7 @@ mod tests {
         // dragged into expensive unions; exact picks the aligned pair.
         use adaptdb_common::BitSet;
         // Vectors: b0 = 000001, b1 = 110000, b2 = 110000, b3 = 001110
-        let vectors =
-            ["000001", "110000", "110000", "001110"].map(BitSet::from_binary_str);
+        let vectors = ["000001", "110000", "110000", "001110"].map(BitSet::from_binary_str);
         // Build ranges realizing these vectors: S = 6 unit ranges.
         let ss: Vec<ValueRange> = (0..6).map(|j| r(j * 10, j * 10 + 9)).collect();
         let rr = vec![r(50, 59), r(0, 19), r(0, 19), r(20, 45)];

@@ -86,8 +86,7 @@ pub fn solve(overlap: &OverlapMatrix, capacity: usize, node_budget: u64) -> Exac
         }
         if t == ctx.order.len() {
             ctx.best_cost = cost;
-            ctx.best_groups =
-                ctx.members.iter().filter(|g| !g.is_empty()).cloned().collect();
+            ctx.best_groups = ctx.members.iter().filter(|g| !g.is_empty()).cloned().collect();
             return;
         }
         let remaining = ctx.order.len() - t;
@@ -102,9 +101,7 @@ pub fn solve(overlap: &OverlapMatrix, capacity: usize, node_budget: u64) -> Exac
         let can_open = open < ctx.c;
         for (g, added) in cands {
             // Feasibility: after placing, the rest must still fit.
-            let slots_after = (0..open)
-                .map(|k| ctx.capacity - ctx.members[k].len())
-                .sum::<usize>()
+            let slots_after = (0..open).map(|k| ctx.capacity - ctx.members[k].len()).sum::<usize>()
                 - 1
                 + (ctx.c - open) * ctx.capacity;
             if slots_after < remaining - 1 {

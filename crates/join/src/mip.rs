@@ -70,8 +70,7 @@ impl MipModel {
     /// Counts of (capacity, assignment, coverage) constraint rows — the
     /// size of the model a real MIP solver would receive.
     pub fn constraint_counts(&self) -> (usize, usize, usize) {
-        let coverage: usize =
-            (0..self.overlap.n()).map(|i| self.overlap.delta(i) * self.c).sum();
+        let coverage: usize = (0..self.overlap.n()).map(|i| self.overlap.delta(i) * self.c).sum();
         (self.c, self.overlap.n(), coverage)
     }
 

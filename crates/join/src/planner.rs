@@ -100,9 +100,7 @@ pub fn plan(
         (None, _) => build_right,
     };
     match best {
-        Some(plan) if (plan.est_total_reads() as f64) < shuffle_cost => {
-            JoinDecision::Hyper(plan)
-        }
+        Some(plan) if (plan.est_total_reads() as f64) < shuffle_cost => JoinDecision::Hyper(plan),
         Some(plan) => JoinDecision::Shuffle {
             est_cost: shuffle_cost,
             hyper_cost: plan.est_total_reads() as f64,
@@ -132,11 +130,8 @@ fn plan_from_grouping(
     probe: &[BlockRange],
     side: JoinSide,
 ) -> HyperJoinPlan {
-    let groups: Vec<Vec<BlockId>> = grouping
-        .groups()
-        .iter()
-        .map(|g| g.iter().map(|&i| build[i].0).collect())
-        .collect();
+    let groups: Vec<Vec<BlockId>> =
+        grouping.groups().iter().map(|g| g.iter().map(|&i| build[i].0).collect()).collect();
     let probes: Vec<Vec<BlockId>> = (0..grouping.len())
         .map(|k| grouping.union(k).iter_ones().map(|j| probe[j].0).collect())
         .collect();

@@ -16,7 +16,8 @@ fn diagonal(n: usize) -> OverlapMatrix {
 
 /// Chain family: R block i overlaps S blocks i and i+1.
 fn chain(n: usize) -> OverlapMatrix {
-    let rr: Vec<ValueRange> = (0..n).map(|i| r(i as i64 * 100 + 50, i as i64 * 100 + 149)).collect();
+    let rr: Vec<ValueRange> =
+        (0..n).map(|i| r(i as i64 * 100 + 50, i as i64 * 100 + 149)).collect();
     let ss: Vec<ValueRange> = (0..=n).map(|j| r(j as i64 * 100, j as i64 * 100 + 99)).collect();
     OverlapMatrix::compute_naive(&rr, &ss)
 }
@@ -65,10 +66,7 @@ fn chain_instances_have_known_optimum() {
         assert!(ex.proven_optimal, "n={n} cap={cap}");
         assert_eq!(ex.cost, optimal, "n={n} cap={cap}");
         let heur = bottom_up::solve(&m, cap).cost();
-        assert!(
-            heur <= optimal + n.div_ceil(cap),
-            "heuristic too far off: {heur} vs {optimal}"
-        );
+        assert!(heur <= optimal + n.div_ceil(cap), "heuristic too far off: {heur} vs {optimal}");
     }
 }
 

@@ -23,7 +23,12 @@ impl Reservoir {
     /// A reservoir keeping at most `capacity` rows.
     pub fn new(capacity: usize, seed: u64) -> Self {
         assert!(capacity > 0, "reservoir capacity must be positive");
-        Reservoir { capacity, seen: 0, rows: Vec::with_capacity(capacity), rng: rng::derived(seed, "reservoir") }
+        Reservoir {
+            capacity,
+            seen: 0,
+            rows: Vec::with_capacity(capacity),
+            rng: rng::derived(seed, "reservoir"),
+        }
     }
 
     /// Offer one row to the sample.
@@ -88,11 +93,7 @@ mod tests {
         // Offer 0..10_000; the mean of a uniform sample should be near 5000.
         let mut r = Reservoir::new(500, 42);
         r.extend((0..10_000i64).map(|i| row![i]));
-        let mean: f64 = r
-            .rows()
-            .iter()
-            .map(|row| row.get(0).as_int().unwrap() as f64)
-            .sum::<f64>()
+        let mean: f64 = r.rows().iter().map(|row| row.get(0).as_int().unwrap() as f64).sum::<f64>()
             / r.rows().len() as f64;
         assert!((mean - 5000.0).abs() < 600.0, "mean {mean} too far from 5000");
     }

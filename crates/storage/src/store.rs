@@ -98,10 +98,7 @@ impl BlockStore {
 
     /// Metadata of one block.
     pub fn block_meta(&self, table: &str, id: BlockId) -> Result<&BlockMeta> {
-        self.meta
-            .get(table)
-            .and_then(|m| m.get(&id))
-            .ok_or(Error::UnknownBlock(id))
+        self.meta.get(table).and_then(|m| m.get(&id)).ok_or(Error::UnknownBlock(id))
     }
 
     /// All block metadata for a table, ascending by id.
@@ -121,10 +118,7 @@ impl BlockStore {
 
     /// Total rows across a table's live blocks (catalog-side count).
     pub fn row_count(&self, table: &str) -> usize {
-        self.meta
-            .get(table)
-            .map(|m| m.values().map(|b| b.row_count).sum())
-            .unwrap_or(0)
+        self.meta.get(table).map(|m| m.values().map(|b| b.row_count).sum()).unwrap_or(0)
     }
 
     /// Delete a block (repartitioning retires source blocks after their

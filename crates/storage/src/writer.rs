@@ -108,10 +108,8 @@ mod tests {
         let map = w.finish();
         let blocks = &map[&0];
         assert_eq!(blocks.len(), 4); // 3+3+3+1
-        let sizes: Vec<usize> = blocks
-            .iter()
-            .map(|b| store.read_block_unaccounted("t", *b).unwrap().len())
-            .collect();
+        let sizes: Vec<usize> =
+            blocks.iter().map(|b| store.read_block_unaccounted("t", *b).unwrap().len()).collect();
         assert_eq!(sizes, vec![3, 3, 3, 1]);
     }
 

@@ -226,10 +226,7 @@ mod tests {
                 for x in 0..400i64 {
                     let r = row![x];
                     if p.matches(&r) {
-                        assert!(
-                            buckets.contains(&t.route(&r)),
-                            "row {x} lost under {op:?} {v}"
-                        );
+                        assert!(buckets.contains(&t.route(&r)), "row {x} lost under {op:?} {v}");
                     }
                 }
             }

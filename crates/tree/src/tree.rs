@@ -37,7 +37,12 @@ impl PartitionTree {
     }
 
     /// Wrap a root node, deriving the bucket counter from its contents.
-    pub fn from_root(root: Node, arity: usize, join_attr: Option<AttrId>, join_levels: usize) -> Self {
+    pub fn from_root(
+        root: Node,
+        arity: usize,
+        join_attr: Option<AttrId>,
+        join_levels: usize,
+    ) -> Self {
         let mut buckets = Vec::new();
         root.collect_buckets(&mut buckets);
         let next = buckets.iter().copied().max().map(|b| b + 1).unwrap_or(0);
@@ -230,9 +235,11 @@ mod tests {
     #[test]
     fn lookup_uses_both_levels() {
         let t = sample_tree();
-        let q = PredicateSet::none()
-            .and(Predicate::new(0, CmpOp::Le, 100i64))
-            .and(Predicate::new(1, CmpOp::Gt, 0.5));
+        let q = PredicateSet::none().and(Predicate::new(0, CmpOp::Le, 100i64)).and(Predicate::new(
+            1,
+            CmpOp::Gt,
+            0.5,
+        ));
         assert_eq!(t.lookup(&q), vec![1]);
         assert_eq!(t.lookup(&PredicateSet::none()), vec![0, 1, 2]);
     }
@@ -243,9 +250,11 @@ mod tests {
         for (a, b) in [(50i64, 0.2), (50, 0.9), (150, 0.2)] {
             let r = row![a, b];
             let bucket = t.route(&r);
-            let q = PredicateSet::none()
-                .and(Predicate::new(0, CmpOp::Eq, a))
-                .and(Predicate::new(1, CmpOp::Eq, b));
+            let q = PredicateSet::none().and(Predicate::new(0, CmpOp::Eq, a)).and(Predicate::new(
+                1,
+                CmpOp::Eq,
+                b,
+            ));
             assert!(t.lookup(&q).contains(&bucket));
         }
     }

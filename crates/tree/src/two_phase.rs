@@ -75,13 +75,7 @@ impl TwoPhaseBuilder {
         let mut rng = rng::derived(self.seed, "two-phase");
         let mut next_bucket: BucketId = 0;
         let mut global_counts = vec![0usize; self.arity];
-        let root = self.build_join_phase(
-            &refs,
-            0,
-            &mut global_counts,
-            &mut rng,
-            &mut next_bucket,
-        );
+        let root = self.build_join_phase(&refs, 0, &mut global_counts, &mut rng, &mut next_bucket);
         PartitionTree::new(root, self.arity, Some(self.join_attr), self.join_levels, next_bucket)
     }
 

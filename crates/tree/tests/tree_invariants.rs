@@ -3,7 +3,10 @@
 
 use adaptdb_common::rng::seeded;
 use adaptdb_common::{CmpOp, Predicate, PredicateSet, Row, Value};
-use adaptdb_tree::{AdaptConfig, Adapter, PartitionTree, QueryWindow, TwoPhaseBuilder, UpfrontPartitioner, WindowEntry};
+use adaptdb_tree::{
+    AdaptConfig, Adapter, PartitionTree, QueryWindow, TwoPhaseBuilder, UpfrontPartitioner,
+    WindowEntry,
+};
 use rand::RngExt;
 
 fn sample(n: usize, arity: usize, seed: u64) -> Vec<Row> {
@@ -70,11 +73,8 @@ fn adapter_plans_are_structurally_sound() {
                 )),
             });
         }
-        let adapter = Adapter::new(AdaptConfig {
-            max_rewrite_fraction: 1.0,
-            seed,
-            ..AdaptConfig::default()
-        });
+        let adapter =
+            Adapter::new(AdaptConfig { max_rewrite_fraction: 1.0, seed, ..AdaptConfig::default() });
         let Some(plan) = adapter.propose(&tree, &rows, &window) else { continue };
         let old_set = tree.buckets();
         for b in &plan.old_buckets {
@@ -130,10 +130,7 @@ fn serialization_round_trips_two_phase_trees() {
 fn adapter_fires_iff_window_has_signal() {
     let rows = sample(3_000, 2, 7);
     let tree = UpfrontPartitioner::new(2, vec![0], 5, 7).build(&rows);
-    let adapter = Adapter::new(AdaptConfig {
-        max_rewrite_fraction: 1.0,
-        ..AdaptConfig::default()
-    });
+    let adapter = Adapter::new(AdaptConfig { max_rewrite_fraction: 1.0, ..AdaptConfig::default() });
 
     let mut empty = QueryWindow::new(8);
     empty.push(WindowEntry { join_attr: Some(0), predicates: PredicateSet::none() });
@@ -143,11 +140,7 @@ fn adapter_fires_iff_window_has_signal() {
     for i in 0..8 {
         strong.push(WindowEntry {
             join_attr: None,
-            predicates: PredicateSet::none().and(Predicate::new(
-                1,
-                CmpOp::Lt,
-                2_000 + i * 500,
-            )),
+            predicates: PredicateSet::none().and(Predicate::new(1, CmpOp::Lt, 2_000 + i * 500)),
         });
     }
     let plan = adapter.propose(&tree, &rows, &strong);

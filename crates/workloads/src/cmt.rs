@@ -320,7 +320,10 @@ mod tests {
         assert_eq!(g.latest().len(), 400);
         // End time after start time.
         for r in t.iter().take(100) {
-            assert!(r.get(trips::END_TIME).as_int().unwrap() > r.get(trips::START_TIME).as_int().unwrap());
+            assert!(
+                r.get(trips::END_TIME).as_int().unwrap()
+                    > r.get(trips::START_TIME).as_int().unwrap()
+            );
         }
     }
 

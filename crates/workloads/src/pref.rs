@@ -104,9 +104,9 @@ fn load_full_depth(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tpch::Template;
     use adaptdb_common::rng;
     use adaptdb_common::stats::JoinStrategy;
-    use crate::tpch::Template;
 
     fn setup() -> (TpchGen, DbConfig) {
         let gen = TpchGen::new(0.02, 3);

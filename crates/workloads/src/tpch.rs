@@ -74,13 +74,17 @@ pub const DATE_MIN: i32 = 0;
 pub const DATE_MAX: i32 = 7 * 365;
 
 const SHIPMODES: [&str; 7] = ["AIR", "REG AIR", "SHIP", "TRUCK", "MAIL", "RAIL", "FOB"];
-const SHIPINSTRUCTS: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const SHIPINSTRUCTS: [&str; 4] = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
 const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
 const RETURNFLAGS: [&str; 3] = ["R", "A", "N"];
 const CONTAINERS: [&str; 4] = ["SM CASE", "MED BOX", "LG BOX", "JUMBO PKG"];
-const TYPES: [&str; 5] =
-    ["ECONOMY ANODIZED STEEL", "STANDARD BRUSHED BRASS", "PROMO BURNISHED COPPER", "SMALL PLATED TIN", "LARGE POLISHED NICKEL"];
+const TYPES: [&str; 5] = [
+    "ECONOMY ANODIZED STEEL",
+    "STANDARD BRUSHED BRASS",
+    "PROMO BURNISHED COPPER",
+    "SMALL PLATED TIN",
+    "LARGE POLISHED NICKEL",
+];
 
 /// The TPC-H-like generator. `scale` 1.0 ≈ 15k orders / 60k lineitems.
 #[derive(Debug, Clone)]
@@ -244,7 +248,11 @@ impl TpchGen {
             .map(|k| {
                 Row::new(vec![
                     Value::Int(k),
-                    Value::Str(format!("Brand#{}{}", rng.random_range(1..6), rng.random_range(1..6))),
+                    Value::Str(format!(
+                        "Brand#{}{}",
+                        rng.random_range(1..6),
+                        rng.random_range(1..6)
+                    )),
                     Value::Str(CONTAINERS[rng.random_range(0..CONTAINERS.len())].into()),
                     Value::Int(rng.random_range(1..=50)),
                     Value::Str(TYPES[rng.random_range(0..TYPES.len())].into()),
@@ -295,11 +303,7 @@ impl TpchGen {
             Self::lineitem_schema(),
             vec![li::QUANTITY, li::DISCOUNT, li::SHIPDATE, li::RECEIPTDATE],
         )?;
-        db.create_table(
-            "orders",
-            Self::orders_schema(),
-            vec![ord::ORDERDATE, ord::SHIPPRIORITY],
-        )?;
+        db.create_table("orders", Self::orders_schema(), vec![ord::ORDERDATE, ord::SHIPPRIORITY])?;
         db.create_table("customer", Self::customer_schema(), vec![cust::NATIONKEY])?;
         db.create_table("part", Self::part_schema(), vec![part::SIZE])?;
         db.create_table("supplier", Self::supplier_schema(), vec![supp::NATIONKEY])?;
@@ -467,11 +471,7 @@ impl Template {
                         ScanQuery::full("lineitem"),
                         ScanQuery::new(
                             "part",
-                            PredicateSet::none().and(Predicate::new(
-                                part::PTYPE,
-                                CmpOp::Eq,
-                                ptype,
-                            )),
+                            PredicateSet::none().and(Predicate::new(part::PTYPE, CmpOp::Eq, ptype)),
                         ),
                         li::PARTKEY,
                         part::PARTKEY,
@@ -564,11 +564,7 @@ impl Template {
                         "lineitem",
                         PredicateSet::none()
                             .and(Predicate::new(li::SHIPDATE, CmpOp::Ge, Value::Date(start)))
-                            .and(Predicate::new(
-                                li::SHIPDATE,
-                                CmpOp::Lt,
-                                Value::Date(start + 30),
-                            )),
+                            .and(Predicate::new(li::SHIPDATE, CmpOp::Lt, Value::Date(start + 30))),
                     ),
                     ScanQuery::full("part"),
                     li::PARTKEY,
@@ -648,10 +644,7 @@ mod tests {
     #[test]
     fn every_template_instantiates_and_runs() {
         let g = TpchGen::new(0.02, 3);
-        let mut db = Database::new(DbConfig {
-            rows_per_block: 32,
-            ..DbConfig::small()
-        });
+        let mut db = Database::new(DbConfig { rows_per_block: 32, ..DbConfig::small() });
         g.load_upfront(&mut db).unwrap();
         let mut rng = rng::seeded(5);
         for t in Template::all() {

@@ -11,8 +11,7 @@ use adaptdb_workloads::cmt::CmtGen;
 
 fn main() {
     let gen = CmtGen::new(4_000, 42);
-    let config =
-        DbConfig { rows_per_block: 200, buffer_blocks: 8, ..DbConfig::default() };
+    let config = DbConfig { rows_per_block: 200, buffer_blocks: 8, ..DbConfig::default() };
 
     let mut adaptive = Database::new(config.clone());
     gen.load_upfront(&mut adaptive).unwrap();
@@ -29,8 +28,7 @@ fn main() {
         let a = adaptive.run(q).unwrap();
         let b = baseline.run(q).unwrap();
         assert_eq!(a.rows.len(), b.rows.len(), "results must agree");
-        let (ta, tb) =
-            (a.simulated_secs(adaptive.config()), b.simulated_secs(baseline.config()));
+        let (ta, tb) = (a.simulated_secs(adaptive.config()), b.simulated_secs(baseline.config()));
         totals.0 += ta;
         totals.1 += tb;
         if i % 10 == 0 || (30..50).contains(&i) && i % 4 == 0 {
@@ -45,10 +43,7 @@ fn main() {
                 }
                 _ => "multi",
             };
-            println!(
-                "{i:>5} | {kind:<8} | {ta:>12.1} | {tb:>13.1} | {}",
-                a.stats.strategy
-            );
+            println!("{i:>5} | {kind:<8} | {ta:>12.1} | {tb:>13.1} | {}", a.stats.strategy);
         }
     }
     println!(

@@ -37,18 +37,14 @@ fn main() {
     .unwrap();
     db.load_rows(
         "lineitem",
-        (0..8_000i64).map(|i| {
-            row![i % 2_000, i % 50, adaptdb_common::Value::Date((i % 2555) as i32)]
-        }),
+        (0..8_000i64)
+            .map(|i| row![i % 2_000, i % 50, adaptdb_common::Value::Date((i % 2555) as i32)]),
     )
     .unwrap();
 
     // A join with a selection: lineitem ⋈ orders on the order key.
     let query = Query::Join(JoinQuery::new(
-        ScanQuery::new(
-            "lineitem",
-            PredicateSet::none().and(Predicate::new(1, CmpOp::Lt, 25i64)),
-        ),
+        ScanQuery::new("lineitem", PredicateSet::none().and(Predicate::new(1, CmpOp::Lt, 25i64))),
         ScanQuery::full("orders"),
         0, // l_orderkey
         0, // o_orderkey

@@ -23,8 +23,9 @@ fn main() {
 
     // 12 × q12 (orderkey join), then 12 × q14 (partkey join).
     let mut q_rng = rng::seeded(5);
-    let workload: Vec<Template> =
-        std::iter::repeat_n(Template::Q12, 12).chain(std::iter::repeat_n(Template::Q14, 12)).collect();
+    let workload: Vec<Template> = std::iter::repeat_n(Template::Q12, 12)
+        .chain(std::iter::repeat_n(Template::Q14, 12))
+        .collect();
 
     println!("\nquery | tmpl | strategy     | sim secs | lineitem trees (attr: blocks)");
     println!("------+------+--------------+----------+------------------------------");

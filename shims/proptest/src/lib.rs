@@ -1,0 +1,635 @@
+//! Offline shim of the `proptest` surface this workspace uses.
+//!
+//! Provides random-input property testing without shrinking: the
+//! [`Strategy`] trait with `prop_map`, `any::<T>()`, integer-range and
+//! regex-literal (`"[a-z]{0,12}"`) strategies, tuple strategies,
+//! `prop::collection::{vec, btree_set}`, the [`proptest!`] macro with
+//! `#![proptest_config(..)]`, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! On failure the harness panics with the case's seed and the generated
+//! inputs' Debug output (no shrinking, so failures print the raw case).
+//! Generation is deterministic per (test name, case index), so CI
+//! failures reproduce locally.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// RNG handed to strategies by the harness.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Deterministic per-case RNG.
+    pub fn new(seed: u64) -> Self {
+        TestRng { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Uniform u64.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.random_range(0..=u64::MAX)
+    }
+
+    /// Uniform usize in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        if lo >= hi {
+            lo
+        } else {
+            self.inner.random_range(lo..hi)
+        }
+    }
+
+    /// Uniform f64 in `[0,1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.random()
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The generated type (named `Value` to match proptest's API, so
+    /// `impl Strategy<Value = Row>` reads identically).
+    type Value: std::fmt::Debug;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: std::fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase into a [`BoxedStrategy`] (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy { inner: std::rc::Rc::new(self) }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: std::fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Type-erased strategy.
+pub struct BoxedStrategy<V> {
+    inner: std::rc::Rc<dyn DynStrategy<V>>,
+}
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy { inner: std::rc::Rc::clone(&self.inner) }
+    }
+}
+
+trait DynStrategy<V> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<V: std::fmt::Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.inner.dyn_generate(rng)
+    }
+}
+
+// ---- any::<T>() ----
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Generate an arbitrary value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy over the full domain of `T` (proptest's `any::<T>()`).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy { _marker: std::marker::PhantomData }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Mix edge cases in (proptest-style bias toward bounds).
+                match rng.usize_in(0, 16) {
+                    0 => 0 as $t,
+                    1 => <$t>::MIN,
+                    2 => <$t>::MAX,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Bias toward special values, like proptest's f64 domain
+        // (includes NaN and infinities — consumers must be total).
+        match rng.usize_in(0, 16) {
+            0 => 0.0,
+            1 => -0.0,
+            2 => f64::NAN,
+            3 => f64::INFINITY,
+            4 => f64::NEG_INFINITY,
+            5 => f64::MIN_POSITIVE,
+            _ => {
+                let mantissa = (rng.unit() - 0.5) * 2e9;
+                let scale = 10f64.powi(rng.usize_in(0, 9) as i32 - 4);
+                mantissa * scale
+            }
+        }
+    }
+}
+
+// ---- range strategies ----
+
+macro_rules! impl_strategy_for_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.inner.random_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.inner.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+// ---- literal regex string strategies ----
+
+/// `&str` literals act as regex strategies. This shim supports the
+/// subset used in the workspace: a single character class with a
+/// repetition count, e.g. `"[a-z]{0,12}"` or `"[a-zA-Z0-9 ]{0,24}"`.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = parse_class_repeat(self).unwrap_or_else(|| {
+            panic!("unsupported regex strategy {self:?} (shim handles [class]{{m,n}})")
+        });
+        let len = rng.usize_in(lo, hi + 1);
+        (0..len).map(|_| alphabet[rng.usize_in(0, alphabet.len())]).collect()
+    }
+}
+
+/// Parse `[class]{m,n}` into (alphabet, m, n).
+fn parse_class_repeat(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let (class, rest) = rest.split_once(']')?;
+    let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match counts.split_once(',') {
+        Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+        None => {
+            let n = counts.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    let mut alphabet = Vec::new();
+    let mut chars = class.chars().peekable();
+    while let Some(c) = chars.next() {
+        if chars.peek() == Some(&'-') {
+            let mut lookahead = chars.clone();
+            lookahead.next(); // consume '-'
+            if let Some(&end) = lookahead.peek() {
+                chars = lookahead;
+                chars.next();
+                alphabet.extend((c..=end).filter(|ch| ch.is_ascii()));
+                continue;
+            }
+        }
+        alphabet.push(c);
+    }
+    if alphabet.is_empty() {
+        return None;
+    }
+    Some((alphabet, lo, hi))
+}
+
+// ---- tuple strategies ----
+
+macro_rules! impl_strategy_for_tuples {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_tuples! {
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+// ---- collections ----
+
+/// Size argument for collection strategies: a fixed `usize` or a range.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi: r.end }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection`).
+
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_in(self.size.lo, self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`; generates up to the drawn
+    /// count of elements (duplicates collapse, as in proptest).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    /// Strategy returned by [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.usize_in(self.size.lo, self.size.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---- harness plumbing ----
+
+/// Per-suite configuration (`#![proptest_config(..)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property case (carried by `prop_assert!` early-returns).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Stable 64-bit FNV-1a hash of a test's identity, used to seed its
+/// case stream deterministically.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest,
+        BoxedStrategy, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// The `prop::` module alias used by `prop::collection::vec(..)`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Assert inside a property; failure reports the case instead of
+/// unwinding through arbitrary stack frames.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                format!($($fmt)+),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let a = $a;
+        let b = $b;
+        $crate::prop_assert!(a == b, "{:?} != {:?} ({} vs {})", a, b, stringify!($a), stringify!($b));
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let a = $a;
+        let b = $b;
+        $crate::prop_assert!(a == b, "{:?} != {:?}: {}", a, b, format!($($fmt)+));
+    }};
+}
+
+/// `assert_ne!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let a = $a;
+        let b = $b;
+        $crate::prop_assert!(
+            a != b,
+            "{:?} == {:?} ({} vs {})",
+            a,
+            b,
+            stringify!($a),
+            stringify!($b)
+        );
+    }};
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::one_of(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Runtime support for [`prop_oneof!`].
+pub fn one_of<V: std::fmt::Debug>(choices: Vec<BoxedStrategy<V>>) -> OneOf<V> {
+    assert!(!choices.is_empty(), "prop_oneof! needs at least one strategy");
+    OneOf { choices }
+}
+
+/// Strategy returned by [`one_of`].
+pub struct OneOf<V> {
+    choices: Vec<BoxedStrategy<V>>,
+}
+
+impl<V: std::fmt::Debug> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.usize_in(0, self.choices.len());
+        self.choices[i].generate(rng)
+    }
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` random
+/// cases, reporting the generated inputs on failure.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let mut rng = $crate::TestRng::new(seed ^ (case as u64).wrapping_mul(0x9e3779b97f4a7c15));
+                $(let $arg = $crate::Strategy::generate(&$strategy, &mut rng);)*
+                // Render inputs before the body runs: the body may move them.
+                let rendered_inputs =
+                    String::new() $(+ &format!("\n  {} = {:?}", stringify!($arg), $arg))*;
+                let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = result {
+                    panic!(
+                        "property {} failed at case {case}/{}: {e}\ninputs:{rendered_inputs}",
+                        stringify!($name),
+                        config.cases,
+                    );
+                }
+            }
+        }
+    )*};
+    // Match the `fn` shape explicitly so an unsupported argument
+    // pattern fails with a real error instead of recursing.
+    ($(#[$meta:meta])* fn $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $(#[$meta])* fn $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum V {
+        I(i64),
+        S(String),
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -50i64..50, y in 0usize..10) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!(y < 10);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![
+            (0i64..100).prop_map(V::I),
+            "[a-c]{1,3}".prop_map(V::S),
+        ]) {
+            match v {
+                V::I(i) => prop_assert!((0..100).contains(&i)),
+                V::S(s) => {
+                    prop_assert!(!s.is_empty() && s.len() <= 3);
+                    prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+                }
+            }
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            xs in prop::collection::vec(0i32..5, 2..6),
+            ss in prop::collection::btree_set(0usize..100, 0..10),
+        ) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert!(ss.len() < 10);
+        }
+
+        #[test]
+        fn tuples_generate_componentwise(ab in (0i64..10, 10i64..20)) {
+            let (a, b) = ab;
+            prop_assert!(a < 10 && (10..20).contains(&b));
+        }
+    }
+
+    #[test]
+    fn regex_parser_handles_workspace_patterns() {
+        let (alpha, lo, hi) = super::parse_class_repeat("[a-z]{0,12}").unwrap();
+        assert_eq!((alpha.len(), lo, hi), (26, 0, 12));
+        let (alpha, lo, hi) = super::parse_class_repeat("[a-zA-Z0-9 ]{0,24}").unwrap();
+        assert_eq!((alpha.len(), lo, hi), (63, 0, 24));
+    }
+
+    #[test]
+    fn any_f64_hits_special_values() {
+        let mut rng = super::TestRng::new(1);
+        let mut saw_nan = false;
+        for _ in 0..500 {
+            let x = <f64 as super::Arbitrary>::arbitrary(&mut rng);
+            saw_nan |= x.is_nan();
+        }
+        assert!(saw_nan, "f64 domain should include NaN");
+    }
+}

@@ -1,0 +1,94 @@
+//! Offline shim of the tiny `rayon` surface the workspace may lean on.
+//!
+//! `par_iter`/`par_iter_mut`/`into_par_iter` degrade to the sequential
+//! std iterators — correct, just not parallel. Code needing real
+//! parallelism in this workspace goes through
+//! `adaptdb_exec::parallel::map_ordered` (a scoped worker pool) instead;
+//! this shim exists so `rayon` can appear in `[workspace.dependencies]`
+//! and be swapped for the real crate without touching call sites.
+
+pub mod prelude {
+    //! Parallel-iterator entry points (sequential here).
+
+    /// `par_iter()` for shared slices/collections.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The underlying (sequential) iterator.
+        type Iter: Iterator;
+
+        /// Sequential stand-in for rayon's `par_iter`.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Iter = std::slice::Iter<'a, T>;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = std::slice::Iter<'a, T>;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `par_iter_mut()` for exclusive slices/collections.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// The underlying (sequential) iterator.
+        type Iter: Iterator;
+
+        /// Sequential stand-in for rayon's `par_iter_mut`.
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
+        type Iter = std::slice::IterMut<'a, T>;
+
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Iter = std::slice::IterMut<'a, T>;
+
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    /// `into_par_iter()` for owned collections.
+    pub trait IntoParallelIterator {
+        /// The underlying (sequential) iterator.
+        type Iter: Iterator;
+
+        /// Sequential stand-in for rayon's `into_par_iter`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn sequential_fallbacks_iterate() {
+        let v = vec![1, 2, 3];
+        assert_eq!(v.par_iter().sum::<i32>(), 6);
+        let mut w = vec![1, 2, 3];
+        w.par_iter_mut().for_each(|x| *x *= 2);
+        assert_eq!(w, vec![2, 4, 6]);
+        assert_eq!(w.into_par_iter().max(), Some(6));
+    }
+}

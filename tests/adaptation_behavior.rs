@@ -68,10 +68,7 @@ fn smooth_migration_tracks_window_fractions() {
     let tree_row_fraction = |db: &Database| -> f64 {
         let lt = db.table("lineitem").unwrap();
         let rows_of = |blocks: Vec<u32>| -> usize {
-            blocks
-                .iter()
-                .map(|b| db.store().block_meta("lineitem", *b).unwrap().row_count)
-                .sum()
+            blocks.iter().map(|b| db.store().block_meta("lineitem", *b).unwrap().row_count).sum()
         };
         let total: usize = lt.trees.iter().map(|t| rows_of(t.all_blocks())).sum();
         let part = lt
@@ -152,8 +149,8 @@ fn full_repartition_baseline_spikes_once() {
     // Trigger at n = |W|/2 = 5 → query index 4.
     assert_eq!(spike_query, Some(4));
     // The spike rewrites a large share of lineitem + part in one go.
-    let total = db.table("lineitem").unwrap().total_blocks()
-        + db.table("part").unwrap().total_blocks();
+    let total =
+        db.table("lineitem").unwrap().total_blocks() + db.table("part").unwrap().total_blocks();
     assert!(spike_writes * 2 >= total, "spike of {spike_writes} vs {total} blocks");
 }
 
@@ -183,8 +180,7 @@ fn smaller_window_converges_faster() {
         for i in 0..40 {
             let q = Template::Q14.instantiate(&mut q_rng);
             let res = db.run(&q).unwrap();
-            if res.stats.strategy == JoinStrategy::HyperJoin
-                && res.stats.repartition_io.writes == 0
+            if res.stats.strategy == JoinStrategy::HyperJoin && res.stats.repartition_io.writes == 0
             {
                 return i;
             }
@@ -225,10 +221,7 @@ fn cmt_trace_headline() {
     let full_scan = run_total(Mode::FullScan);
     let adaptive = run_total(Mode::Adaptive);
     let best_guess = run_total(Mode::Fixed);
-    assert!(
-        adaptive < full_scan,
-        "AdaptDB ({adaptive:.0}) must beat FullScan ({full_scan:.0})"
-    );
+    assert!(adaptive < full_scan, "AdaptDB ({adaptive:.0}) must beat FullScan ({full_scan:.0})");
     assert!(
         best_guess < full_scan,
         "hand-tuned ({best_guess:.0}) must beat FullScan ({full_scan:.0})"
@@ -259,8 +252,5 @@ fn switching_workload_steady_state() {
     };
     let full = tail(Mode::FullScan);
     let adaptive = tail(Mode::Adaptive);
-    assert!(
-        adaptive < full * 0.75,
-        "steady-state adaptive {adaptive:.1} vs full scan {full:.1}"
-    );
+    assert!(adaptive < full * 0.75, "steady-state adaptive {adaptive:.1} vs full scan {full:.1}");
 }

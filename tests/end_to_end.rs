@@ -4,8 +4,7 @@
 use adaptdb::{Database, DbConfig, Mode};
 use adaptdb_common::stats::JoinStrategy;
 use adaptdb_common::{
-    row, CmpOp, JoinQuery, Predicate, PredicateSet, Query, Row, ScanQuery, Schema, Value,
-    ValueType,
+    row, CmpOp, JoinQuery, Predicate, PredicateSet, Query, Row, ScanQuery, Schema, Value, ValueType,
 };
 
 fn schema2() -> Schema {
@@ -33,13 +32,9 @@ fn make_rows(n: i64, f: impl Fn(i64) -> Row) -> Vec<Row> {
 }
 
 fn loaded_db(mode: Mode, l: &[Row], r: &[Row]) -> Database {
-    let config = DbConfig {
-        rows_per_block: 16,
-        window_size: 5,
-        buffer_blocks: 2,
-        ..DbConfig::small()
-    }
-    .with_mode(mode);
+    let config =
+        DbConfig { rows_per_block: 16, window_size: 5, buffer_blocks: 2, ..DbConfig::small() }
+            .with_mode(mode);
     let mut db = Database::new(config);
     db.create_table("l", schema2(), vec![0, 1]).unwrap();
     db.create_table("r", schema2(), vec![0, 1]).unwrap();
@@ -55,22 +50,16 @@ fn all_modes_match_nested_loop_ground_truth_under_adaptation() {
     let l = make_rows(300, |i| row![i % 90, i]);
     let r = make_rows(90, |i| row![i, i * 3]);
     let preds = PredicateSet::none().and(Predicate::new(1, CmpOp::Lt, 200i64));
-    let q = Query::Join(JoinQuery::new(
-        ScanQuery::new("l", preds.clone()),
-        ScanQuery::full("r"),
-        0,
-        0,
-    ));
+    let q =
+        Query::Join(JoinQuery::new(ScanQuery::new("l", preds.clone()), ScanQuery::full("r"), 0, 0));
     let l_filtered: Vec<Row> = l.iter().filter(|row| preds.matches(row)).cloned().collect();
     let expected = nested_loop_join(&l_filtered, &r, 0, 0);
 
-    for mode in [Mode::Adaptive, Mode::FullScan, Mode::FullRepartition, Mode::Amoeba, Mode::Fixed]
-    {
+    for mode in [Mode::Adaptive, Mode::FullScan, Mode::FullRepartition, Mode::Amoeba, Mode::Fixed] {
         let mut db = loaded_db(mode, &l, &r);
         for iteration in 0..6 {
             let res = db.run(&q).unwrap();
-            let mut got: Vec<Vec<Value>> =
-                res.rows.iter().map(|r| r.values().to_vec()).collect();
+            let mut got: Vec<Vec<Value>> = res.rows.iter().map(|r| r.values().to_vec()).collect();
             got.sort();
             assert_eq!(got, expected, "{mode:?} iteration {iteration}");
         }
@@ -160,9 +149,11 @@ fn scan_pruning_is_lossless() {
     let l = make_rows(500, |i| row![i, i % 13]);
     let mut db = loaded_db(Mode::Adaptive, &l, &l[..10]);
     for lo in [0i64, 100, 250, 400] {
-        let preds = PredicateSet::none()
-            .and(Predicate::new(0, CmpOp::Ge, lo))
-            .and(Predicate::new(0, CmpOp::Lt, lo + 50));
+        let preds = PredicateSet::none().and(Predicate::new(0, CmpOp::Ge, lo)).and(Predicate::new(
+            0,
+            CmpOp::Lt,
+            lo + 50,
+        ));
         let q = Query::Scan(ScanQuery::new("l", preds.clone()));
         let res = db.run(&q).unwrap();
         let expected = l.iter().filter(|r| preds.matches(r)).count();
@@ -291,8 +282,7 @@ fn fixed_mode_is_truly_static() {
     let l = make_rows(300, |i| row![i % 60, i]);
     let r = make_rows(60, |i| row![i, i]);
     let mut db = loaded_db(Mode::Fixed, &l, &r);
-    let blocks_before: usize =
-        db.store().block_count("l") + db.store().block_count("r");
+    let blocks_before: usize = db.store().block_count("l") + db.store().block_count("r");
     let q = Query::Join(JoinQuery::new(ScanQuery::full("l"), ScanQuery::full("r"), 0, 0));
     for _ in 0..5 {
         let res = db.run(&q).unwrap();

@@ -125,8 +125,5 @@ fn adaptation_continues_on_degraded_cluster() {
         last = Some(res);
     }
     // Still converges to hyper-join despite the failure.
-    assert_eq!(
-        last.unwrap().stats.strategy,
-        adaptdb_common::stats::JoinStrategy::HyperJoin
-    );
+    assert_eq!(last.unwrap().stats.strategy, adaptdb_common::stats::JoinStrategy::HyperJoin);
 }

@@ -22,9 +22,7 @@ fn arb_row(arity: usize) -> impl Strategy<Value = Row> {
 }
 
 fn arb_range() -> impl Strategy<Value = ValueRange> {
-    (0i64..2_000, 1i64..400).prop_map(|(lo, w)| {
-        ValueRange::new(Value::Int(lo), Value::Int(lo + w))
-    })
+    (0i64..2_000, 1i64..400).prop_map(|(lo, w)| ValueRange::new(Value::Int(lo), Value::Int(lo + w)))
 }
 
 fn arb_int_rows(n: usize, arity: usize) -> impl Strategy<Value = Vec<Row>> {
@@ -172,10 +170,14 @@ fn join_executors_agree_randomized() {
         let nr = rng.random_range(20..120usize);
         let key_space = rng.random_range(10..80i64);
         let l: Vec<Row> = (0..nl)
-            .map(|i| Row::new(vec![Value::Int(rng.random_range(0..key_space)), Value::Int(i as i64)]))
+            .map(|i| {
+                Row::new(vec![Value::Int(rng.random_range(0..key_space)), Value::Int(i as i64)])
+            })
             .collect();
         let r: Vec<Row> = (0..nr)
-            .map(|i| Row::new(vec![Value::Int(rng.random_range(0..key_space)), Value::Int(i as i64)]))
+            .map(|i| {
+                Row::new(vec![Value::Int(rng.random_range(0..key_space)), Value::Int(i as i64)])
+            })
             .collect();
         let q = Query::Join(JoinQuery::new(ScanQuery::full("l"), ScanQuery::full("r"), 0, 0));
 
@@ -189,8 +191,7 @@ fn join_executors_agree_randomized() {
             db.load_two_phase("l", l.clone(), 0, None).unwrap();
             db.load_two_phase("r", r.clone(), 0, None).unwrap();
             let res = db.run(&q).unwrap();
-            let mut rows: Vec<Vec<Value>> =
-                res.rows.iter().map(|r| r.values().to_vec()).collect();
+            let mut rows: Vec<Vec<Value>> = res.rows.iter().map(|r| r.values().to_vec()).collect();
             rows.sort();
             counts.push(rows);
         }

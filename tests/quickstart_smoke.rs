@@ -1,0 +1,78 @@
+//! Fast regression guard over the public `adaptdb::Database` API: the
+//! `examples/quickstart.rs` scenario, shrunk and run in-process with the
+//! row counts asserted against a brute-force reference join.
+
+use adaptdb::{Database, DbConfig};
+use adaptdb_common::{
+    row, CmpOp, JoinQuery, Predicate, PredicateSet, Query, Row, ScanQuery, Schema, Value, ValueType,
+};
+
+/// Rows of the quickstart `orders` table (shrunk).
+fn orders_rows() -> Vec<Row> {
+    (0..400i64).map(|k| row![k, k % 150, Value::Date((k % 2555) as i32)]).collect()
+}
+
+/// Rows of the quickstart `lineitem` table (shrunk).
+fn lineitem_rows() -> Vec<Row> {
+    (0..1_600i64).map(|i| row![i % 400, i % 50, Value::Date((i % 2555) as i32)]).collect()
+}
+
+/// The quickstart join: lineitem (l_quantity < 25) ⋈ orders on order key.
+fn quickstart_query() -> Query {
+    Query::Join(JoinQuery::new(
+        ScanQuery::new("lineitem", PredicateSet::none().and(Predicate::new(1, CmpOp::Lt, 25i64))),
+        ScanQuery::full("orders"),
+        0,
+        0,
+    ))
+}
+
+/// Expected result size by brute force.
+fn expected_rows() -> usize {
+    let orders = orders_rows();
+    lineitem_rows()
+        .iter()
+        .filter(|l| l.get(1).as_int().unwrap() < 25)
+        .map(|l| orders.iter().filter(|o| o.get(0) == l.get(0)).count())
+        .sum()
+}
+
+#[test]
+fn quickstart_scenario_returns_correct_counts_while_adapting() {
+    let config = DbConfig { nodes: 4, replication: 2, rows_per_block: 32, ..DbConfig::default() };
+    let mut db = Database::new(config);
+
+    let orders = Schema::from_pairs(&[
+        ("o_orderkey", ValueType::Int),
+        ("o_custkey", ValueType::Int),
+        ("o_orderdate", ValueType::Date),
+    ]);
+    let lineitem = Schema::from_pairs(&[
+        ("l_orderkey", ValueType::Int),
+        ("l_quantity", ValueType::Int),
+        ("l_shipdate", ValueType::Date),
+    ]);
+    db.create_table("orders", orders, vec![1, 2]).unwrap();
+    db.create_table("lineitem", lineitem, vec![1, 2]).unwrap();
+    db.load_rows("orders", orders_rows()).unwrap();
+    db.load_rows("lineitem", lineitem_rows()).unwrap();
+
+    let query = quickstart_query();
+    let expected = expected_rows();
+    assert!(expected > 0, "the fixture join must not be empty");
+
+    // The answer must be right on every repetition, from the first cold
+    // run through whatever adaptation the storage manager performs.
+    for i in 0..10 {
+        let res = db.run(&query).unwrap();
+        assert_eq!(res.rows.len(), expected, "wrong row count on repetition {i}");
+    }
+
+    // EXPLAIN works against the adapted state.
+    let plan = db.explain(&query).unwrap().to_string();
+    assert!(!plan.is_empty(), "explain produced an empty plan");
+
+    // The lineitem table still exists and kept at least one tree.
+    let li = db.table("lineitem").unwrap();
+    assert!(!li.trees.is_empty(), "lineitem lost its partitioning trees");
+}
