@@ -22,7 +22,6 @@ fn bench_join_exec(c: &mut Criterion) {
     let config = DbConfig {
         rows_per_block: 100,
         buffer_blocks: 8,
-        threads: 2,
         adapt_selections: false,
         ..DbConfig::default()
     };

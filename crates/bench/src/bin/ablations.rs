@@ -38,7 +38,7 @@ fn main() {
 /// without the append/merge semantics, and compare steady-state blocks.
 fn ablation_merge_on_write(seed: u64) {
     let run = |merge: bool| -> (usize, usize) {
-        let mut store = BlockStore::new(4, 1, seed);
+        let store = BlockStore::new(4, 1, seed);
         let clock = SimClock::new();
         // 40 source blocks of 10 rows.
         let mut sources = Vec::new();
@@ -52,8 +52,7 @@ fn ablation_merge_on_write(seed: u64) {
         let mut bucket_map: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
         for pair in sources.chunks(2) {
             let existing = if merge { bucket_map.clone() } else { BTreeMap::new() };
-            let out =
-                repartition_blocks(&mut store, &clock, "t", pair, &tree, 10, &existing).unwrap();
+            let out = repartition_blocks(&store, &clock, "t", pair, &tree, 10, &existing).unwrap();
             for v in bucket_map.values_mut() {
                 v.retain(|b| !out.absorbed.contains(b));
             }

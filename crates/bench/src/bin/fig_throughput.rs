@@ -1,0 +1,168 @@
+//! Serving throughput: queries/sec vs client threads, with and without
+//! background adaptation, on the TPC-H template mix.
+//!
+//! This is the concurrent-runtime companion to the paper's figures: the
+//! serial engine answers one query at a time, while `DbServer` keeps
+//! N clients running against snapshot reads as maintenance repartitions
+//! in the background. Emits `BENCH_throughput.json` next to the table.
+//!
+//! Usage: `fig_throughput [--scale X] [--seed N] [--quick]`
+
+use std::time::Instant;
+
+use adaptdb::{Database, DbConfig, Mode};
+use adaptdb_bench::{parse_args, print_table, BenchOpts};
+use adaptdb_common::rng;
+use adaptdb_common::Query;
+use adaptdb_server::{DbServer, ServerOptions};
+use adaptdb_workloads::tpch::{li, Template, TpchGen};
+
+/// One measured cell: client count × adaptation setting.
+struct Cell {
+    clients: usize,
+    adaptive: bool,
+    queries: u64,
+    secs: f64,
+    qps: f64,
+    mean_latency_ms: f64,
+    maintenance_writes: usize,
+}
+
+fn build_db(opts: &BenchOpts, adaptive: bool) -> Database {
+    let gen = TpchGen::new(opts.scale, opts.seed);
+    // Per-query executor fan-out stays at 1: the experiment's
+    // parallelism axis is client threads, and nesting both oversubscribes
+    // the machine.
+    let config = DbConfig {
+        rows_per_block: 100,
+        buffer_blocks: 8,
+        threads: 1,
+        seed: opts.seed,
+        ..DbConfig::default()
+    };
+    if adaptive {
+        let mut db = Database::new(config.with_mode(Mode::Adaptive));
+        gen.load_upfront(&mut db).unwrap();
+        db
+    } else {
+        let mut db = Database::new(config.with_mode(Mode::Fixed));
+        gen.load_converged(&mut db, li::ORDERKEY).unwrap();
+        db
+    }
+}
+
+fn query_mix(opts: &BenchOpts, per_client: usize) -> Vec<Query> {
+    let templates = Template::join_templates();
+    let mut q_rng = rng::derived(opts.seed, "fig-throughput");
+    (0..per_client).map(|i| templates[i % templates.len()].instantiate(&mut q_rng)).collect()
+}
+
+fn measure(opts: &BenchOpts, clients: usize, adaptive: bool, per_client: usize) -> Cell {
+    let db = build_db(opts, adaptive);
+    let server = DbServer::start_with(
+        db,
+        ServerOptions { workers: Some(clients), queue_capacity: Some(clients * 4) },
+    );
+    let queries = query_mix(opts, per_client);
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..clients {
+            let mut session = server.session();
+            let queries = &queries;
+            s.spawn(move || {
+                for q in queries {
+                    session.run(q).expect("bench query");
+                }
+            });
+        }
+    });
+    // Client wall-clock stops here; only the report waits for background
+    // maintenance to finish so maintenance_writes is a stable total.
+    let secs = started.elapsed().as_secs_f64();
+    server.drain_maintenance();
+    let report = server.report();
+    let queries_run = (clients * per_client) as u64;
+    Cell {
+        clients,
+        adaptive,
+        queries: queries_run,
+        secs,
+        qps: queries_run as f64 / secs.max(1e-9),
+        mean_latency_ms: report.mean_latency_ms,
+        maintenance_writes: report.maintenance_io.writes,
+    }
+}
+
+fn write_json(path: &str, cells: &[Cell], opts: &BenchOpts) {
+    let mut rows = Vec::new();
+    for c in cells {
+        rows.push(format!(
+            "    {{\"clients\": {}, \"adaptive\": {}, \"queries\": {}, \"secs\": {:.4}, \
+             \"qps\": {:.2}, \"mean_latency_ms\": {:.3}, \"maintenance_writes\": {}}}",
+            c.clients,
+            c.adaptive,
+            c.queries,
+            c.secs,
+            c.qps,
+            c.mean_latency_ms,
+            c.maintenance_writes
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"throughput\",\n  \"workload\": \"tpch-join-templates\",\n  \
+         \"scale\": {},\n  \"seed\": {},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        opts.scale,
+        opts.seed,
+        rows.join(",\n")
+    );
+    std::fs::write(path, json).expect("write BENCH_throughput.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let (opts, _) = parse_args();
+    let client_counts: &[usize] = if opts.quick { &[1, 4] } else { &[1, 2, 4, 8] };
+    let per_client = if opts.quick { 4 } else { 8 };
+
+    let mut cells = Vec::new();
+    for &adaptive in &[false, true] {
+        for &clients in client_counts {
+            cells.push(measure(&opts, clients, adaptive, per_client));
+        }
+    }
+
+    let table: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.clients.to_string(),
+                if c.adaptive { "yes".into() } else { "no".into() },
+                c.queries.to_string(),
+                format!("{:.2}", c.secs),
+                format!("{:.1}", c.qps),
+                format!("{:.2}", c.mean_latency_ms),
+                c.maintenance_writes.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Serving throughput: TPC-H join templates, DbServer worker pool",
+        &["clients", "adapting", "queries", "secs", "q/s", "mean ms", "maint writes"],
+        &table,
+    );
+
+    for &adaptive in &[false, true] {
+        let sub: Vec<&Cell> = cells.iter().filter(|c| c.adaptive == adaptive).collect();
+        let single = sub.iter().find(|c| c.clients == 1).expect("1-client cell");
+        let best = sub.iter().map(|c| c.qps).fold(0.0f64, f64::max);
+        println!(
+            "adaptation {}: 1-client {:.1} q/s, best {:.1} q/s ({:.2}x)",
+            if adaptive { "on" } else { "off" },
+            single.qps,
+            best,
+            best / single.qps.max(1e-9),
+        );
+    }
+
+    write_json("BENCH_throughput.json", &cells, &opts);
+}

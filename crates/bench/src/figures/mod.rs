@@ -37,7 +37,6 @@ pub fn bench_config(seed: u64) -> DbConfig {
         rows_per_block: 200,
         window_size: 10,
         buffer_blocks: 32,
-        threads: 2,
         seed,
         ..DbConfig::default()
     }

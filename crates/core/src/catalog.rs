@@ -30,8 +30,9 @@ const MAGIC: &[u8; 4] = b"ADBK";
 const VERSION: u16 = 1;
 
 /// A deserialized catalog entry, ready to validate against a store.
+/// (Distinct from [`crate::TableSnapshot`], the in-memory layout readers pin.)
 #[derive(Debug, Clone, PartialEq)]
-pub struct TableSnapshot {
+pub struct CatalogSnapshot {
     /// Table name.
     pub name: String,
     /// Schema.
@@ -89,8 +90,8 @@ pub fn encode_catalog<'a>(tables: impl IntoIterator<Item = &'a TableState>) -> B
     buf.put_u32_le(tables.len() as u32);
     for ts in tables {
         put_str(&mut buf, &ts.name);
-        buf.put_u16_le(ts.schema.len() as u16);
-        for f in ts.schema.fields() {
+        buf.put_u16_le(ts.schema().len() as u16);
+        for f in ts.schema().fields() {
             put_str(&mut buf, &f.name);
             buf.put_u8(type_tag(f.ty));
         }
@@ -98,8 +99,8 @@ pub fn encode_catalog<'a>(tables: impl IntoIterator<Item = &'a TableState>) -> B
         for a in &ts.candidate_attrs {
             buf.put_u16_le(*a);
         }
-        buf.put_u32_le(ts.trees.len() as u32);
-        for info in &ts.trees {
+        buf.put_u32_le(ts.trees().len() as u32);
+        for info in ts.trees() {
             let tree = info.tree.encode();
             buf.put_u32_le(tree.len() as u32);
             buf.put_slice(&tree);
@@ -125,7 +126,7 @@ macro_rules! need {
 }
 
 /// Parse a catalog blob.
-pub fn decode_catalog(mut buf: Bytes) -> Result<Vec<TableSnapshot>> {
+pub fn decode_catalog(mut buf: Bytes) -> Result<Vec<CatalogSnapshot>> {
     need!(buf, 10);
     if &buf.split_to(4)[..] != MAGIC {
         return Err(Error::Codec("bad catalog magic".into()));
@@ -175,7 +176,7 @@ pub fn decode_catalog(mut buf: Bytes) -> Result<Vec<TableSnapshot>> {
             }
             trees.push((tree, buckets));
         }
-        out.push(TableSnapshot { name, schema: Schema::new(fields), candidate_attrs, trees });
+        out.push(CatalogSnapshot { name, schema: Schema::new(fields), candidate_attrs, trees });
     }
     if buf.has_remaining() {
         return Err(Error::Codec("trailing bytes after catalog".into()));
@@ -185,20 +186,21 @@ pub fn decode_catalog(mut buf: Bytes) -> Result<Vec<TableSnapshot>> {
 
 /// Rebuild a [`TableState`]'s trees from a snapshot (schema must match;
 /// the caller validates block references against its store).
-pub fn apply_snapshot(ts: &mut TableState, snap: &TableSnapshot) -> Result<()> {
-    if ts.schema != snap.schema {
+pub fn apply_snapshot(ts: &mut TableState, snap: &CatalogSnapshot) -> Result<()> {
+    if *ts.schema() != snap.schema {
         return Err(Error::Plan(format!("schema mismatch restoring table {}", snap.name)));
     }
     ts.candidate_attrs = snap.candidate_attrs.clone();
-    ts.trees = snap
-        .trees
-        .iter()
-        .map(|(tree, buckets)| {
-            let mut info = TreeInfo::empty(tree.clone());
-            info.add_blocks(buckets.clone());
-            info
-        })
-        .collect();
+    ts.set_trees(
+        snap.trees
+            .iter()
+            .map(|(tree, buckets)| {
+                let mut info = TreeInfo::empty(tree.clone());
+                info.add_blocks(buckets.clone());
+                info
+            })
+            .collect(),
+    );
     Ok(())
 }
 
@@ -218,17 +220,14 @@ mod tests {
         );
         let mut info = TreeInfo::empty(tree);
         info.add_blocks(BTreeMap::from([(0, vec![10, 11]), (1, vec![12])]));
-        TableState {
-            name: "orders".into(),
-            schema: Schema::from_pairs(&[
-                ("o_orderkey", ValueType::Int),
-                ("o_comment", ValueType::Str),
-            ]),
-            trees: vec![info],
-            sample: Reservoir::new(8, 1),
-            window: QueryWindow::new(4),
-            candidate_attrs: vec![1],
-        }
+        TableState::with_trees(
+            "orders",
+            Schema::from_pairs(&[("o_orderkey", ValueType::Int), ("o_comment", ValueType::Str)]),
+            vec![info],
+            vec![1],
+            Reservoir::new(8, 1),
+            QueryWindow::new(4),
+        )
     }
 
     #[test]
@@ -239,11 +238,11 @@ mod tests {
         assert_eq!(snaps.len(), 1);
         let s = &snaps[0];
         assert_eq!(s.name, "orders");
-        assert_eq!(s.schema, ts.schema);
+        assert_eq!(s.schema, *ts.schema());
         assert_eq!(s.candidate_attrs, vec![1]);
         assert_eq!(s.trees.len(), 1);
-        assert_eq!(s.trees[0].0, ts.trees[0].tree);
-        assert_eq!(s.trees[0].1, ts.trees[0].buckets);
+        assert_eq!(s.trees[0].0, ts.trees()[0].tree);
+        assert_eq!(s.trees[0].1, ts.trees()[0].buckets);
     }
 
     #[test]
@@ -252,26 +251,30 @@ mod tests {
         let blob = encode_catalog([&ts]);
         let snaps = decode_catalog(blob).unwrap();
         // A fresh state with matching schema but no trees.
-        let mut fresh = TableState {
-            name: "orders".into(),
-            schema: ts.schema.clone(),
-            trees: vec![],
-            sample: Reservoir::new(8, 1),
-            window: QueryWindow::new(4),
-            candidate_attrs: vec![],
-        };
+        let mut fresh = TableState::new(
+            "orders",
+            ts.schema().clone(),
+            vec![],
+            Reservoir::new(8, 1),
+            QueryWindow::new(4),
+        );
         apply_snapshot(&mut fresh, &snaps[0]).unwrap();
-        assert_eq!(fresh.trees.len(), 1);
-        assert_eq!(fresh.trees[0].tree, ts.trees[0].tree);
-        assert_eq!(fresh.trees[0].all_blocks(), vec![10, 11, 12]);
+        assert_eq!(fresh.trees().len(), 1);
+        assert_eq!(fresh.trees()[0].tree, ts.trees()[0].tree);
+        assert_eq!(fresh.trees()[0].all_blocks(), vec![10, 11, 12]);
     }
 
     #[test]
     fn schema_mismatch_is_rejected() {
         let ts = sample_state();
         let snaps = decode_catalog(encode_catalog([&ts])).unwrap();
-        let mut wrong = sample_state();
-        wrong.schema = Schema::from_pairs(&[("different", ValueType::Int)]);
+        let mut wrong = TableState::new(
+            "orders",
+            Schema::from_pairs(&[("different", ValueType::Int)]),
+            vec![1],
+            Reservoir::new(8, 1),
+            QueryWindow::new(4),
+        );
         assert!(apply_snapshot(&mut wrong, &snaps[0]).is_err());
     }
 

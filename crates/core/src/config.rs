@@ -51,7 +51,10 @@ pub struct DbConfig {
     pub cost: CostParams,
     /// System variant.
     pub mode: Mode,
-    /// Worker threads for execution.
+    /// Worker threads for execution (scan/join fan-out and, in the
+    /// server, the client-facing executor pool). Defaults honor the
+    /// `ADAPTDB_THREADS` environment variable; see
+    /// [`DbConfig::env_threads`].
     pub threads: usize,
     /// Master seed; all randomness derives from it.
     pub seed: u64,
@@ -70,13 +73,21 @@ impl Default for DbConfig {
             adapt_selections: true,
             cost: CostParams::default(),
             mode: Mode::Adaptive,
-            threads: 2,
+            threads: DbConfig::env_threads().unwrap_or(2),
             seed: 42,
         }
     }
 }
 
 impl DbConfig {
+    /// The `ADAPTDB_THREADS` override, if set to a positive integer.
+    /// Row order is thread-count-invariant (the executor merges in
+    /// input order), so this only changes wall-clock parallelism —
+    /// call sites should use this instead of hard-coding counts.
+    pub fn env_threads() -> Option<usize> {
+        std::env::var("ADAPTDB_THREADS").ok()?.trim().parse::<usize>().ok().filter(|t| *t > 0)
+    }
+
     /// A small configuration suited to unit tests and doc examples:
     /// 4 nodes, no replication, tiny blocks.
     pub fn small() -> Self {
@@ -85,7 +96,7 @@ impl DbConfig {
             replication: 1,
             rows_per_block: 16,
             buffer_blocks: 2,
-            threads: 1,
+            threads: DbConfig::env_threads().unwrap_or(1),
             ..DbConfig::default()
         }
     }

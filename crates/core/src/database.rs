@@ -1,19 +1,20 @@
 //! The `Database` facade: catalog, optimizer, planner, executor glue.
+//!
+//! `Database` is the serial engine: one caller, adaptation piggybacked
+//! on the query path exactly as the paper runs its experiments. The
+//! concurrent server (`adaptdb-server`) reuses every piece of it — the
+//! read path via [`SnapshotSource`], the adaptation decisions via
+//! [`Database::record_observation`] / [`Database::adapt_now`] — while
+//! moving the rewrite work off the hot path.
 
 use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 use adaptdb_common::rng;
-use adaptdb_common::stats::JoinStrategy;
-use adaptdb_common::{
-    AttrId, BlockId, Error, PredicateSet, Query, QueryStats, Result, Row, Schema,
-};
+use adaptdb_common::{AttrId, BlockId, Error, Query, QueryStats, Result, Row, Schema};
 use adaptdb_dfs::SimClock;
-use adaptdb_exec::{
-    hyper_join, scan_blocks, shuffle_join, shuffle_join_rows, ExecContext, HyperJoinSpec,
-    ShuffleJoinSpec,
-};
-use adaptdb_join::{planner as join_planner, JoinDecision};
+use adaptdb_exec::RetireMode;
 use adaptdb_storage::{BlockStore, PartitionedWriter, Reservoir};
 use adaptdb_tree::{
     AdaptConfig, Adapter, PartitionTree, QueryWindow, TwoPhaseBuilder, UpfrontPartitioner,
@@ -23,8 +24,8 @@ use rand::rngs::StdRng;
 
 use crate::config::{DbConfig, Mode};
 use crate::optimizer;
-use crate::planner::{block_ranges, classify_candidates, SideCandidates};
-use crate::table::{TableState, TreeInfo};
+use crate::readpath::{self, SnapshotSource};
+use crate::table::{TableSnapshot, TableState, TreeInfo};
 
 /// Rows plus execution statistics for one query.
 #[derive(Debug, Clone)]
@@ -47,7 +48,7 @@ impl QueryResult {
 #[derive(Debug)]
 pub struct Database {
     config: DbConfig,
-    store: BlockStore,
+    store: Arc<BlockStore>,
     tables: BTreeMap<String, TableState>,
     rng: StdRng,
     /// Monotone query counter, for adaptation cooldowns.
@@ -57,12 +58,35 @@ pub struct Database {
     /// prevents oscillation when predicate constants vary between
     /// instances of the same template.
     last_selection_adapt: BTreeMap<String, usize>,
+    /// How repartitioning disposes of migrated source blocks. The
+    /// serial engine retires eagerly; a concurrent runtime switches to
+    /// deferred so readers pinned to older snapshots keep working.
+    retire_mode: RetireMode,
+    /// Blocks awaiting deletion under [`RetireMode::Deferred`].
+    pending_retire: Vec<(String, BlockId)>,
+}
+
+impl SnapshotSource for Database {
+    fn config(&self) -> &DbConfig {
+        &self.config
+    }
+
+    fn store(&self) -> &BlockStore {
+        &self.store
+    }
+
+    fn snapshot(&self, table: &str) -> Result<Arc<TableSnapshot>> {
+        self.tables
+            .get(table)
+            .map(TableState::snapshot_arc)
+            .ok_or_else(|| Error::UnknownTable(table.to_string()))
+    }
 }
 
 impl Database {
     /// Create a database over a fresh simulated cluster.
     pub fn new(config: DbConfig) -> Self {
-        let store = BlockStore::new(config.nodes, config.replication, config.seed);
+        let store = Arc::new(BlockStore::new(config.nodes, config.replication, config.seed));
         let rng = rng::derived(config.seed, "database");
         Database {
             config,
@@ -71,6 +95,8 @@ impl Database {
             rng,
             queries_run: 0,
             last_selection_adapt: BTreeMap::new(),
+            retire_mode: RetireMode::Eager,
+            pending_retire: Vec::new(),
         }
     }
 
@@ -84,6 +110,20 @@ impl Database {
     /// unaffected, only planning.
     pub fn set_buffer_blocks(&mut self, blocks: usize) {
         self.config.buffer_blocks = blocks.max(1);
+    }
+
+    /// Switch how migrated source blocks are disposed of. A concurrent
+    /// runtime sets [`RetireMode::Deferred`] and periodically drains
+    /// [`Database::take_retired`] once its readers quiesce.
+    pub fn set_retire_mode(&mut self, mode: RetireMode) {
+        self.retire_mode = mode;
+    }
+
+    /// Blocks retired under [`RetireMode::Deferred`] since the last
+    /// call: `(table, block)` pairs the caller must eventually
+    /// [`BlockStore::remove_block`].
+    pub fn take_retired(&mut self) -> Vec<(String, BlockId)> {
+        std::mem::take(&mut self.pending_retire)
     }
 
     /// Serialize the catalog (schemas, partitioning trees, bucket maps)
@@ -121,6 +161,17 @@ impl Database {
         &self.store
     }
 
+    /// A shareable handle to the block store — what the concurrent
+    /// server hands its reader threads.
+    pub fn store_arc(&self) -> Arc<BlockStore> {
+        Arc::clone(&self.store)
+    }
+
+    /// Names of all registered tables.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
     /// Fault injection: fail a simulated cluster node. With replication
     /// ≥ 2 queries keep working through surviving replicas (reads that
     /// would have been local become remote); unreplicated blocks on the
@@ -153,14 +204,13 @@ impl Database {
             )));
         }
         let sample_cap = 2_000;
-        let state = TableState {
-            name: name.to_string(),
+        let state = TableState::new(
+            name,
             schema,
-            trees: Vec::new(),
-            sample: Reservoir::new(sample_cap, self.config.seed ^ name.len() as u64),
-            window: QueryWindow::new(self.config.window_size),
             candidate_attrs,
-        };
+            Reservoir::new(sample_cap, self.config.seed ^ name.len() as u64),
+            QueryWindow::new(self.config.window_size),
+        );
         self.tables.insert(name.to_string(), state);
         Ok(())
     }
@@ -175,15 +225,15 @@ impl Database {
             ts.sample.offer(r.clone());
         }
         let depth = self.config.depth_for_rows(buffered.len());
-        let arity = ts.schema.len();
+        let arity = ts.schema().len();
         let attrs = if ts.candidate_attrs.is_empty() {
-            ts.schema.attr_ids().collect()
+            ts.schema().attr_ids().collect()
         } else {
             ts.candidate_attrs.clone()
         };
         let tree =
             UpfrontPartitioner::new(arity, attrs, depth, self.config.seed).build(ts.sample.rows());
-        Self::write_through_tree(&mut self.store, ts, tree, buffered, self.config.rows_per_block)
+        Self::write_through_tree(&self.store, ts, tree, buffered, self.config.rows_per_block)
     }
 
     /// Load rows under an explicit tree (hand-tuned / "best guess"
@@ -202,7 +252,7 @@ impl Database {
         for r in &rows {
             ts.sample.offer(r.clone());
         }
-        Self::write_through_tree(&mut self.store, ts, tree, rows, budget)
+        Self::write_through_tree(&self.store, ts, tree, rows, budget)
     }
 
     /// Load rows under a converged two-phase tree for `join_attr` —
@@ -231,7 +281,7 @@ impl Database {
         let selection: Vec<AttrId> =
             ts.candidate_attrs.iter().copied().filter(|a| *a != join_attr).collect();
         let tree = TwoPhaseBuilder::new(
-            ts.schema.len(),
+            ts.schema().len(),
             join_attr,
             levels,
             selection,
@@ -239,18 +289,18 @@ impl Database {
             self.config.seed,
         )
         .build(ts.sample.rows());
-        Self::write_through_tree(&mut self.store, ts, tree, rows, self.config.rows_per_block)
+        Self::write_through_tree(&self.store, ts, tree, rows, self.config.rows_per_block)
     }
 
     fn write_through_tree(
-        store: &mut BlockStore,
+        store: &BlockStore,
         ts: &mut TableState,
         tree: PartitionTree,
         rows: Vec<Row>,
         rows_per_block: usize,
     ) -> Result<usize> {
         let n = rows.len();
-        let arity = ts.schema.len();
+        let arity = ts.schema().len();
         let mut writer = PartitionedWriter::new(store, &ts.name, arity, rows_per_block, None);
         for row in rows {
             writer.push(tree.route(&row), row);
@@ -258,7 +308,7 @@ impl Database {
         let map = writer.finish();
         let mut info = TreeInfo::empty(tree);
         info.add_blocks(map);
-        ts.trees = vec![info];
+        ts.set_trees(vec![info]);
         Ok(n)
     }
 
@@ -266,14 +316,19 @@ impl Database {
     /// plan, execute, and account.
     pub fn run(&mut self, query: &Query) -> Result<QueryResult> {
         let started = Instant::now();
-        self.queries_run += 1;
-        self.observe(query)?;
+        let unaccounted_before = self.store.unaccounted_reads();
+        self.record_observation(query)?;
 
         let repart_clock = SimClock::new();
-        self.adapt(query, &repart_clock)?;
+        self.adapt_now(query, &repart_clock)?;
 
         let query_clock = SimClock::new();
-        let (rows, strategy, c_hyj) = self.execute(query, &query_clock)?;
+        let (rows, strategy, c_hyj) = readpath::execute_query(self, query, &query_clock)?;
+        debug_assert_eq!(
+            self.store.unaccounted_reads(),
+            unaccounted_before,
+            "a read path skipped clock accounting"
+        );
 
         let mut stats = QueryStats::empty(strategy);
         stats.query_io = query_clock.snapshot();
@@ -285,7 +340,12 @@ impl Database {
 
     // ----- window bookkeeping ------------------------------------------
 
-    fn observe(&mut self, query: &Query) -> Result<()> {
+    /// Count the query and push its window entries — the first half of
+    /// what [`Database::run`] does before executing. The concurrent
+    /// server calls this from its maintenance loop as it drains
+    /// executed queries.
+    pub fn record_observation(&mut self, query: &Query) -> Result<()> {
+        self.queries_run += 1;
         for name in query.tables() {
             let ts =
                 self.tables.get_mut(name).ok_or_else(|| Error::UnknownTable(name.to_string()))?;
@@ -299,7 +359,12 @@ impl Database {
 
     // ----- adaptation (the optimizer of §6) ----------------------------
 
-    fn adapt(&mut self, query: &Query, clock: &SimClock) -> Result<()> {
+    /// Decide and perform adaptation for `query`'s tables under the
+    /// current mode, charging rewrite I/O to `clock` — the second half
+    /// of what [`Database::run`] does. Public so a maintenance loop can
+    /// run the exact serial decision procedure off the hot path (with a
+    /// maintenance-kind clock and deferred retirement).
+    pub fn adapt_now(&mut self, query: &Query, clock: &SimClock) -> Result<()> {
         let mut tables: Vec<&str> = query.tables();
         tables.dedup();
         let tables: Vec<String> = tables.into_iter().map(String::from).collect();
@@ -331,11 +396,49 @@ impl Database {
         Ok(())
     }
 
+    fn repartition(
+        &mut self,
+        table: &str,
+        blocks: &[BlockId],
+        target_tree: &PartitionTree,
+        existing: &BTreeMap<adaptdb_storage::writer::BucketId, Vec<BlockId>>,
+        clock: &SimClock,
+    ) -> Result<adaptdb_exec::RepartitionOutcome> {
+        let outcome = adaptdb_exec::repartition_blocks_with(
+            &self.store,
+            clock,
+            table,
+            blocks,
+            target_tree,
+            self.config.rows_per_block,
+            existing,
+            self.retire_mode,
+        )?;
+        self.pending_retire.extend(outcome.retired.iter().map(|b| (table.to_string(), *b)));
+        Ok(outcome)
+    }
+
+    /// Rows in the table according to its manifests. Equal to the
+    /// store-side count when retirement is eager; under deferred
+    /// retirement the store temporarily also holds migrated-away blocks,
+    /// which must not skew adaptation sizing.
+    fn manifest_rows(&self, ts: &TableState, table: &str) -> usize {
+        Self::blocks_rows(&self.store, table, &ts.all_blocks())
+    }
+
+    /// Rows held by a specific block list, per catalog metadata. The
+    /// single source of truth for adaptation's `|T|` sizing — whole
+    /// table and per-tree counts must stay consistent with each other.
+    fn blocks_rows(store: &BlockStore, table: &str, blocks: &[BlockId]) -> usize {
+        blocks.iter().filter_map(|b| store.with_block_meta(table, *b, |m| m.row_count).ok()).sum()
+    }
+
     /// Smooth repartitioning toward `attr` for one table (Fig. 11).
     fn smooth_migrate(&mut self, table: &str, attr: AttrId, clock: &SimClock) -> Result<()> {
         let config = self.config.clone();
-        let total_rows = self.store.row_count(table);
-        let ts = self.tables.get_mut(table).ok_or_else(|| Error::UnknownTable(table.into()))?;
+        let ts = self.tables.get(table).ok_or_else(|| Error::UnknownTable(table.into()))?;
+        let total_rows = self.manifest_rows(ts, table);
+        let ts = self.tables.get_mut(table).expect("table exists");
         let total = ts.total_blocks();
         if total == 0 {
             return Ok(());
@@ -352,7 +455,7 @@ impl Database {
                 let selection: Vec<AttrId> =
                     ts.candidate_attrs.iter().copied().filter(|a| *a != attr).collect();
                 let tree = TwoPhaseBuilder::new(
-                    ts.schema.len(),
+                    ts.schema().len(),
                     attr,
                     levels,
                     selection,
@@ -360,8 +463,8 @@ impl Database {
                     config.seed ^ (attr as u64) << 32,
                 )
                 .build(ts.sample.rows());
-                ts.trees.push(TreeInfo::empty(tree));
-                ts.trees.len() - 1
+                ts.trees_mut().push(TreeInfo::empty(tree));
+                ts.trees().len() - 1
             }
         };
         // |W| is the configured window length (§5.2 "where |W| is the
@@ -370,14 +473,8 @@ impl Database {
         // measured in rows, not block counts: migrated rows land in
         // partially-filled blocks, so block counts would overstate the
         // target tree's share.
-        let tree_rows = |info: &TreeInfo, store: &BlockStore| -> usize {
-            info.all_blocks()
-                .iter()
-                .filter_map(|b| store.block_meta(table, *b).ok())
-                .map(|m| m.row_count)
-                .sum()
-        };
-        let target_rows = tree_rows(&ts.trees[target_idx], &self.store);
+        let target_rows =
+            Self::blocks_rows(&self.store, table, &ts.trees()[target_idx].all_blocks());
         let quota =
             optimizer::smooth_migration_size(n, ts.window.capacity(), target_rows, total_rows);
         if quota == 0 {
@@ -388,7 +485,7 @@ impl Database {
         // choosing 1/|W| of the blocks in the old tree"), taken until
         // their rows cover the quota.
         let pool: Vec<BlockId> = ts
-            .trees
+            .trees()
             .iter()
             .enumerate()
             .filter(|(i, _)| *i != target_idx)
@@ -402,29 +499,24 @@ impl Database {
                 break;
             }
             let b = pool[i];
-            rows_taken += self.store.block_meta(table, b).map(|m| m.row_count).unwrap_or(0);
+            rows_taken += self.store.with_block_meta(table, b, |m| m.row_count).unwrap_or(0);
             victims.push(b);
         }
         if victims.is_empty() {
             ts.prune_empty_trees();
             return Ok(());
         }
-        let target_tree = ts.trees[target_idx].tree.clone();
-        let outcome = adaptdb_exec::repartition_blocks(
-            &mut self.store,
-            clock,
-            table,
-            &victims,
-            &target_tree,
-            config.rows_per_block,
-            &ts.trees[target_idx].buckets,
-        )?;
+        let target_tree = ts.trees()[target_idx].tree.clone();
+        let existing = ts.trees()[target_idx].buckets.clone();
+        let outcome = self.repartition(table, &victims, &target_tree, &existing, clock)?;
+        let ts = self.tables.get_mut(table).expect("table exists");
         let mut dead: HashSet<BlockId> = victims.into_iter().collect();
         dead.extend(outcome.absorbed.iter().copied());
-        for info in ts.trees.iter_mut() {
+        let trees = ts.trees_mut();
+        for info in trees.iter_mut() {
             info.remove_blocks(&dead);
         }
-        ts.trees[target_idx].add_blocks(outcome.added);
+        trees[target_idx].add_blocks(outcome.added);
         ts.prune_empty_trees();
         Ok(())
     }
@@ -438,8 +530,9 @@ impl Database {
         clock: &SimClock,
     ) -> Result<()> {
         let config = self.config.clone();
-        let total_rows = self.store.row_count(table);
-        let ts = self.tables.get_mut(table).ok_or_else(|| Error::UnknownTable(table.into()))?;
+        let ts = self.tables.get(table).ok_or_else(|| Error::UnknownTable(table.into()))?;
+        let total_rows = self.manifest_rows(ts, table);
+        let ts = self.tables.get_mut(table).expect("table exists");
         if ts.tree_for_join_attr(attr).is_some() || ts.total_blocks() == 0 {
             return Ok(());
         }
@@ -452,7 +545,7 @@ impl Database {
         let selection: Vec<AttrId> =
             ts.candidate_attrs.iter().copied().filter(|a| *a != attr).collect();
         let tree = TwoPhaseBuilder::new(
-            ts.schema.len(),
+            ts.schema().len(),
             attr,
             levels,
             selection,
@@ -461,18 +554,12 @@ impl Database {
         )
         .build(ts.sample.rows());
         let all = ts.all_blocks();
-        let outcome = adaptdb_exec::repartition_blocks(
-            &mut self.store,
-            clock,
-            table,
-            &all,
-            &tree,
-            config.rows_per_block,
-            &std::collections::BTreeMap::new(),
-        )?;
+        let outcome =
+            self.repartition(table, &all, &tree, &std::collections::BTreeMap::new(), clock)?;
+        let ts = self.tables.get_mut(table).expect("table exists");
         let mut info = TreeInfo::empty(tree);
         info.add_blocks(outcome.added);
-        ts.trees = vec![info];
+        ts.set_trees(vec![info]);
         Ok(())
     }
 
@@ -486,373 +573,55 @@ impl Database {
             }
         }
         let ts = self.tables.get_mut(table).ok_or_else(|| Error::UnknownTable(table.into()))?;
-        let Some(idx) = (0..ts.trees.len()).max_by_key(|&i| ts.trees[i].block_count()) else {
+        let Some(idx) = (0..ts.trees().len()).max_by_key(|&i| ts.trees()[i].block_count()) else {
             return Ok(());
         };
-        if ts.trees[idx].block_count() == 0 {
+        if ts.trees()[idx].block_count() == 0 {
             return Ok(());
         }
         let adapter = Adapter::new(AdaptConfig { seed: config.seed, ..AdaptConfig::default() });
-        let Some(plan) = adapter.propose(&ts.trees[idx].tree, ts.sample.rows(), &ts.window) else {
+        let Some(plan) = adapter.propose(&ts.trees()[idx].tree, ts.sample.rows(), &ts.window)
+        else {
             return Ok(());
         };
         let affected: Vec<BlockId> = plan
             .old_buckets
             .iter()
-            .filter_map(|b| ts.trees[idx].buckets.get(b))
+            .filter_map(|b| ts.trees()[idx].buckets.get(b))
             .flatten()
             .copied()
             .collect();
         if affected.is_empty() {
             // Structure-only change (buckets held no blocks): just swap.
+            let trees = ts.trees_mut();
             for b in &plan.old_buckets {
-                ts.trees[idx].buckets.remove(b);
+                trees[idx].buckets.remove(b);
             }
-            ts.trees[idx].tree = plan.new_tree;
+            trees[idx].tree = plan.new_tree;
             self.last_selection_adapt.insert(table.to_string(), self.queries_run);
             return Ok(());
         }
-        let outcome = adaptdb_exec::repartition_blocks(
-            &mut self.store,
-            clock,
-            table,
-            &affected,
-            &plan.new_tree,
-            config.rows_per_block,
-            &ts.trees[idx].buckets,
-        )?;
+        let existing = ts.trees()[idx].buckets.clone();
+        let outcome = self.repartition(table, &affected, &plan.new_tree, &existing, clock)?;
+        let ts = self.tables.get_mut(table).expect("table exists");
+        let trees = ts.trees_mut();
         for b in &plan.old_buckets {
-            ts.trees[idx].buckets.remove(b);
+            trees[idx].buckets.remove(b);
         }
         let dead: HashSet<BlockId> = outcome.absorbed.iter().copied().collect();
-        ts.trees[idx].remove_blocks(&dead);
-        ts.trees[idx].tree = plan.new_tree;
-        ts.trees[idx].add_blocks(outcome.added);
+        trees[idx].remove_blocks(&dead);
+        trees[idx].tree = plan.new_tree;
+        trees[idx].add_blocks(outcome.added);
         self.last_selection_adapt.insert(table.to_string(), self.queries_run);
         Ok(())
-    }
-
-    // ----- execution ----------------------------------------------------
-
-    fn execute(
-        &self,
-        query: &Query,
-        clock: &SimClock,
-    ) -> Result<(Vec<Row>, JoinStrategy, Option<f64>)> {
-        match query {
-            Query::Scan(s) => {
-                let rows = self.execute_scan(&s.table, &s.predicates, clock)?;
-                Ok((rows, JoinStrategy::ScanOnly, None))
-            }
-            Query::Join(j) => {
-                let (rows, strategy, c) = self.execute_join(
-                    &j.left.table,
-                    &j.left.predicates,
-                    j.left_attr,
-                    &j.right.table,
-                    &j.right.predicates,
-                    j.right_attr,
-                    clock,
-                )?;
-                Ok((rows, strategy, c))
-            }
-            Query::MultiJoin { first, steps } => {
-                let (mut rows, mut strategy, c) = self.execute_join(
-                    &first.left.table,
-                    &first.left.predicates,
-                    first.left_attr,
-                    &first.right.table,
-                    &first.right.predicates,
-                    first.right_attr,
-                    clock,
-                )?;
-                for step in steps {
-                    let (step_rows, used_hyper) = self.execute_step(step, rows, clock)?;
-                    rows = step_rows;
-                    if !used_hyper && strategy == JoinStrategy::HyperJoin {
-                        strategy = JoinStrategy::Mixed;
-                    }
-                }
-                Ok((rows, strategy, c))
-            }
-        }
-    }
-
-    fn exec_ctx<'a>(&'a self, clock: &'a SimClock) -> ExecContext<'a> {
-        ExecContext::new(&self.store, clock, self.config.threads)
-    }
-
-    /// Execute one multi-way join step (§4.3). When the base table has a
-    /// tree on the step's join attribute covering all candidate blocks,
-    /// only the intermediate is shuffled and the base table is read
-    /// through a hyper-join schedule ("AdaptDB only needs to shuffle
-    /// tempLO based on custkey, and can then use hyper-join"). Otherwise
-    /// the step falls back to scanning the table and shuffling both
-    /// sides. Returns the joined rows and whether the hyper path ran.
-    fn execute_step(
-        &self,
-        step: &adaptdb_common::JoinStep,
-        intermediate: Vec<Row>,
-        clock: &SimClock,
-    ) -> Result<(Vec<Row>, bool)> {
-        let table = &step.table.table;
-        let preds = &step.table.predicates;
-        let ts = self.table(table)?;
-        let allow_hyper =
-            matches!(self.config.mode, Mode::Adaptive | Mode::FullRepartition | Mode::Fixed);
-        if allow_hyper {
-            let candidates = classify_candidates(ts, preds, step.table_attr);
-            if !candidates.matching.is_empty() && candidates.other.is_empty() {
-                // Group the stored side exactly like a two-table
-                // hyper-join would, with per-group key ranges for
-                // routing the intermediate.
-                let ranges =
-                    block_ranges(&self.store, table, &candidates.matching, step.table_attr)?;
-                let plain: Vec<adaptdb_common::ValueRange> =
-                    ranges.iter().map(|(_, r)| r.clone()).collect();
-                let overlap = adaptdb_join::OverlapMatrix::compute_sweep(&plain, &plain);
-                let grouping =
-                    adaptdb_join::bottom_up::solve(&overlap, self.config.buffer_blocks.max(1));
-                let groups: Vec<adaptdb_exec::StepGroup> = grouping
-                    .groups()
-                    .iter()
-                    .map(|members| {
-                        let mut range = adaptdb_common::ValueRange::empty();
-                        let blocks = members
-                            .iter()
-                            .map(|&i| {
-                                range.merge(&ranges[i].1);
-                                ranges[i].0
-                            })
-                            .collect();
-                        adaptdb_exec::StepGroup { blocks, range }
-                    })
-                    .collect();
-                let rows = adaptdb_exec::hyper_step_join(
-                    self.exec_ctx(clock),
-                    table,
-                    groups,
-                    step.table_attr,
-                    preds,
-                    intermediate,
-                    step.intermediate_attr,
-                    self.config.rows_per_block,
-                )?;
-                return Ok((rows, true));
-            }
-        }
-        // Fallback: scan through the trees, shuffle both sides.
-        let side = self.execute_scan(table, preds, clock)?;
-        let rows = shuffle_join_rows(
-            self.exec_ctx(clock),
-            intermediate,
-            side,
-            step.intermediate_attr,
-            step.table_attr,
-            self.config.rows_per_block,
-        );
-        Ok((rows, false))
-    }
-
-    fn execute_scan(
-        &self,
-        table: &str,
-        preds: &PredicateSet,
-        clock: &SimClock,
-    ) -> Result<Vec<Row>> {
-        let ts = self.table(table)?;
-        if self.config.mode == Mode::FullScan {
-            // Baseline: no tree pruning, no metadata skipping.
-            let blocks = ts.all_blocks();
-            let rows = scan_blocks(self.exec_ctx(clock), table, &blocks, &PredicateSet::none())?;
-            return Ok(rows.into_iter().filter(|r| preds.matches(r)).collect());
-        }
-        let blocks = ts.lookup_blocks(preds);
-        scan_blocks(self.exec_ctx(clock), table, &blocks, preds)
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn execute_join(
-        &self,
-        left: &str,
-        left_preds: &PredicateSet,
-        left_attr: AttrId,
-        right: &str,
-        right_preds: &PredicateSet,
-        right_attr: AttrId,
-        clock: &SimClock,
-    ) -> Result<(Vec<Row>, JoinStrategy, Option<f64>)> {
-        let lt = self.table(left)?;
-        let rt = self.table(right)?;
-        let allow_hyper =
-            matches!(self.config.mode, Mode::Adaptive | Mode::FullRepartition | Mode::Fixed);
-
-        let (lc, rc) = if self.config.mode == Mode::FullScan {
-            (
-                SideCandidates { matching: vec![], other: lt.all_blocks() },
-                SideCandidates { matching: vec![], other: rt.all_blocks() },
-            )
-        } else {
-            (
-                classify_candidates(lt, left_preds, left_attr),
-                classify_candidates(rt, right_preds, right_attr),
-            )
-        };
-
-        if !allow_hyper {
-            let rows = self.run_shuffle(
-                left,
-                &lc.all(),
-                left_preds,
-                left_attr,
-                right,
-                &rc.all(),
-                right_preds,
-                right_attr,
-                clock,
-            )?;
-            return Ok((rows, JoinStrategy::ShuffleJoin, None));
-        }
-
-        // Choose the hyper candidate sets: matching×matching when both
-        // sides are (at least partially) organized for this join;
-        // otherwise try everything (the "up-front partitioning happens to
-        // work out" clause of case 3).
-        let both_matching = !lc.matching.is_empty() && !rc.matching.is_empty();
-        let (l_hyper, l_rest, r_hyper, r_rest) = if both_matching {
-            (lc.matching.clone(), lc.other.clone(), rc.matching.clone(), rc.other.clone())
-        } else {
-            (lc.all(), Vec::new(), rc.all(), Vec::new())
-        };
-
-        let l_ranges = block_ranges(&self.store, left, &l_hyper, left_attr)?;
-        let r_ranges = block_ranges(&self.store, right, &r_hyper, right_attr)?;
-        let decision =
-            join_planner::plan(&l_ranges, &r_ranges, self.config.buffer_blocks, &self.config.cost);
-
-        // Cost check for the mixed case (§5.4): the hyper part plus the
-        // remainder shuffles must beat one full shuffle, else shuffling
-        // everything at once is cheaper.
-        let decision = match decision {
-            JoinDecision::Hyper(plan) if !l_rest.is_empty() || !r_rest.is_empty() => {
-                let cost = &self.config.cost;
-                let mut mixed = plan.est_total_reads() as f64;
-                if !r_rest.is_empty() {
-                    mixed += cost.shuffle_join_cost(l_hyper.len(), r_rest.len());
-                }
-                if !l_rest.is_empty() {
-                    mixed += cost.shuffle_join_cost(l_rest.len(), rc.len());
-                }
-                let full = cost.shuffle_join_cost(lc.len(), rc.len());
-                if mixed < full {
-                    JoinDecision::Hyper(plan)
-                } else {
-                    JoinDecision::Shuffle { est_cost: full, hyper_cost: mixed }
-                }
-            }
-            other => other,
-        };
-
-        match decision {
-            JoinDecision::Hyper(plan) => {
-                let mut rows = hyper_join(
-                    self.exec_ctx(clock),
-                    HyperJoinSpec {
-                        left_table: left,
-                        right_table: right,
-                        left_attr,
-                        right_attr,
-                        left_preds,
-                        right_preds,
-                        plan: &plan,
-                    },
-                )?;
-                let mut mixed = false;
-                // Remainder joins for mid-migration blocks (planner case 2).
-                if !r_rest.is_empty() {
-                    mixed = true;
-                    rows.extend(self.run_shuffle(
-                        left,
-                        &l_hyper,
-                        left_preds,
-                        left_attr,
-                        right,
-                        &r_rest,
-                        right_preds,
-                        right_attr,
-                        clock,
-                    )?);
-                }
-                if !l_rest.is_empty() {
-                    mixed = true;
-                    let r_all = rc.all();
-                    rows.extend(self.run_shuffle(
-                        left,
-                        &l_rest,
-                        left_preds,
-                        left_attr,
-                        right,
-                        &r_all,
-                        right_preds,
-                        right_attr,
-                        clock,
-                    )?);
-                }
-                let strategy = if mixed { JoinStrategy::Mixed } else { JoinStrategy::HyperJoin };
-                Ok((rows, strategy, Some(plan.c_hyj)))
-            }
-            JoinDecision::Shuffle { .. } => {
-                let rows = self.run_shuffle(
-                    left,
-                    &lc.all(),
-                    left_preds,
-                    left_attr,
-                    right,
-                    &rc.all(),
-                    right_preds,
-                    right_attr,
-                    clock,
-                )?;
-                Ok((rows, JoinStrategy::ShuffleJoin, None))
-            }
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn run_shuffle(
-        &self,
-        left: &str,
-        left_blocks: &[BlockId],
-        left_preds: &PredicateSet,
-        left_attr: AttrId,
-        right: &str,
-        right_blocks: &[BlockId],
-        right_preds: &PredicateSet,
-        right_attr: AttrId,
-        clock: &SimClock,
-    ) -> Result<Vec<Row>> {
-        shuffle_join(
-            self.exec_ctx(clock),
-            ShuffleJoinSpec {
-                left_table: left,
-                left_blocks,
-                right_table: right,
-                right_blocks,
-                left_attr,
-                right_attr,
-                left_preds,
-                right_preds,
-                partitions: self.config.nodes,
-                rows_per_block: self.config.rows_per_block,
-            },
-        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adaptdb_common::{row, CmpOp, JoinQuery, Predicate, ScanQuery, ValueType};
+    use adaptdb_common::stats::JoinStrategy;
+    use adaptdb_common::{row, CmpOp, JoinQuery, Predicate, PredicateSet, ScanQuery, ValueType};
 
     fn schema2() -> Schema {
         Schema::from_pairs(&[("k", ValueType::Int), ("x", ValueType::Int)])
@@ -924,8 +693,8 @@ mod tests {
         // Both tables now hold exactly one tree, on attr 0.
         for t in ["l", "r"] {
             let ts = d.table(t).unwrap();
-            assert_eq!(ts.trees.len(), 1, "{t} trees");
-            assert_eq!(ts.trees[0].join_attr(), Some(0));
+            assert_eq!(ts.trees().len(), 1, "{t} trees");
+            assert_eq!(ts.trees()[0].join_attr(), Some(0));
         }
     }
 
@@ -1103,5 +872,43 @@ mod tests {
         let s = slow_res.simulated_secs(slow.config());
         assert!(f > 0.0 && s > 0.0);
         assert!(f < s, "converged hyper-join ({f}) must beat full scan ({s})");
+    }
+
+    #[test]
+    fn deferred_retire_accumulates_and_drains() {
+        let mut d = db(Mode::Adaptive);
+        d.set_retire_mode(RetireMode::Deferred);
+        let before = d.store().block_count("l") + d.store().block_count("r");
+        for _ in 0..6 {
+            d.run(&join_query()).unwrap();
+        }
+        let retired = d.take_retired();
+        assert!(!retired.is_empty(), "adaptation must have deferred some blocks");
+        assert!(d.take_retired().is_empty(), "take drains");
+        // All retired blocks are still present until collected.
+        for (t, b) in &retired {
+            assert!(d.store().block_meta(t, *b).is_ok());
+        }
+        let inflated = d.store().block_count("l") + d.store().block_count("r");
+        assert!(inflated > before - retired.len(), "retired blocks linger");
+        for (t, b) in &retired {
+            d.store().remove_block(t, *b).unwrap();
+        }
+        // Queries still answer correctly after collection.
+        let res = d.run(&join_query()).unwrap();
+        assert_eq!(res.rows.len(), 200);
+    }
+
+    #[test]
+    fn deferred_and_eager_retire_produce_identical_results() {
+        let mut eager = db(Mode::Adaptive);
+        let mut deferred = db(Mode::Adaptive);
+        deferred.set_retire_mode(RetireMode::Deferred);
+        for _ in 0..8 {
+            let a = eager.run(&join_query()).unwrap();
+            let b = deferred.run(&join_query()).unwrap();
+            assert_eq!(a.rows.len(), b.rows.len());
+            assert_eq!(a.stats.strategy, b.stats.strategy);
+        }
     }
 }

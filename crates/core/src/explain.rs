@@ -94,7 +94,8 @@ impl Database {
                 )?;
                 for step in steps {
                     let ts = self.table(&step.table.table)?;
-                    let c = classify_candidates(ts, &step.table.predicates, step.table_attr);
+                    let c =
+                        classify_candidates(ts.snapshot(), &step.table.predicates, step.table_attr);
                     report.candidates.push((
                         step.table.table.clone(),
                         c.matching.len(),
@@ -119,8 +120,8 @@ impl Database {
     ) -> Result<ExplainReport> {
         let lt = self.table(left)?;
         let rt = self.table(right)?;
-        let lc = classify_candidates(lt, left_preds, left_attr);
-        let rc = classify_candidates(rt, right_preds, right_attr);
+        let lc = classify_candidates(lt.snapshot(), left_preds, left_attr);
+        let rc = classify_candidates(rt.snapshot(), right_preds, right_attr);
         let candidates = vec![
             (left.to_string(), lc.matching.len(), lc.other.len()),
             (right.to_string(), rc.matching.len(), rc.other.len()),

@@ -48,9 +48,12 @@ pub mod database;
 pub mod explain;
 pub mod optimizer;
 pub mod planner;
+pub mod readpath;
 pub mod table;
 
+pub use adaptdb_exec::RetireMode;
 pub use config::{DbConfig, Mode};
 pub use database::{Database, QueryResult};
 pub use explain::ExplainReport;
-pub use table::{TableState, TreeInfo};
+pub use readpath::SnapshotSource;
+pub use table::{TableSnapshot, TableState, TreeInfo};

@@ -15,7 +15,7 @@ use adaptdb_common::{AttrId, BlockId, PredicateSet, Result, ValueRange};
 use adaptdb_join::planner::BlockRange;
 use adaptdb_storage::BlockStore;
 
-use crate::table::TableState;
+use crate::table::TableSnapshot;
 
 /// Candidate blocks for one side of a join, split by tree affinity.
 #[derive(Debug, Clone, Default)]
@@ -46,9 +46,10 @@ impl SideCandidates {
 }
 
 /// Classify a table's `lookup` results by whether their tree matches the
-/// join attribute.
+/// join attribute. Takes the immutable layout snapshot, so the serving
+/// runtime can plan against a pinned view while adaptation proceeds.
 pub fn classify_candidates(
-    table: &TableState,
+    table: &TableSnapshot,
     preds: &PredicateSet,
     join_attr: AttrId,
 ) -> SideCandidates {
@@ -75,8 +76,7 @@ pub fn block_ranges(
     blocks
         .iter()
         .map(|&b| {
-            let meta = store.block_meta(table, b)?;
-            let range: ValueRange = meta.range(attr).clone();
+            let range: ValueRange = store.with_block_meta(table, b, |m| m.range(attr).clone())?;
             Ok((b, range))
         })
         .collect()
@@ -86,13 +86,12 @@ pub fn block_ranges(
 mod tests {
     use super::*;
     use adaptdb_common::{row, Schema, Value, ValueType};
-    use adaptdb_storage::Reservoir;
-    use adaptdb_tree::{Node, PartitionTree, QueryWindow};
+    use adaptdb_tree::{Node, PartitionTree};
     use std::collections::BTreeMap;
 
     use crate::table::TreeInfo;
 
-    fn two_tree_table() -> TableState {
+    fn two_tree_table() -> TableSnapshot {
         // Tree A on attr 0, tree B on attr 1.
         let t0 = PartitionTree::from_root(
             Node::internal(0, Value::Int(10), Node::leaf(0), Node::leaf(1)),
@@ -110,13 +109,9 @@ mod tests {
         a.add_blocks(BTreeMap::from([(0, vec![1]), (1, vec![2])]));
         let mut b = TreeInfo::empty(t1);
         b.add_blocks(BTreeMap::from([(0, vec![3]), (1, vec![4])]));
-        TableState {
-            name: "t".into(),
+        TableSnapshot {
             schema: Schema::from_pairs(&[("k", ValueType::Int), ("x", ValueType::Int)]),
             trees: vec![a, b],
-            sample: Reservoir::new(4, 1),
-            window: QueryWindow::new(4),
-            candidate_attrs: vec![0, 1],
         }
     }
 
@@ -148,7 +143,7 @@ mod tests {
 
     #[test]
     fn block_ranges_read_from_meta() {
-        let mut store = BlockStore::new(2, 1, 1);
+        let store = BlockStore::new(2, 1, 1);
         let id = store.write_block("t", vec![row![5i64, 1i64], row![9i64, 2i64]], 2, None);
         let ranges = block_ranges(&store, "t", &[id], 0).unwrap();
         assert_eq!(ranges[0].0, id);

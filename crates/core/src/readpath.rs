@@ -1,0 +1,368 @@
+//! The read-only query path, expressed over layout snapshots.
+//!
+//! Everything needed to answer a query — planning, scan, shuffle join,
+//! hyper-join, multi-way steps — lives here as free functions over a
+//! [`SnapshotSource`]: any provider of `Arc<TableSnapshot>` handles plus
+//! a store and config. The serial [`crate::Database`] implements it
+//! over its catalog map; the concurrent server implements it over its
+//! published snapshot table, so many reader threads execute this exact
+//! code against pinned layouts while maintenance rewrites blocks
+//! underneath.
+
+use std::sync::Arc;
+
+use adaptdb_common::stats::JoinStrategy;
+use adaptdb_common::{AttrId, BlockId, Error, PredicateSet, Query, Result, Row};
+use adaptdb_dfs::SimClock;
+use adaptdb_exec::{
+    hyper_join, scan_blocks, shuffle_join, shuffle_join_rows, ExecContext, HyperJoinSpec,
+    ShuffleJoinSpec,
+};
+use adaptdb_join::{planner as join_planner, JoinDecision};
+use adaptdb_storage::BlockStore;
+
+use crate::config::{DbConfig, Mode};
+use crate::planner::{block_ranges, classify_candidates, SideCandidates};
+use crate::table::TableSnapshot;
+
+/// A provider of everything the read path needs. Implementations must
+/// return a *stable* snapshot per table for the duration of one query
+/// (the server pins snapshots at admission; the serial engine is its
+/// own pin).
+pub trait SnapshotSource {
+    /// The active configuration.
+    fn config(&self) -> &DbConfig;
+    /// The block store.
+    fn store(&self) -> &BlockStore;
+    /// The layout snapshot a query should read for `table`.
+    fn snapshot(&self, table: &str) -> Result<Arc<TableSnapshot>>;
+}
+
+fn exec_ctx<'a, S: SnapshotSource>(src: &'a S, clock: &'a SimClock) -> ExecContext<'a> {
+    ExecContext::new(src.store(), clock, src.config().threads)
+}
+
+/// Execute one query against the source's snapshots: plan, run, account
+/// on `clock`. Returns rows, the chosen strategy, and the planner's
+/// `C_HyJ` estimate when a hyper-join was considered.
+pub fn execute_query<S: SnapshotSource>(
+    src: &S,
+    query: &Query,
+    clock: &SimClock,
+) -> Result<(Vec<Row>, JoinStrategy, Option<f64>)> {
+    match query {
+        Query::Scan(s) => {
+            let rows = execute_scan(src, &s.table, &s.predicates, clock)?;
+            Ok((rows, JoinStrategy::ScanOnly, None))
+        }
+        Query::Join(j) => {
+            let (rows, strategy, c) = execute_join(
+                src,
+                &j.left.table,
+                &j.left.predicates,
+                j.left_attr,
+                &j.right.table,
+                &j.right.predicates,
+                j.right_attr,
+                clock,
+            )?;
+            Ok((rows, strategy, c))
+        }
+        Query::MultiJoin { first, steps } => {
+            let (mut rows, mut strategy, c) = execute_join(
+                src,
+                &first.left.table,
+                &first.left.predicates,
+                first.left_attr,
+                &first.right.table,
+                &first.right.predicates,
+                first.right_attr,
+                clock,
+            )?;
+            for step in steps {
+                let (step_rows, used_hyper) = execute_step(src, step, rows, clock)?;
+                rows = step_rows;
+                if !used_hyper && strategy == JoinStrategy::HyperJoin {
+                    strategy = JoinStrategy::Mixed;
+                }
+            }
+            Ok((rows, strategy, c))
+        }
+    }
+}
+
+/// Execute one multi-way join step (§4.3). When the base table has a
+/// tree on the step's join attribute covering all candidate blocks,
+/// only the intermediate is shuffled and the base table is read
+/// through a hyper-join schedule ("AdaptDB only needs to shuffle
+/// tempLO based on custkey, and can then use hyper-join"). Otherwise
+/// the step falls back to scanning the table and shuffling both
+/// sides. Returns the joined rows and whether the hyper path ran.
+fn execute_step<S: SnapshotSource>(
+    src: &S,
+    step: &adaptdb_common::JoinStep,
+    intermediate: Vec<Row>,
+    clock: &SimClock,
+) -> Result<(Vec<Row>, bool)> {
+    let config = src.config();
+    let table = &step.table.table;
+    let preds = &step.table.predicates;
+    let snap = src.snapshot(table)?;
+    let allow_hyper = matches!(config.mode, Mode::Adaptive | Mode::FullRepartition | Mode::Fixed);
+    if allow_hyper {
+        let candidates = classify_candidates(&snap, preds, step.table_attr);
+        if !candidates.matching.is_empty() && candidates.other.is_empty() {
+            // Group the stored side exactly like a two-table
+            // hyper-join would, with per-group key ranges for
+            // routing the intermediate.
+            let ranges = block_ranges(src.store(), table, &candidates.matching, step.table_attr)?;
+            let plain: Vec<adaptdb_common::ValueRange> =
+                ranges.iter().map(|(_, r)| r.clone()).collect();
+            let overlap = adaptdb_join::OverlapMatrix::compute_sweep(&plain, &plain);
+            let grouping = adaptdb_join::bottom_up::solve(&overlap, config.buffer_blocks.max(1));
+            let groups: Vec<adaptdb_exec::StepGroup> = grouping
+                .groups()
+                .iter()
+                .map(|members| {
+                    let mut range = adaptdb_common::ValueRange::empty();
+                    let blocks = members
+                        .iter()
+                        .map(|&i| {
+                            range.merge(&ranges[i].1);
+                            ranges[i].0
+                        })
+                        .collect();
+                    adaptdb_exec::StepGroup { blocks, range }
+                })
+                .collect();
+            let rows = adaptdb_exec::hyper_step_join(
+                exec_ctx(src, clock),
+                table,
+                groups,
+                step.table_attr,
+                preds,
+                intermediate,
+                step.intermediate_attr,
+                config.rows_per_block,
+            )?;
+            return Ok((rows, true));
+        }
+    }
+    // Fallback: scan through the trees, shuffle both sides.
+    let side = execute_scan(src, table, preds, clock)?;
+    let rows = shuffle_join_rows(
+        exec_ctx(src, clock),
+        intermediate,
+        side,
+        step.intermediate_attr,
+        step.table_attr,
+        config.rows_per_block,
+    );
+    Ok((rows, false))
+}
+
+fn execute_scan<S: SnapshotSource>(
+    src: &S,
+    table: &str,
+    preds: &PredicateSet,
+    clock: &SimClock,
+) -> Result<Vec<Row>> {
+    let snap = src.snapshot(table)?;
+    if src.config().mode == Mode::FullScan {
+        // Baseline: no tree pruning, no metadata skipping.
+        let blocks = snap.all_blocks();
+        let rows = scan_blocks(exec_ctx(src, clock), table, &blocks, &PredicateSet::none())?;
+        return Ok(rows.into_iter().filter(|r| preds.matches(r)).collect());
+    }
+    let blocks = snap.lookup_blocks(preds);
+    scan_blocks(exec_ctx(src, clock), table, &blocks, preds)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_join<S: SnapshotSource>(
+    src: &S,
+    left: &str,
+    left_preds: &PredicateSet,
+    left_attr: AttrId,
+    right: &str,
+    right_preds: &PredicateSet,
+    right_attr: AttrId,
+    clock: &SimClock,
+) -> Result<(Vec<Row>, JoinStrategy, Option<f64>)> {
+    let config = src.config();
+    let lt = src.snapshot(left)?;
+    let rt = src.snapshot(right)?;
+    let allow_hyper = matches!(config.mode, Mode::Adaptive | Mode::FullRepartition | Mode::Fixed);
+
+    let (lc, rc) = if config.mode == Mode::FullScan {
+        (
+            SideCandidates { matching: vec![], other: lt.all_blocks() },
+            SideCandidates { matching: vec![], other: rt.all_blocks() },
+        )
+    } else {
+        (
+            classify_candidates(&lt, left_preds, left_attr),
+            classify_candidates(&rt, right_preds, right_attr),
+        )
+    };
+
+    if !allow_hyper {
+        let rows = run_shuffle(
+            src,
+            left,
+            &lc.all(),
+            left_preds,
+            left_attr,
+            right,
+            &rc.all(),
+            right_preds,
+            right_attr,
+            clock,
+        )?;
+        return Ok((rows, JoinStrategy::ShuffleJoin, None));
+    }
+
+    // Choose the hyper candidate sets: matching×matching when both
+    // sides are (at least partially) organized for this join;
+    // otherwise try everything (the "up-front partitioning happens to
+    // work out" clause of case 3).
+    let both_matching = !lc.matching.is_empty() && !rc.matching.is_empty();
+    let (l_hyper, l_rest, r_hyper, r_rest) = if both_matching {
+        (lc.matching.clone(), lc.other.clone(), rc.matching.clone(), rc.other.clone())
+    } else {
+        (lc.all(), Vec::new(), rc.all(), Vec::new())
+    };
+
+    let l_ranges = block_ranges(src.store(), left, &l_hyper, left_attr)?;
+    let r_ranges = block_ranges(src.store(), right, &r_hyper, right_attr)?;
+    let decision = join_planner::plan(&l_ranges, &r_ranges, config.buffer_blocks, &config.cost);
+
+    // Cost check for the mixed case (§5.4): the hyper part plus the
+    // remainder shuffles must beat one full shuffle, else shuffling
+    // everything at once is cheaper.
+    let decision = match decision {
+        JoinDecision::Hyper(plan) if !l_rest.is_empty() || !r_rest.is_empty() => {
+            let cost = &config.cost;
+            let mut mixed = plan.est_total_reads() as f64;
+            if !r_rest.is_empty() {
+                mixed += cost.shuffle_join_cost(l_hyper.len(), r_rest.len());
+            }
+            if !l_rest.is_empty() {
+                mixed += cost.shuffle_join_cost(l_rest.len(), rc.len());
+            }
+            let full = cost.shuffle_join_cost(lc.len(), rc.len());
+            if mixed < full {
+                JoinDecision::Hyper(plan)
+            } else {
+                JoinDecision::Shuffle { est_cost: full, hyper_cost: mixed }
+            }
+        }
+        other => other,
+    };
+
+    match decision {
+        JoinDecision::Hyper(plan) => {
+            let mut rows = hyper_join(
+                exec_ctx(src, clock),
+                HyperJoinSpec {
+                    left_table: left,
+                    right_table: right,
+                    left_attr,
+                    right_attr,
+                    left_preds,
+                    right_preds,
+                    plan: &plan,
+                },
+            )?;
+            let mut mixed = false;
+            // Remainder joins for mid-migration blocks (planner case 2).
+            if !r_rest.is_empty() {
+                mixed = true;
+                rows.extend(run_shuffle(
+                    src,
+                    left,
+                    &l_hyper,
+                    left_preds,
+                    left_attr,
+                    right,
+                    &r_rest,
+                    right_preds,
+                    right_attr,
+                    clock,
+                )?);
+            }
+            if !l_rest.is_empty() {
+                mixed = true;
+                let r_all = rc.all();
+                rows.extend(run_shuffle(
+                    src,
+                    left,
+                    &l_rest,
+                    left_preds,
+                    left_attr,
+                    right,
+                    &r_all,
+                    right_preds,
+                    right_attr,
+                    clock,
+                )?);
+            }
+            let strategy = if mixed { JoinStrategy::Mixed } else { JoinStrategy::HyperJoin };
+            Ok((rows, strategy, Some(plan.c_hyj)))
+        }
+        JoinDecision::Shuffle { .. } => {
+            let rows = run_shuffle(
+                src,
+                left,
+                &lc.all(),
+                left_preds,
+                left_attr,
+                right,
+                &rc.all(),
+                right_preds,
+                right_attr,
+                clock,
+            )?;
+            Ok((rows, JoinStrategy::ShuffleJoin, None))
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_shuffle<S: SnapshotSource>(
+    src: &S,
+    left: &str,
+    left_blocks: &[BlockId],
+    left_preds: &PredicateSet,
+    left_attr: AttrId,
+    right: &str,
+    right_blocks: &[BlockId],
+    right_preds: &PredicateSet,
+    right_attr: AttrId,
+    clock: &SimClock,
+) -> Result<Vec<Row>> {
+    let config = src.config();
+    shuffle_join(
+        exec_ctx(src, clock),
+        ShuffleJoinSpec {
+            left_table: left,
+            left_blocks,
+            right_table: right,
+            right_blocks,
+            left_attr,
+            right_attr,
+            left_preds,
+            right_preds,
+            partitions: config.nodes,
+            rows_per_block: config.rows_per_block,
+        },
+    )
+}
+
+/// Convenience: resolve a snapshot or fail with [`Error::UnknownTable`].
+pub fn require_snapshot(
+    map: &std::collections::BTreeMap<String, Arc<TableSnapshot>>,
+    table: &str,
+) -> Result<Arc<TableSnapshot>> {
+    map.get(table).cloned().ok_or_else(|| Error::UnknownTable(table.to_string()))
+}

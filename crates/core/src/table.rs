@@ -1,6 +1,16 @@
 //! Per-table catalog state: trees, bucket→block maps, samples, windows.
+//!
+//! The layout a query needs — partition trees plus their bucket→block
+//! manifests — lives in an immutable [`TableSnapshot`] behind an `Arc`.
+//! Readers clone the `Arc` and scan without any lock; adaptation
+//! mutates copy-on-write ([`TableState::trees_mut`]) and installs the
+//! result with a single atomic pointer swap, so a concurrent serving
+//! runtime never blocks a reader behind a rewrite. The serial engine
+//! holds the only reference, so `Arc::make_mut` mutates in place and
+//! behavior is bit-identical to the pre-snapshot design.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use adaptdb_common::{AttrId, BlockId, PredicateSet, Schema};
 use adaptdb_storage::writer::BucketId;
@@ -69,24 +79,24 @@ impl TreeInfo {
     }
 }
 
-/// Catalog state for one table.
-#[derive(Debug)]
-pub struct TableState {
-    /// Table name.
-    pub name: String,
+/// The immutable, atomically-swappable part of a table's catalog state:
+/// schema plus partitioning trees with their block manifests. This is
+/// everything a read query needs — queries resolve blocks from a
+/// snapshot and never see a half-rewritten layout.
+#[derive(Debug, Clone)]
+pub struct TableSnapshot {
     /// Schema.
     pub schema: Schema,
     /// Partitioning trees (usually one; several mid-migration).
     pub trees: Vec<TreeInfo>,
-    /// Reservoir sample used for cut-point selection (§3.1).
-    pub sample: Reservoir,
-    /// Recent-query window for this table (§3.2).
-    pub window: QueryWindow,
-    /// Attributes eligible as selection-partitioning candidates.
-    pub candidate_attrs: Vec<AttrId>,
 }
 
-impl TableState {
+impl TableSnapshot {
+    /// A snapshot with no trees yet.
+    pub fn empty(schema: Schema) -> Self {
+        TableSnapshot { schema, trees: Vec::new() }
+    }
+
     /// Total stored blocks across all trees.
     pub fn total_blocks(&self) -> usize {
         self.trees.iter().map(TreeInfo::block_count).sum()
@@ -107,16 +117,129 @@ impl TableState {
     pub fn lookup_blocks(&self, preds: &PredicateSet) -> Vec<BlockId> {
         self.trees.iter().flat_map(|t| t.lookup_blocks(preds)).collect()
     }
+}
+
+/// Catalog state for one table: the swappable layout snapshot plus the
+/// mutable adaptation state (sample, query window) that only the
+/// engine/maintenance side touches.
+#[derive(Debug)]
+pub struct TableState {
+    /// Table name.
+    pub name: String,
+    /// The current layout. Private so every mutation goes through the
+    /// copy-on-write accessors below.
+    snapshot: Arc<TableSnapshot>,
+    /// Reservoir sample used for cut-point selection (§3.1).
+    pub sample: Reservoir,
+    /// Recent-query window for this table (§3.2).
+    pub window: QueryWindow,
+    /// Attributes eligible as selection-partitioning candidates.
+    pub candidate_attrs: Vec<AttrId>,
+}
+
+impl TableState {
+    /// Fresh state with no trees.
+    pub fn new(
+        name: impl Into<String>,
+        schema: Schema,
+        candidate_attrs: Vec<AttrId>,
+        sample: Reservoir,
+        window: QueryWindow,
+    ) -> Self {
+        TableState {
+            name: name.into(),
+            snapshot: Arc::new(TableSnapshot::empty(schema)),
+            sample,
+            window,
+            candidate_attrs,
+        }
+    }
+
+    /// State over an explicit tree set (tests and catalog restore).
+    pub fn with_trees(
+        name: impl Into<String>,
+        schema: Schema,
+        trees: Vec<TreeInfo>,
+        candidate_attrs: Vec<AttrId>,
+        sample: Reservoir,
+        window: QueryWindow,
+    ) -> Self {
+        TableState {
+            name: name.into(),
+            snapshot: Arc::new(TableSnapshot { schema, trees }),
+            sample,
+            window,
+            candidate_attrs,
+        }
+    }
+
+    /// The current layout snapshot.
+    pub fn snapshot(&self) -> &TableSnapshot {
+        &self.snapshot
+    }
+
+    /// A shareable handle to the current layout — what a serving
+    /// runtime publishes to its readers. Cloning is a refcount bump.
+    pub fn snapshot_arc(&self) -> Arc<TableSnapshot> {
+        Arc::clone(&self.snapshot)
+    }
+
+    /// Schema.
+    pub fn schema(&self) -> &Schema {
+        &self.snapshot.schema
+    }
+
+    /// Read access to the trees.
+    pub fn trees(&self) -> &[TreeInfo] {
+        &self.snapshot.trees
+    }
+
+    /// Copy-on-write access to the trees: when readers share the
+    /// current snapshot this clones it (so they keep a consistent view)
+    /// and further edits land in the fresh copy; when the engine holds
+    /// the only reference it mutates in place, exactly like the
+    /// pre-snapshot design.
+    pub fn trees_mut(&mut self) -> &mut Vec<TreeInfo> {
+        &mut Arc::make_mut(&mut self.snapshot).trees
+    }
+
+    /// Replace the tree set wholesale (bulk load, catalog restore, full
+    /// repartition) — installs a brand-new snapshot.
+    pub fn set_trees(&mut self, trees: Vec<TreeInfo>) {
+        self.snapshot = Arc::new(TableSnapshot { schema: self.snapshot.schema.clone(), trees });
+    }
+
+    /// Total stored blocks across all trees.
+    pub fn total_blocks(&self) -> usize {
+        self.snapshot.total_blocks()
+    }
+
+    /// Index of the tree organized for `attr`, if one exists.
+    pub fn tree_for_join_attr(&self, attr: AttrId) -> Option<usize> {
+        self.snapshot.tree_for_join_attr(attr)
+    }
+
+    /// All blocks of the table.
+    pub fn all_blocks(&self) -> Vec<BlockId> {
+        self.snapshot.all_blocks()
+    }
+
+    /// `lookup` across every tree.
+    pub fn lookup_blocks(&self, preds: &PredicateSet) -> Vec<BlockId> {
+        self.snapshot.lookup_blocks(preds)
+    }
 
     /// Drop trees that no longer hold any blocks (migration completed —
     /// the last sub-figure of Fig. 10), keeping at least one tree.
     pub fn prune_empty_trees(&mut self) {
-        if self.trees.len() <= 1 {
-            return;
-        }
-        let keep_one = self.trees.iter().any(|t| t.block_count() > 0);
-        if keep_one {
-            self.trees.retain(|t| t.block_count() > 0);
+        let trees = self.trees();
+        // Check read-only first so the no-op case never clones a shared
+        // snapshot.
+        let prunable = trees.len() > 1
+            && trees.iter().any(|t| t.block_count() > 0)
+            && trees.iter().any(|t| t.block_count() == 0);
+        if prunable {
+            self.trees_mut().retain(|t| t.block_count() > 0);
         }
     }
 }
@@ -133,6 +256,17 @@ mod tests {
         let mut ti = TreeInfo::empty(tree);
         ti.add_blocks(BTreeMap::from([(0, vec![100, 101]), (1, vec![102])]));
         ti
+    }
+
+    fn state_with(trees: Vec<TreeInfo>) -> TableState {
+        TableState::with_trees(
+            "t",
+            Schema::from_pairs(&[("k", ValueType::Int)]),
+            trees,
+            vec![0],
+            Reservoir::new(8, 1),
+            QueryWindow::new(4),
+        )
     }
 
     #[test]
@@ -158,44 +292,47 @@ mod tests {
 
     #[test]
     fn table_state_prunes_empty_trees() {
-        let schema = Schema::from_pairs(&[("k", ValueType::Int)]);
-        let mut ts = TableState {
-            name: "t".into(),
-            schema,
-            trees: vec![tree_info(), TreeInfo::empty(tree_info().tree)],
-            sample: Reservoir::new(8, 1),
-            window: QueryWindow::new(4),
-            candidate_attrs: vec![0],
-        };
-        assert_eq!(ts.trees.len(), 2);
+        let mut ts = state_with(vec![tree_info(), TreeInfo::empty(tree_info().tree)]);
+        assert_eq!(ts.trees().len(), 2);
         ts.prune_empty_trees();
-        assert_eq!(ts.trees.len(), 1);
+        assert_eq!(ts.trees().len(), 1);
         assert_eq!(ts.total_blocks(), 3);
         // Never drop the final tree even if empty.
-        let mut empty = TableState {
-            name: "e".into(),
-            schema: Schema::from_pairs(&[("k", ValueType::Int)]),
-            trees: vec![TreeInfo::empty(tree_info().tree)],
-            sample: Reservoir::new(8, 1),
-            window: QueryWindow::new(4),
-            candidate_attrs: vec![0],
-        };
+        let mut empty = state_with(vec![TreeInfo::empty(tree_info().tree)]);
         empty.prune_empty_trees();
-        assert_eq!(empty.trees.len(), 1);
+        assert_eq!(empty.trees().len(), 1);
     }
 
     #[test]
     fn tree_for_join_attr_finds_match() {
-        let schema = Schema::from_pairs(&[("k", ValueType::Int)]);
-        let ts = TableState {
-            name: "t".into(),
-            schema,
-            trees: vec![tree_info()],
-            sample: Reservoir::new(8, 1),
-            window: QueryWindow::new(4),
-            candidate_attrs: vec![0],
-        };
+        let ts = state_with(vec![tree_info()]);
         assert_eq!(ts.tree_for_join_attr(0), Some(0));
         assert_eq!(ts.tree_for_join_attr(5), None);
+    }
+
+    #[test]
+    fn mutation_is_copy_on_write_when_shared() {
+        let mut ts = state_with(vec![tree_info()]);
+        // A reader takes the published snapshot.
+        let published = ts.snapshot_arc();
+        assert_eq!(published.total_blocks(), 3);
+        // The engine rewrites the layout.
+        let dead: std::collections::HashSet<BlockId> = [100].into_iter().collect();
+        ts.trees_mut()[0].remove_blocks(&dead);
+        // The reader's view is untouched; the engine sees the new one.
+        assert_eq!(published.total_blocks(), 3);
+        assert_eq!(ts.total_blocks(), 2);
+        // With the reader gone, further edits mutate in place.
+        drop(published);
+        let unique_before = Arc::strong_count(&ts.snapshot_arc());
+        assert_eq!(unique_before, 2); // ours + the temporary
+    }
+
+    #[test]
+    fn noop_prune_does_not_clone_shared_snapshot() {
+        let mut ts = state_with(vec![tree_info()]);
+        let published = ts.snapshot_arc();
+        ts.prune_empty_trees(); // single non-empty tree: nothing to do
+        assert!(Arc::ptr_eq(&published, &ts.snapshot_arc()), "prune must not COW on no-op");
     }
 }

@@ -10,16 +10,42 @@ use parking_lot::Mutex;
 
 use crate::cluster::ReadKind;
 
+/// What a clock's tally is attributed to. Query-visible cost figures
+/// must come from [`ClockKind::Query`] clocks only; background
+/// maintenance (the server's off-hot-path repartitioning) charges a
+/// [`ClockKind::Maintenance`] clock so the paper's per-query numbers
+/// stay faithful.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ClockKind {
+    /// I/O performed answering a query (or piggybacked on one, as the
+    /// serial engine's adaptation is).
+    #[default]
+    Query,
+    /// I/O performed by a background maintenance task off the hot path.
+    Maintenance,
+}
+
 /// Thread-safe I/O tally with cost conversion.
 #[derive(Debug, Default)]
 pub struct SimClock {
     io: Mutex<IoStats>,
+    kind: ClockKind,
 }
 
 impl SimClock {
-    /// A fresh, zeroed clock.
+    /// A fresh, zeroed query-attributed clock.
     pub fn new() -> Self {
         SimClock::default()
+    }
+
+    /// A fresh clock attributed to background maintenance.
+    pub fn maintenance() -> Self {
+        SimClock { io: Mutex::new(IoStats::default()), kind: ClockKind::Maintenance }
+    }
+
+    /// What this clock's tally is attributed to.
+    pub fn kind(&self) -> ClockKind {
+        self.kind
     }
 
     /// Record a block read of the given kind.
@@ -102,6 +128,15 @@ mod tests {
             }
         });
         assert_eq!(c.snapshot().local_reads, 4000);
+    }
+
+    #[test]
+    fn kind_is_carried() {
+        assert_eq!(SimClock::new().kind(), ClockKind::Query);
+        let m = SimClock::maintenance();
+        assert_eq!(m.kind(), ClockKind::Maintenance);
+        m.record_read(ReadKind::Local);
+        assert_eq!(m.snapshot().local_reads, 1);
     }
 
     #[test]

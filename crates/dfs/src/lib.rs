@@ -27,6 +27,6 @@ pub mod clock;
 pub mod cluster;
 pub mod locality;
 
-pub use clock::SimClock;
+pub use clock::{ClockKind, SimClock};
 pub use cluster::{NodeId, Placement, ReadKind, SimDfs};
 pub use locality::TaskScheduler;

@@ -149,7 +149,7 @@ mod tests {
     /// Build two co-partitioned tables: left has keys 0..n with payload,
     /// right has the same keys with another payload; k keys per block.
     fn setup(n: i64, per_block: i64) -> (BlockStore, Vec<BlockRange>, Vec<BlockRange>) {
-        let mut store = BlockStore::new(4, 1, 1);
+        let store = BlockStore::new(4, 1, 1);
         let mut left = Vec::new();
         let mut right = Vec::new();
         let mut k = 0i64;
@@ -225,7 +225,7 @@ mod tests {
     #[test]
     fn output_column_order_is_left_then_right_even_building_right() {
         // Make left much larger so the planner builds on the right.
-        let mut store = BlockStore::new(4, 1, 1);
+        let store = BlockStore::new(4, 1, 1);
         let mut left = Vec::new();
         for b in 0..8i64 {
             let rows = (b * 10..b * 10 + 10).map(|i| row![i, 7i64]).collect();
@@ -295,7 +295,7 @@ mod tests {
     fn offset_partitions_read_probe_blocks_multiple_times() {
         // Shift right-side ranges so each build block overlaps two probe
         // blocks; with capacity 1, C(P) > distinct blocks.
-        let mut store = BlockStore::new(4, 1, 1);
+        let store = BlockStore::new(4, 1, 1);
         let mut left = Vec::new();
         let mut right = Vec::new();
         for b in 0..8i64 {

@@ -37,7 +37,9 @@ pub mod step_join;
 pub use context::ExecContext;
 pub use hash_table::JoinHashTable;
 pub use hyper_join::{hyper_join, HyperJoinSpec};
-pub use repartition::{repartition_blocks, RepartitionOutcome};
+pub use repartition::{
+    repartition_blocks, repartition_blocks_with, RepartitionOutcome, RetireMode,
+};
 pub use scan::scan_blocks;
 pub use shuffle_join::{hash_join_rows, shuffle_join, shuffle_join_rows, ShuffleJoinSpec};
 pub use step_join::{hyper_step_join, StepGroup};

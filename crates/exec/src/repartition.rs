@@ -22,6 +22,19 @@ use adaptdb_storage::writer::BucketId;
 use adaptdb_storage::{BlockStore, PartitionedWriter};
 use adaptdb_tree::PartitionTree;
 
+/// When the source (and absorbed tail) blocks are physically deleted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetireMode {
+    /// Delete migrated blocks immediately — the serial engine's
+    /// behavior, where no concurrent reader can hold a stale manifest.
+    Eager,
+    /// Leave migrated blocks in the store and report them in
+    /// [`RepartitionOutcome::retired`]; a concurrent runtime deletes
+    /// them once every reader holding the pre-migration snapshot has
+    /// drained (snapshot-isolation garbage collection).
+    Deferred,
+}
+
 /// What a repartitioning pass did.
 #[derive(Debug, Clone, Default)]
 pub struct RepartitionOutcome {
@@ -30,6 +43,10 @@ pub struct RepartitionOutcome {
     /// Pre-existing tail blocks that were absorbed (merged away) — the
     /// caller must drop them from its bucket maps.
     pub absorbed: Vec<BlockId>,
+    /// Blocks whose rows were rewritten but that are still physically
+    /// present ([`RetireMode::Deferred`] only) — the caller must
+    /// [`BlockStore::remove_block`] them after its readers quiesce.
+    pub retired: Vec<BlockId>,
 }
 
 /// Migrate `blocks` of `table` into `target_tree`, removing the source
@@ -37,17 +54,45 @@ pub struct RepartitionOutcome {
 /// blocks map, used for append/merge semantics (pass an empty map when
 /// the target is fresh).
 ///
-/// Needs `&mut BlockStore`, so it runs outside the read-only query path —
-/// like the paper, where repartitioning piggybacks on a query but writes
-/// through a separate coordinated channel (ZooKeeper-guarded appends).
+/// Writes go through the store's internal synchronization, so this can
+/// run on a background maintenance thread while readers keep scanning —
+/// pair it with [`RetireMode::Deferred`] (see
+/// [`repartition_blocks_with`]) so readers holding the old manifest
+/// never see their blocks vanish. This eager-retire form is the serial
+/// engine's behavior, where repartitioning piggybacks on a query like
+/// the paper's ZooKeeper-guarded appends.
 pub fn repartition_blocks(
-    store: &mut BlockStore,
+    store: &BlockStore,
     clock: &SimClock,
     table: &str,
     blocks: &[BlockId],
     target_tree: &PartitionTree,
     rows_per_block: usize,
     existing: &BTreeMap<BucketId, Vec<BlockId>>,
+) -> Result<RepartitionOutcome> {
+    repartition_blocks_with(
+        store,
+        clock,
+        table,
+        blocks,
+        target_tree,
+        rows_per_block,
+        existing,
+        RetireMode::Eager,
+    )
+}
+
+/// [`repartition_blocks`] with an explicit [`RetireMode`].
+#[allow(clippy::too_many_arguments)]
+pub fn repartition_blocks_with(
+    store: &BlockStore,
+    clock: &SimClock,
+    table: &str,
+    blocks: &[BlockId],
+    target_tree: &PartitionTree,
+    rows_per_block: usize,
+    existing: &BTreeMap<BucketId, Vec<BlockId>>,
+    retire: RetireMode,
 ) -> Result<RepartitionOutcome> {
     if blocks.is_empty() {
         return Ok(RepartitionOutcome::default());
@@ -62,9 +107,13 @@ pub fn repartition_blocks(
             routed.entry(target_tree.route(&row)).or_default().push(row);
         }
     }
+    let mut retired = Vec::new();
     // Retire the sources.
     for &b in blocks {
-        store.remove_block(table, b)?;
+        match retire {
+            RetireMode::Eager => store.remove_block(table, b)?,
+            RetireMode::Deferred => retired.push(b),
+        }
     }
     // Append semantics: absorb each touched bucket's underfull tail block.
     let mut absorbed = Vec::new();
@@ -72,8 +121,7 @@ pub fn repartition_blocks(
         let Some(tail) = existing.get(&bucket).and_then(|v| v.last()).copied() else {
             continue;
         };
-        let meta = store.block_meta(table, tail)?;
-        if meta.row_count >= rows_per_block {
+        if store.with_block_meta(table, tail, |m| m.row_count)? >= rows_per_block {
             continue;
         }
         let node = store.preferred_node(table, tail)?;
@@ -82,7 +130,10 @@ pub fn repartition_blocks(
         let mut combined = tail_block.rows;
         combined.append(rows);
         *rows = combined;
-        store.remove_block(table, tail)?;
+        match retire {
+            RetireMode::Eager => store.remove_block(table, tail)?,
+            RetireMode::Deferred => retired.push(tail),
+        }
         absorbed.push(tail);
     }
     // Write through the buffered partition writer.
@@ -96,7 +147,7 @@ pub fn repartition_blocks(
     let added = writer.finish();
     let written: usize = added.values().map(Vec::len).sum();
     clock.record_writes(written);
-    Ok(RepartitionOutcome { added, absorbed })
+    Ok(RepartitionOutcome { added, absorbed, retired })
 }
 
 #[cfg(test)]
@@ -106,7 +157,7 @@ mod tests {
     use adaptdb_tree::Node;
 
     fn store_with_rows(n: i64) -> (BlockStore, Vec<BlockId>) {
-        let mut store = BlockStore::new(4, 1, 1);
+        let store = BlockStore::new(4, 1, 1);
         let mut ids = Vec::new();
         for chunk in (0..n).collect::<Vec<_>>().chunks(10) {
             let rows = chunk.iter().map(|&i| row![i, i % 7]).collect();
@@ -127,11 +178,11 @@ mod tests {
 
     #[test]
     fn rows_are_conserved_and_rerouted() {
-        let (mut store, ids) = store_with_rows(50);
+        let (store, ids) = store_with_rows(50);
         let clock = SimClock::new();
         let tree = tree_on_attr1();
         let out =
-            repartition_blocks(&mut store, &clock, "t", &ids, &tree, 10, &none_existing()).unwrap();
+            repartition_blocks(&store, &clock, "t", &ids, &tree, 10, &none_existing()).unwrap();
         assert_eq!(store.row_count("t"), 50);
         for id in ids {
             assert!(store.block_meta("t", id).is_err());
@@ -150,11 +201,11 @@ mod tests {
 
     #[test]
     fn io_accounting_reads_and_writes() {
-        let (mut store, ids) = store_with_rows(50);
+        let (store, ids) = store_with_rows(50);
         let clock = SimClock::new();
         let tree = tree_on_attr1();
         let out =
-            repartition_blocks(&mut store, &clock, "t", &ids, &tree, 10, &none_existing()).unwrap();
+            repartition_blocks(&store, &clock, "t", &ids, &tree, 10, &none_existing()).unwrap();
         let io = clock.snapshot();
         assert_eq!(io.reads(), 5);
         let written: usize = out.added.values().map(Vec::len).sum();
@@ -164,18 +215,17 @@ mod tests {
 
     #[test]
     fn merge_absorbs_underfull_tail_blocks() {
-        let (mut store, ids) = store_with_rows(50);
+        let (store, ids) = store_with_rows(50);
         let clock = SimClock::new();
         let tree = tree_on_attr1();
         // First migration: 2 source blocks → small per-bucket blocks.
-        let first =
-            repartition_blocks(&mut store, &clock, "t", &ids[..2], &tree, 10, &none_existing())
-                .unwrap();
+        let first = repartition_blocks(&store, &clock, "t", &ids[..2], &tree, 10, &none_existing())
+            .unwrap();
         let existing = first.added.clone();
         // Second migration must merge into the underfull tails rather
         // than piling up fragments.
         let second =
-            repartition_blocks(&mut store, &clock, "t", &ids[2..4], &tree, 10, &existing).unwrap();
+            repartition_blocks(&store, &clock, "t", &ids[2..4], &tree, 10, &existing).unwrap();
         assert!(!second.absorbed.is_empty(), "tail blocks should be absorbed");
         assert_eq!(store.row_count("t"), 50);
         // Steady state: bucket 0 holds ~4/7 of 40 migrated rows → ≤3
@@ -190,7 +240,7 @@ mod tests {
 
     #[test]
     fn repeated_migration_keeps_block_count_bounded() {
-        let (mut store, ids) = store_with_rows(200);
+        let (store, ids) = store_with_rows(200);
         let clock = SimClock::new();
         let tree = tree_on_attr1();
         let mut bucket_map = none_existing();
@@ -198,7 +248,7 @@ mod tests {
         // would, maintaining the bucket map like the catalog does.
         for pair in ids.chunks(2) {
             let out =
-                repartition_blocks(&mut store, &clock, "t", pair, &tree, 10, &bucket_map).unwrap();
+                repartition_blocks(&store, &clock, "t", pair, &tree, 10, &bucket_map).unwrap();
             for (bucket, blocks) in out.added {
                 let entry = bucket_map.entry(bucket).or_default();
                 entry.retain(|b| !out.absorbed.contains(b));
@@ -215,7 +265,7 @@ mod tests {
 
     #[test]
     fn full_tail_blocks_are_not_touched() {
-        let mut store = BlockStore::new(4, 1, 1);
+        let store = BlockStore::new(4, 1, 1);
         // A full block already under bucket 0 (attr1 ≤ 3).
         let full = store.write_block("t", (0..10).map(|i| row![i, 0i64]).collect(), 2, None);
         // A source block to migrate (all rows also bucket 0).
@@ -223,19 +273,76 @@ mod tests {
         let clock = SimClock::new();
         let tree = tree_on_attr1();
         let existing = BTreeMap::from([(0u32, vec![full])]);
-        let out =
-            repartition_blocks(&mut store, &clock, "t", &[src], &tree, 10, &existing).unwrap();
+        let out = repartition_blocks(&store, &clock, "t", &[src], &tree, 10, &existing).unwrap();
         assert!(out.absorbed.is_empty(), "full tail must not be rewritten");
         assert!(store.block_meta("t", full).is_ok());
     }
 
     #[test]
+    fn deferred_retire_keeps_sources_readable() {
+        let (store, ids) = store_with_rows(50);
+        let clock = SimClock::maintenance();
+        let tree = tree_on_attr1();
+        let out = repartition_blocks_with(
+            &store,
+            &clock,
+            "t",
+            &ids,
+            &tree,
+            10,
+            &none_existing(),
+            RetireMode::Deferred,
+        )
+        .unwrap();
+        // Sources are reported retired but still physically present, so
+        // a reader holding the pre-migration manifest keeps working.
+        assert_eq!(out.retired, ids);
+        for &b in &ids {
+            assert!(store.block_meta("t", b).is_ok());
+        }
+        // Rows exist twice until the caller garbage-collects.
+        assert_eq!(store.row_count("t"), 100);
+        for &b in &out.retired {
+            store.remove_block("t", b).unwrap();
+        }
+        assert_eq!(store.row_count("t"), 50);
+    }
+
+    #[test]
+    fn deferred_retire_defers_absorbed_tails_too() {
+        let (store, ids) = store_with_rows(50);
+        let clock = SimClock::maintenance();
+        let tree = tree_on_attr1();
+        let first = repartition_blocks(&store, &clock, "t", &ids[..2], &tree, 10, &none_existing())
+            .unwrap();
+        let existing = first.added.clone();
+        let second = repartition_blocks_with(
+            &store,
+            &clock,
+            "t",
+            &ids[2..4],
+            &tree,
+            10,
+            &existing,
+            RetireMode::Deferred,
+        )
+        .unwrap();
+        assert!(!second.absorbed.is_empty(), "tail blocks should be absorbed");
+        // Every absorbed tail is also in the deferred-retire list and
+        // still readable until collected.
+        for b in &second.absorbed {
+            assert!(second.retired.contains(b));
+            assert!(store.block_meta("t", *b).is_ok());
+        }
+    }
+
+    #[test]
     fn empty_block_list_is_noop() {
-        let (mut store, _) = store_with_rows(10);
+        let (store, _) = store_with_rows(10);
         let clock = SimClock::new();
         let tree = tree_on_attr1();
         let out =
-            repartition_blocks(&mut store, &clock, "t", &[], &tree, 10, &none_existing()).unwrap();
+            repartition_blocks(&store, &clock, "t", &[], &tree, 10, &none_existing()).unwrap();
         assert!(out.added.is_empty());
         assert!(out.absorbed.is_empty());
         assert_eq!(clock.snapshot().reads(), 0);

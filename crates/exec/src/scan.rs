@@ -19,8 +19,7 @@ pub fn scan_blocks(
     // Metadata-level skip first (no I/O charged for skipped blocks).
     let mut to_read = Vec::with_capacity(blocks.len());
     for &b in blocks {
-        let meta = ctx.store.block_meta(table, b)?;
-        if preds.may_match(&meta.ranges) {
+        if ctx.store.with_block_meta(table, b, |m| preds.may_match(&m.ranges))? {
             to_read.push(b);
         }
     }
@@ -47,7 +46,7 @@ mod tests {
     use adaptdb_storage::BlockStore;
 
     fn setup() -> (BlockStore, Vec<BlockId>) {
-        let mut store = BlockStore::new(4, 1, 1);
+        let store = BlockStore::new(4, 1, 1);
         let mut ids = Vec::new();
         for base in [0i64, 100, 200] {
             let rows = (base..base + 10).map(|i| row![i]).collect();

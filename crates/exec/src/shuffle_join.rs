@@ -190,7 +190,7 @@ mod tests {
     use adaptdb_storage::BlockStore;
 
     fn setup(n: i64, per_block: i64) -> (BlockStore, Vec<BlockId>, Vec<BlockId>) {
-        let mut store = BlockStore::new(4, 1, 1);
+        let store = BlockStore::new(4, 1, 1);
         let mut lids = Vec::new();
         let mut rids = Vec::new();
         let mut k = 0i64;

@@ -118,7 +118,7 @@ mod tests {
 
     /// 4 stored blocks of 10 keys each, grouped in pairs.
     fn setup() -> (BlockStore, Vec<StepGroup>) {
-        let mut store = BlockStore::new(4, 1, 1);
+        let store = BlockStore::new(4, 1, 1);
         let mut ids = Vec::new();
         for b in 0..4i64 {
             let rows = (b * 10..b * 10 + 10).map(|k| row![k, k * 100]).collect();

@@ -1,0 +1,435 @@
+//! # adaptdb-server — the concurrent query-serving runtime
+//!
+//! AdaptDB's premise is a system that keeps answering queries *while*
+//! it repartitions under a live workload. The serial
+//! [`Database`](adaptdb::Database) interleaves the two on one thread;
+//! [`DbServer`] splits them:
+//!
+//! * **Snapshot reads.** Each table's layout (partition trees + block
+//!   manifests) is an immutable [`adaptdb::TableSnapshot`] behind an
+//!   `Arc`, published in a map the readers consult. A query pins the
+//!   `Arc`s it touches for its whole run, so it always sees one
+//!   consistent layout, and an adaptation installing a new layout is a
+//!   single pointer swap — readers never block behind a rewrite.
+//! * **Worker-pool executor.** Client sessions submit queries into a
+//!   bounded admission queue ([`queue::BoundedQueue`], blocking push =
+//!   backpressure); a pool of worker threads drains it and runs the
+//!   exact serial read path ([`adaptdb::readpath`]) against the pinned
+//!   snapshots.
+//! * **Background maintenance.** Executed queries are forwarded to a
+//!   maintenance thread that replays the serial engine's window
+//!   bookkeeping and adaptation decisions
+//!   ([`Database::record_observation`] / [`Database::adapt_now`]) under
+//!   an engine mutex, performs block migration off the hot path with
+//!   deferred retirement, swaps the new snapshots in, and
+//!   garbage-collects retired blocks once every reader pinned to an
+//!   older snapshot has drained. Maintenance I/O is charged to its own
+//!   `ClockKind::Maintenance` [`SimClock`], so query-visible cost
+//!   figures stay faithful to the paper.
+//!
+//! ```
+//! use adaptdb::{Database, DbConfig};
+//! use adaptdb_common::{row, JoinQuery, Query, ScanQuery, Schema, ValueType};
+//! use adaptdb_server::DbServer;
+//!
+//! let mut db = Database::new(DbConfig { rows_per_block: 8, ..DbConfig::small() });
+//! let schema = Schema::from_pairs(&[("k", ValueType::Int), ("x", ValueType::Int)]);
+//! db.create_table("l", schema.clone(), vec![0, 1]).unwrap();
+//! db.create_table("r", schema, vec![0, 1]).unwrap();
+//! db.load_rows("l", (0..64i64).map(|i| row![i % 32, i])).unwrap();
+//! db.load_rows("r", (0..32i64).map(|i| row![i, i * 2])).unwrap();
+//!
+//! let server = DbServer::start(db);
+//! let q = Query::Join(JoinQuery::new(ScanQuery::full("l"), ScanQuery::full("r"), 0, 0));
+//! let mut session = server.session();
+//! let res = session.run(&q).unwrap();
+//! assert_eq!(res.rows.len(), 64);
+//! assert_eq!(session.stats().queries, 1);
+//! ```
+
+pub mod maintenance;
+pub mod metrics;
+pub mod queue;
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex as StdMutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use adaptdb::readpath::{self, SnapshotSource};
+use adaptdb::{Database, DbConfig, QueryResult, RetireMode, TableSnapshot};
+use adaptdb_common::{Error, Query, QueryStats, Result};
+use adaptdb_dfs::SimClock;
+use adaptdb_storage::BlockStore;
+use parking_lot::{Mutex, RwLock};
+
+pub use metrics::{ServerReport, SessionStats};
+
+use metrics::Metrics;
+use queue::BoundedQueue;
+
+/// One submitted query plus the channel its result travels back on.
+struct Job {
+    query: Query,
+    reply: mpsc::Sender<Result<QueryResult>>,
+    /// When the client submitted — latency is measured from here, so
+    /// admission-queue wait (the backpressure regime) is visible in
+    /// every reported number.
+    submitted: Instant,
+}
+
+/// Everything the worker pool, the maintenance loop, and the sessions
+/// share.
+pub(crate) struct Shared {
+    config: DbConfig,
+    store: Arc<BlockStore>,
+    /// The serial engine: windows, samples, adaptation decisions. Only
+    /// the maintenance thread (and test inspection) locks it — readers
+    /// never touch it.
+    engine: Mutex<Database>,
+    /// The snapshots readers pin. Swapped atomically per table by
+    /// maintenance; the lock is held only for map lookup/replace.
+    published: RwLock<BTreeMap<String, Arc<TableSnapshot>>>,
+    /// Executed queries awaiting window bookkeeping + adaptation.
+    inbox: StdMutex<Vec<Query>>,
+    inbox_signal: Condvar,
+    queue: BoundedQueue<Job>,
+    metrics: Metrics,
+    /// Maintenance-attributed I/O clock (`ClockKind::Maintenance`).
+    maint_clock: SimClock,
+    maintenance_passes: AtomicU64,
+    obs_submitted: AtomicU64,
+    obs_processed: AtomicU64,
+    /// Grace entries (retired-block batches) still awaiting reader
+    /// drain — a gauge the maintenance loop refreshes every pass.
+    pending_gc: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn push_observation(&self, query: Query) {
+        self.obs_submitted.fetch_add(1, Ordering::SeqCst);
+        self.inbox.lock().unwrap().push(query);
+        self.inbox_signal.notify_one();
+    }
+
+    /// Drain pending observations, waiting (at most once) while there
+    /// are none. `None` blocks until a notify or shutdown — an idle
+    /// server burns no CPU; `Some(t)` also returns after `t`, used
+    /// while retired blocks await garbage collection so GC retries even
+    /// without traffic. Any wakeup returns (possibly empty): the
+    /// maintenance loop counts a pass per wakeup, which is what
+    /// `DbServer::drain_maintenance`'s notify-handshake relies on.
+    pub(crate) fn wait_for_observations(&self, timeout: Option<std::time::Duration>) -> Vec<Query> {
+        let mut inbox = self.inbox.lock().unwrap();
+        if inbox.is_empty() && !self.is_shutdown() {
+            inbox = match timeout {
+                Some(t) => self.inbox_signal.wait_timeout(inbox, t).unwrap().0,
+                None => self.inbox_signal.wait(inbox).unwrap(),
+            };
+        }
+        std::mem::take(&mut *inbox)
+    }
+
+    pub(crate) fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn engine(&self) -> &Mutex<Database> {
+        &self.engine
+    }
+
+    pub(crate) fn published(&self) -> &RwLock<BTreeMap<String, Arc<TableSnapshot>>> {
+        &self.published
+    }
+
+    pub(crate) fn store(&self) -> &Arc<BlockStore> {
+        &self.store
+    }
+
+    pub(crate) fn maint_clock(&self) -> &SimClock {
+        &self.maint_clock
+    }
+
+    pub(crate) fn note_pass(&self, processed: usize, pending_gc: usize) {
+        self.obs_processed.fetch_add(processed as u64, Ordering::SeqCst);
+        self.pending_gc.store(pending_gc as u64, Ordering::SeqCst);
+        self.maintenance_passes.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// The per-query reader view: resolves snapshots from the published map
+/// and pins each table's `Arc` for the duration of the query, so one
+/// query never sees two generations of the same table.
+struct QueryView<'a> {
+    shared: &'a Shared,
+    pinned: RefCell<BTreeMap<String, Arc<TableSnapshot>>>,
+}
+
+impl<'a> QueryView<'a> {
+    fn new(shared: &'a Shared) -> Self {
+        QueryView { shared, pinned: RefCell::new(BTreeMap::new()) }
+    }
+}
+
+impl SnapshotSource for QueryView<'_> {
+    fn config(&self) -> &DbConfig {
+        &self.shared.config
+    }
+
+    fn store(&self) -> &BlockStore {
+        &self.shared.store
+    }
+
+    fn snapshot(&self, table: &str) -> Result<Arc<TableSnapshot>> {
+        if let Some(s) = self.pinned.borrow().get(table) {
+            return Ok(Arc::clone(s));
+        }
+        let snap = readpath::require_snapshot(&self.shared.published.read(), table)?;
+        self.pinned.borrow_mut().insert(table.to_string(), Arc::clone(&snap));
+        Ok(snap)
+    }
+}
+
+/// Options for [`DbServer::start_with`].
+#[derive(Debug, Clone, Default)]
+pub struct ServerOptions {
+    /// Executor worker threads. Defaults to the engine's
+    /// `DbConfig::threads` (which honors `ADAPTDB_THREADS`).
+    pub workers: Option<usize>,
+    /// Admission-queue capacity. Defaults to `4 × workers`.
+    pub queue_capacity: Option<usize>,
+}
+
+/// A concurrent query server over a loaded [`Database`].
+///
+/// Construction takes ownership of the engine (load tables first);
+/// [`DbServer::stop`] — also run on drop — shuts the pool down
+/// gracefully and force-collects any remaining retired blocks.
+pub struct DbServer {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    maintenance: Option<JoinHandle<()>>,
+    worker_count: usize,
+}
+
+impl DbServer {
+    /// Start serving with default options.
+    pub fn start(db: Database) -> Self {
+        DbServer::start_with(db, ServerOptions::default())
+    }
+
+    /// Start serving. Spawns the worker pool and the maintenance thread.
+    pub fn start_with(mut db: Database, opts: ServerOptions) -> Self {
+        // The server's invariant: a reader pinned to an old snapshot
+        // must be able to finish, so migrated blocks are deleted only
+        // after that snapshot drains.
+        db.set_retire_mode(RetireMode::Deferred);
+        let config = db.config().clone();
+        let worker_count = opts.workers.unwrap_or(config.threads).max(1);
+        let capacity = opts.queue_capacity.unwrap_or(worker_count * 4).max(1);
+        let published: BTreeMap<String, Arc<TableSnapshot>> = db
+            .table_names()
+            .into_iter()
+            .map(|name| {
+                let snap = db.table(&name).expect("listed table exists").snapshot_arc();
+                (name, snap)
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            store: db.store_arc(),
+            config,
+            engine: Mutex::new(db),
+            published: RwLock::new(published),
+            inbox: StdMutex::new(Vec::new()),
+            inbox_signal: Condvar::new(),
+            queue: BoundedQueue::new(capacity),
+            metrics: Metrics::new(),
+            maint_clock: SimClock::maintenance(),
+            maintenance_passes: AtomicU64::new(0),
+            obs_submitted: AtomicU64::new(0),
+            obs_processed: AtomicU64::new(0),
+            pending_gc: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..worker_count)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("adaptdb-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let maintenance = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("adaptdb-maintenance".into())
+                .spawn(move || maintenance::run_loop(&shared))
+                .expect("spawn maintenance")
+        };
+        DbServer { shared, workers, maintenance: Some(maintenance), worker_count }
+    }
+
+    /// Open a client session. Sessions are cheap; give each client
+    /// thread its own.
+    pub fn session(&self) -> Session {
+        Session { shared: Arc::clone(&self.shared), stats: SessionStats::default() }
+    }
+
+    /// One-off query without session bookkeeping.
+    pub fn run(&self, query: &Query) -> Result<QueryResult> {
+        submit(&self.shared, query)
+    }
+
+    /// Server-level throughput/latency report.
+    pub fn report(&self) -> ServerReport {
+        self.shared.metrics.report(
+            self.worker_count,
+            self.shared.queue.capacity(),
+            self.shared.maint_clock.snapshot(),
+            self.shared.maintenance_passes.load(Ordering::SeqCst),
+        )
+    }
+
+    /// Block until every observation submitted so far has been through
+    /// window bookkeeping + adaptation, and every retired-block batch
+    /// has been garbage-collected (i.e. all readers pinned to displaced
+    /// snapshots drained). Call only after in-flight queries you care
+    /// about returned. Test hook — production callers never need to
+    /// wait on maintenance.
+    pub fn drain_maintenance(&self) {
+        if self.maintenance.is_none() {
+            // Already stopped: the final pass ran and force-collected.
+            return;
+        }
+        let target = self.shared.obs_submitted.load(Ordering::SeqCst);
+        while self.shared.obs_processed.load(Ordering::SeqCst) < target {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        // One further pass refreshes the gauge after the last batch…
+        let pass_target = self.shared.maintenance_passes.load(Ordering::SeqCst) + 2;
+        while self.shared.maintenance_passes.load(Ordering::SeqCst) < pass_target {
+            self.shared.inbox_signal.notify_one();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        // …then wait for the grace list to empty (readers drain and GC
+        // retries on its own timer while entries remain).
+        while self.shared.pending_gc.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    /// Inspect (or mutate) the underlying engine under the maintenance
+    /// mutex — catalog state, windows, convergence checks in tests.
+    /// Tables the closure *creates* (and loads) are published to
+    /// readers before this returns; mutating already-served tables is
+    /// not supported mid-serving (maintenance owns their lifecycle).
+    pub fn with_engine<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
+        let mut engine = self.shared.engine.lock();
+        let out = f(&mut engine);
+        let mut published = self.shared.published.write();
+        for name in engine.table_names() {
+            if let std::collections::btree_map::Entry::Vacant(slot) = published.entry(name) {
+                let snap = engine.table(slot.key()).expect("listed table exists").snapshot_arc();
+                slot.insert(snap);
+            }
+        }
+        out
+    }
+
+    /// Graceful shutdown: stop admitting, drain the queue, join the
+    /// workers, run a final maintenance pass, and force-collect retired
+    /// blocks (no readers remain once the pool is joined). Idempotent.
+    pub fn stop(&mut self) {
+        if self.workers.is_empty() && self.maintenance.is_none() {
+            return;
+        }
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Take and release the inbox lock between setting the flag and
+        // notifying: a maintenance thread between its shutdown check and
+        // its wait would otherwise miss the wakeup forever.
+        drop(self.shared.inbox.lock().unwrap());
+        self.shared.inbox_signal.notify_all();
+        if let Some(m) = self.maintenance.take() {
+            let _ = m.join();
+        }
+    }
+}
+
+impl Drop for DbServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// A client handle: submits queries and accumulates per-session stats.
+pub struct Session {
+    shared: Arc<Shared>,
+    stats: SessionStats,
+}
+
+impl Session {
+    /// Run one query through the server, blocking for the result (and
+    /// for admission while the queue is full — that is the server's
+    /// backpressure).
+    pub fn run(&mut self, query: &Query) -> Result<QueryResult> {
+        let res = submit(&self.shared, query);
+        match &res {
+            Ok(r) => self.stats.record_ok(r.rows.len(), &r.stats),
+            Err(_) => self.stats.record_err(),
+        }
+        res
+    }
+
+    /// What this session's queries did so far.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+}
+
+fn submit(shared: &Arc<Shared>, query: &Query) -> Result<QueryResult> {
+    let (reply, rx) = mpsc::channel();
+    shared
+        .queue
+        .push(Job { query: query.clone(), reply, submitted: Instant::now() })
+        .map_err(|_| Error::Plan("server is shut down".into()))?;
+    rx.recv().map_err(|_| Error::Plan("server worker dropped the query".into()))?
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(Job { query, reply, submitted }) = shared.queue.pop() {
+        let unaccounted_before = shared.store.unaccounted_reads();
+        let clock = SimClock::new();
+        let view = QueryView::new(shared);
+        let result =
+            readpath::execute_query(&view, &query, &clock).map(|(rows, strategy, c_hyj)| {
+                let mut stats = QueryStats::empty(strategy);
+                stats.query_io = clock.snapshot();
+                stats.estimated_c_hyj = c_hyj;
+                // Submit-to-finish, so admission wait shows up under load.
+                stats.wall_secs = submitted.elapsed().as_secs_f64();
+                QueryResult { rows, stats }
+            });
+        debug_assert_eq!(
+            shared.store.unaccounted_reads(),
+            unaccounted_before,
+            "a server read path skipped clock accounting"
+        );
+        let ok = result.is_ok();
+        if ok {
+            // Feed the window/adaptation machinery off the hot path;
+            // the query is owned here, so no clone on the serving path.
+            shared.push_observation(query);
+        }
+        shared.metrics.record(submitted.elapsed(), ok);
+        // A client that gave up waiting is not an error.
+        let _ = reply.send(result);
+    }
+}

@@ -1,0 +1,136 @@
+//! The background maintenance loop: window bookkeeping, adaptation,
+//! snapshot publication, and grace-period garbage collection.
+//!
+//! Each pass drains the executed-query inbox and replays it through the
+//! serial engine's exact decision procedure
+//! ([`adaptdb::Database::record_observation`] and
+//! [`adaptdb::Database::adapt_now`]) under the engine mutex, with block
+//! migration writing through the concurrent store. Retirement is
+//! deferred: migrated-away blocks stay readable until every query
+//! pinned to a pre-migration snapshot finishes.
+//!
+//! Correctness of the collector rests on two facts:
+//!
+//! 1. Readers pin snapshots only by cloning an `Arc` out of the
+//!    published map, and the map only ever holds the newest generation,
+//!    so once a displaced snapshot's `Arc::strong_count` drops to 1
+//!    (the grace entry's own reference), no reader holds it — and no
+//!    new reader ever can.
+//! 2. A block retired in pass *N* may appear in the manifests of *any*
+//!    earlier generation, not just the one displaced in pass *N*.
+//!    Entries are therefore collected strictly FIFO: an entry's blocks
+//!    are deleted only after every earlier entry has been collected,
+//!    which implies all older generations have fully drained.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use adaptdb::TableSnapshot;
+use adaptdb_common::BlockId;
+
+use crate::Shared;
+
+/// Blocks awaiting deletion, guarded by the snapshots that were current
+/// when they were retired.
+struct GraceEntry {
+    /// Displaced snapshot generations. When all are uniquely held, no
+    /// reader can reach the blocks below through this generation.
+    guards: Vec<Arc<TableSnapshot>>,
+    /// `(table, block)` pairs to delete.
+    blocks: Vec<(String, BlockId)>,
+}
+
+/// Retry interval for pending garbage collection: while retired blocks
+/// await reader drain, the loop wakes this often even without traffic.
+/// With an empty grace list it blocks until an observation (or
+/// shutdown) arrives — an idle server burns no CPU.
+const GC_RETRY: Duration = Duration::from_millis(2);
+
+pub(crate) fn run_loop(shared: &Shared) {
+    let mut grace: VecDeque<GraceEntry> = VecDeque::new();
+    loop {
+        let timeout = if grace.is_empty() { None } else { Some(GC_RETRY) };
+        let drained = shared.wait_for_observations(timeout);
+        let stopping = shared.is_shutdown();
+        let processed = drained.len();
+        if !drained.is_empty() {
+            if let Some(entry) = adapt_and_publish(shared, &drained) {
+                grace.push_back(entry);
+            }
+        }
+        collect(shared, &mut grace, false);
+        shared.note_pass(processed, grace.len());
+        if stopping {
+            // Workers are already joined by `DbServer::stop`; process
+            // any observations that raced in, then force-collect (no
+            // reader holds any snapshot anymore).
+            loop {
+                let rest = shared.wait_for_observations(Some(Duration::ZERO));
+                if rest.is_empty() {
+                    break;
+                }
+                if let Some(entry) = adapt_and_publish(shared, &rest) {
+                    grace.push_back(entry);
+                }
+                shared.note_pass(rest.len(), grace.len());
+            }
+            collect(shared, &mut grace, true);
+            shared.note_pass(0, 0);
+            break;
+        }
+    }
+}
+
+/// Replay `queries` through the engine's serial decision procedure and
+/// publish any changed layouts. Returns the grace entry guarding the
+/// blocks this round retired.
+fn adapt_and_publish(shared: &Shared, queries: &[adaptdb_common::Query]) -> Option<GraceEntry> {
+    let mut engine = shared.engine().lock();
+    for q in queries {
+        // A worker already surfaced any error (e.g. unknown table) to
+        // the client; adaptation simply skips such queries.
+        let _ = engine.record_observation(q);
+        let _ = engine.adapt_now(q, shared.maint_clock());
+    }
+    let blocks = engine.take_retired();
+    // Install the new layouts: one atomic Arc swap per changed table.
+    let mut guards = Vec::new();
+    {
+        let mut published = shared.published().write();
+        for name in engine.table_names() {
+            let fresh = engine.table(&name).expect("listed table exists").snapshot_arc();
+            match published.get_mut(&name) {
+                Some(slot) if !Arc::ptr_eq(slot, &fresh) => {
+                    guards.push(std::mem::replace(slot, fresh));
+                }
+                Some(_) => {}
+                None => {
+                    published.insert(name.clone(), fresh);
+                }
+            }
+        }
+    }
+    if guards.is_empty() && blocks.is_empty() {
+        None
+    } else {
+        Some(GraceEntry { guards, blocks })
+    }
+}
+
+/// Delete the blocks of every collectible grace entry, strictly FIFO.
+/// With `force` (shutdown, readers joined) collect everything.
+fn collect(shared: &Shared, grace: &mut VecDeque<GraceEntry>, force: bool) {
+    while let Some(front) = grace.front() {
+        let drained = force || front.guards.iter().all(|g| Arc::strong_count(g) == 1);
+        if !drained {
+            break;
+        }
+        let entry = grace.pop_front().expect("front exists");
+        for (table, block) in entry.blocks {
+            // The block can only be missing if the engine re-migrated it
+            // eagerly, which deferred mode never does; ignore regardless.
+            let _ = shared.store().remove_block(&table, block);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Server- and session-level serving statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use adaptdb_common::{IoStats, QueryStats};
+use parking_lot::Mutex;
+
+/// Latency aggregate kept under a mutex (updated once per query, so
+/// contention is negligible next to query execution).
+#[derive(Debug, Default, Clone, Copy)]
+struct LatencyAgg {
+    total_secs: f64,
+    max_secs: f64,
+}
+
+/// Live server counters, shared by all workers.
+#[derive(Debug)]
+pub(crate) struct Metrics {
+    started: Instant,
+    queries: AtomicU64,
+    errors: AtomicU64,
+    latency: Mutex<LatencyAgg>,
+}
+
+impl Metrics {
+    pub(crate) fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            queries: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latency: Mutex::new(LatencyAgg::default()),
+        }
+    }
+
+    pub(crate) fn record(&self, elapsed: Duration, ok: bool) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let secs = elapsed.as_secs_f64();
+        let mut agg = self.latency.lock();
+        agg.total_secs += secs;
+        agg.max_secs = agg.max_secs.max(secs);
+    }
+
+    pub(crate) fn report(
+        &self,
+        workers: usize,
+        queue_capacity: usize,
+        maintenance_io: IoStats,
+        maintenance_passes: u64,
+    ) -> ServerReport {
+        let queries = self.queries.load(Ordering::Relaxed);
+        let errors = self.errors.load(Ordering::Relaxed);
+        let agg = *self.latency.lock();
+        let elapsed_secs = self.started.elapsed().as_secs_f64();
+        ServerReport {
+            queries,
+            errors,
+            elapsed_secs,
+            qps: if elapsed_secs > 0.0 { queries as f64 / elapsed_secs } else { 0.0 },
+            mean_latency_ms: if queries > 0 { agg.total_secs / queries as f64 * 1e3 } else { 0.0 },
+            max_latency_ms: agg.max_secs * 1e3,
+            maintenance_io,
+            maintenance_passes,
+            workers,
+            queue_capacity,
+        }
+    }
+}
+
+/// A point-in-time throughput/latency summary of a running server.
+#[derive(Debug, Clone)]
+pub struct ServerReport {
+    /// Queries answered (including errors).
+    pub queries: u64,
+    /// Queries that returned an error.
+    pub errors: u64,
+    /// Wall-clock seconds since the server started.
+    pub elapsed_secs: f64,
+    /// Observed throughput, queries per wall-clock second.
+    pub qps: f64,
+    /// Mean per-query wall latency, milliseconds.
+    pub mean_latency_ms: f64,
+    /// Worst per-query wall latency, milliseconds.
+    pub max_latency_ms: f64,
+    /// I/O performed by background maintenance (its own
+    /// `ClockKind::Maintenance` clock — never mixed into query costs).
+    pub maintenance_io: IoStats,
+    /// Completed maintenance passes.
+    pub maintenance_passes: u64,
+    /// Executor worker threads.
+    pub workers: usize,
+    /// Admission-queue capacity.
+    pub queue_capacity: usize,
+}
+
+impl std::fmt::Display for ServerReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} queries in {:.2}s ({:.0} q/s, {} workers, queue {})",
+            self.queries, self.elapsed_secs, self.qps, self.workers, self.queue_capacity
+        )?;
+        writeln!(
+            f,
+            "latency: mean {:.2} ms, max {:.2} ms; errors: {}",
+            self.mean_latency_ms, self.max_latency_ms, self.errors
+        )?;
+        write!(
+            f,
+            "maintenance: {} passes, {} reads / {} writes (off hot path)",
+            self.maintenance_passes,
+            self.maintenance_io.reads(),
+            self.maintenance_io.writes
+        )
+    }
+}
+
+/// Per-session accumulation of what one client's queries did.
+#[derive(Debug, Clone, Default)]
+pub struct SessionStats {
+    /// Queries this session ran successfully.
+    pub queries: usize,
+    /// Queries that errored.
+    pub errors: usize,
+    /// Rows returned across all queries.
+    pub rows_out: usize,
+    /// Merged I/O of this session's queries.
+    pub io: IoStats,
+    /// Total wall seconds spent waiting for results.
+    pub total_wall_secs: f64,
+}
+
+impl SessionStats {
+    pub(crate) fn record_ok(&mut self, rows: usize, stats: &QueryStats) {
+        self.queries += 1;
+        self.rows_out += rows;
+        self.io.merge(&stats.query_io);
+        self.total_wall_secs += stats.wall_secs;
+    }
+
+    pub(crate) fn record_err(&mut self) {
+        self.errors += 1;
+    }
+}

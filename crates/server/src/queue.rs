@@ -1,0 +1,176 @@
+//! A bounded MPMC admission queue.
+//!
+//! `push` blocks while the queue is at capacity — that is the server's
+//! backpressure: clients cannot submit faster than the worker pool
+//! drains. `pop` blocks while empty and returns `None` once the queue
+//! is closed and drained, which is how workers learn to exit.
+//!
+//! Built on `std::sync` (Mutex + two Condvars) rather than the
+//! crossbeam shim because the shim's channel is unbounded.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded blocking FIFO shared by producers (client sessions) and
+/// consumers (executor workers).
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` pending items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            state: Mutex::new(State { items: VecDeque::new(), closed: false }),
+            capacity,
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Maximum number of pending items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Currently queued items.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueue, blocking while the queue is full. Returns the item back
+    /// if the queue has been closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().unwrap();
+        while state.items.len() >= self.capacity && !state.closed {
+            state = self.not_full.wait(state).unwrap();
+        }
+        if state.closed {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue, blocking while empty. `None` means closed and drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).unwrap();
+        }
+    }
+
+    /// Close the queue: pending items still drain, new pushes fail, and
+    /// blocked consumers wake up.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.close();
+        assert_eq!(q.push(2), Err(2));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_blocks_at_capacity_until_pop() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(0u32).unwrap();
+        let qc = q.clone();
+        let producer = std::thread::spawn(move || {
+            // Blocks until the consumer below makes room.
+            qc.push(1).unwrap();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.len(), 1, "producer must be blocked at capacity");
+        assert_eq!(q.pop(), Some(0));
+        producer.join().unwrap();
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn many_producers_many_consumers_deliver_exactly_once() {
+        let q = Arc::new(BoundedQueue::new(8));
+        let n_prod = 4;
+        let per = 200;
+        let mut handles = Vec::new();
+        for p in 0..n_prod {
+            let q = q.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per {
+                    q.push(p * per + i).unwrap();
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let q = q.clone();
+            consumers.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<usize> = Vec::new();
+        for c in consumers {
+            all.extend(c.join().unwrap());
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..n_prod * per).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,232 @@
+//! Concurrency tests for the serving runtime: result correctness under
+//! parallel clients, snapshot isolation during background adaptation,
+//! graceful shutdown, and garbage-collection invariants.
+
+use adaptdb::{Database, DbConfig, Mode};
+use adaptdb_common::{row, JoinQuery, Query, Row, ScanQuery, Schema, ValueType};
+use adaptdb_server::{DbServer, ServerOptions};
+
+fn schema2() -> Schema {
+    Schema::from_pairs(&[("k", ValueType::Int), ("x", ValueType::Int)])
+}
+
+fn loaded_db(mode: Mode, threads: usize) -> Database {
+    let config = DbConfig {
+        rows_per_block: 10,
+        window_size: 5,
+        buffer_blocks: 2,
+        threads,
+        mode,
+        ..DbConfig::small()
+    };
+    let mut db = Database::new(config);
+    db.create_table("l", schema2(), vec![0, 1]).unwrap();
+    db.create_table("r", schema2(), vec![0, 1]).unwrap();
+    db.load_rows("l", (0..400i64).map(|i| row![i % 200, i])).unwrap();
+    db.load_rows("r", (0..200i64).map(|i| row![i, i * 2])).unwrap();
+    db
+}
+
+fn join_query() -> Query {
+    Query::Join(JoinQuery::new(ScanQuery::full("l"), ScanQuery::full("r"), 0, 0))
+}
+
+fn scan_query(lt: i64) -> Query {
+    use adaptdb_common::{CmpOp, Predicate, PredicateSet};
+    Query::Scan(ScanQuery::new("r", PredicateSet::none().and(Predicate::new(0, CmpOp::Lt, lt))))
+}
+
+fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
+    rows.sort_by(|a, b| a.values().cmp(b.values()));
+    rows
+}
+
+#[test]
+fn concurrent_clients_match_serial_results() {
+    // Serial baseline answers the whole query mix first.
+    let queries: Vec<Query> = (0..12)
+        .map(|i| if i % 3 == 2 { scan_query(10 + i as i64) } else { join_query() })
+        .collect();
+    let mut serial = loaded_db(Mode::Adaptive, 1);
+    let expected: Vec<Vec<Row>> =
+        queries.iter().map(|q| sorted(serial.run(q).unwrap().rows)).collect();
+
+    // Four client threads each run the full mix against one server.
+    let server = DbServer::start_with(
+        loaded_db(Mode::Adaptive, 1),
+        ServerOptions { workers: Some(4), queue_capacity: Some(8) },
+    );
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let mut session = server.session();
+            let queries = &queries;
+            let expected = &expected;
+            s.spawn(move || {
+                for (q, want) in queries.iter().zip(expected) {
+                    let got = sorted(session.run(q).unwrap().rows);
+                    assert_eq!(&got, want, "concurrent result diverged from serial");
+                }
+                assert_eq!(session.stats().queries, queries.len());
+            });
+        }
+    });
+    let report = server.report();
+    assert_eq!(report.queries, 4 * queries.len() as u64);
+    assert_eq!(report.errors, 0);
+}
+
+#[test]
+fn serving_continues_while_adaptation_runs_in_background() {
+    // Adaptive mode with joins on a fresh upfront layout forces smooth
+    // migration; clients must keep getting exact results throughout.
+    let server = DbServer::start_with(
+        loaded_db(Mode::Adaptive, 1),
+        ServerOptions { workers: Some(4), queue_capacity: Some(16) },
+    );
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let mut session = server.session();
+            s.spawn(move || {
+                for _ in 0..10 {
+                    let res = session.run(&join_query()).unwrap();
+                    assert_eq!(res.rows.len(), 400);
+                    for r in &res.rows {
+                        assert_eq!(r.get(2).as_int().unwrap(), r.get(0).as_int().unwrap());
+                    }
+                }
+            });
+        }
+    });
+    server.drain_maintenance();
+    let report = server.report();
+    assert!(
+        report.maintenance_io.writes > 0,
+        "background adaptation must have migrated blocks: {report}"
+    );
+    // The engine converged to join-attribute trees, exactly like serial.
+    server.with_engine(|db| {
+        for t in ["l", "r"] {
+            assert!(db.table(t).unwrap().tree_for_join_attr(0).is_some(), "{t} not adapted");
+        }
+    });
+}
+
+#[test]
+fn retired_blocks_are_garbage_collected_after_drain() {
+    let server = DbServer::start(loaded_db(Mode::Adaptive, 1));
+    let mut session = server.session();
+    for _ in 0..12 {
+        session.run(&join_query()).unwrap();
+    }
+    server.drain_maintenance();
+    // After maintenance quiesces, the store holds exactly the blocks the
+    // manifests reference: nothing retired lingers, nothing referenced
+    // is missing.
+    server.with_engine(|db| {
+        for t in ["l", "r"] {
+            let manifest = db.table(t).unwrap().all_blocks().len();
+            let stored = db.store().block_count(t);
+            assert_eq!(manifest, stored, "{t}: manifest vs stored blocks");
+        }
+    });
+}
+
+#[test]
+fn maintenance_io_stays_off_query_clocks() {
+    let server = DbServer::start(loaded_db(Mode::Adaptive, 1));
+    let mut session = server.session();
+    let mut repartition_io = 0usize;
+    for _ in 0..10 {
+        let res = session.run(&join_query()).unwrap();
+        // Server queries never carry repartition I/O — migration belongs
+        // to the maintenance clock. (query_io.writes may be nonzero:
+        // shuffle joins legitimately spill on the query clock.)
+        repartition_io += res.stats.repartition_io.writes + res.stats.repartition_io.reads();
+    }
+    server.drain_maintenance();
+    assert_eq!(repartition_io, 0, "migration I/O leaked into query accounting");
+    assert!(server.report().maintenance_io.writes > 0, "adaptation should have run");
+}
+
+#[test]
+fn queue_backpressure_and_errors_are_reported() {
+    let server = DbServer::start_with(
+        loaded_db(Mode::Adaptive, 1),
+        ServerOptions { workers: Some(2), queue_capacity: Some(2) },
+    );
+    let mut session = server.session();
+    // Unknown table surfaces as an error to this client only.
+    assert!(session.run(&Query::Scan(ScanQuery::full("nope"))).is_err());
+    assert_eq!(session.stats().errors, 1);
+    // The server keeps serving afterwards.
+    let res = session.run(&scan_query(5)).unwrap();
+    assert_eq!(res.rows.len(), 5);
+    let report = server.report();
+    assert_eq!(report.queue_capacity, 2);
+    assert_eq!(report.workers, 2);
+    assert_eq!(report.errors, 1);
+}
+
+#[test]
+fn stop_is_graceful_and_idempotent() {
+    let mut server = DbServer::start(loaded_db(Mode::Adaptive, 1));
+    let mut session = server.session();
+    session.run(&join_query()).unwrap();
+    server.stop();
+    // Idempotent; post-shutdown submissions fail cleanly.
+    server.stop();
+    assert!(session.run(&join_query()).is_err());
+}
+
+#[test]
+fn tables_created_mid_serving_become_queryable() {
+    let server = DbServer::start(loaded_db(Mode::Adaptive, 1));
+    server.with_engine(|db| {
+        db.create_table("late", schema2(), vec![0]).unwrap();
+        db.load_rows("late", (0..50i64).map(|i| row![i, i])).unwrap();
+    });
+    // The new table is visible immediately, even with zero prior
+    // successful queries to tick the maintenance loop.
+    let res = server.run(&Query::Scan(ScanQuery::full("late"))).unwrap();
+    assert_eq!(res.rows.len(), 50);
+}
+
+#[test]
+fn drain_after_stop_returns_immediately() {
+    let mut server = DbServer::start(loaded_db(Mode::Adaptive, 1));
+    server.run(&join_query()).unwrap();
+    server.stop();
+    // Must not hang waiting on a joined maintenance thread.
+    server.drain_maintenance();
+}
+
+#[test]
+fn fixed_mode_serves_without_any_maintenance_writes() {
+    let mut db = loaded_db(Mode::Fixed, 1);
+    // Pre-converge so Fixed mode hyper-joins from the start.
+    db = {
+        let config = db.config().clone();
+        let mut fresh = Database::new(config);
+        fresh.create_table("l", schema2(), vec![1]).unwrap();
+        fresh.create_table("r", schema2(), vec![1]).unwrap();
+        fresh
+            .load_two_phase("l", (0..400i64).map(|i| row![i % 200, i]).collect(), 0, None)
+            .unwrap();
+        fresh.load_two_phase("r", (0..200i64).map(|i| row![i, i * 2]).collect(), 0, None).unwrap();
+        fresh
+    };
+    let server = DbServer::start(db);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let mut session = server.session();
+            s.spawn(move || {
+                for _ in 0..5 {
+                    let res = session.run(&join_query()).unwrap();
+                    assert_eq!(res.rows.len(), 400);
+                }
+            });
+        }
+    });
+    server.drain_maintenance();
+    assert_eq!(server.report().maintenance_io.writes, 0, "Fixed mode must not adapt");
+}

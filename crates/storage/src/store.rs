@@ -3,12 +3,22 @@
 //! Rows live encoded (see [`crate::codec`]); metadata ([`BlockMeta`])
 //! stays in memory like a catalog would keep it. Every read is
 //! classified local/remote by the DFS and recorded on a [`SimClock`].
+//!
+//! The store is internally synchronized: reads take `&self` and brief
+//! shared locks, writes take `&self` and brief exclusive locks, so a
+//! query-serving runtime can share one store across reader threads
+//! while a background maintenance task writes new blocks. No lock is
+//! held across an I/O-sized unit of work — each method locks, touches
+//! one map entry, and releases — so readers never wait behind a whole
+//! repartitioning pass, only behind individual map operations.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use adaptdb_common::{BlockId, Error, GlobalBlockId, Result, Row};
 use adaptdb_dfs::{NodeId, SimClock, SimDfs};
 use bytes::Bytes;
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::block::{Block, BlockMeta};
 use crate::codec;
@@ -16,37 +26,45 @@ use crate::codec;
 /// Block storage for all tables of one database instance.
 #[derive(Debug)]
 pub struct BlockStore {
-    dfs: SimDfs,
-    data: HashMap<GlobalBlockId, Bytes>,
-    meta: HashMap<String, BTreeMap<BlockId, BlockMeta>>,
-    next_id: HashMap<String, BlockId>,
+    dfs: RwLock<SimDfs>,
+    data: RwLock<HashMap<GlobalBlockId, Bytes>>,
+    meta: RwLock<HashMap<String, BTreeMap<BlockId, BlockMeta>>>,
+    next_id: Mutex<HashMap<String, BlockId>>,
+    /// Reads that bypassed clock accounting (see
+    /// [`BlockStore::read_block_unaccounted`]). Production read paths
+    /// must keep this at zero; [`BlockStore::unaccounted_reads`] lets
+    /// callers assert that in debug builds.
+    unaccounted: AtomicUsize,
 }
 
 impl BlockStore {
     /// Create a store over a fresh simulated cluster.
     pub fn new(nodes: usize, replication: usize, seed: u64) -> Self {
         BlockStore {
-            dfs: SimDfs::new(nodes, replication, seed),
-            data: HashMap::new(),
-            meta: HashMap::new(),
-            next_id: HashMap::new(),
+            dfs: RwLock::new(SimDfs::new(nodes, replication, seed)),
+            data: RwLock::new(HashMap::new()),
+            meta: RwLock::new(HashMap::new()),
+            next_id: Mutex::new(HashMap::new()),
+            unaccounted: AtomicUsize::new(0),
         }
     }
 
-    /// The underlying simulated DFS.
-    pub fn dfs(&self) -> &SimDfs {
-        &self.dfs
+    /// Shared access to the underlying simulated DFS (a read guard —
+    /// hold it briefly).
+    pub fn dfs(&self) -> RwLockReadGuard<'_, SimDfs> {
+        self.dfs.read()
     }
 
-    /// Mutable DFS access — fault injection (node failure/recovery) for
-    /// resilience testing.
-    pub fn dfs_mut(&mut self) -> &mut SimDfs {
-        &mut self.dfs
+    /// Exclusive DFS access — fault injection (node failure/recovery)
+    /// for resilience testing.
+    pub fn dfs_mut(&self) -> RwLockWriteGuard<'_, SimDfs> {
+        self.dfs.write()
     }
 
     /// Allocate the next block id for a table.
-    pub fn allocate_id(&mut self, table: &str) -> BlockId {
-        let next = self.next_id.entry(table.to_string()).or_insert(0);
+    pub fn allocate_id(&self, table: &str) -> BlockId {
+        let mut next_id = self.next_id.lock();
+        let next = next_id.entry(table.to_string()).or_insert(0);
         let id = *next;
         *next += 1;
         id
@@ -56,7 +74,7 @@ impl BlockStore {
     /// (for range metadata) and `writer` the node doing the write (None =
     /// bulk load, placed round-robin). Returns the id.
     pub fn write_block(
-        &mut self,
+        &self,
         table: &str,
         rows: Vec<Row>,
         arity: usize,
@@ -67,9 +85,9 @@ impl BlockStore {
         let meta = block.compute_meta(arity);
         let encoded = codec::encode_block(&block);
         let gid = GlobalBlockId::new(table, id);
-        self.dfs.write_block(gid.clone(), encoded.len(), writer);
-        self.data.insert(gid, encoded);
-        self.meta.entry(table.to_string()).or_default().insert(id, meta);
+        self.dfs.write().write_block(gid.clone(), encoded.len(), writer);
+        self.data.write().insert(gid, encoded);
+        self.meta.write().entry(table.to_string()).or_default().insert(id, meta);
         id
     }
 
@@ -82,52 +100,76 @@ impl BlockStore {
         clock: &SimClock,
     ) -> Result<Block> {
         let gid = GlobalBlockId::new(table, id);
-        let kind = self.dfs.read_from(&gid, reader)?;
+        let kind = self.dfs.read().read_from(&gid, reader)?;
         clock.record_read(kind);
-        let bytes = self.data.get(&gid).ok_or(Error::UnknownBlock(id))?;
-        codec::decode_block(bytes.clone())
+        let bytes = self.data.read().get(&gid).cloned().ok_or(Error::UnknownBlock(id))?;
+        codec::decode_block(bytes)
     }
 
-    /// Read without accounting — used by tests and by the loader when it
-    /// re-reads its own buffers.
+    /// Read without accounting — for tests only. Every production read
+    /// path must charge a [`SimClock`] (query- or maintenance-kind);
+    /// calls here are tallied so [`BlockStore::unaccounted_reads`] can
+    /// expose accounting leaks in debug assertions.
     pub fn read_block_unaccounted(&self, table: &str, id: BlockId) -> Result<Block> {
+        self.unaccounted.fetch_add(1, Ordering::Relaxed);
         let gid = GlobalBlockId::new(table, id);
-        let bytes = self.data.get(&gid).ok_or(Error::UnknownBlock(id))?;
-        codec::decode_block(bytes.clone())
+        let bytes = self.data.read().get(&gid).cloned().ok_or(Error::UnknownBlock(id))?;
+        codec::decode_block(bytes)
     }
 
-    /// Metadata of one block.
-    pub fn block_meta(&self, table: &str, id: BlockId) -> Result<&BlockMeta> {
-        self.meta.get(table).and_then(|m| m.get(&id)).ok_or(Error::UnknownBlock(id))
+    /// How many reads bypassed clock accounting over the store's
+    /// lifetime. Production paths assert this stays constant across a
+    /// query or maintenance cycle (debug builds).
+    pub fn unaccounted_reads(&self) -> usize {
+        self.unaccounted.load(Ordering::Relaxed)
+    }
+
+    /// Metadata of one block (a copy — the catalog maps stay private so
+    /// concurrent writers cannot invalidate borrows).
+    pub fn block_meta(&self, table: &str, id: BlockId) -> Result<BlockMeta> {
+        self.with_block_meta(table, id, |m| m.clone())
+    }
+
+    /// Apply `f` to one block's metadata under the catalog lock — one
+    /// lock round-trip, no allocation. Hot per-block paths (the scan
+    /// skip-check, the join planner's range fetch) use this instead of
+    /// cloning the whole [`BlockMeta`].
+    pub fn with_block_meta<R>(
+        &self,
+        table: &str,
+        id: BlockId,
+        f: impl FnOnce(&BlockMeta) -> R,
+    ) -> Result<R> {
+        self.meta.read().get(table).and_then(|m| m.get(&id)).map(f).ok_or(Error::UnknownBlock(id))
     }
 
     /// All block metadata for a table, ascending by id.
-    pub fn table_metas(&self, table: &str) -> Vec<&BlockMeta> {
-        self.meta.get(table).map(|m| m.values().collect()).unwrap_or_default()
+    pub fn table_metas(&self, table: &str) -> Vec<BlockMeta> {
+        self.meta.read().get(table).map(|m| m.values().cloned().collect()).unwrap_or_default()
     }
 
     /// Ids of all live blocks of a table, ascending.
     pub fn block_ids(&self, table: &str) -> Vec<BlockId> {
-        self.meta.get(table).map(|m| m.keys().copied().collect()).unwrap_or_default()
+        self.meta.read().get(table).map(|m| m.keys().copied().collect()).unwrap_or_default()
     }
 
     /// Number of live blocks in a table.
     pub fn block_count(&self, table: &str) -> usize {
-        self.meta.get(table).map(|m| m.len()).unwrap_or(0)
+        self.meta.read().get(table).map(|m| m.len()).unwrap_or(0)
     }
 
     /// Total rows across a table's live blocks (catalog-side count).
     pub fn row_count(&self, table: &str) -> usize {
-        self.meta.get(table).map(|m| m.values().map(|b| b.row_count).sum()).unwrap_or(0)
+        self.meta.read().get(table).map(|m| m.values().map(|b| b.row_count).sum()).unwrap_or(0)
     }
 
     /// Delete a block (repartitioning retires source blocks after their
     /// rows have been rewritten under the new tree).
-    pub fn remove_block(&mut self, table: &str, id: BlockId) -> Result<()> {
+    pub fn remove_block(&self, table: &str, id: BlockId) -> Result<()> {
         let gid = GlobalBlockId::new(table, id);
-        self.dfs.remove_block(&gid)?;
-        self.data.remove(&gid);
-        if let Some(m) = self.meta.get_mut(table) {
+        self.dfs.write().remove_block(&gid)?;
+        self.data.write().remove(&gid);
+        if let Some(m) = self.meta.write().get_mut(table) {
             m.remove(&id);
         }
         Ok(())
@@ -135,7 +177,7 @@ impl BlockStore {
 
     /// The node a locality-aware scheduler would run this block's task on.
     pub fn preferred_node(&self, table: &str, id: BlockId) -> Result<NodeId> {
-        self.dfs.preferred_node(&GlobalBlockId::new(table, id))
+        self.dfs.read().preferred_node(&GlobalBlockId::new(table, id))
     }
 }
 
@@ -150,7 +192,7 @@ mod tests {
 
     #[test]
     fn write_read_round_trip_with_accounting() {
-        let mut s = store();
+        let s = store();
         let id = s.write_block("t", vec![row![1i64], row![2i64]], 1, None);
         let clock = SimClock::new();
         let reader = s.preferred_node("t", id).unwrap();
@@ -163,7 +205,7 @@ mod tests {
 
     #[test]
     fn remote_read_is_classified() {
-        let mut s = store();
+        let s = store();
         let id = s.write_block("t", vec![row![1i64]], 1, Some(0));
         let clock = SimClock::new();
         s.read_block("t", id, 2, &clock).unwrap();
@@ -172,7 +214,7 @@ mod tests {
 
     #[test]
     fn ids_are_dense_per_table() {
-        let mut s = store();
+        let s = store();
         assert_eq!(s.write_block("a", vec![], 1, None), 0);
         assert_eq!(s.write_block("a", vec![], 1, None), 1);
         assert_eq!(s.write_block("b", vec![], 1, None), 0);
@@ -182,7 +224,7 @@ mod tests {
 
     #[test]
     fn meta_tracks_ranges_and_counts() {
-        let mut s = store();
+        let s = store();
         let id = s.write_block("t", vec![row![5i64], row![9i64]], 1, None);
         let m = s.block_meta("t", id).unwrap();
         assert_eq!(m.row_count, 2);
@@ -192,7 +234,7 @@ mod tests {
 
     #[test]
     fn remove_block_clears_everywhere() {
-        let mut s = store();
+        let s = store();
         let id = s.write_block("t", vec![row![1i64]], 1, None);
         s.remove_block("t", id).unwrap();
         assert_eq!(s.block_count("t"), 0);
@@ -208,5 +250,52 @@ mod tests {
         assert!(s.block_meta("nope", 0).is_err());
         assert!(s.read_block_unaccounted("nope", 0).is_err());
         assert!(s.table_metas("nope").is_empty());
+    }
+
+    #[test]
+    fn unaccounted_reads_are_tallied() {
+        let s = store();
+        let id = s.write_block("t", vec![row![1i64]], 1, None);
+        assert_eq!(s.unaccounted_reads(), 0);
+        s.read_block_unaccounted("t", id).unwrap();
+        s.read_block_unaccounted("t", id).unwrap();
+        assert_eq!(s.unaccounted_reads(), 2);
+        // Accounted reads leave the tally alone.
+        let clock = SimClock::new();
+        s.read_block("t", id, 0, &clock).unwrap();
+        assert_eq!(s.unaccounted_reads(), 2);
+    }
+
+    #[test]
+    fn concurrent_readers_during_writes_stay_consistent() {
+        let s = std::sync::Arc::new(store());
+        let seed: Vec<BlockId> =
+            (0..8).map(|i| s.write_block("t", vec![row![i as i64]], 1, None)).collect();
+        std::thread::scope(|scope| {
+            // Writers keep adding blocks while readers hammer the seed set.
+            for w in 0..2 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for i in 0..50i64 {
+                        s.write_block("t", vec![row![w as i64 * 1000 + i]], 1, None);
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let s = s.clone();
+                let seed = seed.clone();
+                scope.spawn(move || {
+                    let clock = SimClock::new();
+                    for _ in 0..50 {
+                        for &b in &seed {
+                            let node = s.preferred_node("t", b).unwrap();
+                            let block = s.read_block("t", b, node, &clock).unwrap();
+                            assert_eq!(block.len(), 1);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(s.block_count("t"), 8 + 100);
     }
 }

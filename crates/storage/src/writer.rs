@@ -19,7 +19,7 @@ pub type BucketId = u32;
 /// Routes rows into per-bucket buffers and flushes full buffers as blocks.
 #[derive(Debug)]
 pub struct PartitionedWriter<'a> {
-    store: &'a mut BlockStore,
+    store: &'a BlockStore,
     table: String,
     arity: usize,
     /// Rows per block before a flush — the block-size budget `B` expressed
@@ -34,7 +34,7 @@ pub struct PartitionedWriter<'a> {
 impl<'a> PartitionedWriter<'a> {
     /// Create a writer for `table` flushing every `rows_per_block` rows.
     pub fn new(
-        store: &'a mut BlockStore,
+        store: &'a BlockStore,
         table: impl Into<String>,
         arity: usize,
         rows_per_block: usize,
@@ -100,8 +100,8 @@ mod tests {
 
     #[test]
     fn rows_split_into_blocks_of_budget() {
-        let mut store = BlockStore::new(2, 1, 1);
-        let mut w = PartitionedWriter::new(&mut store, "t", 1, 3, None);
+        let store = BlockStore::new(2, 1, 1);
+        let mut w = PartitionedWriter::new(&store, "t", 1, 3, None);
         for i in 0..10i64 {
             w.push(0, row![i]);
         }
@@ -115,8 +115,8 @@ mod tests {
 
     #[test]
     fn buckets_are_kept_separate() {
-        let mut store = BlockStore::new(2, 1, 1);
-        let mut w = PartitionedWriter::new(&mut store, "t", 1, 100, None);
+        let store = BlockStore::new(2, 1, 1);
+        let mut w = PartitionedWriter::new(&store, "t", 1, 100, None);
         w.push(1, row![10i64]);
         w.push(2, row![20i64]);
         w.push(1, row![11i64]);
@@ -130,8 +130,8 @@ mod tests {
 
     #[test]
     fn counts_track_progress() {
-        let mut store = BlockStore::new(2, 1, 1);
-        let mut w = PartitionedWriter::new(&mut store, "t", 1, 2, None);
+        let store = BlockStore::new(2, 1, 1);
+        let mut w = PartitionedWriter::new(&store, "t", 1, 2, None);
         w.push(0, row![1i64]);
         assert_eq!(w.rows_seen(), 1);
         assert_eq!(w.blocks_flushed(), 0);
@@ -142,8 +142,8 @@ mod tests {
 
     #[test]
     fn empty_finish_writes_nothing() {
-        let mut store = BlockStore::new(2, 1, 1);
-        let w = PartitionedWriter::new(&mut store, "t", 1, 2, None);
+        let store = BlockStore::new(2, 1, 1);
+        let w = PartitionedWriter::new(&store, "t", 1, 2, None);
         assert!(w.finish().is_empty());
         assert_eq!(store.block_count("t"), 0);
     }
@@ -151,7 +151,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "rows_per_block must be positive")]
     fn zero_budget_panics() {
-        let mut store = BlockStore::new(2, 1, 1);
-        let _ = PartitionedWriter::new(&mut store, "t", 1, 0, None);
+        let store = BlockStore::new(2, 1, 1);
+        let _ = PartitionedWriter::new(&store, "t", 1, 0, None);
     }
 }

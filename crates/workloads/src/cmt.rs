@@ -359,8 +359,8 @@ mod tests {
         let g = CmtGen::new(300, 7);
         let mut db = Database::new(DbConfig { rows_per_block: 32, ..DbConfig::small() });
         g.load_best_guess(&mut db).unwrap();
-        assert_eq!(db.table("trips").unwrap().trees[0].join_attr(), Some(trips::TRIP_ID));
-        assert_eq!(db.table("history").unwrap().trees[0].join_attr(), Some(history::TRIP_ID));
+        assert_eq!(db.table("trips").unwrap().trees()[0].join_attr(), Some(trips::TRIP_ID));
+        assert_eq!(db.table("history").unwrap().trees()[0].join_attr(), Some(history::TRIP_ID));
     }
 
     #[test]

@@ -70,8 +70,8 @@ fn main() {
     let li = db.table("lineitem").unwrap();
     println!(
         "lineitem ended with {} tree(s); join attribute of tree 0: {:?}",
-        li.trees.len(),
-        li.trees[0].join_attr().map(|a| li.schema.field(a).name.clone()),
+        li.trees().len(),
+        li.trees()[0].join_attr().map(|a| li.schema().field(a).name.clone()),
     );
     println!("Early queries shuffle; as the join repeats, smooth repartitioning");
     println!("migrates blocks into a two-phase tree and the planner flips to hyper-join.");

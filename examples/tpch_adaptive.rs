@@ -34,7 +34,7 @@ fn main() {
         let res = db.run(&q).unwrap();
         let lt = db.table("lineitem").unwrap();
         let trees: Vec<String> = lt
-            .trees
+            .trees()
             .iter()
             .map(|info| {
                 let name = match info.join_attr() {

@@ -48,8 +48,8 @@ fn repeated_template_converges_to_hyper_join() {
     assert_eq!(rep_writes, 0, "migration must have completed");
     assert!(t_last < first.unwrap(), "steady state must beat cold start");
     let lt = db.table("lineitem").unwrap();
-    assert_eq!(lt.trees.len(), 1);
-    assert_eq!(lt.trees[0].join_attr(), Some(li::ORDERKEY));
+    assert_eq!(lt.trees().len(), 1);
+    assert_eq!(lt.trees()[0].join_attr(), Some(li::ORDERKEY));
 }
 
 /// Switching the join attribute (q12 → q14) smoothly migrates lineitem
@@ -70,10 +70,10 @@ fn smooth_migration_tracks_window_fractions() {
         let rows_of = |blocks: Vec<u32>| -> usize {
             blocks.iter().map(|b| db.store().block_meta("lineitem", *b).unwrap().row_count).sum()
         };
-        let total: usize = lt.trees.iter().map(|t| rows_of(t.all_blocks())).sum();
+        let total: usize = lt.trees().iter().map(|t| rows_of(t.all_blocks())).sum();
         let part = lt
             .tree_for_join_attr(li::PARTKEY)
-            .map(|i| rows_of(lt.trees[i].all_blocks()))
+            .map(|i| rows_of(lt.trees()[i].all_blocks()))
             .unwrap_or(0);
         part as f64 / total as f64
     };

@@ -74,5 +74,5 @@ fn quickstart_scenario_returns_correct_counts_while_adapting() {
 
     // The lineitem table still exists and kept at least one tree.
     let li = db.table("lineitem").unwrap();
-    assert!(!li.trees.is_empty(), "lineitem lost its partitioning trees");
+    assert!(!li.trees().is_empty(), "lineitem lost its partitioning trees");
 }
