@@ -1,0 +1,185 @@
+//! Shuffle-service cost: `C_SJ` per input block vs cluster size, and
+//! vs fetch-locality fraction (spill replication sweep).
+//!
+//! The paper's Eq. 1 prices a shuffle join at `C_SJ = 3` block-I/Os per
+//! input block. With the multi-node shuffle service the three legs are
+//! real: input read, run spill to the mapper's node, reducer fetch —
+//! the last split local/remote by actual DFS placement. This figure
+//! verifies the `≈ 3` pattern holds as the cluster grows and shows how
+//! spill replication buys fetch locality (simulated seconds fall with
+//! the remote-read penalty; the replica pipeline itself is not charged,
+//! consistent with table writes).
+//!
+//! Everything here is deterministic (simulated I/O, fixed seed), which
+//! is what lets CI diff `BENCH_shuffle.json` against a committed
+//! baseline with a tight tolerance.
+//!
+//! Usage: `fig_shuffle [--scale X] [--seed N] [--quick]`
+
+use adaptdb_bench::{parse_args, print_table, BenchOpts};
+use adaptdb_common::{row, CostParams, PredicateSet};
+use adaptdb_dfs::SimClock;
+use adaptdb_exec::{shuffle_join, ExecContext, ShuffleJoinSpec, ShuffleOptions};
+use adaptdb_storage::BlockStore;
+
+const ROWS_PER_BLOCK: usize = 100;
+
+/// One measured cell of either sweep.
+struct Cell {
+    nodes: usize,
+    replication: usize,
+    input_blocks: usize,
+    spill_blocks: usize,
+    local_fetches: usize,
+    remote_fetches: usize,
+    locality: f64,
+    cost_per_block: f64,
+    sim_secs: f64,
+}
+
+/// Weak scaling: data per node is constant, so a bigger cluster
+/// shuffles a proportionally bigger table (fan-out × mappers grows
+/// with nodes²; without weak scaling the runs degenerate into the
+/// tiny-file regime and the per-block figure measures fragmentation,
+/// not the shuffle pattern).
+fn rows_per_side(opts: &BenchOpts, nodes: usize) -> usize {
+    let per_node = ((3200.0 * opts.scale).round() as usize).max(400);
+    per_node.div_ceil(ROWS_PER_BLOCK) * ROWS_PER_BLOCK * nodes
+}
+
+/// Load two join-ready tables and run one shuffle join, returning the
+/// measured cell.
+fn measure(opts: &BenchOpts, nodes: usize, replication: usize) -> Cell {
+    let store = BlockStore::new(nodes, 1, opts.seed);
+    let n = rows_per_side(opts, nodes) as i64;
+    let mut lids = Vec::new();
+    let mut rids = Vec::new();
+    let mut k = 0i64;
+    while k < n {
+        let hi = k + ROWS_PER_BLOCK as i64;
+        lids.push(store.write_block("l", (k..hi).map(|i| row![i, i * 2]).collect(), 2, None));
+        rids.push(store.write_block("r", (k..hi).map(|i| row![i, i * 3]).collect(), 2, None));
+        k = hi;
+    }
+    let clock = SimClock::new();
+    let ctx = ExecContext::single(&store, &clock)
+        .with_shuffle(ShuffleOptions { partitions: Some(nodes), replication });
+    let none = PredicateSet::none();
+    let rows = shuffle_join(
+        ctx,
+        ShuffleJoinSpec {
+            left_table: "l",
+            left_blocks: &lids,
+            right_table: "r",
+            right_blocks: &rids,
+            left_attr: 0,
+            right_attr: 0,
+            left_preds: &none,
+            right_preds: &none,
+            rows_per_block: ROWS_PER_BLOCK,
+        },
+    )
+    .expect("shuffle join");
+    assert_eq!(rows.len(), n as usize, "join must be complete");
+    let io = clock.snapshot();
+    let sh = clock.shuffle_snapshot();
+    let input_blocks = lids.len() + rids.len();
+    Cell {
+        nodes,
+        replication,
+        input_blocks,
+        spill_blocks: sh.blocks_spilled,
+        local_fetches: sh.local_fetches,
+        remote_fetches: sh.remote_fetches,
+        locality: sh.locality_fraction(),
+        cost_per_block: (io.reads() + io.writes) as f64 / input_blocks as f64,
+        sim_secs: io.simulated_secs(&CostParams::default()),
+    }
+}
+
+fn json_cell(c: &Cell) -> String {
+    format!(
+        "    {{\"nodes\": {}, \"replication\": {}, \"input_blocks\": {}, \"spill_blocks\": {}, \
+         \"local_fetches\": {}, \"remote_fetches\": {}, \"locality\": {:.4}, \
+         \"cost_per_block\": {:.4}, \"sim_secs\": {:.4}}}",
+        c.nodes,
+        c.replication,
+        c.input_blocks,
+        c.spill_blocks,
+        c.local_fetches,
+        c.remote_fetches,
+        c.locality,
+        c.cost_per_block,
+        c.sim_secs
+    )
+}
+
+fn write_json(path: &str, node_sweep: &[Cell], locality_sweep: &[Cell], opts: &BenchOpts) {
+    let ns: Vec<String> = node_sweep.iter().map(json_cell).collect();
+    let ls: Vec<String> = locality_sweep.iter().map(json_cell).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"shuffle\",\n  \"scale\": {},\n  \"seed\": {},\n  \
+         \"rows_per_block\": {},\n  \"node_sweep\": [\n{}\n  ],\n  \
+         \"locality_sweep\": [\n{}\n  ]\n}}\n",
+        opts.scale,
+        opts.seed,
+        ROWS_PER_BLOCK,
+        ns.join(",\n"),
+        ls.join(",\n")
+    );
+    std::fs::write(path, json).expect("write BENCH_shuffle.json");
+    println!("wrote {path}");
+}
+
+fn table_rows(cells: &[Cell]) -> Vec<Vec<String>> {
+    cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.nodes.to_string(),
+                c.replication.to_string(),
+                c.input_blocks.to_string(),
+                c.spill_blocks.to_string(),
+                format!("{}/{}", c.local_fetches, c.remote_fetches),
+                format!("{:.2}", c.locality),
+                format!("{:.2}", c.cost_per_block),
+                format!("{:.1}", c.sim_secs),
+            ]
+        })
+        .collect()
+}
+
+fn main() {
+    let (opts, _) = parse_args();
+    let node_counts: &[usize] = if opts.quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+    let replications: &[usize] = if opts.quick { &[1, 4] } else { &[1, 2, 4] };
+
+    let node_sweep: Vec<Cell> = node_counts.iter().map(|&n| measure(&opts, n, 1)).collect();
+    let locality_sweep: Vec<Cell> = replications.iter().map(|&r| measure(&opts, 4, r)).collect();
+
+    let headers =
+        ["nodes", "repl", "in blocks", "spill", "local/remote", "locality", "C_SJ/block", "sim s"];
+    print_table(
+        "Shuffle-join cost vs node count (unreplicated runs; paper: C_SJ = 3)",
+        &headers,
+        &table_rows(&node_sweep),
+    );
+    print_table(
+        "Shuffle-join cost vs fetch locality (4 nodes, spill replication sweep)",
+        &headers,
+        &table_rows(&locality_sweep),
+    );
+
+    for c in &node_sweep {
+        assert!(
+            c.cost_per_block >= 2.5 && c.cost_per_block <= 4.5,
+            "C_SJ pattern broken at {} nodes: {:.2}",
+            c.nodes,
+            c.cost_per_block
+        );
+    }
+    let single = node_sweep.iter().find(|c| c.nodes == 1).expect("1-node cell");
+    assert_eq!(single.locality, 1.0, "single node must be fully local");
+
+    write_json("BENCH_shuffle.json", &node_sweep, &locality_sweep, &opts);
+}

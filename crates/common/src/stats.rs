@@ -42,6 +42,51 @@ impl IoStats {
     }
 }
 
+/// Per-phase shuffle-service accounting: what the map side spilled and
+/// how the reduce side fetched it. Fetches are a *breakdown* of reads
+/// already tallied in [`IoStats`] (every fetch is also a local or
+/// remote read); spilled blocks are likewise a subset of
+/// [`IoStats::writes`]. Keeping them separate lets experiments report
+/// shuffle locality without disturbing the paper's block-I/O currency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShuffleStats {
+    /// Non-empty per-(mapper, reducer) runs written during map phases.
+    pub runs_written: usize,
+    /// Physical blocks spilled to the DFS for those runs.
+    pub blocks_spilled: usize,
+    /// Encoded bytes of the spilled runs.
+    pub bytes_spilled: usize,
+    /// Run-block fetches where the reducer's node held a replica.
+    pub local_fetches: usize,
+    /// Run-block fetches that crossed the simulated network.
+    pub remote_fetches: usize,
+}
+
+impl ShuffleStats {
+    /// Total run-block fetches by reducers.
+    pub fn fetches(&self) -> usize {
+        self.local_fetches + self.remote_fetches
+    }
+
+    /// Fraction of fetches that were reducer-local (1.0 when nothing
+    /// was shuffled).
+    pub fn locality_fraction(&self) -> f64 {
+        if self.fetches() == 0 {
+            return 1.0;
+        }
+        self.local_fetches as f64 / self.fetches() as f64
+    }
+
+    /// Merge another tally into this one.
+    pub fn merge(&mut self, other: &ShuffleStats) {
+        self.runs_written += other.runs_written;
+        self.blocks_spilled += other.blocks_spilled;
+        self.bytes_spilled += other.bytes_spilled;
+        self.local_fetches += other.local_fetches;
+        self.remote_fetches += other.remote_fetches;
+    }
+}
+
 /// Which join strategy the planner chose for a query (§6 "Query Planner").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JoinStrategy {
@@ -76,6 +121,9 @@ pub struct QueryStats {
     /// I/O performed by adaptive repartitioning piggybacked on the query
     /// (Type-2 blocks: scanned *and* rewritten, §6 "Optimizer").
     pub repartition_io: IoStats,
+    /// Shuffle-service accounting (runs spilled, local vs remote
+    /// fetches) for the query's shuffle phases, if any.
+    pub shuffle: ShuffleStats,
     /// Join strategy chosen.
     pub strategy: JoinStrategy,
     /// The planner's estimated `C_HyJ` for the chosen plan, if a join.
@@ -90,6 +138,7 @@ impl QueryStats {
         QueryStats {
             query_io: IoStats::default(),
             repartition_io: IoStats::default(),
+            shuffle: ShuffleStats::default(),
             strategy,
             estimated_c_hyj: None,
             wall_secs: 0.0,
@@ -133,6 +182,23 @@ mod tests {
         let t = qs.total_io();
         assert_eq!(t.local_reads, 5);
         assert_eq!(t.writes, 7);
+    }
+
+    #[test]
+    fn shuffle_stats_merge_and_locality() {
+        let mut a = ShuffleStats {
+            runs_written: 2,
+            blocks_spilled: 3,
+            bytes_spilled: 100,
+            local_fetches: 1,
+            remote_fetches: 2,
+        };
+        let b = ShuffleStats { local_fetches: 1, ..ShuffleStats::default() };
+        a.merge(&b);
+        assert_eq!(a.fetches(), 4);
+        assert_eq!(a.locality_fraction(), 0.5);
+        // Nothing shuffled → vacuously fully local.
+        assert_eq!(ShuffleStats::default().locality_fraction(), 1.0);
     }
 
     #[test]

@@ -47,6 +47,15 @@ pub struct DbConfig {
     pub min_join_frequency: usize,
     /// Enable Amoeba-style selection-predicate adaptation.
     pub adapt_selections: bool,
+    /// Shuffle-service reducer fan-out (`None` = one reducer per
+    /// cluster node, the Spark default of "as many reducers as cores").
+    pub shuffle_partitions: Option<usize>,
+    /// Replication factor for spilled shuffle runs. 1 (the default)
+    /// matches Spark/MapReduce shuffle files: transient runs are not
+    /// worth the HDFS factor, and the occasional remote fetch is
+    /// exactly what `C_SJ = 3` prices in. Raising it trades spill
+    /// bandwidth for fetch locality (see `fig_shuffle`).
+    pub shuffle_replication: usize,
     /// Cost model for simulated seconds and plan comparison.
     pub cost: CostParams,
     /// System variant.
@@ -71,6 +80,8 @@ impl Default for DbConfig {
             join_levels_fraction: 0.5,
             min_join_frequency: 1,
             adapt_selections: true,
+            shuffle_partitions: None,
+            shuffle_replication: 1,
             cost: CostParams::default(),
             mode: Mode::Adaptive,
             threads: DbConfig::env_threads().unwrap_or(2),
@@ -122,6 +133,19 @@ impl DbConfig {
     pub fn join_levels_for(&self, depth: usize) -> usize {
         ((depth as f64 * self.join_levels_fraction).round() as usize).min(depth)
     }
+
+    /// Reducer fan-out the shuffle service uses under this config.
+    pub fn shuffle_fanout(&self) -> usize {
+        self.shuffle_partitions.unwrap_or(self.nodes).max(1)
+    }
+
+    /// The shuffle knobs in executor form.
+    pub fn shuffle_options(&self) -> adaptdb_exec::ShuffleOptions {
+        adaptdb_exec::ShuffleOptions {
+            partitions: Some(self.shuffle_fanout()),
+            replication: self.shuffle_replication.max(1),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -151,5 +175,16 @@ mod tests {
     fn with_mode_builder() {
         let c = DbConfig::small().with_mode(Mode::FullScan);
         assert_eq!(c.mode, Mode::FullScan);
+    }
+
+    #[test]
+    fn shuffle_knobs_default_and_override() {
+        let c = DbConfig::small();
+        assert_eq!(c.shuffle_fanout(), c.nodes, "default: one reducer per node");
+        assert_eq!(c.shuffle_options().replication, 1, "spill runs unreplicated by default");
+        let c = DbConfig { shuffle_partitions: Some(7), shuffle_replication: 3, ..c };
+        assert_eq!(c.shuffle_fanout(), 7);
+        assert_eq!(c.shuffle_options().partitions, Some(7));
+        assert_eq!(c.shuffle_options().replication, 3);
     }
 }

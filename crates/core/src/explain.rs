@@ -22,6 +22,12 @@ pub struct ExplainReport {
     pub candidates: Vec<(String, usize, usize)>,
     /// Eq. 1 estimate for shuffling the candidates.
     pub est_shuffle_cost: f64,
+    /// Shuffle-service estimate: run blocks the map side would spill
+    /// (≈ candidate blocks, rows are conserved) — also the fetch count.
+    pub est_shuffle_spill_blocks: usize,
+    /// Expected fraction of run fetches that land reducer-local under
+    /// the configured spill replication (`min(1, replication / nodes)`).
+    pub est_shuffle_locality: f64,
     /// Estimated total block reads of the hyper-join schedule, if one
     /// was considered.
     pub est_hyper_reads: Option<usize>,
@@ -40,6 +46,14 @@ impl std::fmt::Display for ExplainReport {
             writeln!(f, "  {t}: {m} matching-tree blocks, {o} other blocks")?;
         }
         writeln!(f, "  shuffle estimate (Eq.1): {:.1} block-I/Os", self.est_shuffle_cost)?;
+        if self.est_shuffle_spill_blocks > 0 {
+            writeln!(
+                f,
+                "  shuffle service: ~{} spill blocks, ~{:.0}% local fetches",
+                self.est_shuffle_spill_blocks,
+                self.est_shuffle_locality * 100.0
+            )?;
+        }
         if let (Some(reads), Some(c)) = (self.est_hyper_reads, self.est_c_hyj) {
             writeln!(f, "  hyper estimate (Eq.2): {reads} block reads, C_HyJ = {c:.2}")?;
         }
@@ -67,6 +81,8 @@ impl Database {
                     strategy: JoinStrategy::ScanOnly,
                     candidates: vec![(s.table.clone(), 0, blocks)],
                     est_shuffle_cost: 0.0,
+                    est_shuffle_spill_blocks: 0,
+                    est_shuffle_locality: 1.0,
                     est_hyper_reads: None,
                     est_c_hyj: None,
                     build_side: None,
@@ -127,6 +143,13 @@ impl Database {
             (right.to_string(), rc.matching.len(), rc.other.len()),
         ];
         let est_shuffle_cost = params.shuffle_join_cost(lc.len(), rc.len());
+        // Shuffle-service projection: rows are conserved through the
+        // map phase, so spill ≈ candidate blocks; a fetch is local when
+        // one of the run's replicas is the reducer's node.
+        let est_shuffle_spill_blocks = lc.len() + rc.len();
+        let est_shuffle_locality = (self.config().shuffle_replication.max(1) as f64
+            / self.config().nodes.max(1) as f64)
+            .min(1.0);
         let allow_hyper =
             matches!(self.config().mode, Mode::Adaptive | Mode::FullRepartition | Mode::Fixed);
         if !allow_hyper {
@@ -134,6 +157,8 @@ impl Database {
                 strategy: JoinStrategy::ShuffleJoin,
                 candidates,
                 est_shuffle_cost,
+                est_shuffle_spill_blocks,
+                est_shuffle_locality,
                 est_hyper_reads: None,
                 est_c_hyj: None,
                 build_side: None,
@@ -157,6 +182,14 @@ impl Database {
                     strategy: if mixed { JoinStrategy::Mixed } else { JoinStrategy::HyperJoin },
                     candidates,
                     est_shuffle_cost,
+                    // A pure hyper-join shuffles nothing; the mixed
+                    // remainder still does.
+                    est_shuffle_spill_blocks: if mixed {
+                        lc.other.len() + rc.other.len()
+                    } else {
+                        0
+                    },
+                    est_shuffle_locality,
                     est_hyper_reads: Some(plan.est_total_reads()),
                     est_c_hyj: Some(plan.c_hyj),
                     build_side: Some(plan.build_side),
@@ -167,6 +200,8 @@ impl Database {
                 strategy: JoinStrategy::ShuffleJoin,
                 candidates,
                 est_shuffle_cost,
+                est_shuffle_spill_blocks,
+                est_shuffle_locality,
                 est_hyper_reads: if hyper_cost.is_finite() {
                     Some(hyper_cost as usize)
                 } else {
@@ -232,6 +267,21 @@ mod tests {
         assert_eq!(report.strategy, JoinStrategy::ShuffleJoin);
         assert!(report.build_side.is_none());
         assert!(report.est_shuffle_cost > 0.0);
+        // Shuffle-service projection: spill ≈ candidate blocks, and with
+        // unreplicated runs on a 4-node cluster ~1/4 of fetches are local.
+        let (_, m0, o0) = report.candidates[0].clone();
+        let (_, m1, o1) = report.candidates[1].clone();
+        assert_eq!(report.est_shuffle_spill_blocks, m0 + o0 + m1 + o1);
+        assert!((report.est_shuffle_locality - 0.25).abs() < 1e-9);
+        assert!(report.to_string().contains("shuffle service"));
+    }
+
+    #[test]
+    fn hyper_explain_projects_no_shuffle_spill() {
+        let d = db(Mode::Fixed);
+        let report = d.explain(&join()).unwrap();
+        assert_eq!(report.strategy, JoinStrategy::HyperJoin);
+        assert_eq!(report.est_shuffle_spill_blocks, 0);
     }
 
     #[test]

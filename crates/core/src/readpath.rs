@@ -40,6 +40,7 @@ pub trait SnapshotSource {
 
 fn exec_ctx<'a, S: SnapshotSource>(src: &'a S, clock: &'a SimClock) -> ExecContext<'a> {
     ExecContext::new(src.store(), clock, src.config().threads)
+        .with_shuffle(src.config().shuffle_options())
 }
 
 /// Execute one query against the source's snapshots: plan, run, account
@@ -157,7 +158,7 @@ fn execute_step<S: SnapshotSource>(
         step.intermediate_attr,
         step.table_attr,
         config.rows_per_block,
-    );
+    )?;
     Ok((rows, false))
 }
 
@@ -353,7 +354,8 @@ fn run_shuffle<S: SnapshotSource>(
             right_attr,
             left_preds,
             right_preds,
-            partitions: config.nodes,
+            // Fan-out comes from the context's ShuffleOptions, which
+            // exec_ctx fills from config.shuffle_fanout().
             rows_per_block: config.rows_per_block,
         },
     )

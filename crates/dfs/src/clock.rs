@@ -5,7 +5,7 @@
 //! through their operators; experiments read it per query. The clock is
 //! internally synchronized so parallel executor workers can share one.
 
-use adaptdb_common::{CostParams, IoStats};
+use adaptdb_common::{CostParams, IoStats, ShuffleStats};
 use parking_lot::Mutex;
 
 use crate::cluster::ReadKind;
@@ -29,6 +29,10 @@ pub enum ClockKind {
 #[derive(Debug, Default)]
 pub struct SimClock {
     io: Mutex<IoStats>,
+    /// Shuffle-phase breakdown: spilled runs and reducer fetches. The
+    /// underlying block reads/writes are *also* in `io` — this tally
+    /// only classifies them, it never double-charges.
+    shuffle: Mutex<ShuffleStats>,
     kind: ClockKind,
 }
 
@@ -40,7 +44,7 @@ impl SimClock {
 
     /// A fresh clock attributed to background maintenance.
     pub fn maintenance() -> Self {
-        SimClock { io: Mutex::new(IoStats::default()), kind: ClockKind::Maintenance }
+        SimClock { kind: ClockKind::Maintenance, ..SimClock::default() }
     }
 
     /// What this clock's tally is attributed to.
@@ -69,14 +73,50 @@ impl SimClock {
         io.rows_out += out;
     }
 
+    /// Record a map task spilling one shuffle run: `blocks` physical
+    /// blocks totalling `bytes`. Charges the block writes on the I/O
+    /// tally and the run on the shuffle breakdown.
+    pub fn record_shuffle_spill(&self, blocks: usize, bytes: usize) {
+        self.io.lock().writes += blocks;
+        let mut sh = self.shuffle.lock();
+        sh.runs_written += 1;
+        sh.blocks_spilled += blocks;
+        sh.bytes_spilled += bytes;
+    }
+
+    /// Classify an already-charged read as a reducer fetching one
+    /// spilled run block. The block read itself is recorded by the
+    /// store's read path ([`SimClock::record_read`]); this only updates
+    /// the shuffle breakdown, so fetches are never double-charged.
+    pub fn record_shuffle_fetch(&self, kind: ReadKind) {
+        let mut sh = self.shuffle.lock();
+        match kind {
+            ReadKind::Local => sh.local_fetches += 1,
+            ReadKind::Remote => sh.remote_fetches += 1,
+        }
+    }
+
     /// Snapshot of the tally so far.
     pub fn snapshot(&self) -> IoStats {
         *self.io.lock()
     }
 
-    /// Reset to zero, returning the previous tally.
+    /// Snapshot of the shuffle breakdown so far.
+    pub fn shuffle_snapshot(&self) -> ShuffleStats {
+        *self.shuffle.lock()
+    }
+
+    /// Reset to zero, returning the previous tally (the shuffle
+    /// breakdown resets with it; see [`SimClock::take_shuffle`]).
     pub fn take(&self) -> IoStats {
-        std::mem::take(&mut *self.io.lock())
+        let io = std::mem::take(&mut *self.io.lock());
+        let _ = std::mem::take(&mut *self.shuffle.lock());
+        io
+    }
+
+    /// Reset and return the shuffle breakdown only.
+    pub fn take_shuffle(&self) -> ShuffleStats {
+        std::mem::take(&mut *self.shuffle.lock())
     }
 
     /// Simulated seconds for the tally so far.
@@ -128,6 +168,29 @@ mod tests {
             }
         });
         assert_eq!(c.snapshot().local_reads, 4000);
+    }
+
+    #[test]
+    fn shuffle_tally_classifies_without_double_charging() {
+        let c = SimClock::new();
+        c.record_shuffle_spill(3, 120);
+        c.record_shuffle_spill(0, 0); // empty runs may be recorded by callers...
+        c.record_shuffle_fetch(ReadKind::Local);
+        c.record_shuffle_fetch(ReadKind::Remote);
+        let io = c.snapshot();
+        let sh = c.shuffle_snapshot();
+        // ...but an empty run charges no block I/O, and fetch tagging
+        // never charges reads (the store's read path does that).
+        assert_eq!(io.writes, 3);
+        assert_eq!(io.reads(), 0);
+        assert_eq!(sh.runs_written, 2);
+        assert_eq!(sh.blocks_spilled, 3);
+        assert_eq!(sh.bytes_spilled, 120);
+        assert_eq!(sh.local_fetches, 1);
+        assert_eq!(sh.remote_fetches, 1);
+        // take() resets both tallies together.
+        c.take();
+        assert_eq!(c.shuffle_snapshot(), adaptdb_common::ShuffleStats::default());
     }
 
     #[test]

@@ -93,6 +93,12 @@ impl SimDfs {
         self.nodes
     }
 
+    /// Ids of all currently-live nodes, ascending — the pool a task
+    /// scheduler places map and reduce tasks on.
+    pub fn alive_nodes(&self) -> Vec<NodeId> {
+        (0..self.nodes as NodeId).filter(|n| !self.dead[*n as usize]).collect()
+    }
+
     /// Replication factor in effect.
     pub fn replication(&self) -> usize {
         self.replication
@@ -112,6 +118,22 @@ impl SimDfs {
         bytes: usize,
         writer: Option<NodeId>,
     ) -> Placement {
+        self.write_block_with_replication(id, bytes, writer, self.replication)
+    }
+
+    /// [`SimDfs::write_block`] with an explicit replication factor for
+    /// this block only (clamped to the node count). Shuffle spill runs
+    /// use this: transient per-reducer runs are typically written
+    /// unreplicated (replication 1, like Spark/MapReduce shuffle files)
+    /// even when table data carries the HDFS default of 3.
+    pub fn write_block_with_replication(
+        &mut self,
+        id: GlobalBlockId,
+        bytes: usize,
+        writer: Option<NodeId>,
+        replication: usize,
+    ) -> Placement {
+        let replication = replication.clamp(1, self.nodes);
         let alive = |n: NodeId, dead: &[bool]| !dead[n as usize];
         let primary = match writer {
             Some(n) if alive(n % self.nodes as NodeId, &self.dead) => n % self.nodes as NodeId,
@@ -133,10 +155,10 @@ impl SimDfs {
         let mut replicas = vec![primary];
         // Spread the remaining replicas over distinct other live nodes,
         // starting from a random offset so replica sets don't all align.
-        if self.replication > 1 {
+        if replication > 1 {
             let start = self.rng.random_range(0..self.nodes);
             let mut i = 0usize;
-            while replicas.len() < self.replication && i < self.nodes {
+            while replicas.len() < replication && i < self.nodes {
                 let cand = ((start + i) % self.nodes) as NodeId;
                 if !replicas.contains(&cand) && alive(cand, &self.dead) {
                     replicas.push(cand);
@@ -321,6 +343,30 @@ mod tests {
             assert!(p.replicas.iter().all(|n| *n != 1), "replica on dead node: {p:?}");
         }
         assert_eq!(dfs.live_nodes(), 3);
+    }
+
+    #[test]
+    fn per_block_replication_override() {
+        // Cluster default replication 3, but spill runs land unreplicated
+        // on the writer's node.
+        let mut dfs = SimDfs::new(6, 3, 1);
+        let p = dfs.write_block_with_replication(gid(0), 64, Some(4), 1);
+        assert_eq!(p.replicas, vec![4]);
+        assert_eq!(dfs.read_from(&gid(0), 4).unwrap(), ReadKind::Local);
+        assert_eq!(dfs.read_from(&gid(0), 0).unwrap(), ReadKind::Remote);
+        // Overrides above the node count are clamped.
+        let p = dfs.write_block_with_replication(gid(1), 64, Some(0), 99);
+        assert_eq!(p.replicas.len(), 6);
+    }
+
+    #[test]
+    fn alive_nodes_tracks_failures() {
+        let mut dfs = SimDfs::new(4, 1, 1);
+        assert_eq!(dfs.alive_nodes(), vec![0, 1, 2, 3]);
+        dfs.fail_node(2);
+        assert_eq!(dfs.alive_nodes(), vec![0, 1, 3]);
+        dfs.recover_node(2);
+        assert_eq!(dfs.alive_nodes().len(), 4);
     }
 
     #[test]

@@ -3,8 +3,27 @@
 use adaptdb_dfs::SimClock;
 use adaptdb_storage::BlockStore;
 
+/// Shuffle-service knobs threaded through the context so every
+/// shuffle phase (baseline joins, multi-way fallbacks) places its
+/// reducers node-aware and spills with the configured replication.
+#[derive(Debug, Clone, Copy)]
+pub struct ShuffleOptions {
+    /// Reducer fan-out override; `None` = one reducer per live node.
+    pub partitions: Option<usize>,
+    /// Replication factor for spilled runs (1 = unreplicated, the
+    /// Spark/MapReduce shuffle-file convention).
+    pub replication: usize,
+}
+
+impl Default for ShuffleOptions {
+    fn default() -> Self {
+        ShuffleOptions { partitions: None, replication: 1 }
+    }
+}
+
 /// Everything an operator needs to run: the block store, the simulated
-/// clock collecting I/O accounting, and the worker-thread budget.
+/// clock collecting I/O accounting, the worker-thread budget, and the
+/// shuffle-service knobs.
 #[derive(Clone, Copy)]
 pub struct ExecContext<'a> {
     /// Block storage (read-only during query execution).
@@ -13,16 +32,24 @@ pub struct ExecContext<'a> {
     pub clock: &'a SimClock,
     /// Number of worker threads operators may use.
     pub threads: usize,
+    /// How shuffle phases fan out and replicate their spilled runs.
+    pub shuffle: ShuffleOptions,
 }
 
 impl<'a> ExecContext<'a> {
     /// Context with an explicit thread budget.
     pub fn new(store: &'a BlockStore, clock: &'a SimClock, threads: usize) -> Self {
-        ExecContext { store, clock, threads: threads.max(1) }
+        ExecContext { store, clock, threads: threads.max(1), shuffle: ShuffleOptions::default() }
     }
 
     /// Single-threaded context (deterministic row order; used in tests).
     pub fn single(store: &'a BlockStore, clock: &'a SimClock) -> Self {
         ExecContext::new(store, clock, 1)
+    }
+
+    /// Same context with explicit shuffle knobs (builder style).
+    pub fn with_shuffle(mut self, shuffle: ShuffleOptions) -> Self {
+        self.shuffle = shuffle;
+        self
     }
 }

@@ -15,9 +15,13 @@
 //! * [`hyper_join`] — execute a [`adaptdb_join::HyperJoinPlan`]: per
 //!   group, build hash tables over the build blocks and stream the
 //!   overlapping probe blocks through them,
+//! * [`shuffle_service`] — the multi-node shuffle service: map tasks
+//!   spill per-reducer runs as real DFS blocks on their node, reducers
+//!   fetch them with local/remote accounting,
 //! * [`shuffle_join`] — the baseline: read both sides, hash-partition
-//!   every record (paying shuffle writes + re-reads, the `C_SJ = 3`
-//!   pattern of Eq. 1), then join each partition,
+//!   every record through the shuffle service (paying shuffle writes +
+//!   locality-classified fetch-backs, the `C_SJ = 3` pattern of Eq. 1),
+//!   then join each partition,
 //! * [`repartition`] — Type-2 blocks: scan *and* re-route rows into a new
 //!   partitioning tree through a buffered writer,
 //! * [`aggregate`] — the small aggregation layer used by examples and
@@ -32,9 +36,10 @@ pub mod parallel;
 pub mod repartition;
 pub mod scan;
 pub mod shuffle_join;
+pub mod shuffle_service;
 pub mod step_join;
 
-pub use context::ExecContext;
+pub use context::{ExecContext, ShuffleOptions};
 pub use hash_table::JoinHashTable;
 pub use hyper_join::{hyper_join, HyperJoinSpec};
 pub use repartition::{
@@ -42,4 +47,5 @@ pub use repartition::{
 };
 pub use scan::scan_blocks;
 pub use shuffle_join::{hash_join_rows, shuffle_join, shuffle_join_rows, ShuffleJoinSpec};
+pub use shuffle_service::{ShuffleService, ShuffledSide};
 pub use step_join::{hyper_step_join, StepGroup};

@@ -17,7 +17,7 @@
 use std::collections::BTreeMap;
 
 use adaptdb_common::{BlockId, Result, Row};
-use adaptdb_dfs::SimClock;
+use adaptdb_dfs::{NodeId, SimClock, TaskScheduler};
 use adaptdb_storage::writer::BucketId;
 use adaptdb_storage::{BlockStore, PartitionedWriter};
 use adaptdb_tree::PartitionTree;
@@ -97,15 +97,28 @@ pub fn repartition_blocks_with(
     if blocks.is_empty() {
         return Ok(RepartitionOutcome::default());
     }
-    // Read all rows out first (accounted), remembering each row's target.
-    let mut routed: BTreeMap<BucketId, Vec<Row>> = BTreeMap::new();
-    for &b in blocks {
-        let node = store.preferred_node(table, b)?;
-        let block = store.read_block(table, b, node, clock)?;
-        clock.record_rows(block.rows.len(), 0);
-        for row in block.rows {
-            routed.entry(target_tree.route(&row)).or_default().push(row);
+    // Schedule one repartitioner (map task) per node over the source
+    // blocks — the locality-aware scheduler never lands a task on a
+    // failed node (a block that lost every replica surfaces the DFS
+    // error here, at scheduling time).
+    let per_node = {
+        let dfs = store.dfs();
+        TaskScheduler::new(&dfs).map_tasks_by_node(table, blocks)?
+    };
+    // Read all rows out (accounted), remembering each row's target and
+    // which node's repartitioner routed it — spilled blocks are written
+    // from that node, like HDFS appenders writing locally.
+    let mut routed: Vec<(NodeId, BTreeMap<BucketId, Vec<Row>>)> = Vec::new();
+    for (&node, blks) in &per_node {
+        let mut node_routed: BTreeMap<BucketId, Vec<Row>> = BTreeMap::new();
+        for &b in blks {
+            let block = store.read_block(table, b, node, clock)?;
+            clock.record_rows(block.rows.len(), 0);
+            for row in block.rows {
+                node_routed.entry(target_tree.route(&row)).or_default().push(row);
+            }
         }
+        routed.push((node, node_routed));
     }
     let mut retired = Vec::new();
     // Retire the sources.
@@ -115,9 +128,17 @@ pub fn repartition_blocks_with(
             RetireMode::Deferred => retired.push(b),
         }
     }
-    // Append semantics: absorb each touched bucket's underfull tail block.
+    // Append semantics: absorb each touched bucket's underfull tail
+    // block, prepending its rows to the first repartitioner that
+    // touches the bucket (tail rows keep their place at the front).
     let mut absorbed = Vec::new();
-    for (&bucket, rows) in routed.iter_mut() {
+    let touched: Vec<BucketId> = routed
+        .iter()
+        .flat_map(|(_, m)| m.keys().copied())
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    for bucket in touched {
         let Some(tail) = existing.get(&bucket).and_then(|v| v.last()).copied() else {
             continue;
         };
@@ -127,6 +148,10 @@ pub fn repartition_blocks_with(
         let node = store.preferred_node(table, tail)?;
         let tail_block = store.read_block(table, tail, node, clock)?;
         clock.record_rows(tail_block.rows.len(), 0);
+        let rows = routed
+            .iter_mut()
+            .find_map(|(_, m)| m.get_mut(&bucket))
+            .expect("touched bucket has routed rows");
         let mut combined = tail_block.rows;
         combined.append(rows);
         *rows = combined;
@@ -136,12 +161,17 @@ pub fn repartition_blocks_with(
         }
         absorbed.push(tail);
     }
-    // Write through the buffered partition writer.
+    // Write through the buffered partition writer, attributing each
+    // node's routed rows to that node (buffers persist across node
+    // switches, so block counts match a single global writer).
     let arity = target_tree.arity();
     let mut writer = PartitionedWriter::new(store, table, arity, rows_per_block, None);
-    for (bucket, rows) in routed {
-        for row in rows {
-            writer.push(bucket, row);
+    for (node, node_routed) in routed {
+        writer.set_writer_node(Some(node));
+        for (bucket, rows) in node_routed {
+            for row in rows {
+                writer.push(bucket, row);
+            }
         }
     }
     let added = writer.finish();

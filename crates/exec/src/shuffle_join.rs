@@ -1,16 +1,21 @@
 //! Shuffle join — the baseline AdaptDB avoids (§4.2 Eq. 1).
 //!
-//! Two phases, as in the paper's description: map tasks read every
-//! relevant block and hash-partition each record to a reducer partition,
-//! *writing* the partitioned runs (shuffle spill); reducers then re-read
-//! their runs and hash-join them. Every input block is therefore paid
-//! roughly `C_SJ = 3` block-I/Os: read + shuffle write + read-back.
+//! Two phases over the [`crate::shuffle_service::ShuffleService`]: map
+//! tasks read every relevant block on their node and hash-partition
+//! each record into per-reducer runs *spilled to the DFS* (primary
+//! replica on the mapper's node); reducers then fetch their runs —
+//! local when a replica lives on the reducer's node, remote otherwise —
+//! and hash-join them. Every input block is therefore paid roughly
+//! `C_SJ = 3` block-I/Os (read + shuffle write + fetch-back), with the
+//! fetch leg split local/remote by real placement instead of being
+//! charged flat-local as the old in-process shuffle did.
 
-use adaptdb_common::{AttrId, BlockId, PredicateSet, Result, Row, Value};
+use adaptdb_common::{AttrId, BlockId, PredicateSet, Result, Row};
 
 use crate::context::ExecContext;
 use crate::hash_table::JoinHashTable;
 use crate::parallel;
+use crate::shuffle_service::{ShuffleService, ShuffledSide};
 
 /// Parameters for a storage-backed shuffle join.
 #[derive(Debug, Clone)]
@@ -31,88 +36,75 @@ pub struct ShuffleJoinSpec<'a> {
     pub left_preds: &'a PredicateSet,
     /// Right-side predicates.
     pub right_preds: &'a PredicateSet,
-    /// Reducer count (the shuffle fan-out).
-    pub partitions: usize,
-    /// Rows per spilled block, for write accounting.
+    /// Rows per spilled block, for write accounting. The reducer
+    /// fan-out comes from [`crate::context::ShuffleOptions`] on the
+    /// [`ExecContext`] (single source of truth), coalesced to the data.
     pub rows_per_block: usize,
 }
 
-/// Execute a shuffle join over stored blocks.
+/// AQE-style reducer coalescing: cap the fan-out so each map task's
+/// per-reducer run still holds about a block's worth of the *smaller*
+/// side (`min_side_blocks / mappers` runs per mapper). Spilled runs
+/// are whole blocks, so a fan-out sized past the data rounds every
+/// (mapper, reducer) pair up to a full block write *and* fetch,
+/// inflating `C_SJ` well beyond 3 on small inputs — exactly what real
+/// engines avoid by shrinking reducer counts to match partition sizes.
+/// Runs larger than a block pack without waste, so the big side of an
+/// asymmetric join never needs more reducers than the small side
+/// tolerates.
+fn coalesced_partitions(requested: usize, min_side_blocks: usize, mappers: usize) -> usize {
+    requested.max(1).min((min_side_blocks / mappers.max(1)).max(1))
+}
+
+/// Execute a shuffle join over stored blocks through the shuffle
+/// service (map spill to DFS, reducer fetch with locality accounting).
 pub fn shuffle_join(ctx: ExecContext<'_>, spec: ShuffleJoinSpec<'_>) -> Result<Vec<Row>> {
-    let partitions = spec.partitions.max(1);
-    // Map phase: read + filter + partition each side.
-    let left_parts = map_phase(
+    let mappers = ctx.store.dfs().live_nodes();
+    let requested = ctx.shuffle.partitions.unwrap_or(mappers);
+    let data_blocks = spec.left_blocks.len().min(spec.right_blocks.len());
+    let svc = ShuffleService::new(
         ctx,
-        spec.left_table,
-        spec.left_blocks,
-        spec.left_attr,
-        spec.left_preds,
-        partitions,
+        coalesced_partitions(requested, data_blocks, mappers),
         spec.rows_per_block,
+        &format!("{}+{}", spec.left_table, spec.right_table),
     )?;
-    let right_parts = map_phase(
-        ctx,
-        spec.right_table,
-        spec.right_blocks,
-        spec.right_attr,
-        spec.right_preds,
-        partitions,
-        spec.rows_per_block,
-    )?;
-    // Reduce phase: re-read the spilled runs (charged as local reads; the
-    // write above plus this read completes the C_SJ = 3 pattern) and join.
-    let spilled_blocks: usize = left_parts
-        .iter()
-        .chain(right_parts.iter())
-        .map(|p| blocks_for(p.len(), spec.rows_per_block))
-        .sum();
-    for _ in 0..spilled_blocks {
-        ctx.clock.record_read(adaptdb_dfs::ReadKind::Local);
-    }
-    let tasks: Vec<(Vec<Row>, Vec<Row>)> = left_parts.into_iter().zip(right_parts).collect();
-    let results = parallel::map_ordered(tasks, ctx.threads, |(l, r)| {
-        hash_join_rows(l, &r, spec.left_attr, spec.right_attr)
+    let result = (|| {
+        let left =
+            svc.spill_blocks(spec.left_table, spec.left_blocks, spec.left_attr, spec.left_preds)?;
+        let right = svc.spill_blocks(
+            spec.right_table,
+            spec.right_blocks,
+            spec.right_attr,
+            spec.right_preds,
+        )?;
+        reduce_join(&svc, ctx.threads, &left, &right, spec.left_attr, spec.right_attr)
+    })();
+    svc.cleanup();
+    result
+}
+
+/// Reduce phase shared by the block- and row-input shuffles: each
+/// reducer fetches both sides' runs for its partition and hash-joins
+/// them. Partitions run in parallel; output order is partition order.
+fn reduce_join(
+    svc: &ShuffleService<'_>,
+    threads: usize,
+    left: &ShuffledSide,
+    right: &ShuffledSide,
+    left_attr: AttrId,
+    right_attr: AttrId,
+) -> Result<Vec<Row>> {
+    let tasks: Vec<usize> = (0..svc.partitions()).collect();
+    let results = parallel::map_ordered(tasks, threads, |p| -> Result<Vec<Row>> {
+        let l = svc.fetch(p, left)?;
+        let r = svc.fetch(p, right)?;
+        Ok(hash_join_rows(l, &r, left_attr, right_attr))
     });
     let mut out = Vec::new();
     for r in results {
-        out.extend(r);
+        out.extend(r?);
     }
     Ok(out)
-}
-
-/// Map phase for one side: returns per-partition row sets and charges
-/// input reads plus spill writes.
-fn map_phase(
-    ctx: ExecContext<'_>,
-    table: &str,
-    blocks: &[BlockId],
-    attr: AttrId,
-    preds: &PredicateSet,
-    partitions: usize,
-    rows_per_block: usize,
-) -> Result<Vec<Vec<Row>>> {
-    let mut parts: Vec<Vec<Row>> = vec![Vec::new(); partitions];
-    for &b in blocks {
-        let node = ctx.store.preferred_node(table, b)?;
-        let block = ctx.store.read_block(table, b, node, ctx.clock)?;
-        let scanned = block.rows.len();
-        let mut kept = 0usize;
-        for row in block.rows {
-            if preds.matches(&row) {
-                kept += 1;
-                let p = (row.get(attr).stable_hash() % partitions as u64) as usize;
-                parts[p].push(row);
-            }
-        }
-        ctx.clock.record_rows(scanned, kept);
-    }
-    let spilled: usize = parts.iter().map(|p| blocks_for(p.len(), rows_per_block)).sum();
-    ctx.clock.record_writes(spilled);
-    Ok(parts)
-}
-
-fn blocks_for(rows: usize, rows_per_block: usize) -> usize {
-    rows.div_ceil(rows_per_block.max(1))
 }
 
 /// Plain in-memory hash join (used by reducers and by multi-way join
@@ -147,8 +139,10 @@ pub fn hash_join_rows(
 }
 
 /// Shuffle join over two already-materialized row sets (intermediate
-/// results in multi-way plans, §4.3): charges shuffle writes + re-reads
-/// for both inputs, then joins.
+/// results in multi-way plans, §4.3): both inputs are treated as
+/// distributed over the live nodes, spilled through the service, and
+/// fetched by reducers — charging shuffle writes plus local/remote
+/// fetch reads for both sides — then joined.
 pub fn shuffle_join_rows(
     ctx: ExecContext<'_>,
     left: Vec<Row>,
@@ -156,36 +150,29 @@ pub fn shuffle_join_rows(
     left_attr: AttrId,
     right_attr: AttrId,
     rows_per_block: usize,
-) -> Vec<Row> {
-    let spill = blocks_for(left.len(), rows_per_block) + blocks_for(right.len(), rows_per_block);
-    ctx.clock.record_writes(spill);
-    for _ in 0..spill {
-        ctx.clock.record_read(adaptdb_dfs::ReadKind::Local);
-    }
-    let key = |v: &Value| v.stable_hash() % 7;
-    // Partition locally to mirror the real data flow (and keep the
-    // per-partition join property exercised), then join per partition.
-    let mut lp: Vec<Vec<Row>> = vec![Vec::new(); 7];
-    for r in left {
-        let p = key(r.get(left_attr)) as usize;
-        lp[p].push(r);
-    }
-    let mut rp: Vec<Vec<Row>> = vec![Vec::new(); 7];
-    for r in right {
-        let p = key(r.get(right_attr)) as usize;
-        rp[p].push(r);
-    }
-    let mut out = Vec::new();
-    for (l, r) in lp.into_iter().zip(rp) {
-        out.extend(hash_join_rows(l, &r, left_attr, right_attr));
-    }
-    out
+) -> Result<Vec<Row>> {
+    let mappers = ctx.store.dfs().live_nodes();
+    let requested = ctx.shuffle.partitions.unwrap_or(mappers);
+    let data_blocks = left.len().min(right.len()).div_ceil(rows_per_block.max(1));
+    let svc = ShuffleService::new(
+        ctx,
+        coalesced_partitions(requested, data_blocks, mappers),
+        rows_per_block,
+        "mid",
+    )?;
+    let result = (|| {
+        let l = svc.spill_rows(left, left_attr)?;
+        let r = svc.spill_rows(right, right_attr)?;
+        reduce_join(&svc, ctx.threads, &l, &r, left_attr, right_attr)
+    })();
+    svc.cleanup();
+    result
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adaptdb_common::{row, CmpOp, Predicate};
+    use adaptdb_common::{row, CmpOp, Predicate, Value};
     use adaptdb_dfs::SimClock;
     use adaptdb_storage::BlockStore;
 
@@ -207,6 +194,7 @@ mod tests {
         lids: &'a [BlockId],
         rids: &'a [BlockId],
         preds: &'a PredicateSet,
+        rows_per_block: usize,
     ) -> ShuffleJoinSpec<'a> {
         ShuffleJoinSpec {
             left_table: "l",
@@ -217,9 +205,33 @@ mod tests {
             right_attr: 0,
             left_preds: preds,
             right_preds: preds,
-            partitions: 4,
-            rows_per_block: 10,
+            rows_per_block,
         }
+    }
+
+    /// Context with an explicit reducer fan-out request.
+    fn ctx_with<'a>(
+        store: &'a BlockStore,
+        clock: &'a SimClock,
+        threads: usize,
+        partitions: usize,
+    ) -> ExecContext<'a> {
+        ExecContext::new(store, clock, threads).with_shuffle(crate::context::ShuffleOptions {
+            partitions: Some(partitions),
+            replication: 1,
+        })
+    }
+
+    #[test]
+    fn coalescing_tracks_data_per_mapper() {
+        // Plenty of data on the smaller side: requested fan-out stands.
+        assert_eq!(coalesced_partitions(10, 400, 10), 10);
+        // 56 small-side blocks over 10 mappers: ~5 each → 5 reducers.
+        assert_eq!(coalesced_partitions(10, 56, 10), 5);
+        // Tiny inputs collapse to one reducer rather than spraying
+        // sub-block runs.
+        assert_eq!(coalesced_partitions(10, 3, 10), 1);
+        assert_eq!(coalesced_partitions(0, 0, 0), 1);
     }
 
     #[test]
@@ -228,7 +240,7 @@ mod tests {
         let clock = SimClock::new();
         let none = PredicateSet::none();
         let mut rows =
-            shuffle_join(ExecContext::single(&store, &clock), spec(&lids, &rids, &none)).unwrap();
+            shuffle_join(ctx_with(&store, &clock, 1, 4), spec(&lids, &rids, &none, 10)).unwrap();
         assert_eq!(rows.len(), 50);
         rows.sort_by_key(|r| r.get(0).as_int().unwrap());
         for (i, r) in rows.iter().enumerate() {
@@ -239,31 +251,82 @@ mod tests {
     }
 
     #[test]
-    fn io_pattern_is_read_write_reread() {
-        let (store, lids, rids) = setup(100, 10);
+    fn io_pattern_is_read_write_fetch() {
+        // Block-aligned sizes so spill rounding stays small: 16 input
+        // blocks of 100 rows per side over 4 nodes.
+        let (store, lids, rids) = setup(1600, 100);
         let clock = SimClock::new();
         let none = PredicateSet::none();
-        shuffle_join(ExecContext::single(&store, &clock), spec(&lids, &rids, &none)).unwrap();
+        shuffle_join(ctx_with(&store, &clock, 1, 4), spec(&lids, &rids, &none, 100)).unwrap();
         let io = clock.snapshot();
-        // 20 input blocks read; ~20 blocks spilled (rows conserved);
-        // ~20 blocks re-read. Partition skew can add a block or two.
-        assert_eq!(io.reads() - io.writes, 20, "input reads + re-reads - writes");
-        assert!(io.writes >= 20 && io.writes <= 26, "spill writes: {}", io.writes);
+        let sh = clock.shuffle_snapshot();
+        // Reads = 32 input reads + one fetch per spilled block.
+        assert_eq!(io.reads() - io.writes, 32, "input reads + fetches - spill writes");
+        assert_eq!(sh.blocks_spilled, io.writes);
+        assert_eq!(sh.fetches(), sh.blocks_spilled, "every run block fetched exactly once");
+        // Rows are conserved through the shuffle, so spill ≈ input; hash
+        // skew can leave runs partially filled.
+        assert!(io.writes >= 32 && io.writes <= 44, "spill writes: {}", io.writes);
         // Total I/O ≈ C_SJ × input blocks.
-        let total = io.reads() + io.writes;
-        assert!((58..=72).contains(&total), "C_SJ≈3 pattern violated: {total}");
+        let per_block = (io.reads() + io.writes) as f64 / 32.0;
+        assert!((2.9..=3.8).contains(&per_block), "C_SJ≈3 pattern violated: {per_block}");
+    }
+
+    #[test]
+    fn single_reducer_hits_csj_exactly() {
+        // One reducer means one run per mapper: rows pack into full
+        // blocks and the C_SJ = 3 pattern is exact.
+        let (store, lids, rids) = setup(1600, 100);
+        let clock = SimClock::new();
+        let none = PredicateSet::none();
+        shuffle_join(ctx_with(&store, &clock, 1, 1), spec(&lids, &rids, &none, 100)).unwrap();
+        let io = clock.snapshot();
+        assert_eq!(io.writes, 32, "spill equals input when runs pack");
+        assert_eq!(io.reads() + io.writes, 3 * 32, "C_SJ = 3 exactly");
+    }
+
+    #[test]
+    fn remote_fetches_are_recorded_when_reducer_is_off_node() {
+        // Regression: the in-process shuffle charged every spilled-run
+        // re-read as ReadKind::Local no matter where the reducer ran.
+        // With unreplicated runs on 4 nodes, ~3/4 of fetches cross the
+        // network and must show up as remote reads.
+        let (store, lids, rids) = setup(400, 25);
+        let clock = SimClock::new();
+        let none = PredicateSet::none();
+        shuffle_join(ctx_with(&store, &clock, 1, 4), spec(&lids, &rids, &none, 25)).unwrap();
+        let io = clock.snapshot();
+        let sh = clock.shuffle_snapshot();
+        assert!(sh.remote_fetches > 0, "reducer ≠ mapper node must fetch remotely");
+        assert!(sh.local_fetches > 0, "co-located reducers fetch locally");
+        // Input reads are all replica-local here, so the clock's remote
+        // reads are exactly the remote fetches.
+        assert_eq!(io.remote_reads, sh.remote_fetches);
+        assert!(
+            sh.locality_fraction() < 0.6,
+            "unreplicated runs on 4 nodes are mostly remote: {}",
+            sh.locality_fraction()
+        );
     }
 
     #[test]
     fn predicates_reduce_output_and_spill() {
         let (store, lids, rids) = setup(100, 10);
-        let clock = SimClock::new();
+        let none = PredicateSet::none();
+        let c_full = SimClock::new();
+        shuffle_join(ctx_with(&store, &c_full, 1, 4), spec(&lids, &rids, &none, 10)).unwrap();
         let preds = PredicateSet::none().and(Predicate::new(0, CmpOp::Lt, 30i64));
+        let c_filtered = SimClock::new();
         let rows =
-            shuffle_join(ExecContext::single(&store, &clock), spec(&lids, &rids, &preds)).unwrap();
+            shuffle_join(ctx_with(&store, &c_filtered, 1, 4), spec(&lids, &rids, &preds, 10))
+                .unwrap();
         assert_eq!(rows.len(), 30);
-        let io = clock.snapshot();
-        assert!(io.writes < 20, "filtered shuffle should spill less: {}", io.writes);
+        assert!(
+            c_filtered.snapshot().writes < c_full.snapshot().writes,
+            "filtered shuffle should spill less: {} vs {}",
+            c_filtered.snapshot().writes,
+            c_full.snapshot().writes
+        );
     }
 
     #[test]
@@ -272,13 +335,26 @@ mod tests {
         let none = PredicateSet::none();
         let c1 = SimClock::new();
         let mut a =
-            shuffle_join(ExecContext::single(&store, &c1), spec(&lids, &rids, &none)).unwrap();
+            shuffle_join(ctx_with(&store, &c1, 1, 4), spec(&lids, &rids, &none, 10)).unwrap();
         let c2 = SimClock::new();
         let mut b =
-            shuffle_join(ExecContext::new(&store, &c2, 4), spec(&lids, &rids, &none)).unwrap();
+            shuffle_join(ctx_with(&store, &c2, 4, 4), spec(&lids, &rids, &none, 10)).unwrap();
         a.sort_by_key(|r| r.get(0).as_int().unwrap());
         b.sort_by_key(|r| r.get(0).as_int().unwrap());
         assert_eq!(a, b);
+        // Accounting is thread-count-invariant too.
+        assert_eq!(c1.snapshot(), c2.snapshot());
+        assert_eq!(c1.shuffle_snapshot(), c2.shuffle_snapshot());
+    }
+
+    #[test]
+    fn scratch_namespace_is_cleaned_up() {
+        let (store, lids, rids) = setup(50, 10);
+        let clock = SimClock::new();
+        let none = PredicateSet::none();
+        let before = store.dfs().block_count();
+        shuffle_join(ctx_with(&store, &clock, 1, 4), spec(&lids, &rids, &none, 10)).unwrap();
+        assert_eq!(store.dfs().block_count(), before, "spilled runs must be dropped");
     }
 
     #[test]
@@ -299,11 +375,14 @@ mod tests {
         let ctx = ExecContext::single(&store, &clock);
         let left: Vec<Row> = (0..25i64).map(|i| row![i]).collect();
         let right: Vec<Row> = (0..25i64).map(|i| row![i]).collect();
-        let out = shuffle_join_rows(ctx, left, right, 0, 0, 10);
+        let out = shuffle_join_rows(ctx, left, right, 0, 0, 10).unwrap();
         assert_eq!(out.len(), 25);
         let io = clock.snapshot();
-        assert_eq!(io.writes, 6); // ceil(25/10) * 2 sides
-        assert_eq!(io.local_reads, 6);
+        let sh = clock.shuffle_snapshot();
+        assert!(io.writes > 0, "both sides spill");
+        assert_eq!(sh.blocks_spilled, io.writes);
+        assert_eq!(sh.fetches(), io.writes, "every spilled block is fetched once");
+        assert_eq!(io.reads(), sh.fetches(), "row inputs charge no block reads");
     }
 
     #[test]
@@ -320,7 +399,6 @@ mod tests {
             right_attr: 0,
             left_preds: &none,
             right_preds: &none,
-            partitions: 4,
             rows_per_block: 10,
         };
         let rows = shuffle_join(ExecContext::single(&store, &clock), s).unwrap();

@@ -412,6 +412,7 @@ fn worker_loop(shared: &Shared) {
             readpath::execute_query(&view, &query, &clock).map(|(rows, strategy, c_hyj)| {
                 let mut stats = QueryStats::empty(strategy);
                 stats.query_io = clock.snapshot();
+                stats.shuffle = clock.shuffle_snapshot();
                 stats.estimated_c_hyj = c_hyj;
                 // Submit-to-finish, so admission wait shows up under load.
                 stats.wall_secs = submitted.elapsed().as_secs_f64();

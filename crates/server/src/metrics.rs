@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use adaptdb_common::{IoStats, QueryStats};
+use adaptdb_common::{IoStats, QueryStats, ShuffleStats};
 use parking_lot::Mutex;
 
 /// Latency aggregate kept under a mutex (updated once per query, so
@@ -129,6 +129,9 @@ pub struct SessionStats {
     pub rows_out: usize,
     /// Merged I/O of this session's queries.
     pub io: IoStats,
+    /// Merged shuffle-service breakdown (runs spilled, local vs remote
+    /// fetches) of this session's queries.
+    pub shuffle: ShuffleStats,
     /// Total wall seconds spent waiting for results.
     pub total_wall_secs: f64,
 }
@@ -138,6 +141,7 @@ impl SessionStats {
         self.queries += 1;
         self.rows_out += rows;
         self.io.merge(&stats.query_io);
+        self.shuffle.merge(&stats.shuffle);
         self.total_wall_secs += stats.wall_secs;
     }
 

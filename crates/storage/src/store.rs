@@ -16,7 +16,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use adaptdb_common::{BlockId, Error, GlobalBlockId, Result, Row};
-use adaptdb_dfs::{NodeId, SimClock, SimDfs};
+use adaptdb_dfs::{NodeId, ReadKind, SimClock, SimDfs};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -80,12 +80,37 @@ impl BlockStore {
         arity: usize,
         writer: Option<NodeId>,
     ) -> BlockId {
+        self.write_block_with(table, rows, arity, writer, None)
+    }
+
+    /// [`BlockStore::write_block`] with an optional per-block replication
+    /// override (`None` keeps the cluster default). The shuffle service
+    /// spills per-reducer runs through this so transient runs can stay
+    /// unreplicated while table data keeps the HDFS-style factor.
+    pub fn write_block_with(
+        &self,
+        table: &str,
+        rows: Vec<Row>,
+        arity: usize,
+        writer: Option<NodeId>,
+        replication: Option<usize>,
+    ) -> BlockId {
         let id = self.allocate_id(table);
         let block = Block::new(id, rows);
         let meta = block.compute_meta(arity);
         let encoded = codec::encode_block(&block);
         let gid = GlobalBlockId::new(table, id);
-        self.dfs.write().write_block(gid.clone(), encoded.len(), writer);
+        {
+            let mut dfs = self.dfs.write();
+            match replication {
+                Some(r) => {
+                    dfs.write_block_with_replication(gid.clone(), encoded.len(), writer, r);
+                }
+                None => {
+                    dfs.write_block(gid.clone(), encoded.len(), writer);
+                }
+            }
+        }
         self.data.write().insert(gid, encoded);
         self.meta.write().entry(table.to_string()).or_default().insert(id, meta);
         id
@@ -99,11 +124,24 @@ impl BlockStore {
         reader: NodeId,
         clock: &SimClock,
     ) -> Result<Block> {
+        self.read_block_classified(table, id, reader, clock).map(|(block, _)| block)
+    }
+
+    /// [`BlockStore::read_block`], also returning how the DFS classified
+    /// the access — the shuffle service tags reducer fetches local vs
+    /// remote with this without re-asking (and re-charging) the DFS.
+    pub fn read_block_classified(
+        &self,
+        table: &str,
+        id: BlockId,
+        reader: NodeId,
+        clock: &SimClock,
+    ) -> Result<(Block, ReadKind)> {
         let gid = GlobalBlockId::new(table, id);
         let kind = self.dfs.read().read_from(&gid, reader)?;
         clock.record_read(kind);
         let bytes = self.data.read().get(&gid).cloned().ok_or(Error::UnknownBlock(id))?;
-        codec::decode_block(bytes)
+        codec::decode_block(bytes).map(|block| (block, kind))
     }
 
     /// Read without accounting — for tests only. Every production read
@@ -175,6 +213,27 @@ impl BlockStore {
         Ok(())
     }
 
+    /// Drop a whole table: every block, its metadata, and its id
+    /// allocator. Meant for transient namespaces (the shuffle service's
+    /// per-query scratch tables) — dropping a served table out from
+    /// under readers is not supported. Returns how many blocks were
+    /// removed.
+    pub fn drop_table(&self, table: &str) -> usize {
+        let ids: Vec<BlockId> =
+            self.meta.write().remove(table).map(|m| m.into_keys().collect()).unwrap_or_default();
+        {
+            let mut dfs = self.dfs.write();
+            let mut data = self.data.write();
+            for &id in &ids {
+                let gid = GlobalBlockId::new(table, id);
+                let _ = dfs.remove_block(&gid);
+                data.remove(&gid);
+            }
+        }
+        self.next_id.lock().remove(table);
+        ids.len()
+    }
+
     /// The node a locality-aware scheduler would run this block's task on.
     pub fn preferred_node(&self, table: &str, id: BlockId) -> Result<NodeId> {
         self.dfs.read().preferred_node(&GlobalBlockId::new(table, id))
@@ -210,6 +269,24 @@ mod tests {
         let clock = SimClock::new();
         s.read_block("t", id, 2, &clock).unwrap();
         assert_eq!(clock.snapshot().remote_reads, 1);
+    }
+
+    #[test]
+    fn classified_read_returns_kind_and_charges_once() {
+        let s = BlockStore::new(4, 2, 3);
+        let id = s.write_block_with("t", vec![row![1i64]], 1, Some(0), Some(1));
+        let clock = SimClock::new();
+        let (block, kind) = s.read_block_classified("t", id, 0, &clock).unwrap();
+        assert_eq!(block.len(), 1);
+        assert_eq!(kind, ReadKind::Local);
+        let (_, kind) = s.read_block_classified("t", id, 3, &clock).unwrap();
+        assert_eq!(kind, ReadKind::Remote);
+        let io = clock.snapshot();
+        assert_eq!((io.local_reads, io.remote_reads), (1, 1));
+        // The replication override really produced a single replica.
+        let dfs = s.dfs();
+        let p = dfs.locate(&GlobalBlockId::new("t", id)).unwrap();
+        assert_eq!(p.replicas, vec![0]);
     }
 
     #[test]

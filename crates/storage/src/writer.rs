@@ -26,6 +26,9 @@ pub struct PartitionedWriter<'a> {
     /// in rows (all rows of a table are near-identical size).
     rows_per_block: usize,
     writer_node: Option<NodeId>,
+    /// Per-block replication override (`None` = cluster default).
+    /// Shuffle spill runs are written unreplicated.
+    replication: Option<usize>,
     buffers: BTreeMap<BucketId, Vec<Row>>,
     written: BTreeMap<BucketId, Vec<BlockId>>,
     rows_written: usize,
@@ -47,10 +50,26 @@ impl<'a> PartitionedWriter<'a> {
             arity,
             rows_per_block,
             writer_node,
+            replication: None,
             buffers: BTreeMap::new(),
             written: BTreeMap::new(),
             rows_written: 0,
         }
+    }
+
+    /// Override the replication factor of every block this writer
+    /// flushes (builder style; `None` = cluster default).
+    pub fn with_replication(mut self, replication: Option<usize>) -> Self {
+        self.replication = replication;
+        self
+    }
+
+    /// Change which node subsequent flushes are attributed to. The
+    /// repartitioning path switches this as it processes each map
+    /// task's blocks, so spilled blocks land on the node that produced
+    /// them (HDFS appenders write locally) instead of round-robin.
+    pub fn set_writer_node(&mut self, node: Option<NodeId>) {
+        self.writer_node = node;
     }
 
     /// Route one row to `bucket`, flushing that bucket's buffer if full.
@@ -78,7 +97,13 @@ impl<'a> PartitionedWriter<'a> {
             return;
         }
         self.rows_written += rows.len();
-        let id = self.store.write_block(&self.table, rows, self.arity, self.writer_node);
+        let id = self.store.write_block_with(
+            &self.table,
+            rows,
+            self.arity,
+            self.writer_node,
+            self.replication,
+        );
         self.written.entry(bucket).or_default().push(id);
     }
 
@@ -146,6 +171,25 @@ mod tests {
         let w = PartitionedWriter::new(&store, "t", 1, 2, None);
         assert!(w.finish().is_empty());
         assert_eq!(store.block_count("t"), 0);
+    }
+
+    #[test]
+    fn writer_node_and_replication_flow_to_placement() {
+        let store = BlockStore::new(4, 3, 1);
+        let mut w = PartitionedWriter::new(&store, "t", 1, 2, Some(1)).with_replication(Some(1));
+        w.push(0, row![1i64]);
+        w.push(0, row![2i64]);
+        w.set_writer_node(Some(3));
+        w.push(0, row![3i64]);
+        let map = w.finish();
+        let blocks = &map[&0];
+        assert_eq!(blocks.len(), 2);
+        let dfs = store.dfs();
+        let p0 = dfs.locate(&adaptdb_common::GlobalBlockId::new("t", blocks[0])).unwrap();
+        let p1 = dfs.locate(&adaptdb_common::GlobalBlockId::new("t", blocks[1])).unwrap();
+        // Unreplicated, primary on the writer node active at flush time.
+        assert_eq!(p0.replicas, vec![1]);
+        assert_eq!(p1.replicas, vec![3]);
     }
 
     #[test]

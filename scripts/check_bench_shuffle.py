@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""CI gate for the shuffle-service benchmark.
+
+Usage: check_bench_shuffle.py <fresh BENCH_shuffle.json> <committed baseline>
+
+Fails (exit 1) when the fresh run is missing required keys or when any
+cell's shuffle cost regresses more than 20% against the committed
+baseline. The benchmark is fully deterministic (simulated I/O, fixed
+seed), so any drift inside the tolerance still means a code-level
+accounting change — the tolerance only absorbs intentional retunes of
+run packing.
+"""
+
+import json
+import sys
+
+REQUIRED_TOP = ["bench", "scale", "seed", "rows_per_block", "node_sweep", "locality_sweep"]
+REQUIRED_CELL = [
+    "nodes",
+    "replication",
+    "input_blocks",
+    "spill_blocks",
+    "local_fetches",
+    "remote_fetches",
+    "locality",
+    "cost_per_block",
+    "sim_secs",
+]
+TOLERANCE = 0.20
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench_shuffle: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {path}: {e}")
+
+
+def validate(doc: dict, path: str) -> None:
+    for key in REQUIRED_TOP:
+        if key not in doc:
+            fail(f"{path}: missing key {key!r}")
+    if doc["bench"] != "shuffle":
+        fail(f"{path}: bench is {doc['bench']!r}, expected 'shuffle'")
+    for sweep in ("node_sweep", "locality_sweep"):
+        if not doc[sweep]:
+            fail(f"{path}: {sweep} is empty")
+        for cell in doc[sweep]:
+            for key in REQUIRED_CELL:
+                if key not in cell:
+                    fail(f"{path}: {sweep} cell missing key {key!r}")
+
+
+def cells_by_key(doc: dict) -> dict:
+    out = {}
+    for sweep in ("node_sweep", "locality_sweep"):
+        for cell in doc[sweep]:
+            out[(sweep, cell["nodes"], cell["replication"])] = cell
+    return out
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        fail("usage: check_bench_shuffle.py <fresh.json> <baseline.json>")
+    fresh_path, base_path = sys.argv[1], sys.argv[2]
+    fresh, base = load(fresh_path), load(base_path)
+    validate(fresh, fresh_path)
+    validate(base, base_path)
+
+    fresh_cells = cells_by_key(fresh)
+    regressions = []
+    for key, base_cell in cells_by_key(base).items():
+        fresh_cell = fresh_cells.get(key)
+        if fresh_cell is None:
+            fail(f"fresh run lost cell {key} present in the baseline")
+        got, want = fresh_cell["cost_per_block"], base_cell["cost_per_block"]
+        if got > want * (1.0 + TOLERANCE):
+            regressions.append(f"{key}: cost_per_block {got:.3f} vs baseline {want:.3f}")
+        _sweep, nodes, _repl = key
+        if nodes == 1 and fresh_cell["locality"] != 1.0:
+            fail(f"{key}: single-node shuffle must be fully local")
+    if regressions:
+        fail("shuffle cost regressed >20%:\n  " + "\n  ".join(regressions))
+    print(f"check_bench_shuffle: OK ({len(fresh_cells)} cells within {TOLERANCE:.0%})")
+
+
+if __name__ == "__main__":
+    main()
