@@ -1,18 +1,23 @@
-//! Shuffle-service cost: `C_SJ` per input block vs cluster size, and
-//! vs fetch-locality fraction (spill replication sweep).
+//! Shuffle-service cost: `C_SJ` per input block vs cluster size, vs
+//! fetch-locality fraction (spill replication sweep), and vs pipelined
+//! fetch depth (serial vs overlapped reducer fetches).
 //!
 //! The paper's Eq. 1 prices a shuffle join at `C_SJ = 3` block-I/Os per
 //! input block. With the multi-node shuffle service the three legs are
 //! real: input read, run spill to the mapper's node, reducer fetch —
 //! the last split local/remote by actual DFS placement. This figure
-//! verifies the `≈ 3` pattern holds as the cluster grows and shows how
-//! spill replication buys fetch locality (simulated seconds fall with
-//! the remote-read penalty; the replica pipeline itself is not charged,
-//! consistent with table writes).
+//! verifies the `≈ 3` pattern holds as the cluster grows, shows how
+//! spill replication buys fetch locality, and — new with the async
+//! fetch backend — how a deeper in-flight window shrinks the fetch
+//! leg's *wall-clock* while block counts (and `C_SJ`) stay identical:
+//! a window of `w` concurrent fetches is charged max-of-window, so
+//! `fetch_secs_pipelined` falls toward `windows × remote-read-cost`
+//! while `fetch_secs_serial` (and every count column) is unchanged.
 //!
 //! Everything here is deterministic (simulated I/O, fixed seed), which
 //! is what lets CI diff `BENCH_shuffle.json` against a committed
-//! baseline with a tight tolerance.
+//! baseline with a tight tolerance — including a minimum overlap
+//! factor on the pipelined series (`scripts/check_bench_shuffle.py`).
 //!
 //! Usage: `fig_shuffle [--scale X] [--seed N] [--quick]`
 
@@ -24,17 +29,22 @@ use adaptdb_storage::BlockStore;
 
 const ROWS_PER_BLOCK: usize = 100;
 
-/// One measured cell of either sweep.
+/// One measured cell of any sweep.
 struct Cell {
     nodes: usize,
     replication: usize,
+    fetch_window: usize,
     input_blocks: usize,
     spill_blocks: usize,
     local_fetches: usize,
     remote_fetches: usize,
+    hidden_fetches: usize,
     locality: f64,
     cost_per_block: f64,
     sim_secs: f64,
+    sim_secs_pipelined: f64,
+    fetch_secs_serial: f64,
+    fetch_secs_pipelined: f64,
 }
 
 /// Weak scaling: data per node is constant, so a bigger cluster
@@ -47,9 +57,9 @@ fn rows_per_side(opts: &BenchOpts, nodes: usize) -> usize {
     per_node.div_ceil(ROWS_PER_BLOCK) * ROWS_PER_BLOCK * nodes
 }
 
-/// Load two join-ready tables and run one shuffle join, returning the
-/// measured cell.
-fn measure(opts: &BenchOpts, nodes: usize, replication: usize) -> Cell {
+/// Load two join-ready tables and run one shuffle join with the given
+/// pipelined fetch window, returning the measured cell.
+fn measure(opts: &BenchOpts, nodes: usize, replication: usize, fetch_window: usize) -> Cell {
     let store = BlockStore::new(nodes, 1, opts.seed);
     let n = rows_per_side(opts, nodes) as i64;
     let mut lids = Vec::new();
@@ -63,7 +73,8 @@ fn measure(opts: &BenchOpts, nodes: usize, replication: usize) -> Cell {
     }
     let clock = SimClock::new();
     let ctx = ExecContext::single(&store, &clock)
-        .with_shuffle(ShuffleOptions { partitions: Some(nodes), replication });
+        .with_shuffle(ShuffleOptions { partitions: Some(nodes), replication })
+        .with_fetch_window(fetch_window);
     let none = PredicateSet::none();
     let rows = shuffle_join(
         ctx,
@@ -83,49 +94,78 @@ fn measure(opts: &BenchOpts, nodes: usize, replication: usize) -> Cell {
     assert_eq!(rows.len(), n as usize, "join must be complete");
     let io = clock.snapshot();
     let sh = clock.shuffle_snapshot();
+    let ov = clock.overlap_snapshot();
+    let params = CostParams::default();
     let input_blocks = lids.len() + rids.len();
+    // The fetch leg alone, serial vs overlapped (same parallelism
+    // divisor as sim_secs so the columns are comparable).
+    let fetch_secs_serial = (sh.local_fetches as f64 * params.block_read_secs
+        + sh.remote_fetches as f64 * params.block_read_secs * params.remote_read_penalty)
+        / params.parallelism.max(1) as f64;
+    let saved = ov.saved_secs(&params);
+    let sim_secs = io.simulated_secs(&params);
     Cell {
         nodes,
         replication,
+        fetch_window,
         input_blocks,
         spill_blocks: sh.blocks_spilled,
         local_fetches: sh.local_fetches,
         remote_fetches: sh.remote_fetches,
+        hidden_fetches: ov.hidden(),
         locality: sh.locality_fraction(),
         cost_per_block: (io.reads() + io.writes) as f64 / input_blocks as f64,
-        sim_secs: io.simulated_secs(&CostParams::default()),
+        sim_secs,
+        sim_secs_pipelined: sim_secs - saved,
+        fetch_secs_serial,
+        fetch_secs_pipelined: fetch_secs_serial - saved,
     }
 }
 
 fn json_cell(c: &Cell) -> String {
     format!(
-        "    {{\"nodes\": {}, \"replication\": {}, \"input_blocks\": {}, \"spill_blocks\": {}, \
-         \"local_fetches\": {}, \"remote_fetches\": {}, \"locality\": {:.4}, \
-         \"cost_per_block\": {:.4}, \"sim_secs\": {:.4}}}",
+        "    {{\"nodes\": {}, \"replication\": {}, \"fetch_window\": {}, \"input_blocks\": {}, \
+         \"spill_blocks\": {}, \"local_fetches\": {}, \"remote_fetches\": {}, \
+         \"hidden_fetches\": {}, \"locality\": {:.4}, \"cost_per_block\": {:.4}, \
+         \"sim_secs\": {:.4}, \"sim_secs_pipelined\": {:.4}, \"fetch_secs_serial\": {:.4}, \
+         \"fetch_secs_pipelined\": {:.4}}}",
         c.nodes,
         c.replication,
+        c.fetch_window,
         c.input_blocks,
         c.spill_blocks,
         c.local_fetches,
         c.remote_fetches,
+        c.hidden_fetches,
         c.locality,
         c.cost_per_block,
-        c.sim_secs
+        c.sim_secs,
+        c.sim_secs_pipelined,
+        c.fetch_secs_serial,
+        c.fetch_secs_pipelined
     )
 }
 
-fn write_json(path: &str, node_sweep: &[Cell], locality_sweep: &[Cell], opts: &BenchOpts) {
+fn write_json(
+    path: &str,
+    node_sweep: &[Cell],
+    locality_sweep: &[Cell],
+    window_sweep: &[Cell],
+    opts: &BenchOpts,
+) {
     let ns: Vec<String> = node_sweep.iter().map(json_cell).collect();
     let ls: Vec<String> = locality_sweep.iter().map(json_cell).collect();
+    let ws: Vec<String> = window_sweep.iter().map(json_cell).collect();
     let json = format!(
         "{{\n  \"bench\": \"shuffle\",\n  \"scale\": {},\n  \"seed\": {},\n  \
          \"rows_per_block\": {},\n  \"node_sweep\": [\n{}\n  ],\n  \
-         \"locality_sweep\": [\n{}\n  ]\n}}\n",
+         \"locality_sweep\": [\n{}\n  ],\n  \"window_sweep\": [\n{}\n  ]\n}}\n",
         opts.scale,
         opts.seed,
         ROWS_PER_BLOCK,
         ns.join(",\n"),
-        ls.join(",\n")
+        ls.join(",\n"),
+        ws.join(",\n")
     );
     std::fs::write(path, json).expect("write BENCH_shuffle.json");
     println!("wrote {path}");
@@ -138,12 +178,14 @@ fn table_rows(cells: &[Cell]) -> Vec<Vec<String>> {
             vec![
                 c.nodes.to_string(),
                 c.replication.to_string(),
+                c.fetch_window.to_string(),
                 c.input_blocks.to_string(),
                 c.spill_blocks.to_string(),
                 format!("{}/{}", c.local_fetches, c.remote_fetches),
                 format!("{:.2}", c.locality),
                 format!("{:.2}", c.cost_per_block),
                 format!("{:.1}", c.sim_secs),
+                format!("{:.1}/{:.1}", c.fetch_secs_serial, c.fetch_secs_pipelined),
             ]
         })
         .collect()
@@ -153,12 +195,27 @@ fn main() {
     let (opts, _) = parse_args();
     let node_counts: &[usize] = if opts.quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
     let replications: &[usize] = if opts.quick { &[1, 4] } else { &[1, 2, 4] };
+    let windows: &[usize] = if opts.quick { &[1, 4] } else { &[1, 2, 4, 8] };
 
-    let node_sweep: Vec<Cell> = node_counts.iter().map(|&n| measure(&opts, n, 1)).collect();
-    let locality_sweep: Vec<Cell> = replications.iter().map(|&r| measure(&opts, 4, r)).collect();
+    // The node and locality sweeps run pipelined at the default depth
+    // (counts are window-invariant, so C_SJ columns are comparable with
+    // any baseline); the window sweep isolates the pipelining axis.
+    let node_sweep: Vec<Cell> = node_counts.iter().map(|&n| measure(&opts, n, 1, 4)).collect();
+    let locality_sweep: Vec<Cell> = replications.iter().map(|&r| measure(&opts, 4, r, 4)).collect();
+    let window_sweep: Vec<Cell> = windows.iter().map(|&w| measure(&opts, 4, 1, w)).collect();
 
-    let headers =
-        ["nodes", "repl", "in blocks", "spill", "local/remote", "locality", "C_SJ/block", "sim s"];
+    let headers = [
+        "nodes",
+        "repl",
+        "window",
+        "in blocks",
+        "spill",
+        "local/remote",
+        "locality",
+        "C_SJ/block",
+        "sim s",
+        "fetch s/p",
+    ];
     print_table(
         "Shuffle-join cost vs node count (unreplicated runs; paper: C_SJ = 3)",
         &headers,
@@ -168,6 +225,11 @@ fn main() {
         "Shuffle-join cost vs fetch locality (4 nodes, spill replication sweep)",
         &headers,
         &table_rows(&locality_sweep),
+    );
+    print_table(
+        "Shuffle-join fetch leg vs pipelined window (4 nodes; serial vs overlapped)",
+        &headers,
+        &table_rows(&window_sweep),
     );
 
     for c in &node_sweep {
@@ -181,5 +243,28 @@ fn main() {
     let single = node_sweep.iter().find(|c| c.nodes == 1).expect("1-node cell");
     assert_eq!(single.locality, 1.0, "single node must be fully local");
 
-    write_json("BENCH_shuffle.json", &node_sweep, &locality_sweep, &opts);
+    // Pipelining invariants: block counts are window-invariant, and a
+    // window ≥ 4 cuts the remote-dominated fetch leg by ≥ 1.5× (the
+    // C_SJ-equal overlap win the async backend exists for).
+    let serial = window_sweep.iter().find(|c| c.fetch_window == 1).expect("serial cell");
+    for c in &window_sweep {
+        assert_eq!(c.spill_blocks, serial.spill_blocks, "spill must be window-invariant");
+        assert_eq!(
+            (c.local_fetches, c.remote_fetches),
+            (serial.local_fetches, serial.remote_fetches),
+            "fetch counts must be window-invariant"
+        );
+        assert!(c.fetch_secs_pipelined <= c.fetch_secs_serial + 1e-9);
+        if c.fetch_window >= 4 {
+            assert!(
+                c.fetch_secs_serial / c.fetch_secs_pipelined.max(1e-9) >= 1.5,
+                "window {} overlap factor too low: {:.2}",
+                c.fetch_window,
+                c.fetch_secs_serial / c.fetch_secs_pipelined.max(1e-9)
+            );
+        }
+    }
+    assert_eq!(serial.hidden_fetches, 0, "serial fetching hides nothing");
+
+    write_json("BENCH_shuffle.json", &node_sweep, &locality_sweep, &window_sweep, &opts);
 }

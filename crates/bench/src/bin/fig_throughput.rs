@@ -26,6 +26,11 @@ struct Cell {
     qps: f64,
     mean_latency_ms: f64,
     maintenance_writes: usize,
+    /// Merged simulated seconds of all client queries, serial charging.
+    sim_secs_serial: f64,
+    /// The same total with pipelined fetches (overlap savings applied)
+    /// — the pipelined-vs-serial series of the serving runtime.
+    sim_secs_pipelined: f64,
 }
 
 fn build_db(opts: &BenchOpts, adaptive: bool) -> Database {
@@ -61,19 +66,35 @@ fn measure(opts: &BenchOpts, clients: usize, adaptive: bool, per_client: usize) 
     let db = build_db(opts, adaptive);
     let server = DbServer::start_with(
         db,
-        ServerOptions { workers: Some(clients), queue_capacity: Some(clients * 4) },
+        ServerOptions {
+            workers: Some(clients),
+            queue_capacity: Some(clients * 4),
+            ..Default::default()
+        },
     );
     let queries = query_mix(opts, per_client);
     let started = Instant::now();
+    let params = adaptdb_common::CostParams::default();
+    let mut sim_secs_serial = 0.0f64;
+    let mut sim_secs_pipelined = 0.0f64;
     std::thread::scope(|s| {
+        let mut handles = Vec::new();
         for _ in 0..clients {
             let mut session = server.session();
             let queries = &queries;
-            s.spawn(move || {
+            handles.push(s.spawn(move || {
                 for q in queries {
                     session.run(q).expect("bench query");
                 }
-            });
+                let stats = session.stats().clone();
+                (stats.io, stats.overlap)
+            }));
+        }
+        for h in handles {
+            let (io, overlap) = h.join().expect("client thread");
+            let serial = io.simulated_secs(&params);
+            sim_secs_serial += serial;
+            sim_secs_pipelined += serial - overlap.saved_secs(&params);
         }
     });
     // Client wall-clock stops here; only the report waits for background
@@ -90,6 +111,8 @@ fn measure(opts: &BenchOpts, clients: usize, adaptive: bool, per_client: usize) 
         qps: queries_run as f64 / secs.max(1e-9),
         mean_latency_ms: report.mean_latency_ms,
         maintenance_writes: report.maintenance_io.writes,
+        sim_secs_serial,
+        sim_secs_pipelined,
     }
 }
 
@@ -98,14 +121,17 @@ fn write_json(path: &str, cells: &[Cell], opts: &BenchOpts) {
     for c in cells {
         rows.push(format!(
             "    {{\"clients\": {}, \"adaptive\": {}, \"queries\": {}, \"secs\": {:.4}, \
-             \"qps\": {:.2}, \"mean_latency_ms\": {:.3}, \"maintenance_writes\": {}}}",
+             \"qps\": {:.2}, \"mean_latency_ms\": {:.3}, \"maintenance_writes\": {}, \
+             \"sim_secs_serial\": {:.4}, \"sim_secs_pipelined\": {:.4}}}",
             c.clients,
             c.adaptive,
             c.queries,
             c.secs,
             c.qps,
             c.mean_latency_ms,
-            c.maintenance_writes
+            c.maintenance_writes,
+            c.sim_secs_serial,
+            c.sim_secs_pipelined
         ));
     }
     let json = format!(
@@ -142,14 +168,21 @@ fn main() {
                 format!("{:.1}", c.qps),
                 format!("{:.2}", c.mean_latency_ms),
                 c.maintenance_writes.to_string(),
+                format!("{:.1}/{:.1}", c.sim_secs_serial, c.sim_secs_pipelined),
             ]
         })
         .collect();
     print_table(
         "Serving throughput: TPC-H join templates, DbServer worker pool",
-        &["clients", "adapting", "queries", "secs", "q/s", "mean ms", "maint writes"],
+        &["clients", "adapting", "queries", "secs", "q/s", "mean ms", "maint writes", "sim s/p"],
         &table,
     );
+    for c in &cells {
+        assert!(
+            c.sim_secs_pipelined <= c.sim_secs_serial + 1e-9,
+            "pipelined simulated time can never exceed serial"
+        );
+    }
 
     for &adaptive in &[false, true] {
         let sub: Vec<&Cell> = cells.iter().filter(|c| c.adaptive == adaptive).collect();

@@ -65,5 +65,5 @@ pub use query::{JoinQuery, JoinStep, Query, ScanQuery};
 pub use range::ValueRange;
 pub use row::Row;
 pub use schema::{AttrId, Field, Schema};
-pub use stats::{IoStats, QueryStats, ShuffleStats};
+pub use stats::{IoStats, OverlapStats, QueryStats, ShuffleStats};
 pub use value::{Value, ValueType};

@@ -87,6 +87,63 @@ impl ShuffleStats {
     }
 }
 
+/// Pipelined-fetch accounting: how much block-read *latency* was hidden
+/// by overlapping fetches in an in-flight window (the async I/O
+/// backend's `FetchStream`).
+///
+/// Block **counts** are never changed by pipelining — every fetch is
+/// still a local or remote read in [`IoStats`], so the paper's
+/// block-I/O currency (and `C_SJ`) is untouched. What overlapping
+/// changes is simulated *time*: a window of `w` concurrent fetches
+/// completes in the time of its slowest member instead of the sum, so
+/// `w − 1` of its reads have their latency fully hidden. This tally
+/// classifies those hidden reads; [`OverlapStats::saved_secs`] converts
+/// them to the seconds a pipelined run saves relative to charging the
+/// same reads serially.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverlapStats {
+    /// Fetch windows issued (each charged max-of-window, not sum).
+    pub windows: usize,
+    /// Block fetches that went through a fetch stream (a subset of
+    /// [`IoStats`] reads).
+    pub fetches: usize,
+    /// Local reads whose latency was hidden behind a slower window
+    /// member.
+    pub hidden_local: usize,
+    /// Remote reads whose latency was hidden behind another remote
+    /// fetch in the same window.
+    pub hidden_remote: usize,
+    /// Deepest in-flight window observed (≤ the configured
+    /// `fetch_window`).
+    pub max_in_flight: usize,
+}
+
+impl OverlapStats {
+    /// Total reads whose latency was hidden by overlap.
+    pub fn hidden(&self) -> usize {
+        self.hidden_local + self.hidden_remote
+    }
+
+    /// Simulated seconds of block-read latency hidden by overlap,
+    /// under the same parallelism divisor as
+    /// [`IoStats::simulated_secs`]. CPU cost is *not* saved — hashing
+    /// and probing stay serial per worker; only I/O wait overlaps.
+    pub fn saved_secs(&self, params: &CostParams) -> f64 {
+        let io = self.hidden_local as f64 * params.block_read_secs
+            + self.hidden_remote as f64 * params.block_read_secs * params.remote_read_penalty;
+        io / params.parallelism.max(1) as f64
+    }
+
+    /// Merge another tally into this one (gauges take the max).
+    pub fn merge(&mut self, other: &OverlapStats) {
+        self.windows += other.windows;
+        self.fetches += other.fetches;
+        self.hidden_local += other.hidden_local;
+        self.hidden_remote += other.hidden_remote;
+        self.max_in_flight = self.max_in_flight.max(other.max_in_flight);
+    }
+}
+
 /// Which join strategy the planner chose for a query (§6 "Query Planner").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JoinStrategy {
@@ -124,6 +181,9 @@ pub struct QueryStats {
     /// Shuffle-service accounting (runs spilled, local vs remote
     /// fetches) for the query's shuffle phases, if any.
     pub shuffle: ShuffleStats,
+    /// Pipelined-fetch accounting: read latency hidden by overlapping
+    /// fetches (zero when `fetch_window = 1`, i.e. serial I/O).
+    pub overlap: OverlapStats,
     /// Join strategy chosen.
     pub strategy: JoinStrategy,
     /// The planner's estimated `C_HyJ` for the chosen plan, if a join.
@@ -139,6 +199,7 @@ impl QueryStats {
             query_io: IoStats::default(),
             repartition_io: IoStats::default(),
             shuffle: ShuffleStats::default(),
+            overlap: OverlapStats::default(),
             strategy,
             estimated_c_hyj: None,
             wall_secs: 0.0,
@@ -153,9 +214,17 @@ impl QueryStats {
     }
 
     /// Simulated end-to-end seconds for the query including piggybacked
-    /// repartitioning — the y-axis of Figs. 13, 15, 18.
+    /// repartitioning — the y-axis of Figs. 13, 15, 18. This is the
+    /// *serial* figure: every block access charged in full.
     pub fn simulated_secs(&self, params: &CostParams) -> f64 {
         self.total_io().simulated_secs(params)
+    }
+
+    /// Simulated seconds with pipelined fetches: the serial figure
+    /// minus the read latency hidden by overlapping in-flight windows.
+    /// Equals [`QueryStats::simulated_secs`] when nothing overlapped.
+    pub fn pipelined_simulated_secs(&self, params: &CostParams) -> f64 {
+        self.simulated_secs(params) - self.overlap.saved_secs(params)
     }
 }
 
@@ -205,6 +274,56 @@ mod tests {
     fn strategy_display() {
         assert_eq!(JoinStrategy::HyperJoin.to_string(), "hyper-join");
         assert_eq!(JoinStrategy::ShuffleJoin.to_string(), "shuffle-join");
+    }
+
+    #[test]
+    fn overlap_saves_io_latency_but_never_counts() {
+        let params = CostParams {
+            parallelism: 1,
+            block_read_secs: 1.0,
+            remote_read_penalty: 1.25,
+            cpu_per_block_secs: 0.0,
+            ..CostParams::default()
+        };
+        // A window of 3 local + 1 remote: the remote is the max, so all
+        // 3 locals hide (the remote itself is charged).
+        let ov = OverlapStats {
+            windows: 1,
+            fetches: 4,
+            hidden_local: 3,
+            hidden_remote: 0,
+            max_in_flight: 4,
+        };
+        assert_eq!(ov.hidden(), 3);
+        assert!((ov.saved_secs(&params) - 3.0).abs() < 1e-9);
+        // Two remotes in one window: one remote hides behind the other.
+        let ov2 = OverlapStats { hidden_remote: 1, ..OverlapStats::default() };
+        assert!((ov2.saved_secs(&params) - 1.25).abs() < 1e-9);
+        // Merge accumulates counts and maxes the gauge.
+        let mut m = ov;
+        m.merge(&OverlapStats { windows: 2, fetches: 2, max_in_flight: 2, ..Default::default() });
+        assert_eq!((m.windows, m.fetches, m.max_in_flight), (3, 6, 4));
+    }
+
+    #[test]
+    fn pipelined_secs_never_exceed_serial() {
+        let mut qs = QueryStats::empty(JoinStrategy::ShuffleJoin);
+        qs.query_io = IoStats { local_reads: 8, remote_reads: 8, writes: 8, ..Default::default() };
+        qs.overlap = OverlapStats {
+            windows: 4,
+            fetches: 8,
+            hidden_local: 4,
+            hidden_remote: 2,
+            ..Default::default()
+        };
+        let params = CostParams::default();
+        let serial = qs.simulated_secs(&params);
+        let pipelined = qs.pipelined_simulated_secs(&params);
+        assert!(pipelined < serial, "{pipelined} vs {serial}");
+        assert!(pipelined > 0.0);
+        // No overlap → identical figures.
+        qs.overlap = OverlapStats::default();
+        assert_eq!(qs.pipelined_simulated_secs(&params), qs.simulated_secs(&params));
     }
 
     #[test]

@@ -56,6 +56,15 @@ pub struct DbConfig {
     /// exactly what `C_SJ = 3` prices in. Raising it trades spill
     /// bandwidth for fetch locality (see `fig_shuffle`).
     pub shuffle_replication: usize,
+    /// In-flight depth of the pipelined fetch backend: scans prefetch
+    /// the manifest and reducers prefetch shuffle runs with up to this
+    /// many block reads outstanding, charged max-of-window latency on
+    /// the overlap breakdown. `1` disables pipelining (serial I/O —
+    /// identical accounting to the pre-pipelining engine); block
+    /// *counts* are the same at every setting. Defaults honor the
+    /// `ADAPTDB_FETCH_WINDOW` environment variable; see
+    /// [`DbConfig::env_fetch_window`].
+    pub fetch_window: usize,
     /// Cost model for simulated seconds and plan comparison.
     pub cost: CostParams,
     /// System variant.
@@ -82,6 +91,7 @@ impl Default for DbConfig {
             adapt_selections: true,
             shuffle_partitions: None,
             shuffle_replication: 1,
+            fetch_window: DbConfig::env_fetch_window().unwrap_or(4),
             cost: CostParams::default(),
             mode: Mode::Adaptive,
             threads: DbConfig::env_threads().unwrap_or(2),
@@ -97,6 +107,14 @@ impl DbConfig {
     /// call sites should use this instead of hard-coding counts.
     pub fn env_threads() -> Option<usize> {
         std::env::var("ADAPTDB_THREADS").ok()?.trim().parse::<usize>().ok().filter(|t| *t > 0)
+    }
+
+    /// The `ADAPTDB_FETCH_WINDOW` override, if set to a positive
+    /// integer: the in-flight depth of pipelined block fetches
+    /// (`1` = serial I/O). Like `ADAPTDB_THREADS`, this never changes
+    /// results or block counts — only how much fetch latency overlaps.
+    pub fn env_fetch_window() -> Option<usize> {
+        std::env::var("ADAPTDB_FETCH_WINDOW").ok()?.trim().parse::<usize>().ok().filter(|w| *w > 0)
     }
 
     /// A small configuration suited to unit tests and doc examples:
@@ -186,5 +204,17 @@ mod tests {
         assert_eq!(c.shuffle_fanout(), 7);
         assert_eq!(c.shuffle_options().partitions, Some(7));
         assert_eq!(c.shuffle_options().replication, 3);
+    }
+
+    #[test]
+    fn fetch_window_defaults_pipelined() {
+        // Pipelining is on by default (window 4) unless the env
+        // override says otherwise; results never depend on it.
+        if std::env::var("ADAPTDB_FETCH_WINDOW").is_err() {
+            assert_eq!(DbConfig::default().fetch_window, 4);
+            assert_eq!(DbConfig::small().fetch_window, 4);
+        }
+        let serial = DbConfig { fetch_window: 1, ..DbConfig::small() };
+        assert_eq!(serial.fetch_window, 1);
     }
 }

@@ -334,6 +334,7 @@ impl Database {
         stats.query_io = query_clock.snapshot();
         stats.repartition_io = repart_clock.snapshot();
         stats.shuffle = query_clock.shuffle_snapshot();
+        stats.overlap = query_clock.overlap_snapshot();
         stats.estimated_c_hyj = c_hyj;
         stats.wall_secs = started.elapsed().as_secs_f64();
         Ok(QueryResult { rows, stats })

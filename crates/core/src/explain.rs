@@ -28,6 +28,17 @@ pub struct ExplainReport {
     /// Expected fraction of run fetches that land reducer-local under
     /// the configured spill replication (`min(1, replication / nodes)`).
     pub est_shuffle_locality: f64,
+    /// Projected fetch concurrency per reducer: the configured
+    /// `fetch_window` clamped to the runs a reducer actually has to
+    /// fetch (`1` = serial fetching, no pipelining).
+    pub est_fetch_concurrency: usize,
+    /// Projected simulated seconds of the shuffle *fetch leg* charged
+    /// serially (every run fetch paid in full).
+    pub est_fetch_secs_serial: f64,
+    /// Projected fetch-leg seconds with pipelining: windows of
+    /// `est_fetch_concurrency` fetches charged max-of-window. Equals
+    /// the serial figure when concurrency is 1 or nothing is shuffled.
+    pub est_fetch_secs_pipelined: f64,
     /// Estimated total block reads of the hyper-join schedule, if one
     /// was considered.
     pub est_hyper_reads: Option<usize>,
@@ -37,6 +48,43 @@ pub struct ExplainReport {
     pub build_side: Option<JoinSide>,
     /// Number of build groups in the schedule.
     pub groups: Option<usize>,
+}
+
+/// Project the shuffle fetch leg under the configured pipelining:
+/// `(per-reducer fetch concurrency, serial seconds, pipelined
+/// seconds)`. Serial charges every fetch in full; pipelined charges
+/// each window of `concurrency` fetches its max member (remote-priced
+/// whenever any remote fetch is expected, i.e. locality < 1).
+fn project_fetch_costs(
+    spill_blocks: usize,
+    locality: f64,
+    fanout: usize,
+    fetch_window: usize,
+    params: &CostParams,
+) -> (usize, f64, f64) {
+    if spill_blocks == 0 {
+        return (1, 0.0, 0.0);
+    }
+    let per_reducer = spill_blocks.div_ceil(fanout.max(1)).max(1);
+    let concurrency = fetch_window.max(1).min(per_reducer);
+    let parallelism = params.parallelism.max(1) as f64;
+    let local = locality * spill_blocks as f64;
+    let remote = spill_blocks as f64 - local;
+    let serial = (local * params.block_read_secs
+        + remote * params.block_read_secs * params.remote_read_penalty)
+        / parallelism;
+    // Each reducer drains its own stream, so windows don't pack across
+    // reducers: every active reducer (at most one per run when runs are
+    // scarce) issues ceil(per_reducer / concurrency) windows of its own.
+    let active_reducers = fanout.max(1).min(spill_blocks) as f64;
+    let windows = active_reducers * (per_reducer as f64 / concurrency as f64).ceil();
+    let max_cost = if locality < 1.0 {
+        params.block_read_secs * params.remote_read_penalty
+    } else {
+        params.block_read_secs
+    };
+    let pipelined = (windows * max_cost / parallelism).min(serial);
+    (concurrency, serial, pipelined)
 }
 
 impl std::fmt::Display for ExplainReport {
@@ -53,6 +101,21 @@ impl std::fmt::Display for ExplainReport {
                 self.est_shuffle_spill_blocks,
                 self.est_shuffle_locality * 100.0
             )?;
+            if self.est_fetch_concurrency > 1 {
+                writeln!(
+                    f,
+                    "  fetch leg: serial {:.2} s, pipelined {:.2} s ({}-deep prefetch)",
+                    self.est_fetch_secs_serial,
+                    self.est_fetch_secs_pipelined,
+                    self.est_fetch_concurrency
+                )?;
+            } else {
+                writeln!(
+                    f,
+                    "  fetch leg: serial {:.2} s (no pipelining)",
+                    self.est_fetch_secs_serial
+                )?;
+            }
         }
         if let (Some(reads), Some(c)) = (self.est_hyper_reads, self.est_c_hyj) {
             writeln!(f, "  hyper estimate (Eq.2): {reads} block reads, C_HyJ = {c:.2}")?;
@@ -83,6 +146,9 @@ impl Database {
                     est_shuffle_cost: 0.0,
                     est_shuffle_spill_blocks: 0,
                     est_shuffle_locality: 1.0,
+                    est_fetch_concurrency: 1,
+                    est_fetch_secs_serial: 0.0,
+                    est_fetch_secs_pipelined: 0.0,
                     est_hyper_reads: None,
                     est_c_hyj: None,
                     build_side: None,
@@ -150,15 +216,29 @@ impl Database {
         let est_shuffle_locality = (self.config().shuffle_replication.max(1) as f64
             / self.config().nodes.max(1) as f64)
             .min(1.0);
+        let fetch_costs = |spill: usize| {
+            project_fetch_costs(
+                spill,
+                est_shuffle_locality,
+                self.config().shuffle_fanout(),
+                self.config().fetch_window,
+                params,
+            )
+        };
         let allow_hyper =
             matches!(self.config().mode, Mode::Adaptive | Mode::FullRepartition | Mode::Fixed);
         if !allow_hyper {
+            let (est_fetch_concurrency, est_fetch_secs_serial, est_fetch_secs_pipelined) =
+                fetch_costs(est_shuffle_spill_blocks);
             return Ok(ExplainReport {
                 strategy: JoinStrategy::ShuffleJoin,
                 candidates,
                 est_shuffle_cost,
                 est_shuffle_spill_blocks,
                 est_shuffle_locality,
+                est_fetch_concurrency,
+                est_fetch_secs_serial,
+                est_fetch_secs_pipelined,
                 est_hyper_reads: None,
                 est_c_hyj: None,
                 build_side: None,
@@ -178,39 +258,48 @@ impl Database {
         Ok(match decision {
             JoinDecision::Hyper(plan) => {
                 let mixed = both_matching && (!lc.other.is_empty() || !rc.other.is_empty());
+                // A pure hyper-join shuffles nothing; the mixed
+                // remainder still does.
+                let spill = if mixed { lc.other.len() + rc.other.len() } else { 0 };
+                let (est_fetch_concurrency, est_fetch_secs_serial, est_fetch_secs_pipelined) =
+                    fetch_costs(spill);
                 ExplainReport {
                     strategy: if mixed { JoinStrategy::Mixed } else { JoinStrategy::HyperJoin },
                     candidates,
                     est_shuffle_cost,
-                    // A pure hyper-join shuffles nothing; the mixed
-                    // remainder still does.
-                    est_shuffle_spill_blocks: if mixed {
-                        lc.other.len() + rc.other.len()
-                    } else {
-                        0
-                    },
+                    est_shuffle_spill_blocks: spill,
                     est_shuffle_locality,
+                    est_fetch_concurrency,
+                    est_fetch_secs_serial,
+                    est_fetch_secs_pipelined,
                     est_hyper_reads: Some(plan.est_total_reads()),
                     est_c_hyj: Some(plan.c_hyj),
                     build_side: Some(plan.build_side),
                     groups: Some(plan.groups.len()),
                 }
             }
-            JoinDecision::Shuffle { hyper_cost, .. } => ExplainReport {
-                strategy: JoinStrategy::ShuffleJoin,
-                candidates,
-                est_shuffle_cost,
-                est_shuffle_spill_blocks,
-                est_shuffle_locality,
-                est_hyper_reads: if hyper_cost.is_finite() {
-                    Some(hyper_cost as usize)
-                } else {
-                    None
-                },
-                est_c_hyj: None,
-                build_side: None,
-                groups: None,
-            },
+            JoinDecision::Shuffle { hyper_cost, .. } => {
+                let (est_fetch_concurrency, est_fetch_secs_serial, est_fetch_secs_pipelined) =
+                    fetch_costs(est_shuffle_spill_blocks);
+                ExplainReport {
+                    strategy: JoinStrategy::ShuffleJoin,
+                    candidates,
+                    est_shuffle_cost,
+                    est_shuffle_spill_blocks,
+                    est_shuffle_locality,
+                    est_fetch_concurrency,
+                    est_fetch_secs_serial,
+                    est_fetch_secs_pipelined,
+                    est_hyper_reads: if hyper_cost.is_finite() {
+                        Some(hyper_cost as usize)
+                    } else {
+                        None
+                    },
+                    est_c_hyj: None,
+                    build_side: None,
+                    groups: None,
+                }
+            }
         })
     }
 }
@@ -222,8 +311,11 @@ mod tests {
     use adaptdb_common::{row, JoinQuery, PredicateSet, ScanQuery, Schema, ValueType};
 
     fn db(mode: Mode) -> Database {
+        // fetch_window pinned explicitly so the env override
+        // (ADAPTDB_FETCH_WINDOW) cannot change what these tests assert.
         let mut db = Database::new(
-            DbConfig { rows_per_block: 10, buffer_blocks: 4, ..DbConfig::small() }.with_mode(mode),
+            DbConfig { rows_per_block: 10, buffer_blocks: 4, fetch_window: 4, ..DbConfig::small() }
+                .with_mode(mode),
         );
         let schema = Schema::from_pairs(&[("k", ValueType::Int), ("x", ValueType::Int)]);
         db.create_table("l", schema.clone(), vec![1]).unwrap();
@@ -282,6 +374,61 @@ mod tests {
         let report = d.explain(&join()).unwrap();
         assert_eq!(report.strategy, JoinStrategy::HyperJoin);
         assert_eq!(report.est_shuffle_spill_blocks, 0);
+        assert_eq!(report.est_fetch_secs_serial, 0.0, "nothing shuffled, nothing fetched");
+    }
+
+    #[test]
+    fn explain_distinguishes_pipelined_from_serial_fetch_cost() {
+        let d = db(Mode::Amoeba); // every join shuffles, window pinned to 4
+        let report = d.explain(&join()).unwrap();
+        assert!(report.est_fetch_concurrency > 1);
+        assert!(report.est_fetch_concurrency <= d.config().fetch_window);
+        assert!(report.est_fetch_secs_serial > 0.0);
+        assert!(
+            report.est_fetch_secs_pipelined < report.est_fetch_secs_serial,
+            "window {} must project overlap savings: {} vs {}",
+            report.est_fetch_concurrency,
+            report.est_fetch_secs_pipelined,
+            report.est_fetch_secs_serial
+        );
+        assert!(report.to_string().contains("pipelined"));
+        // A serial-I/O config projects no savings and says so.
+        let serial = {
+            let config = DbConfig { fetch_window: 1, ..d.config().clone() };
+            let mut db = Database::new(config);
+            let schema =
+                adaptdb_common::Schema::from_pairs(&[("k", ValueType::Int), ("x", ValueType::Int)]);
+            db.create_table("l", schema.clone(), vec![1]).unwrap();
+            db.create_table("r", schema, vec![1]).unwrap();
+            db.load_two_phase("l", (0..200i64).map(|i| row![i % 100, i]).collect(), 0, None)
+                .unwrap();
+            db.load_two_phase("r", (0..100i64).map(|i| row![i, i]).collect(), 0, None).unwrap();
+            db
+        };
+        let report = serial.explain(&join()).unwrap();
+        assert_eq!(report.est_fetch_concurrency, 1);
+        assert_eq!(report.est_fetch_secs_pipelined, report.est_fetch_secs_serial);
+        assert!(report.to_string().contains("no pipelining"));
+    }
+
+    #[test]
+    fn explain_fetch_projection_matches_runtime_stats() {
+        // The projection and the executed stats must agree in kind:
+        // pipelined strictly cheaper than serial, both ways of looking.
+        let mut d = db(Mode::Amoeba);
+        let report = d.explain(&join()).unwrap();
+        let res = d.run(&join()).unwrap();
+        let params = d.config().cost.clone();
+        assert!(res.stats.shuffle.fetches() > 0);
+        assert!(res.stats.overlap.hidden() > 0, "runtime overlapped fetches");
+        let serial_secs = res.stats.simulated_secs(&params);
+        let pipelined_secs = res.stats.pipelined_simulated_secs(&params);
+        assert!(pipelined_secs < serial_secs);
+        // Projection saw the same phenomenon before execution.
+        assert!(report.est_fetch_secs_pipelined < report.est_fetch_secs_serial);
+        // Spill projection tracks actual spilled blocks (rows are
+        // conserved; coalescing can pack runs a little tighter).
+        assert!(report.est_shuffle_spill_blocks >= res.stats.shuffle.blocks_spilled);
     }
 
     #[test]

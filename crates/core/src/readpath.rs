@@ -41,6 +41,7 @@ pub trait SnapshotSource {
 fn exec_ctx<'a, S: SnapshotSource>(src: &'a S, clock: &'a SimClock) -> ExecContext<'a> {
     ExecContext::new(src.store(), clock, src.config().threads)
         .with_shuffle(src.config().shuffle_options())
+        .with_fetch_window(src.config().fetch_window)
 }
 
 /// Execute one query against the source's snapshots: plan, run, account

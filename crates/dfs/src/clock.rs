@@ -4,8 +4,12 @@
 //! simulated seconds under a [`CostParams`]. Executors thread a clock
 //! through their operators; experiments read it per query. The clock is
 //! internally synchronized so parallel executor workers can share one.
+//!
+//! The cost-accounting rules — what counts as Local, Remote,
+//! Maintenance, and Overlapped — are documented canonically in
+//! `docs/ARCHITECTURE.md` (§ "Cost accounting").
 
-use adaptdb_common::{CostParams, IoStats, ShuffleStats};
+use adaptdb_common::{CostParams, IoStats, OverlapStats, ShuffleStats};
 use parking_lot::Mutex;
 
 use crate::cluster::ReadKind;
@@ -33,6 +37,11 @@ pub struct SimClock {
     /// underlying block reads/writes are *also* in `io` — this tally
     /// only classifies them, it never double-charges.
     shuffle: Mutex<ShuffleStats>,
+    /// Pipelined-fetch breakdown: reads whose latency was hidden by an
+    /// in-flight window. Like `shuffle`, this only *classifies* reads
+    /// already counted in `io` — block counts are never reduced, only
+    /// the simulated time a consumer derives from them.
+    overlap: Mutex<OverlapStats>,
     kind: ClockKind,
 }
 
@@ -59,6 +68,41 @@ impl SimClock {
             ReadKind::Local => io.local_reads += 1,
             ReadKind::Remote => io.remote_reads += 1,
         }
+    }
+
+    /// Record one window of overlapped block fetches: `local` + `remote`
+    /// reads issued concurrently by a fetch stream. Every read is
+    /// counted in full on the I/O tally (block counts are the paper's
+    /// currency and must not change); the *latency* model is
+    /// max-of-window — the window completes when its slowest member
+    /// does, so all but the slowest read have their latency hidden:
+    ///
+    /// * any remote present → the max is a remote fetch: every local
+    ///   and all but one remote hide,
+    /// * all local → all but one local hide,
+    /// * a window of one (or an empty window) hides nothing, which is
+    ///   exactly the serial charging of [`SimClock::record_read`].
+    ///
+    /// The hidden reads land on the overlap tally;
+    /// [`adaptdb_common::OverlapStats::saved_secs`] converts them to the
+    /// simulated seconds a pipelined run saves over serial fetching.
+    pub fn record_fetch_window(&self, local: usize, remote: usize) {
+        if local + remote == 0 {
+            return;
+        }
+        {
+            let mut io = self.io.lock();
+            io.local_reads += local;
+            io.remote_reads += remote;
+        }
+        let (hidden_local, hidden_remote) =
+            if remote > 0 { (local, remote - 1) } else { (local - 1, 0) };
+        let mut ov = self.overlap.lock();
+        ov.windows += 1;
+        ov.fetches += local + remote;
+        ov.hidden_local += hidden_local;
+        ov.hidden_remote += hidden_remote;
+        ov.max_in_flight = ov.max_in_flight.max(local + remote);
     }
 
     /// Record `n` block writes.
@@ -106,11 +150,17 @@ impl SimClock {
         *self.shuffle.lock()
     }
 
-    /// Reset to zero, returning the previous tally (the shuffle
-    /// breakdown resets with it; see [`SimClock::take_shuffle`]).
+    /// Snapshot of the pipelined-fetch breakdown so far.
+    pub fn overlap_snapshot(&self) -> OverlapStats {
+        *self.overlap.lock()
+    }
+
+    /// Reset to zero, returning the previous tally (the shuffle and
+    /// overlap breakdowns reset with it; see [`SimClock::take_shuffle`]).
     pub fn take(&self) -> IoStats {
         let io = std::mem::take(&mut *self.io.lock());
         let _ = std::mem::take(&mut *self.shuffle.lock());
+        let _ = std::mem::take(&mut *self.overlap.lock());
         io
     }
 
@@ -191,6 +241,36 @@ mod tests {
         // take() resets both tallies together.
         c.take();
         assert_eq!(c.shuffle_snapshot(), adaptdb_common::ShuffleStats::default());
+    }
+
+    #[test]
+    fn fetch_windows_charge_full_counts_but_hide_latency() {
+        let c = SimClock::new();
+        // Window of 3 locals + 2 remotes: 5 reads counted, 3 locals +
+        // 1 remote hidden (the slowest remote is charged).
+        c.record_fetch_window(3, 2);
+        let io = c.snapshot();
+        assert_eq!((io.local_reads, io.remote_reads), (3, 2));
+        let ov = c.overlap_snapshot();
+        assert_eq!(ov.windows, 1);
+        assert_eq!(ov.fetches, 5);
+        assert_eq!((ov.hidden_local, ov.hidden_remote), (3, 1));
+        assert_eq!(ov.max_in_flight, 5);
+        // All-local window hides all but one local.
+        c.record_fetch_window(4, 0);
+        let ov = c.overlap_snapshot();
+        assert_eq!((ov.hidden_local, ov.hidden_remote), (3 + 3, 1));
+        // A window of one is exactly serial: nothing hidden.
+        c.record_fetch_window(0, 1);
+        let ov = c.overlap_snapshot();
+        assert_eq!(ov.hidden(), 7);
+        assert_eq!(ov.windows, 3);
+        // Empty windows are ignored entirely.
+        c.record_fetch_window(0, 0);
+        assert_eq!(c.overlap_snapshot().windows, 3);
+        // take() resets the overlap tally with the rest.
+        c.take();
+        assert_eq!(c.overlap_snapshot(), adaptdb_common::OverlapStats::default());
     }
 
     #[test]

@@ -34,12 +34,24 @@ pub struct ExecContext<'a> {
     pub threads: usize,
     /// How shuffle phases fan out and replicate their spilled runs.
     pub shuffle: ShuffleOptions,
+    /// In-flight depth of pipelined block fetches (scans and reducer
+    /// run fetches go through a `FetchStream` of this window). `1` =
+    /// serial I/O, the pre-pipelining behavior; block *counts* are
+    /// identical at every window, only overlapped latency differs.
+    pub fetch_window: usize,
 }
 
 impl<'a> ExecContext<'a> {
-    /// Context with an explicit thread budget.
+    /// Context with an explicit thread budget (serial I/O; widen with
+    /// [`ExecContext::with_fetch_window`]).
     pub fn new(store: &'a BlockStore, clock: &'a SimClock, threads: usize) -> Self {
-        ExecContext { store, clock, threads: threads.max(1), shuffle: ShuffleOptions::default() }
+        ExecContext {
+            store,
+            clock,
+            threads: threads.max(1),
+            shuffle: ShuffleOptions::default(),
+            fetch_window: 1,
+        }
     }
 
     /// Single-threaded context (deterministic row order; used in tests).
@@ -50,6 +62,13 @@ impl<'a> ExecContext<'a> {
     /// Same context with explicit shuffle knobs (builder style).
     pub fn with_shuffle(mut self, shuffle: ShuffleOptions) -> Self {
         self.shuffle = shuffle;
+        self
+    }
+
+    /// Same context with a pipelined-fetch window (builder style;
+    /// clamped to ≥ 1).
+    pub fn with_fetch_window(mut self, window: usize) -> Self {
+        self.fetch_window = window.max(1);
         self
     }
 }

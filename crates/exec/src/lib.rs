@@ -12,13 +12,13 @@
 //!   pass the predicates"),
 //! * [`hash_table`] — build/probe hash tables keyed on join values (with
 //!   a pass-through hasher over [`adaptdb_common::Value::stable_hash`]),
-//! * [`hyper_join`] — execute a [`adaptdb_join::HyperJoinPlan`]: per
+//! * [`mod@hyper_join`] — execute a [`adaptdb_join::HyperJoinPlan`]: per
 //!   group, build hash tables over the build blocks and stream the
 //!   overlapping probe blocks through them,
 //! * [`shuffle_service`] — the multi-node shuffle service: map tasks
 //!   spill per-reducer runs as real DFS blocks on their node, reducers
 //!   fetch them with local/remote accounting,
-//! * [`shuffle_join`] — the baseline: read both sides, hash-partition
+//! * [`mod@shuffle_join`] — the baseline: read both sides, hash-partition
 //!   every record through the shuffle service (paying shuffle writes +
 //!   locality-classified fetch-backs, the `C_SJ = 3` pattern of Eq. 1),
 //!   then join each partition,

@@ -2,7 +2,7 @@
 //!
 //! AdaptDB's premise is a system that keeps answering queries *while*
 //! it repartitions under a live workload. The serial
-//! [`Database`](adaptdb::Database) interleaves the two on one thread;
+//! [`adaptdb::Database`] interleaves the two on one thread;
 //! [`DbServer`] splits them:
 //!
 //! * **Snapshot reads.** Each table's layout (partition trees + block
@@ -97,6 +97,11 @@ pub(crate) struct Shared {
     inbox_signal: Condvar,
     queue: BoundedQueue<Job>,
     metrics: Metrics,
+    /// Executor pool width (the divisor of the admission wait estimate).
+    workers: usize,
+    /// Latency-aware admission bound; see
+    /// [`ServerOptions::max_queue_wait_ms`].
+    max_queue_wait_ms: Option<f64>,
     /// Maintenance-attributed I/O clock (`ClockKind::Maintenance`).
     maint_clock: SimClock,
     maintenance_passes: AtomicU64,
@@ -201,6 +206,13 @@ pub struct ServerOptions {
     pub workers: Option<usize>,
     /// Admission-queue capacity. Defaults to `4 × workers`.
     pub queue_capacity: Option<usize>,
+    /// Latency-aware admission bound: reject a submission up front
+    /// (with an error, instead of blocking) when the estimated queue
+    /// wait — current queue depth × observed mean *service* time ÷
+    /// workers — exceeds this many milliseconds. `None` (the default)
+    /// keeps pure blocking backpressure. Queries already admitted
+    /// always run.
+    pub max_queue_wait_ms: Option<f64>,
 }
 
 /// A concurrent query server over a loaded [`Database`].
@@ -247,6 +259,8 @@ impl DbServer {
             inbox_signal: Condvar::new(),
             queue: BoundedQueue::new(capacity),
             metrics: Metrics::new(),
+            workers: worker_count,
+            max_queue_wait_ms: opts.max_queue_wait_ms,
             maint_clock: SimClock::maintenance(),
             maintenance_passes: AtomicU64::new(0),
             obs_submitted: AtomicU64::new(0),
@@ -284,11 +298,13 @@ impl DbServer {
         submit(&self.shared, query)
     }
 
-    /// Server-level throughput/latency report.
+    /// Server-level throughput/latency report, including the live
+    /// queue-depth and in-flight gauges.
     pub fn report(&self) -> ServerReport {
         self.shared.metrics.report(
             self.worker_count,
             self.shared.queue.capacity(),
+            self.shared.queue.len(),
             self.shared.maint_clock.snapshot(),
             self.shared.maintenance_passes.load(Ordering::SeqCst),
         )
@@ -395,6 +411,20 @@ impl Session {
 }
 
 fn submit(shared: &Arc<Shared>, query: &Query) -> Result<QueryResult> {
+    // Latency-aware admission: when a wait bound is configured, shed
+    // load up front instead of blocking — the estimated wait is the
+    // current backlog times the observed mean *service* time per
+    // worker (the same estimate `ServerReport::est_queue_wait_ms`
+    // reports).
+    if let Some(bound_ms) = shared.max_queue_wait_ms {
+        let est_ms = shared.metrics.est_queue_wait_ms(shared.queue.len(), shared.workers);
+        if est_ms > bound_ms {
+            return Err(Error::Plan(format!(
+                "admission rejected: estimated queue wait {est_ms:.1} ms exceeds bound \
+                 {bound_ms:.1} ms"
+            )));
+        }
+    }
     let (reply, rx) = mpsc::channel();
     shared
         .queue
@@ -405,6 +435,8 @@ fn submit(shared: &Arc<Shared>, query: &Query) -> Result<QueryResult> {
 
 fn worker_loop(shared: &Shared) {
     while let Some(Job { query, reply, submitted }) = shared.queue.pop() {
+        shared.metrics.begin();
+        let picked_up = Instant::now();
         let unaccounted_before = shared.store.unaccounted_reads();
         let clock = SimClock::new();
         let view = QueryView::new(shared);
@@ -413,6 +445,7 @@ fn worker_loop(shared: &Shared) {
                 let mut stats = QueryStats::empty(strategy);
                 stats.query_io = clock.snapshot();
                 stats.shuffle = clock.shuffle_snapshot();
+                stats.overlap = clock.overlap_snapshot();
                 stats.estimated_c_hyj = c_hyj;
                 // Submit-to-finish, so admission wait shows up under load.
                 stats.wall_secs = submitted.elapsed().as_secs_f64();
@@ -429,7 +462,7 @@ fn worker_loop(shared: &Shared) {
             // the query is owned here, so no clone on the serving path.
             shared.push_observation(query);
         }
-        shared.metrics.record(submitted.elapsed(), ok);
+        shared.metrics.record(submitted.elapsed(), picked_up.elapsed(), ok);
         // A client that gave up waiting is not an error.
         let _ = reply.send(result);
     }

@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use adaptdb_common::{IoStats, QueryStats, ShuffleStats};
+use adaptdb_common::{IoStats, OverlapStats, QueryStats, ShuffleStats};
 use parking_lot::Mutex;
 
 /// Latency aggregate kept under a mutex (updated once per query, so
@@ -12,6 +12,10 @@ use parking_lot::Mutex;
 struct LatencyAgg {
     total_secs: f64,
     max_secs: f64,
+    /// In-service (pop-to-finish) seconds only — excludes queue wait,
+    /// so the admission estimate never feeds its own backlog back into
+    /// itself.
+    total_service_secs: f64,
 }
 
 /// Live server counters, shared by all workers.
@@ -20,6 +24,9 @@ pub(crate) struct Metrics {
     started: Instant,
     queries: AtomicU64,
     errors: AtomicU64,
+    /// Queries currently executing on a worker (between queue pop and
+    /// reply) — the in-flight gauge.
+    in_flight: AtomicU64,
     latency: Mutex<LatencyAgg>,
 }
 
@@ -29,11 +36,21 @@ impl Metrics {
             started: Instant::now(),
             queries: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
             latency: Mutex::new(LatencyAgg::default()),
         }
     }
 
-    pub(crate) fn record(&self, elapsed: Duration, ok: bool) {
+    /// Mark a query as picked up by a worker (gauge up).
+    pub(crate) fn begin(&self) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one finished query: `elapsed` is submit-to-finish (what
+    /// clients experience, including queue wait), `service` is
+    /// pop-to-finish (pure execution).
+    pub(crate) fn record(&self, elapsed: Duration, service: Duration, ok: bool) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
         self.queries.fetch_add(1, Ordering::Relaxed);
         if !ok {
             self.errors.fetch_add(1, Ordering::Relaxed);
@@ -42,30 +59,52 @@ impl Metrics {
         let mut agg = self.latency.lock();
         agg.total_secs += secs;
         agg.max_secs = agg.max_secs.max(secs);
+        agg.total_service_secs += service.as_secs_f64();
+    }
+
+    /// Estimated queue wait for a new submission, in milliseconds:
+    /// backlog × mean *service* time ÷ workers. Service time (not
+    /// submit-to-finish) is deliberate — using client latency here
+    /// would double-count queue wait and make a past burst's inflated
+    /// mean shed healthy load forever. The single source of truth for
+    /// both `ServerReport::est_queue_wait_ms` and admission control.
+    pub(crate) fn est_queue_wait_ms(&self, queue_depth: usize, workers: usize) -> f64 {
+        let queries = self.queries.load(Ordering::Relaxed);
+        if queries == 0 {
+            return 0.0;
+        }
+        let mean_service_secs = self.latency.lock().total_service_secs / queries as f64;
+        queue_depth as f64 * mean_service_secs * 1e3 / workers.max(1) as f64
     }
 
     pub(crate) fn report(
         &self,
         workers: usize,
         queue_capacity: usize,
+        queue_depth: usize,
         maintenance_io: IoStats,
         maintenance_passes: u64,
     ) -> ServerReport {
         let queries = self.queries.load(Ordering::Relaxed);
         let errors = self.errors.load(Ordering::Relaxed);
+        let in_flight = self.in_flight.load(Ordering::Relaxed) as usize;
         let agg = *self.latency.lock();
         let elapsed_secs = self.started.elapsed().as_secs_f64();
+        let mean_latency_ms = if queries > 0 { agg.total_secs / queries as f64 * 1e3 } else { 0.0 };
         ServerReport {
             queries,
             errors,
             elapsed_secs,
             qps: if elapsed_secs > 0.0 { queries as f64 / elapsed_secs } else { 0.0 },
-            mean_latency_ms: if queries > 0 { agg.total_secs / queries as f64 * 1e3 } else { 0.0 },
+            mean_latency_ms,
             max_latency_ms: agg.max_secs * 1e3,
             maintenance_io,
             maintenance_passes,
             workers,
             queue_capacity,
+            queue_depth,
+            in_flight,
+            est_queue_wait_ms: self.est_queue_wait_ms(queue_depth, workers),
         }
     }
 }
@@ -94,6 +133,17 @@ pub struct ServerReport {
     pub workers: usize,
     /// Admission-queue capacity.
     pub queue_capacity: usize,
+    /// Queries waiting in the admission queue right now (gauge).
+    pub queue_depth: usize,
+    /// Queries currently executing on workers (gauge, ≤ `workers`).
+    pub in_flight: usize,
+    /// Latency-aware admission estimate: expected queue wait for a new
+    /// submission, `queue_depth × mean service time / workers`, in
+    /// milliseconds (service = pop-to-finish, so queue wait is never
+    /// fed back into its own estimate). The admission bound
+    /// (`ServerOptions::max_queue_wait_ms`) sheds load when this
+    /// exceeds it.
+    pub est_queue_wait_ms: f64,
 }
 
 impl std::fmt::Display for ServerReport {
@@ -107,6 +157,11 @@ impl std::fmt::Display for ServerReport {
             f,
             "latency: mean {:.2} ms, max {:.2} ms; errors: {}",
             self.mean_latency_ms, self.max_latency_ms, self.errors
+        )?;
+        writeln!(
+            f,
+            "queue: {} waiting, {} in flight, est wait {:.2} ms",
+            self.queue_depth, self.in_flight, self.est_queue_wait_ms
         )?;
         write!(
             f,
@@ -132,6 +187,9 @@ pub struct SessionStats {
     /// Merged shuffle-service breakdown (runs spilled, local vs remote
     /// fetches) of this session's queries.
     pub shuffle: ShuffleStats,
+    /// Merged pipelined-fetch breakdown (windows issued, read latency
+    /// hidden by overlap) of this session's queries.
+    pub overlap: OverlapStats,
     /// Total wall seconds spent waiting for results.
     pub total_wall_secs: f64,
 }
@@ -142,6 +200,7 @@ impl SessionStats {
         self.rows_out += rows;
         self.io.merge(&stats.query_io);
         self.shuffle.merge(&stats.shuffle);
+        self.overlap.merge(&stats.overlap);
         self.total_wall_secs += stats.wall_secs;
     }
 

@@ -54,7 +54,7 @@ fn concurrent_clients_match_serial_results() {
     // Four client threads each run the full mix against one server.
     let server = DbServer::start_with(
         loaded_db(Mode::Adaptive, 1),
-        ServerOptions { workers: Some(4), queue_capacity: Some(8) },
+        ServerOptions { workers: Some(4), queue_capacity: Some(8), ..Default::default() },
     );
     std::thread::scope(|s| {
         for _ in 0..4 {
@@ -81,7 +81,7 @@ fn serving_continues_while_adaptation_runs_in_background() {
     // migration; clients must keep getting exact results throughout.
     let server = DbServer::start_with(
         loaded_db(Mode::Adaptive, 1),
-        ServerOptions { workers: Some(4), queue_capacity: Some(16) },
+        ServerOptions { workers: Some(4), queue_capacity: Some(16), ..Default::default() },
     );
     std::thread::scope(|s| {
         for _ in 0..4 {
@@ -152,7 +152,7 @@ fn maintenance_io_stays_off_query_clocks() {
 fn queue_backpressure_and_errors_are_reported() {
     let server = DbServer::start_with(
         loaded_db(Mode::Adaptive, 1),
-        ServerOptions { workers: Some(2), queue_capacity: Some(2) },
+        ServerOptions { workers: Some(2), queue_capacity: Some(2), ..Default::default() },
     );
     let mut session = server.session();
     // Unknown table surfaces as an error to this client only.
@@ -229,4 +229,111 @@ fn fixed_mode_serves_without_any_maintenance_writes() {
     });
     server.drain_maintenance();
     assert_eq!(server.report().maintenance_io.writes, 0, "Fixed mode must not adapt");
+}
+
+#[test]
+fn report_exposes_queue_and_inflight_gauges() {
+    let db = loaded_db(Mode::Fixed, 1);
+    let server = DbServer::start(db);
+    // Idle server: both gauges at zero, estimate zero.
+    let idle = server.report();
+    assert_eq!(idle.queue_depth, 0);
+    assert_eq!(idle.in_flight, 0);
+    assert_eq!(idle.est_queue_wait_ms, 0.0);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let mut session = server.session();
+            s.spawn(move || {
+                for _ in 0..3 {
+                    session.run(&join_query()).unwrap();
+                }
+            });
+        }
+    });
+    // Quiesced again after the burst; Display carries the gauges.
+    let done = server.report();
+    assert_eq!(done.queries, 12);
+    assert_eq!(done.in_flight, 0);
+    assert!(done.to_string().contains("in flight"));
+}
+
+#[test]
+fn sessions_aggregate_overlap_stats_under_pipelining() {
+    // Shuffle-heavy mode with a pinned pipelined window (explicit so
+    // the ADAPTDB_FETCH_WINDOW override can't change the assertions):
+    // sessions must see hidden fetch latency accumulate.
+    let config = DbConfig {
+        rows_per_block: 10,
+        window_size: 5,
+        buffer_blocks: 2,
+        threads: 1,
+        fetch_window: 4,
+        mode: Mode::Amoeba,
+        ..DbConfig::small()
+    };
+    let mut db = Database::new(config);
+    db.create_table("l", schema2(), vec![0, 1]).unwrap();
+    db.create_table("r", schema2(), vec![0, 1]).unwrap();
+    db.load_rows("l", (0..400i64).map(|i| row![i % 200, i])).unwrap();
+    db.load_rows("r", (0..200i64).map(|i| row![i, i * 2])).unwrap();
+    let server = DbServer::start(db);
+    let mut session = server.session();
+    for _ in 0..3 {
+        session.run(&join_query()).unwrap();
+    }
+    let stats = session.stats();
+    assert!(stats.shuffle.fetches() > 0, "Amoeba joins shuffle");
+    assert!(stats.overlap.fetches > 0, "fetches went through the stream");
+    assert!(stats.overlap.hidden() > 0, "windows > 1 hide latency");
+    assert!(stats.overlap.max_in_flight > 1);
+    // The overlap breakdown never exceeds what was actually read.
+    assert!(stats.overlap.fetches <= stats.io.reads());
+}
+
+#[test]
+fn latency_aware_admission_sheds_load_beyond_wait_bound() {
+    let db = loaded_db(Mode::Fixed, 1);
+    // One worker, deep queue, and an unsatisfiable wait bound of 0 ms:
+    // once one query has completed (mean latency > 0), any queued
+    // backlog must trip the estimate.
+    let server = DbServer::start_with(
+        db,
+        ServerOptions { workers: Some(1), queue_capacity: Some(64), max_queue_wait_ms: Some(0.0) },
+    );
+    // An empty queue always admits (estimate is 0 × mean = 0).
+    server.run(&join_query()).unwrap();
+    let mut shed = 0usize;
+    let mut served = 0usize;
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let mut session = server.session();
+            handles.push(s.spawn(move || {
+                let mut rejected = 0usize;
+                let mut ok = 0usize;
+                for _ in 0..4 {
+                    match session.run(&join_query()) {
+                        Ok(_) => ok += 1,
+                        Err(e) => {
+                            assert!(
+                                e.to_string().contains("admission rejected"),
+                                "unexpected error: {e}"
+                            );
+                            rejected += 1;
+                        }
+                    }
+                }
+                (ok, rejected)
+            }));
+        }
+        for h in handles {
+            let (ok, rejected) = h.join().unwrap();
+            served += ok;
+            shed += rejected;
+        }
+    });
+    assert!(shed > 0, "8 clients on 1 worker with a 0 ms bound must shed");
+    assert_eq!(served + shed, 32);
+    // Admitted queries all ran to completion despite the shedding.
+    assert_eq!(server.report().queries, served as u64 + 1);
 }

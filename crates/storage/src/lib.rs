@@ -21,15 +21,22 @@
 //!   writer ... once a buffer is full, the repartitioner flushes"),
 //! * [`sample::Reservoir`] — reservoir sampling used to pick tree cut
 //!   points (§3.1: "the system collects a sample from the data and uses
-//!   it to choose the appropriate cut points").
+//!   it to choose the appropriate cut points"),
+//! * [`fetch::FetchStream`] — the pipelined (async-style) fetch
+//!   backend: batched block requests with an in-flight window,
+//!   out-of-order completions, and overlapped-latency accounting.
+
+#![warn(missing_docs)]
 
 pub mod block;
 pub mod codec;
+pub mod fetch;
 pub mod sample;
 pub mod store;
 pub mod writer;
 
 pub use block::{Block, BlockMeta};
+pub use fetch::{FetchCompletion, FetchStream};
 pub use sample::Reservoir;
 pub use store::BlockStore;
 pub use writer::PartitionedWriter;

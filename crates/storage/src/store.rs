@@ -144,6 +144,26 @@ impl BlockStore {
         codec::decode_block(bytes).map(|block| (block, kind))
     }
 
+    /// Open a pipelined [`crate::FetchStream`] over one `table` of this
+    /// store: push block requests, pull out-of-order completions, with
+    /// up to `window` fetches in flight charged max-of-window latency
+    /// on `clock` (`window = 1` is serial fetching). See
+    /// [`crate::fetch`].
+    pub fn fetch_stream<'a>(
+        &'a self,
+        table: &str,
+        clock: &'a SimClock,
+        window: usize,
+    ) -> crate::fetch::FetchStream<'a> {
+        crate::fetch::FetchStream::new(self, table, clock, window)
+    }
+
+    /// Raw encoded bytes of one block, if present (fetch-stream
+    /// internal; classification and accounting happen in the caller).
+    pub(crate) fn block_bytes(&self, gid: &GlobalBlockId) -> Option<Bytes> {
+        self.data.read().get(gid).cloned()
+    }
+
     /// Read without accounting — for tests only. Every production read
     /// path must charge a [`SimClock`] (query- or maintenance-kind);
     /// calls here are tallied so [`BlockStore::unaccounted_reads`] can

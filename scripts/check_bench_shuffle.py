@@ -3,30 +3,49 @@
 
 Usage: check_bench_shuffle.py <fresh BENCH_shuffle.json> <committed baseline>
 
-Fails (exit 1) when the fresh run is missing required keys or when any
-cell's shuffle cost regresses more than 20% against the committed
-baseline. The benchmark is fully deterministic (simulated I/O, fixed
-seed), so any drift inside the tolerance still means a code-level
-accounting change — the tolerance only absorbs intentional retunes of
-run packing.
+Fails (exit 1) when the fresh run is missing required keys, when any
+cell's shuffle cost (serial `cost_per_block` or pipelined
+`sim_secs_pipelined`) regresses more than 20% against the committed
+baseline, or when the pipelined fetch series stops beating serial by
+the minimum overlap factor at fetch_window >= 4. The benchmark is fully
+deterministic (simulated I/O, fixed seed), so any drift inside the
+tolerance still means a code-level accounting change — the tolerance
+only absorbs intentional retunes of run packing.
 """
 
 import json
 import sys
 
-REQUIRED_TOP = ["bench", "scale", "seed", "rows_per_block", "node_sweep", "locality_sweep"]
+REQUIRED_TOP = [
+    "bench",
+    "scale",
+    "seed",
+    "rows_per_block",
+    "node_sweep",
+    "locality_sweep",
+    "window_sweep",
+]
 REQUIRED_CELL = [
     "nodes",
     "replication",
+    "fetch_window",
     "input_blocks",
     "spill_blocks",
     "local_fetches",
     "remote_fetches",
+    "hidden_fetches",
     "locality",
     "cost_per_block",
     "sim_secs",
+    "sim_secs_pipelined",
+    "fetch_secs_serial",
+    "fetch_secs_pipelined",
 ]
+SWEEPS = ("node_sweep", "locality_sweep", "window_sweep")
 TOLERANCE = 0.20
+# A fetch window of >= 4 must cut the fetch leg's simulated wall-clock
+# by at least this factor vs serial charging (byte/block counts equal).
+MIN_OVERLAP_FACTOR = 1.5
 
 
 def fail(msg: str) -> None:
@@ -48,7 +67,7 @@ def validate(doc: dict, path: str) -> None:
             fail(f"{path}: missing key {key!r}")
     if doc["bench"] != "shuffle":
         fail(f"{path}: bench is {doc['bench']!r}, expected 'shuffle'")
-    for sweep in ("node_sweep", "locality_sweep"):
+    for sweep in SWEEPS:
         if not doc[sweep]:
             fail(f"{path}: {sweep} is empty")
         for cell in doc[sweep]:
@@ -59,10 +78,40 @@ def validate(doc: dict, path: str) -> None:
 
 def cells_by_key(doc: dict) -> dict:
     out = {}
-    for sweep in ("node_sweep", "locality_sweep"):
+    for sweep in SWEEPS:
         for cell in doc[sweep]:
-            out[(sweep, cell["nodes"], cell["replication"])] = cell
+            out[(sweep, cell["nodes"], cell["replication"], cell["fetch_window"])] = cell
     return out
+
+
+def check_pipelining(doc: dict, path: str) -> None:
+    """The pipelined series must genuinely overlap: identical counts to
+    serial, and >= MIN_OVERLAP_FACTOR lower fetch wall-clock at deep
+    windows."""
+    sweep = doc["window_sweep"]
+    serial = [c for c in sweep if c["fetch_window"] == 1]
+    if not serial:
+        fail(f"{path}: window_sweep has no serial (fetch_window=1) cell")
+    serial = serial[0]
+    if serial["hidden_fetches"] != 0:
+        fail(f"{path}: serial fetching must hide nothing")
+    for cell in sweep:
+        counts = (cell["spill_blocks"], cell["local_fetches"], cell["remote_fetches"])
+        base = (serial["spill_blocks"], serial["local_fetches"], serial["remote_fetches"])
+        if counts != base:
+            fail(
+                f"{path}: window {cell['fetch_window']} changed block counts "
+                f"{base} -> {counts}; pipelining must be count-invariant"
+            )
+        if cell["fetch_secs_pipelined"] > cell["fetch_secs_serial"] + 1e-9:
+            fail(f"{path}: window {cell['fetch_window']} pipelined slower than serial")
+        if cell["fetch_window"] >= 4:
+            factor = cell["fetch_secs_serial"] / max(cell["fetch_secs_pipelined"], 1e-9)
+            if factor < MIN_OVERLAP_FACTOR:
+                fail(
+                    f"{path}: window {cell['fetch_window']} overlap factor {factor:.2f} "
+                    f"below the {MIN_OVERLAP_FACTOR}x minimum"
+                )
 
 
 def main() -> None:
@@ -72,6 +121,7 @@ def main() -> None:
     fresh, base = load(fresh_path), load(base_path)
     validate(fresh, fresh_path)
     validate(base, base_path)
+    check_pipelining(fresh, fresh_path)
 
     fresh_cells = cells_by_key(fresh)
     regressions = []
@@ -79,15 +129,19 @@ def main() -> None:
         fresh_cell = fresh_cells.get(key)
         if fresh_cell is None:
             fail(f"fresh run lost cell {key} present in the baseline")
-        got, want = fresh_cell["cost_per_block"], base_cell["cost_per_block"]
-        if got > want * (1.0 + TOLERANCE):
-            regressions.append(f"{key}: cost_per_block {got:.3f} vs baseline {want:.3f}")
-        _sweep, nodes, _repl = key
+        for metric in ("cost_per_block", "sim_secs_pipelined"):
+            got, want = fresh_cell[metric], base_cell[metric]
+            if got > want * (1.0 + TOLERANCE):
+                regressions.append(f"{key}: {metric} {got:.3f} vs baseline {want:.3f}")
+        _sweep, nodes, _repl, _window = key
         if nodes == 1 and fresh_cell["locality"] != 1.0:
             fail(f"{key}: single-node shuffle must be fully local")
     if regressions:
         fail("shuffle cost regressed >20%:\n  " + "\n  ".join(regressions))
-    print(f"check_bench_shuffle: OK ({len(fresh_cells)} cells within {TOLERANCE:.0%})")
+    print(
+        f"check_bench_shuffle: OK ({len(fresh_cells)} cells within {TOLERANCE:.0%}, "
+        f"overlap factor >= {MIN_OVERLAP_FACTOR}x at window >= 4)"
+    )
 
 
 if __name__ == "__main__":

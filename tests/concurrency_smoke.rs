@@ -63,7 +63,11 @@ fn clients_match_serial_while_adaptation_is_in_flight() {
     // The same engine state served concurrently.
     let server = DbServer::start_with(
         synthetic_db(),
-        ServerOptions { workers: Some(CLIENTS), queue_capacity: Some(CLIENTS * 2) },
+        ServerOptions {
+            workers: Some(CLIENTS),
+            queue_capacity: Some(CLIENTS * 2),
+            ..Default::default()
+        },
     );
     std::thread::scope(|s| {
         for _ in 0..CLIENTS {
@@ -110,7 +114,11 @@ fn tpch_workload_serves_concurrently_and_correctly() {
     gen.load_upfront(&mut concurrent_engine).unwrap();
     let server = DbServer::start_with(
         concurrent_engine,
-        ServerOptions { workers: Some(CLIENTS), queue_capacity: Some(CLIENTS * 4) },
+        ServerOptions {
+            workers: Some(CLIENTS),
+            queue_capacity: Some(CLIENTS * 4),
+            ..Default::default()
+        },
     );
     std::thread::scope(|s| {
         for _ in 0..CLIENTS {
