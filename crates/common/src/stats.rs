@@ -190,6 +190,11 @@ pub struct QueryStats {
     pub estimated_c_hyj: Option<f64>,
     /// Wall-clock seconds actually spent executing (real CPU time).
     pub wall_secs: f64,
+    /// Of `wall_secs`, seconds spent waiting in an admission queue
+    /// before a worker picked the query up (zero in the serial engine,
+    /// which has no queue). Lets serving experiments split scheduling
+    /// delay from execution time per query.
+    pub queue_wait_secs: f64,
 }
 
 impl QueryStats {
@@ -203,6 +208,7 @@ impl QueryStats {
             strategy,
             estimated_c_hyj: None,
             wall_secs: 0.0,
+            queue_wait_secs: 0.0,
         }
     }
 

@@ -24,6 +24,55 @@ pub enum Mode {
     Fixed,
 }
 
+/// Admission-scheduling policy of the serving runtime — which
+/// `Scheduler` implementation `crates/server` feeds the worker pool
+/// through. Selectable per server via `ServerOptions::sched`, per
+/// process via the `ADAPTDB_SCHED` environment variable
+/// (`fifo` | `lanes` | `fair`), defaulting to FIFO (the pre-scheduler
+/// behavior).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// One FIFO queue, no lanes: every admitted query runs in arrival
+    /// order. The original bounded-queue behavior.
+    #[default]
+    Fifo,
+    /// Priority lanes (interactive > batch > maintenance) with
+    /// cost-based classification, per-lane capacity, and deadline
+    /// promotion.
+    Lanes,
+    /// The same lane priority, with deficit-weighted round-robin
+    /// across sessions (fair share) inside each lane.
+    Fair,
+}
+
+impl SchedPolicy {
+    /// Parse the `ADAPTDB_SCHED` spelling: `fifo`, `lanes`, `fair`
+    /// (case-insensitive).
+    pub fn parse(s: &str) -> Option<SchedPolicy> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "fifo" => Some(SchedPolicy::Fifo),
+            "lanes" => Some(SchedPolicy::Lanes),
+            "fair" => Some(SchedPolicy::Fair),
+            _ => None,
+        }
+    }
+
+    /// Stable lower-case name (`"fifo"`, `"lanes"`, `"fair"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedPolicy::Fifo => "fifo",
+            SchedPolicy::Lanes => "lanes",
+            SchedPolicy::Fair => "fair",
+        }
+    }
+}
+
+impl std::fmt::Display for SchedPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Tuning knobs for a [`crate::Database`].
 #[derive(Debug, Clone)]
 pub struct DbConfig {
@@ -65,6 +114,32 @@ pub struct DbConfig {
     /// `ADAPTDB_FETCH_WINDOW` environment variable; see
     /// [`DbConfig::env_fetch_window`].
     pub fetch_window: usize,
+    /// Admission-scheduling policy the server runs
+    /// ([`SchedPolicy::Fifo`] | [`SchedPolicy::Lanes`] |
+    /// [`SchedPolicy::Fair`]). Pure scheduling: never changes any
+    /// query's result, only the order work is admitted in. Defaults
+    /// honor the `ADAPTDB_SCHED` environment variable; see
+    /// [`DbConfig::env_sched`].
+    pub sched: SchedPolicy,
+    /// Cost-classification threshold: a query whose cheap estimate
+    /// ([`crate::cost::estimate_query`]) projects at least this many
+    /// candidate blocks is admitted into the batch lane instead of the
+    /// interactive lane. Irrelevant under [`SchedPolicy::Fifo`].
+    pub batch_cost_blocks: usize,
+    /// Maintenance pacing threshold, milliseconds: when the estimated
+    /// interactive queue wait exceeds this (or any query is waiting for
+    /// admission), the background maintenance thread throttles itself
+    /// to one observation per paced pass instead of draining its whole
+    /// inbox — adaptation defers under load and catches up at idle.
+    pub maint_pace_wait_ms: f64,
+    /// Adaptive prefetch pacing, milliseconds: when set and the
+    /// estimated queue wait for a query's lane exceeds this threshold,
+    /// the server shrinks that query's effective `fetch_window`
+    /// (halving per threshold multiple, floor 1) so deep prefetch
+    /// stops amplifying queueing delay on a loaded server. `None` (the
+    /// default) keeps the configured window unconditionally. Block
+    /// counts and results are identical at every setting.
+    pub fetch_pace_wait_ms: Option<f64>,
     /// Cost model for simulated seconds and plan comparison.
     pub cost: CostParams,
     /// System variant.
@@ -92,6 +167,10 @@ impl Default for DbConfig {
             shuffle_partitions: None,
             shuffle_replication: 1,
             fetch_window: DbConfig::env_fetch_window().unwrap_or(4),
+            sched: DbConfig::env_sched().unwrap_or_default(),
+            batch_cost_blocks: 64,
+            maint_pace_wait_ms: 5.0,
+            fetch_pace_wait_ms: None,
             cost: CostParams::default(),
             mode: Mode::Adaptive,
             threads: DbConfig::env_threads().unwrap_or(2),
@@ -115,6 +194,13 @@ impl DbConfig {
     /// results or block counts — only how much fetch latency overlaps.
     pub fn env_fetch_window() -> Option<usize> {
         std::env::var("ADAPTDB_FETCH_WINDOW").ok()?.trim().parse::<usize>().ok().filter(|w| *w > 0)
+    }
+
+    /// The `ADAPTDB_SCHED` override, if set to a recognized policy
+    /// name (`fifo` | `lanes` | `fair`). Like the other overrides this
+    /// never changes results — only the order queries are admitted in.
+    pub fn env_sched() -> Option<SchedPolicy> {
+        SchedPolicy::parse(&std::env::var("ADAPTDB_SCHED").ok()?)
     }
 
     /// A small configuration suited to unit tests and doc examples:
@@ -204,6 +290,22 @@ mod tests {
         assert_eq!(c.shuffle_fanout(), 7);
         assert_eq!(c.shuffle_options().partitions, Some(7));
         assert_eq!(c.shuffle_options().replication, 3);
+    }
+
+    #[test]
+    fn sched_policy_parse_and_defaults() {
+        assert_eq!(SchedPolicy::parse("fifo"), Some(SchedPolicy::Fifo));
+        assert_eq!(SchedPolicy::parse(" LANES "), Some(SchedPolicy::Lanes));
+        assert_eq!(SchedPolicy::parse("fair"), Some(SchedPolicy::Fair));
+        assert_eq!(SchedPolicy::parse("priority"), None);
+        assert_eq!(SchedPolicy::Fair.to_string(), "fair");
+        if std::env::var("ADAPTDB_SCHED").is_err() {
+            assert_eq!(DbConfig::default().sched, SchedPolicy::Fifo);
+        }
+        let c = DbConfig::default();
+        assert!(c.batch_cost_blocks > 0);
+        assert!(c.maint_pace_wait_ms > 0.0);
+        assert_eq!(c.fetch_pace_wait_ms, None, "prefetch pacing is opt-in");
     }
 
     #[test]

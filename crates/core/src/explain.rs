@@ -8,6 +8,7 @@ use adaptdb_common::stats::JoinStrategy;
 use adaptdb_common::{CostParams, Query, Result};
 use adaptdb_join::{planner as join_planner, JoinDecision, JoinSide};
 
+use crate::cost::{self, Lane};
 use crate::database::Database;
 use crate::planner::{block_ranges, classify_candidates};
 use crate::Mode;
@@ -48,43 +49,13 @@ pub struct ExplainReport {
     pub build_side: Option<JoinSide>,
     /// Number of build groups in the schedule.
     pub groups: Option<usize>,
-}
-
-/// Project the shuffle fetch leg under the configured pipelining:
-/// `(per-reducer fetch concurrency, serial seconds, pipelined
-/// seconds)`. Serial charges every fetch in full; pipelined charges
-/// each window of `concurrency` fetches its max member (remote-priced
-/// whenever any remote fetch is expected, i.e. locality < 1).
-fn project_fetch_costs(
-    spill_blocks: usize,
-    locality: f64,
-    fanout: usize,
-    fetch_window: usize,
-    params: &CostParams,
-) -> (usize, f64, f64) {
-    if spill_blocks == 0 {
-        return (1, 0.0, 0.0);
-    }
-    let per_reducer = spill_blocks.div_ceil(fanout.max(1)).max(1);
-    let concurrency = fetch_window.max(1).min(per_reducer);
-    let parallelism = params.parallelism.max(1) as f64;
-    let local = locality * spill_blocks as f64;
-    let remote = spill_blocks as f64 - local;
-    let serial = (local * params.block_read_secs
-        + remote * params.block_read_secs * params.remote_read_penalty)
-        / parallelism;
-    // Each reducer drains its own stream, so windows don't pack across
-    // reducers: every active reducer (at most one per run when runs are
-    // scarce) issues ceil(per_reducer / concurrency) windows of its own.
-    let active_reducers = fanout.max(1).min(spill_blocks) as f64;
-    let windows = active_reducers * (per_reducer as f64 / concurrency as f64).ceil();
-    let max_cost = if locality < 1.0 {
-        params.block_read_secs * params.remote_read_penalty
-    } else {
-        params.block_read_secs
-    };
-    let pipelined = (windows * max_cost / parallelism).min(serial);
-    (concurrency, serial, pipelined)
+    /// Candidate blocks the admission cost model projects
+    /// ([`cost::estimate_query`]) — the scheduler's classification and
+    /// fair-share weighting signal.
+    pub est_cost_blocks: usize,
+    /// The scheduling lane cost classification would admit this query
+    /// into under the current `batch_cost_blocks` threshold.
+    pub est_lane: Lane,
 }
 
 impl std::fmt::Display for ExplainReport {
@@ -123,6 +94,11 @@ impl std::fmt::Display for ExplainReport {
         if let (Some(side), Some(groups)) = (self.build_side, self.groups) {
             writeln!(f, "  build side: {side:?}, {groups} groups")?;
         }
+        writeln!(
+            f,
+            "  scheduler: ~{} candidate blocks, {} lane",
+            self.est_cost_blocks, self.est_lane
+        )?;
         Ok(())
     }
 }
@@ -132,6 +108,14 @@ impl Database {
     /// triggering any adaptation — the query is *not* added to windows).
     pub fn explain(&self, query: &Query) -> Result<ExplainReport> {
         let params: &CostParams = &self.config().cost;
+        let est = cost::estimate_query(self, query)?;
+        let mut report = self.explain_inner(query, params)?;
+        report.est_cost_blocks = est.blocks;
+        report.est_lane = est.lane(self.config());
+        Ok(report)
+    }
+
+    fn explain_inner(&self, query: &Query, params: &CostParams) -> Result<ExplainReport> {
         match query {
             Query::Scan(s) => {
                 let ts = self.table(&s.table)?;
@@ -153,6 +137,8 @@ impl Database {
                     est_c_hyj: None,
                     build_side: None,
                     groups: None,
+                    est_cost_blocks: 0,
+                    est_lane: Lane::Interactive,
                 })
             }
             Query::Join(j) => self.explain_join(
@@ -213,11 +199,9 @@ impl Database {
         // map phase, so spill ≈ candidate blocks; a fetch is local when
         // one of the run's replicas is the reducer's node.
         let est_shuffle_spill_blocks = lc.len() + rc.len();
-        let est_shuffle_locality = (self.config().shuffle_replication.max(1) as f64
-            / self.config().nodes.max(1) as f64)
-            .min(1.0);
+        let est_shuffle_locality = cost::shuffle_locality(self.config());
         let fetch_costs = |spill: usize| {
-            project_fetch_costs(
+            cost::project_fetch_costs(
                 spill,
                 est_shuffle_locality,
                 self.config().shuffle_fanout(),
@@ -243,6 +227,8 @@ impl Database {
                 est_c_hyj: None,
                 build_side: None,
                 groups: None,
+                est_cost_blocks: 0,
+                est_lane: Lane::Interactive,
             });
         }
         let both_matching = !lc.matching.is_empty() && !rc.matching.is_empty();
@@ -276,6 +262,8 @@ impl Database {
                     est_c_hyj: Some(plan.c_hyj),
                     build_side: Some(plan.build_side),
                     groups: Some(plan.groups.len()),
+                    est_cost_blocks: 0,
+                    est_lane: Lane::Interactive,
                 }
             }
             JoinDecision::Shuffle { hyper_cost, .. } => {
@@ -298,6 +286,8 @@ impl Database {
                     est_c_hyj: None,
                     build_side: None,
                     groups: None,
+                    est_cost_blocks: 0,
+                    est_lane: Lane::Interactive,
                 }
             }
         })

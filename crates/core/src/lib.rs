@@ -44,6 +44,7 @@
 
 pub mod catalog;
 pub mod config;
+pub mod cost;
 pub mod database;
 pub mod explain;
 pub mod optimizer;
@@ -52,7 +53,8 @@ pub mod readpath;
 pub mod table;
 
 pub use adaptdb_exec::RetireMode;
-pub use config::{DbConfig, Mode};
+pub use config::{DbConfig, Mode, SchedPolicy};
+pub use cost::{CostEstimate, Lane};
 pub use database::{Database, QueryResult};
 pub use explain::ExplainReport;
 pub use readpath::SnapshotSource;

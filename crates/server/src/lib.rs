@@ -11,11 +11,19 @@
 //!   `Arc`s it touches for its whole run, so it always sees one
 //!   consistent layout, and an adaptation installing a new layout is a
 //!   single pointer swap — readers never block behind a rewrite.
-//! * **Worker-pool executor.** Client sessions submit queries into a
-//!   bounded admission queue ([`queue::BoundedQueue`], blocking push =
-//!   backpressure); a pool of worker threads drains it and runs the
-//!   exact serial read path ([`adaptdb::readpath`]) against the pinned
-//!   snapshots.
+//! * **Cost-aware scheduling.** Admission goes through a pluggable
+//!   [`scheduler::Scheduler`] policy ([`adaptdb::SchedPolicy`]:
+//!   FIFO, priority lanes, or per-session fair share). Every
+//!   submission is classified into a [`Lane`] by a cheap cost estimate
+//!   ([`adaptdb::cost::estimate_query`] — tree lookups only), so a
+//!   scan storm lands in the batch lane and cannot starve point
+//!   queries; deadlines promote waiting work; per-lane wait estimates
+//!   drive optional load shedding.
+//! * **Worker-pool executor.** A pool of worker threads drains the
+//!   scheduler and runs the exact serial read path
+//!   ([`adaptdb::readpath`]) against the pinned snapshots. Under
+//!   queue pressure the effective prefetch window can shrink
+//!   ([`DbConfig::fetch_pace_wait_ms`]) without changing any result.
 //! * **Background maintenance.** Executed queries are forwarded to a
 //!   maintenance thread that replays the serial engine's window
 //!   bookkeeping and adaptation decisions
@@ -23,9 +31,12 @@
 //!   an engine mutex, performs block migration off the hot path with
 //!   deferred retirement, swaps the new snapshots in, and
 //!   garbage-collects retired blocks once every reader pinned to an
-//!   older snapshot has drained. Maintenance I/O is charged to its own
-//!   `ClockKind::Maintenance` [`SimClock`], so query-visible cost
-//!   figures stay faithful to the paper.
+//!   older snapshot has drained. The pass is *paced* by the same load
+//!   signal the scheduler exposes: on a loaded server it processes one
+//!   observation at a time (deferring the rest), and it drains the
+//!   whole inbox when the queue is idle. Maintenance I/O is charged to
+//!   its own `ClockKind::Maintenance` [`SimClock`], so query-visible
+//!   cost figures stay faithful to the paper.
 //!
 //! ```
 //! use adaptdb::{Database, DbConfig};
@@ -50,34 +61,39 @@
 pub mod maintenance;
 pub mod metrics;
 pub mod queue;
+pub mod scheduler;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use adaptdb::cost::{self, Lane};
 use adaptdb::readpath::{self, SnapshotSource};
-use adaptdb::{Database, DbConfig, QueryResult, RetireMode, TableSnapshot};
+use adaptdb::{Database, DbConfig, QueryResult, RetireMode, SchedPolicy, TableSnapshot};
 use adaptdb_common::{Error, Query, QueryStats, Result};
 use adaptdb_dfs::SimClock;
 use adaptdb_storage::BlockStore;
 use parking_lot::{Mutex, RwLock};
 
-pub use metrics::{ServerReport, SessionStats};
+pub use metrics::{LaneReport, ServerReport, SessionStats};
 
 use metrics::Metrics;
-use queue::BoundedQueue;
+use queue::SchedQueue;
+use scheduler::JobMeta;
+
+/// DRR quantum (cost blocks granted per rotation) of the fair-share
+/// policy when [`ServerOptions::fair_quantum`] is unset.
+pub const DEFAULT_FAIR_QUANTUM: f64 = 8.0;
 
 /// One submitted query plus the channel its result travels back on.
+/// Scheduling metadata (lane, session, cost, deadline, submit time)
+/// rides separately in [`JobMeta`].
 struct Job {
     query: Query,
     reply: mpsc::Sender<Result<QueryResult>>,
-    /// When the client submitted — latency is measured from here, so
-    /// admission-queue wait (the backpressure regime) is visible in
-    /// every reported number.
-    submitted: Instant,
 }
 
 /// Everything the worker pool, the maintenance loop, and the sessions
@@ -95,18 +111,26 @@ pub(crate) struct Shared {
     /// Executed queries awaiting window bookkeeping + adaptation.
     inbox: StdMutex<Vec<Query>>,
     inbox_signal: Condvar,
-    queue: BoundedQueue<Job>,
+    queue: SchedQueue<Job>,
+    /// The FIFO bound, or per-lane bound under lane-aware policies.
+    queue_capacity: usize,
     metrics: Metrics,
     /// Executor pool width (the divisor of the admission wait estimate).
     workers: usize,
     /// Latency-aware admission bound; see
     /// [`ServerOptions::max_queue_wait_ms`].
     max_queue_wait_ms: Option<f64>,
+    /// Session-id allocator (0 is reserved for [`DbServer::run`]).
+    next_session: AtomicU64,
     /// Maintenance-attributed I/O clock (`ClockKind::Maintenance`).
     maint_clock: SimClock,
     maintenance_passes: AtomicU64,
     obs_submitted: AtomicU64,
     obs_processed: AtomicU64,
+    /// Observations left in the inbox by pacing (gauge).
+    maint_backlog: AtomicU64,
+    /// Passes in which pacing deferred part of the inbox.
+    maint_deferrals: AtomicU64,
     /// Grace entries (retired-block batches) still awaiting reader
     /// drain — a gauge the maintenance loop refreshes every pass.
     pending_gc: AtomicU64,
@@ -120,14 +144,35 @@ impl Shared {
         self.inbox_signal.notify_one();
     }
 
-    /// Drain pending observations, waiting (at most once) while there
-    /// are none. `None` blocks until a notify or shutdown — an idle
-    /// server burns no CPU; `Some(t)` also returns after `t`, used
-    /// while retired blocks await garbage collection so GC retries even
-    /// without traffic. Any wakeup returns (possibly empty): the
-    /// maintenance loop counts a pass per wakeup, which is what
-    /// `DbServer::drain_maintenance`'s notify-handshake relies on.
-    pub(crate) fn wait_for_observations(&self, timeout: Option<std::time::Duration>) -> Vec<Query> {
+    /// Estimated queue wait for a new submission into `lane`, under the
+    /// active policy's ordering (milliseconds).
+    pub(crate) fn est_wait_ms(&self, lane: Lane) -> f64 {
+        self.metrics.est_wait_ms(self.queue.depths_ahead(lane), self.workers)
+    }
+
+    /// The maintenance pacer's load signal: true while any query is
+    /// waiting for admission or the interactive wait estimate exceeds
+    /// `DbConfig::maint_pace_wait_ms`. Loaded means "defer background
+    /// work"; idle means "catch up".
+    pub(crate) fn is_loaded(&self) -> bool {
+        !self.queue.is_empty()
+            || self.est_wait_ms(Lane::Interactive) > self.config.maint_pace_wait_ms
+    }
+
+    /// Drain up to `quota` pending observations, waiting (at most once)
+    /// while there are none. `None` blocks until a notify or shutdown —
+    /// an idle server burns no CPU; `Some(t)` also returns after `t`,
+    /// used while retired blocks await garbage collection or pacing
+    /// left a backlog, so both retry even without traffic. Any wakeup
+    /// returns (possibly empty): the maintenance loop counts a pass per
+    /// wakeup, which is what `DbServer::drain_maintenance`'s
+    /// notify-handshake relies on. Observations beyond the quota stay
+    /// queued and are counted on the backlog/deferral gauges.
+    pub(crate) fn wait_for_observations(
+        &self,
+        timeout: Option<std::time::Duration>,
+        quota: usize,
+    ) -> Vec<Query> {
         let mut inbox = self.inbox.lock().unwrap();
         if inbox.is_empty() && !self.is_shutdown() {
             inbox = match timeout {
@@ -135,7 +180,19 @@ impl Shared {
                 None => self.inbox_signal.wait(inbox).unwrap(),
             };
         }
-        std::mem::take(&mut *inbox)
+        let taken = if inbox.len() <= quota {
+            std::mem::take(&mut *inbox)
+        } else {
+            self.maint_deferrals.fetch_add(1, Ordering::SeqCst);
+            inbox.drain(..quota).collect()
+        };
+        self.maint_backlog.store(inbox.len() as u64, Ordering::SeqCst);
+        taken
+    }
+
+    /// Observations currently deferred by pacing (gauge).
+    pub(crate) fn maintenance_backlog(&self) -> usize {
+        self.maint_backlog.load(Ordering::SeqCst) as usize
     }
 
     pub(crate) fn is_shutdown(&self) -> bool {
@@ -165,23 +222,47 @@ impl Shared {
     }
 }
 
+/// The effective prefetch depth under queue pressure: the configured
+/// window until the estimated queue wait crosses `threshold_ms`, then
+/// one halving per threshold multiple, floor 1 (serial fetching). A
+/// non-positive threshold disables pacing. Never changes block counts
+/// or results — only how much read latency a loaded server still tries
+/// to overlap.
+pub fn paced_fetch_window(configured: usize, est_wait_ms: f64, threshold_ms: f64) -> usize {
+    let full = configured.max(1);
+    if threshold_ms <= 0.0 || est_wait_ms <= threshold_ms {
+        return full;
+    }
+    let levels = (est_wait_ms / threshold_ms) as u32;
+    (full >> levels.min(31)).max(1)
+}
+
 /// The per-query reader view: resolves snapshots from the published map
 /// and pins each table's `Arc` for the duration of the query, so one
-/// query never sees two generations of the same table.
+/// query never sees two generations of the same table. Owns its config
+/// so per-query overrides (the paced fetch window) never touch the
+/// server-wide settings.
 struct QueryView<'a> {
     shared: &'a Shared,
+    config: DbConfig,
     pinned: RefCell<BTreeMap<String, Arc<TableSnapshot>>>,
 }
 
 impl<'a> QueryView<'a> {
     fn new(shared: &'a Shared) -> Self {
-        QueryView { shared, pinned: RefCell::new(BTreeMap::new()) }
+        QueryView { shared, config: shared.config.clone(), pinned: RefCell::new(BTreeMap::new()) }
+    }
+
+    fn with_fetch_window(shared: &'a Shared, fetch_window: usize) -> Self {
+        let mut view = QueryView::new(shared);
+        view.config.fetch_window = fetch_window;
+        view
     }
 }
 
 impl SnapshotSource for QueryView<'_> {
     fn config(&self) -> &DbConfig {
-        &self.shared.config
+        &self.config
     }
 
     fn store(&self) -> &BlockStore {
@@ -204,15 +285,35 @@ pub struct ServerOptions {
     /// Executor worker threads. Defaults to the engine's
     /// `DbConfig::threads` (which honors `ADAPTDB_THREADS`).
     pub workers: Option<usize>,
-    /// Admission-queue capacity. Defaults to `4 × workers`.
+    /// Admission-queue capacity: the FIFO bound, or the *per-lane*
+    /// bound under lane-aware policies (so a batch storm backpressures
+    /// batch producers only). Defaults to `4 × workers`.
     pub queue_capacity: Option<usize>,
+    /// Admission-scheduling policy. Defaults to the engine's
+    /// `DbConfig::sched` (which honors `ADAPTDB_SCHED`).
+    pub sched: Option<SchedPolicy>,
+    /// DRR quantum for [`SchedPolicy::Fair`], in cost-block units.
+    /// Defaults to [`DEFAULT_FAIR_QUANTUM`].
+    pub fair_quantum: Option<f64>,
     /// Latency-aware admission bound: reject a submission up front
     /// (with an error, instead of blocking) when the estimated queue
-    /// wait — current queue depth × observed mean *service* time ÷
-    /// workers — exceeds this many milliseconds. `None` (the default)
-    /// keeps pure blocking backpressure. Queries already admitted
-    /// always run.
+    /// wait *for its lane* — jobs scheduled ahead of it × their lanes'
+    /// observed mean service time ÷ workers — exceeds this many
+    /// milliseconds. `None` (the default) keeps pure blocking
+    /// backpressure. Queries already admitted always run.
     pub max_queue_wait_ms: Option<f64>,
+}
+
+/// Per-submission scheduling options for [`Session::run_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitOptions {
+    /// Admission lane override. `None` classifies by the cheap cost
+    /// estimate (`batch_cost_blocks` threshold); explicitly tagging
+    /// [`Lane::Maintenance`] is the only way into that lane.
+    pub lane: Option<Lane>,
+    /// Latency deadline. Lane-aware policies promote the query ahead
+    /// of lane order once half the deadline has elapsed in the queue.
+    pub deadline: Option<Duration>,
 }
 
 /// A concurrent query server over a loaded [`Database`].
@@ -242,6 +343,8 @@ impl DbServer {
         let config = db.config().clone();
         let worker_count = opts.workers.unwrap_or(config.threads).max(1);
         let capacity = opts.queue_capacity.unwrap_or(worker_count * 4).max(1);
+        let policy = opts.sched.unwrap_or(config.sched);
+        let quantum = opts.fair_quantum.unwrap_or(DEFAULT_FAIR_QUANTUM);
         let published: BTreeMap<String, Arc<TableSnapshot>> = db
             .table_names()
             .into_iter()
@@ -257,14 +360,18 @@ impl DbServer {
             published: RwLock::new(published),
             inbox: StdMutex::new(Vec::new()),
             inbox_signal: Condvar::new(),
-            queue: BoundedQueue::new(capacity),
+            queue: SchedQueue::new(scheduler::build(policy, capacity, quantum)),
+            queue_capacity: capacity,
             metrics: Metrics::new(),
             workers: worker_count,
             max_queue_wait_ms: opts.max_queue_wait_ms,
+            next_session: AtomicU64::new(1),
             maint_clock: SimClock::maintenance(),
             maintenance_passes: AtomicU64::new(0),
             obs_submitted: AtomicU64::new(0),
             obs_processed: AtomicU64::new(0),
+            maint_backlog: AtomicU64::new(0),
+            maint_deferrals: AtomicU64::new(0),
             pending_gc: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
         });
@@ -288,25 +395,40 @@ impl DbServer {
     }
 
     /// Open a client session. Sessions are cheap; give each client
-    /// thread its own.
+    /// thread its own. Each session is a distinct fairness principal
+    /// under [`SchedPolicy::Fair`].
     pub fn session(&self) -> Session {
-        Session { shared: Arc::clone(&self.shared), stats: SessionStats::default() }
+        Session {
+            shared: Arc::clone(&self.shared),
+            id: self.shared.next_session.fetch_add(1, Ordering::Relaxed),
+            stats: SessionStats::default(),
+        }
     }
 
-    /// One-off query without session bookkeeping.
+    /// One-off query without session bookkeeping (fairness session 0).
     pub fn run(&self, query: &Query) -> Result<QueryResult> {
-        submit(&self.shared, query)
+        submit(&self.shared, 0, query, SubmitOptions::default()).0
     }
 
     /// Server-level throughput/latency report, including the live
-    /// queue-depth and in-flight gauges.
+    /// per-lane depth/wait gauges and per-session fairness stats.
     pub fn report(&self) -> ServerReport {
+        let lane_depths = self.shared.queue.lane_depths();
+        let lane_waits_ms = [
+            self.shared.est_wait_ms(Lane::Interactive),
+            self.shared.est_wait_ms(Lane::Batch),
+            self.shared.est_wait_ms(Lane::Maintenance),
+        ];
         self.shared.metrics.report(
+            self.shared.queue.policy_name(),
             self.worker_count,
-            self.shared.queue.capacity(),
-            self.shared.queue.len(),
+            self.shared.queue_capacity,
+            lane_depths,
+            lane_waits_ms,
             self.shared.maint_clock.snapshot(),
             self.shared.maintenance_passes.load(Ordering::SeqCst),
+            self.shared.maint_backlog.load(Ordering::SeqCst) as usize,
+            self.shared.maint_deferrals.load(Ordering::SeqCst),
         )
     }
 
@@ -323,6 +445,7 @@ impl DbServer {
         }
         let target = self.shared.obs_submitted.load(Ordering::SeqCst);
         while self.shared.obs_processed.load(Ordering::SeqCst) < target {
+            self.shared.inbox_signal.notify_one();
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
         // One further pass refreshes the gauge after the last batch…
@@ -386,22 +509,37 @@ impl Drop for DbServer {
 }
 
 /// A client handle: submits queries and accumulates per-session stats.
+/// Under [`SchedPolicy::Fair`] each session is one fairness principal
+/// of the deficit round-robin.
 pub struct Session {
     shared: Arc<Shared>,
+    id: u64,
     stats: SessionStats,
 }
 
 impl Session {
     /// Run one query through the server, blocking for the result (and
-    /// for admission while the queue is full — that is the server's
-    /// backpressure).
+    /// for admission while the query's lane is full — that is the
+    /// server's backpressure). The lane comes from cost
+    /// classification; use [`Session::run_with`] to override it or to
+    /// attach a deadline.
     pub fn run(&mut self, query: &Query) -> Result<QueryResult> {
-        let res = submit(&self.shared, query);
+        self.run_with(query, SubmitOptions::default())
+    }
+
+    /// Run one query with explicit scheduling options.
+    pub fn run_with(&mut self, query: &Query, opts: SubmitOptions) -> Result<QueryResult> {
+        let (res, lane) = submit(&self.shared, self.id, query, opts);
         match &res {
-            Ok(r) => self.stats.record_ok(r.rows.len(), &r.stats),
+            Ok(r) => self.stats.record_ok(lane, r.rows.len(), &r.stats),
             Err(_) => self.stats.record_err(),
         }
         res
+    }
+
+    /// This session's fairness-principal id (stable for its lifetime).
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// What this session's queries did so far.
@@ -410,36 +548,70 @@ impl Session {
     }
 }
 
-fn submit(shared: &Arc<Shared>, query: &Query) -> Result<QueryResult> {
+/// Classify, admission-check, enqueue, and await one query. Returns the
+/// result and the lane the query was admitted into.
+fn submit(
+    shared: &Arc<Shared>,
+    session: u64,
+    query: &Query,
+    opts: SubmitOptions,
+) -> (Result<QueryResult>, Lane) {
+    // The cheap cost estimate (tree lookups only): the classification
+    // and fair-share weighting signal. An estimation error (e.g.
+    // unknown table) is not surfaced here — the query is admitted
+    // interactive and the executor reports the real error.
+    let est = cost::estimate_query(&QueryView::new(shared), query).unwrap_or_default();
+    let lane = opts.lane.unwrap_or_else(|| est.lane(&shared.config));
     // Latency-aware admission: when a wait bound is configured, shed
-    // load up front instead of blocking — the estimated wait is the
-    // current backlog times the observed mean *service* time per
-    // worker (the same estimate `ServerReport::est_queue_wait_ms`
-    // reports).
+    // load up front instead of blocking. The estimate is per lane —
+    // only work scheduled *ahead* of this submission counts, priced at
+    // its own lanes' observed service times, so a drained batch lane
+    // never masks interactive backlog and a deep batch lane never
+    // sheds healthy interactive load.
     if let Some(bound_ms) = shared.max_queue_wait_ms {
-        let est_ms = shared.metrics.est_queue_wait_ms(shared.queue.len(), shared.workers);
+        let est_ms = shared.est_wait_ms(lane);
         if est_ms > bound_ms {
-            return Err(Error::Plan(format!(
-                "admission rejected: estimated queue wait {est_ms:.1} ms exceeds bound \
-                 {bound_ms:.1} ms"
-            )));
+            shared.metrics.note_shed(lane);
+            return (
+                Err(Error::Plan(format!(
+                    "admission rejected: estimated {lane}-lane queue wait {est_ms:.1} ms \
+                     exceeds bound {bound_ms:.1} ms"
+                ))),
+                lane,
+            );
         }
     }
+    let meta = JobMeta::new(session, lane, est.blocks, opts.deadline);
     let (reply, rx) = mpsc::channel();
-    shared
-        .queue
-        .push(Job { query: query.clone(), reply, submitted: Instant::now() })
-        .map_err(|_| Error::Plan("server is shut down".into()))?;
-    rx.recv().map_err(|_| Error::Plan("server worker dropped the query".into()))?
+    if shared.queue.push(Job { query: query.clone(), reply }, meta).is_err() {
+        return (Err(Error::Plan("server is shut down".into())), lane);
+    }
+    let res = match rx.recv() {
+        Ok(r) => r,
+        Err(_) => Err(Error::Plan("server worker dropped the query".into())),
+    };
+    (res, lane)
 }
 
 fn worker_loop(shared: &Shared) {
-    while let Some(Job { query, reply, submitted }) = shared.queue.pop() {
+    while let Some((Job { query, reply }, meta)) = shared.queue.pop() {
         shared.metrics.begin();
         let picked_up = Instant::now();
+        let queue_wait = picked_up.duration_since(meta.submitted);
+        // Adaptive prefetch pacing: under queue pressure, deep prefetch
+        // only amplifies delay — shrink the effective window for this
+        // query (results and block counts are invariant to it).
+        let fetch_window = match shared.config.fetch_pace_wait_ms {
+            Some(threshold_ms) => paced_fetch_window(
+                shared.config.fetch_window,
+                shared.est_wait_ms(meta.lane),
+                threshold_ms,
+            ),
+            None => shared.config.fetch_window,
+        };
         let unaccounted_before = shared.store.unaccounted_reads();
         let clock = SimClock::new();
-        let view = QueryView::new(shared);
+        let view = QueryView::with_fetch_window(shared, fetch_window);
         let result =
             readpath::execute_query(&view, &query, &clock).map(|(rows, strategy, c_hyj)| {
                 let mut stats = QueryStats::empty(strategy);
@@ -448,7 +620,8 @@ fn worker_loop(shared: &Shared) {
                 stats.overlap = clock.overlap_snapshot();
                 stats.estimated_c_hyj = c_hyj;
                 // Submit-to-finish, so admission wait shows up under load.
-                stats.wall_secs = submitted.elapsed().as_secs_f64();
+                stats.wall_secs = meta.submitted.elapsed().as_secs_f64();
+                stats.queue_wait_secs = queue_wait.as_secs_f64();
                 QueryResult { rows, stats }
             });
         debug_assert_eq!(
@@ -462,8 +635,42 @@ fn worker_loop(shared: &Shared) {
             // the query is owned here, so no clone on the serving path.
             shared.push_observation(query);
         }
-        shared.metrics.record(submitted.elapsed(), picked_up.elapsed(), ok);
+        shared.metrics.record(
+            meta.lane,
+            meta.session,
+            meta.cost_blocks,
+            meta.promoted,
+            meta.submitted.elapsed(),
+            picked_up.elapsed(),
+            ok,
+        );
         // A client that gave up waiting is not an error.
         let _ = reply.send(result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paced_window_shrinks_with_pressure() {
+        // Under the threshold (or unpaced): full window.
+        assert_eq!(paced_fetch_window(8, 0.0, 5.0), 8);
+        assert_eq!(paced_fetch_window(8, 5.0, 5.0), 8);
+        assert_eq!(paced_fetch_window(8, 100.0, 0.0), 8, "non-positive threshold disables");
+        // One halving per threshold multiple, floor 1.
+        assert_eq!(paced_fetch_window(8, 7.0, 5.0), 4);
+        assert_eq!(paced_fetch_window(8, 11.0, 5.0), 2);
+        assert_eq!(paced_fetch_window(8, 16.0, 5.0), 1);
+        assert_eq!(paced_fetch_window(8, 1e9, 5.0), 1, "saturates at serial");
+        assert_eq!(paced_fetch_window(1, 100.0, 5.0), 1, "serial stays serial");
+        // Monotone in pressure.
+        let mut last = usize::MAX;
+        for est in [0.0, 6.0, 12.0, 20.0, 40.0, 80.0] {
+            let w = paced_fetch_window(16, est, 5.0);
+            assert!(w <= last, "window must not grow with pressure");
+            last = w;
+        }
     }
 }

@@ -1,13 +1,25 @@
 //! The background maintenance loop: window bookkeeping, adaptation,
-//! snapshot publication, and grace-period garbage collection.
+//! snapshot publication, and grace-period garbage collection — paced
+//! by foreground load.
 //!
-//! Each pass drains the executed-query inbox and replays it through the
-//! serial engine's exact decision procedure
+//! Each pass takes a *quota* of the executed-query inbox and replays it
+//! through the serial engine's exact decision procedure
 //! ([`adaptdb::Database::record_observation`] and
 //! [`adaptdb::Database::adapt_now`]) under the engine mutex, with block
 //! migration writing through the concurrent store. Retirement is
 //! deferred: migrated-away blocks stay readable until every query
 //! pinned to a pre-migration snapshot finishes.
+//!
+//! **Pacing.** The quota follows the scheduler's load signal
+//! (`Shared::is_loaded`): while any query waits for admission (or
+//! the estimated interactive queue wait exceeds
+//! `DbConfig::maint_pace_wait_ms`), a pass processes *one* observation
+//! and then backs off for `PACE_BACKOFF`, deferring the rest of the
+//! inbox (counted on the `maintenance_backlog` /
+//! `maintenance_deferrals` gauges). On an idle server the pass drains
+//! everything — adaptation throttles itself when the server is loaded
+//! and catches up when it is not, so migration bursts never inflate
+//! foreground tail latency. Shutdown always drains in full.
 //!
 //! Correctness of the collector rests on two facts:
 //!
@@ -41,19 +53,37 @@ struct GraceEntry {
     blocks: Vec<(String, BlockId)>,
 }
 
-/// Retry interval for pending garbage collection: while retired blocks
-/// await reader drain, the loop wakes this often even without traffic.
-/// With an empty grace list it blocks until an observation (or
-/// shutdown) arrives — an idle server burns no CPU.
+/// Retry interval for pending garbage collection and deferred
+/// observations: while retired blocks await reader drain or pacing
+/// left a backlog, the loop wakes this often even without traffic.
+/// With an empty grace list and no backlog it blocks until an
+/// observation (or shutdown) arrives — an idle server burns no CPU.
 const GC_RETRY: Duration = Duration::from_millis(2);
+
+/// How many observations a paced pass processes while the server is
+/// loaded. One: the smallest unit that still makes progress, so a
+/// migration burst can never monopolize the engine mutex (or the
+/// store) while queries are queueing.
+const PACED_QUOTA: usize = 1;
+
+/// Sleep after a paced pass: yields the CPU to the worker pool and
+/// lets the inbox batch up, so a loaded server runs adaptation at a
+/// bounded trickle instead of per completed query.
+const PACE_BACKOFF: Duration = Duration::from_millis(1);
 
 pub(crate) fn run_loop(shared: &Shared) {
     let mut grace: VecDeque<GraceEntry> = VecDeque::new();
+    let mut backlog = 0usize;
     loop {
-        let timeout = if grace.is_empty() { None } else { Some(GC_RETRY) };
-        let drained = shared.wait_for_observations(timeout);
+        let timeout = if grace.is_empty() && backlog == 0 { None } else { Some(GC_RETRY) };
+        // Re-read the load signal every pass: quota shrinks to
+        // PACED_QUOTA under load and opens back up at idle.
+        let loaded = shared.is_loaded();
+        let quota = if loaded { PACED_QUOTA } else { usize::MAX };
+        let drained = shared.wait_for_observations(timeout, quota);
         let stopping = shared.is_shutdown();
         let processed = drained.len();
+        backlog = shared.maintenance_backlog();
         if !drained.is_empty() {
             if let Some(entry) = adapt_and_publish(shared, &drained) {
                 grace.push_back(entry);
@@ -63,10 +93,11 @@ pub(crate) fn run_loop(shared: &Shared) {
         shared.note_pass(processed, grace.len());
         if stopping {
             // Workers are already joined by `DbServer::stop`; process
-            // any observations that raced in, then force-collect (no
-            // reader holds any snapshot anymore).
+            // any observations that raced in — quota fully open, the
+            // pacer never defers a shutdown drain — then force-collect
+            // (no reader holds any snapshot anymore).
             loop {
-                let rest = shared.wait_for_observations(Some(Duration::ZERO));
+                let rest = shared.wait_for_observations(Some(Duration::ZERO), usize::MAX);
                 if rest.is_empty() {
                     break;
                 }
@@ -78,6 +109,9 @@ pub(crate) fn run_loop(shared: &Shared) {
             collect(shared, &mut grace, true);
             shared.note_pass(0, 0);
             break;
+        }
+        if loaded && processed > 0 {
+            std::thread::sleep(PACE_BACKOFF);
         }
     }
 }

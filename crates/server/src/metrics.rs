@@ -1,21 +1,42 @@
-//! Server- and session-level serving statistics.
+//! Server- and session-level serving statistics, per scheduling lane.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use adaptdb::cost::{Lane, LANES, LANE_COUNT};
 use adaptdb_common::{IoStats, OverlapStats, QueryStats, ShuffleStats};
 use parking_lot::Mutex;
 
-/// Latency aggregate kept under a mutex (updated once per query, so
-/// contention is negligible next to query execution).
+/// Latency aggregate for one lane, kept under a mutex (updated once per
+/// query, so contention is negligible next to query execution).
 #[derive(Debug, Default, Clone, Copy)]
-struct LatencyAgg {
+struct LaneAgg {
+    queries: u64,
     total_secs: f64,
     max_secs: f64,
     /// In-service (pop-to-finish) seconds only — excludes queue wait,
     /// so the admission estimate never feeds its own backlog back into
     /// itself.
     total_service_secs: f64,
+}
+
+impl LaneAgg {
+    fn mean_service_secs(&self) -> Option<f64> {
+        (self.queries > 0).then(|| self.total_service_secs / self.queries as f64)
+    }
+}
+
+/// Most recent sessions retained for the fairness index; older
+/// principals are evicted so the map stays bounded on a long-lived
+/// server.
+const MAX_FAIRNESS_SESSIONS: usize = 1024;
+
+/// What one session has been served — the fairness-index input.
+#[derive(Debug, Default, Clone, Copy)]
+struct SessionServe {
+    queries: u64,
+    cost_blocks: u64,
 }
 
 /// Live server counters, shared by all workers.
@@ -27,7 +48,13 @@ pub(crate) struct Metrics {
     /// Queries currently executing on a worker (between queue pop and
     /// reply) — the in-flight gauge.
     in_flight: AtomicU64,
-    latency: Mutex<LatencyAgg>,
+    /// Queries served via deadline promotion.
+    promoted: AtomicU64,
+    /// Submissions rejected by latency-aware admission, per lane.
+    shed: [AtomicU64; LANE_COUNT],
+    latency: Mutex<[LaneAgg; LANE_COUNT]>,
+    /// Per-session served work, for the fairness index.
+    sessions: Mutex<BTreeMap<u64, SessionServe>>,
 }
 
 impl Metrics {
@@ -37,7 +64,10 @@ impl Metrics {
             queries: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
-            latency: Mutex::new(LatencyAgg::default()),
+            promoted: AtomicU64::new(0),
+            shed: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency: Mutex::new([LaneAgg::default(); LANE_COUNT]),
+            sessions: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -46,72 +76,182 @@ impl Metrics {
         self.in_flight.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one submission rejected by the admission bound.
+    pub(crate) fn note_shed(&self, lane: Lane) {
+        self.shed[lane.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Record one finished query: `elapsed` is submit-to-finish (what
     /// clients experience, including queue wait), `service` is
     /// pop-to-finish (pure execution).
-    pub(crate) fn record(&self, elapsed: Duration, service: Duration, ok: bool) {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn record(
+        &self,
+        lane: Lane,
+        session: u64,
+        cost_blocks: usize,
+        promoted: bool,
+        elapsed: Duration,
+        service: Duration,
+        ok: bool,
+    ) {
         self.in_flight.fetch_sub(1, Ordering::Relaxed);
         self.queries.fetch_add(1, Ordering::Relaxed);
         if !ok {
             self.errors.fetch_add(1, Ordering::Relaxed);
         }
+        if promoted {
+            self.promoted.fetch_add(1, Ordering::Relaxed);
+        }
         let secs = elapsed.as_secs_f64();
-        let mut agg = self.latency.lock();
-        agg.total_secs += secs;
-        agg.max_secs = agg.max_secs.max(secs);
-        agg.total_service_secs += service.as_secs_f64();
+        {
+            let mut lanes = self.latency.lock();
+            let agg = &mut lanes[lane.index()];
+            agg.queries += 1;
+            agg.total_secs += secs;
+            agg.max_secs = agg.max_secs.max(secs);
+            agg.total_service_secs += service.as_secs_f64();
+        }
+        let mut sessions = self.sessions.lock();
+        let s = sessions.entry(session).or_default();
+        s.queries += 1;
+        s.cost_blocks += cost_blocks.max(1) as u64;
+        // Bound the fairness window: session ids are allocated
+        // monotonically, so dropping the smallest keys retires the
+        // oldest principals — a long-lived server with
+        // one-session-per-connection clients reports fairness over the
+        // most recent `MAX_FAIRNESS_SESSIONS` instead of growing
+        // without bound.
+        while sessions.len() > MAX_FAIRNESS_SESSIONS {
+            let oldest = *sessions.keys().next().expect("non-empty map");
+            sessions.remove(&oldest);
+        }
     }
 
-    /// Estimated queue wait for a new submission, in milliseconds:
-    /// backlog × mean *service* time ÷ workers. Service time (not
-    /// submit-to-finish) is deliberate — using client latency here
-    /// would double-count queue wait and make a past burst's inflated
-    /// mean shed healthy load forever. The single source of truth for
-    /// both `ServerReport::est_queue_wait_ms` and admission control.
-    pub(crate) fn est_queue_wait_ms(&self, queue_depth: usize, workers: usize) -> f64 {
-        let queries = self.queries.load(Ordering::Relaxed);
-        if queries == 0 {
+    /// Estimated queue wait for a new submission whose policy-ordered
+    /// backlog is `depths_ahead` jobs per lane, in milliseconds: each
+    /// lane's backlog is priced at that lane's observed mean *service*
+    /// time (batch jobs are slower than interactive ones), divided by
+    /// the worker count. Service time (not submit-to-finish) is
+    /// deliberate — using client latency here would double-count queue
+    /// wait and make a past burst's inflated mean shed healthy load
+    /// forever. The single source of truth for the per-lane
+    /// `est_wait_ms` gauges and admission control; computing it per
+    /// lane is what keeps a drained batch lane from masking (or a deep
+    /// batch lane from inflating) the interactive-lane decision.
+    pub(crate) fn est_wait_ms(&self, depths_ahead: [usize; LANE_COUNT], workers: usize) -> f64 {
+        let lanes = self.latency.lock();
+        let overall_queries: u64 = lanes.iter().map(|a| a.queries).sum();
+        if overall_queries == 0 {
             return 0.0;
         }
-        let mean_service_secs = self.latency.lock().total_service_secs / queries as f64;
-        queue_depth as f64 * mean_service_secs * 1e3 / workers.max(1) as f64
+        let overall_mean =
+            lanes.iter().map(|a| a.total_service_secs).sum::<f64>() / overall_queries as f64;
+        let secs: f64 = depths_ahead
+            .iter()
+            .zip(lanes.iter())
+            .map(|(&d, agg)| d as f64 * agg.mean_service_secs().unwrap_or(overall_mean))
+            .sum();
+        secs * 1e3 / workers.max(1) as f64
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn report(
         &self,
+        policy: &'static str,
         workers: usize,
         queue_capacity: usize,
-        queue_depth: usize,
+        lane_depths: [usize; LANE_COUNT],
+        lane_waits_ms: [f64; LANE_COUNT],
         maintenance_io: IoStats,
         maintenance_passes: u64,
+        maintenance_backlog: usize,
+        maintenance_deferrals: u64,
     ) -> ServerReport {
         let queries = self.queries.load(Ordering::Relaxed);
         let errors = self.errors.load(Ordering::Relaxed);
         let in_flight = self.in_flight.load(Ordering::Relaxed) as usize;
-        let agg = *self.latency.lock();
+        let lanes_agg = *self.latency.lock();
         let elapsed_secs = self.started.elapsed().as_secs_f64();
-        let mean_latency_ms = if queries > 0 { agg.total_secs / queries as f64 * 1e3 } else { 0.0 };
+        let total_secs: f64 = lanes_agg.iter().map(|a| a.total_secs).sum();
+        let max_secs = lanes_agg.iter().map(|a| a.max_secs).fold(0.0f64, f64::max);
+        let mean_latency_ms = if queries > 0 { total_secs / queries as f64 * 1e3 } else { 0.0 };
+        let lanes = LANES.map(|lane| {
+            let agg = lanes_agg[lane.index()];
+            LaneReport {
+                lane: lane.name(),
+                depth: lane_depths[lane.index()],
+                est_wait_ms: lane_waits_ms[lane.index()],
+                queries: agg.queries,
+                shed: self.shed[lane.index()].load(Ordering::Relaxed),
+                mean_latency_ms: if agg.queries > 0 {
+                    agg.total_secs / agg.queries as f64 * 1e3
+                } else {
+                    0.0
+                },
+                max_latency_ms: agg.max_secs * 1e3,
+            }
+        });
+        let (session_count, fairness_index) = {
+            let sessions = self.sessions.lock();
+            let xs: Vec<f64> = sessions.values().map(|s| s.cost_blocks as f64).collect();
+            let n = xs.len();
+            let sum: f64 = xs.iter().sum();
+            let sq: f64 = xs.iter().map(|x| x * x).sum();
+            let jain = if n <= 1 || sq == 0.0 { 1.0 } else { sum * sum / (n as f64 * sq) };
+            (n, jain)
+        };
         ServerReport {
+            policy,
             queries,
             errors,
             elapsed_secs,
             qps: if elapsed_secs > 0.0 { queries as f64 / elapsed_secs } else { 0.0 },
             mean_latency_ms,
-            max_latency_ms: agg.max_secs * 1e3,
+            max_latency_ms: max_secs * 1e3,
             maintenance_io,
             maintenance_passes,
+            maintenance_backlog,
+            maintenance_deferrals,
             workers,
             queue_capacity,
-            queue_depth,
+            queue_depth: lane_depths.iter().sum(),
             in_flight,
-            est_queue_wait_ms: self.est_queue_wait_ms(queue_depth, workers),
+            est_queue_wait_ms: lane_waits_ms[Lane::Interactive.index()],
+            lanes,
+            promoted: self.promoted.load(Ordering::Relaxed),
+            session_count,
+            fairness_index,
         }
     }
+}
+
+/// Per-lane slice of a [`ServerReport`].
+#[derive(Debug, Clone, Copy)]
+pub struct LaneReport {
+    /// Lane name (`"interactive"` | `"batch"` | `"maintenance"`).
+    pub lane: &'static str,
+    /// Jobs waiting in this lane right now (gauge).
+    pub depth: usize,
+    /// Estimated queue wait for a new submission into this lane under
+    /// the active policy, milliseconds. Computed per lane so a drained
+    /// batch lane never masks interactive backlog (and vice versa).
+    pub est_wait_ms: f64,
+    /// Queries served from this lane.
+    pub queries: u64,
+    /// Submissions rejected by the admission bound in this lane.
+    pub shed: u64,
+    /// Mean submit-to-finish latency of this lane's queries, ms.
+    pub mean_latency_ms: f64,
+    /// Worst submit-to-finish latency of this lane's queries, ms.
+    pub max_latency_ms: f64,
 }
 
 /// A point-in-time throughput/latency summary of a running server.
 #[derive(Debug, Clone)]
 pub struct ServerReport {
+    /// Active admission policy (`"fifo"` | `"lanes"` | `"fair"`).
+    pub policy: &'static str,
     /// Queries answered (including errors).
     pub queries: u64,
     /// Queries that returned an error.
@@ -129,29 +269,51 @@ pub struct ServerReport {
     pub maintenance_io: IoStats,
     /// Completed maintenance passes.
     pub maintenance_passes: u64,
+    /// Observations still queued for maintenance because pacing
+    /// deferred them (gauge; drains to zero at idle).
+    pub maintenance_backlog: usize,
+    /// Passes in which pacing deferred part of the inbox to protect
+    /// foreground latency.
+    pub maintenance_deferrals: u64,
     /// Executor worker threads.
     pub workers: usize,
-    /// Admission-queue capacity.
+    /// Admission-queue capacity (per lane under lane-aware policies).
     pub queue_capacity: usize,
     /// Queries waiting in the admission queue right now (gauge).
     pub queue_depth: usize,
     /// Queries currently executing on workers (gauge, ≤ `workers`).
     pub in_flight: usize,
-    /// Latency-aware admission estimate: expected queue wait for a new
-    /// submission, `queue_depth × mean service time / workers`, in
-    /// milliseconds (service = pop-to-finish, so queue wait is never
-    /// fed back into its own estimate). The admission bound
-    /// (`ServerOptions::max_queue_wait_ms`) sheds load when this
-    /// exceeds it.
+    /// Latency-aware admission estimate for a new *interactive*
+    /// submission, milliseconds (see [`LaneReport::est_wait_ms`] for
+    /// the other lanes). The admission bound
+    /// (`ServerOptions::max_queue_wait_ms`) sheds load per lane when
+    /// that lane's estimate exceeds it.
     pub est_queue_wait_ms: f64,
+    /// Per-lane depth/wait/latency/shed breakdown.
+    pub lanes: [LaneReport; LANE_COUNT],
+    /// Queries served via deadline promotion.
+    pub promoted: u64,
+    /// Distinct sessions in the fairness window (the most recent
+    /// ~1024 principals; older ones are evicted so a long-lived server
+    /// stays bounded).
+    pub session_count: usize,
+    /// Jain fairness index over per-session served cost blocks
+    /// (1.0 = perfectly even shares, → 1/n under total capture by one
+    /// session).
+    pub fairness_index: f64,
 }
 
 impl std::fmt::Display for ServerReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "{} queries in {:.2}s ({:.0} q/s, {} workers, queue {})",
-            self.queries, self.elapsed_secs, self.qps, self.workers, self.queue_capacity
+            "{} queries in {:.2}s ({:.0} q/s, {} workers, queue {}, policy {})",
+            self.queries,
+            self.elapsed_secs,
+            self.qps,
+            self.workers,
+            self.queue_capacity,
+            self.policy
         )?;
         writeln!(
             f,
@@ -163,12 +325,32 @@ impl std::fmt::Display for ServerReport {
             "queue: {} waiting, {} in flight, est wait {:.2} ms",
             self.queue_depth, self.in_flight, self.est_queue_wait_ms
         )?;
+        for lane in &self.lanes {
+            writeln!(
+                f,
+                "lane {}: {} served, {} waiting, est wait {:.2} ms, mean {:.2} ms, shed {}",
+                lane.lane,
+                lane.queries,
+                lane.depth,
+                lane.est_wait_ms,
+                lane.mean_latency_ms,
+                lane.shed
+            )?;
+        }
+        writeln!(
+            f,
+            "sessions: {} served, fairness index {:.3}, {} deadline promotions",
+            self.session_count, self.fairness_index, self.promoted
+        )?;
         write!(
             f,
-            "maintenance: {} passes, {} reads / {} writes (off hot path)",
+            "maintenance: {} passes, {} reads / {} writes (off hot path), \
+             backlog {}, {} paced deferrals",
             self.maintenance_passes,
             self.maintenance_io.reads(),
-            self.maintenance_io.writes
+            self.maintenance_io.writes,
+            self.maintenance_backlog,
+            self.maintenance_deferrals
         )
     }
 }
@@ -178,8 +360,11 @@ impl std::fmt::Display for ServerReport {
 pub struct SessionStats {
     /// Queries this session ran successfully.
     pub queries: usize,
-    /// Queries that errored.
+    /// Queries that errored (including admission rejections).
     pub errors: usize,
+    /// Successful queries per admission lane
+    /// (`Lane::index()`-indexed: interactive, batch, maintenance).
+    pub lane_queries: [usize; LANE_COUNT],
     /// Rows returned across all queries.
     pub rows_out: usize,
     /// Merged I/O of this session's queries.
@@ -192,19 +377,123 @@ pub struct SessionStats {
     pub overlap: OverlapStats,
     /// Total wall seconds spent waiting for results.
     pub total_wall_secs: f64,
+    /// Of those, seconds spent waiting in the admission queue (the
+    /// scheduler's contribution to this session's latency).
+    pub queue_wait_secs: f64,
 }
 
 impl SessionStats {
-    pub(crate) fn record_ok(&mut self, rows: usize, stats: &QueryStats) {
+    pub(crate) fn record_ok(&mut self, lane: Lane, rows: usize, stats: &QueryStats) {
         self.queries += 1;
+        self.lane_queries[lane.index()] += 1;
         self.rows_out += rows;
         self.io.merge(&stats.query_io);
         self.shuffle.merge(&stats.shuffle);
         self.overlap.merge(&stats.overlap);
         self.total_wall_secs += stats.wall_secs;
+        self.queue_wait_secs += stats.queue_wait_secs;
     }
 
     pub(crate) fn record_err(&mut self) {
         self.errors += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_lane_wait_estimates_are_independent() {
+        let m = Metrics::new();
+        // One served interactive query (fast) and one batch (slow).
+        m.begin();
+        m.record(
+            Lane::Interactive,
+            1,
+            1,
+            false,
+            Duration::from_millis(2),
+            Duration::from_millis(2),
+            true,
+        );
+        m.begin();
+        m.record(
+            Lane::Batch,
+            2,
+            50,
+            false,
+            Duration::from_millis(100),
+            Duration::from_millis(100),
+            true,
+        );
+        // A deep batch lane with a drained interactive lane: the
+        // interactive estimate must stay at zero — batch backlog is not
+        // ahead of an interactive arrival under lane-aware policies.
+        let interactive = m.est_wait_ms([0, 0, 0], 1);
+        assert_eq!(interactive, 0.0);
+        let batch = m.est_wait_ms([0, 5, 0], 1);
+        assert!((batch - 500.0).abs() < 1.0, "5 × 100 ms batch service: {batch}");
+        // And interactive backlog is priced at interactive service
+        // time, not the batch mean.
+        let mixed = m.est_wait_ms([3, 0, 0], 1);
+        assert!((mixed - 6.0).abs() < 1.0, "3 × 2 ms: {mixed}");
+    }
+
+    #[test]
+    fn lane_without_history_uses_overall_mean() {
+        let m = Metrics::new();
+        m.begin();
+        m.record(
+            Lane::Interactive,
+            1,
+            1,
+            false,
+            Duration::from_millis(10),
+            Duration::from_millis(10),
+            true,
+        );
+        // Batch lane never served: its backlog is priced at the overall
+        // mean rather than zero, so an untried lane still sheds.
+        let est = m.est_wait_ms([0, 2, 0], 1);
+        assert!((est - 20.0).abs() < 1.0, "{est}");
+    }
+
+    #[test]
+    fn fairness_index_detects_capture() {
+        let m = Metrics::new();
+        for _ in 0..9 {
+            m.begin();
+            m.record(
+                Lane::Batch,
+                1,
+                100,
+                false,
+                Duration::from_millis(1),
+                Duration::from_millis(1),
+                true,
+            );
+        }
+        m.begin();
+        m.record(
+            Lane::Interactive,
+            2,
+            1,
+            false,
+            Duration::from_millis(1),
+            Duration::from_millis(1),
+            true,
+        );
+        let report =
+            m.report("fifo", 1, 4, [0; LANE_COUNT], [0.0; LANE_COUNT], IoStats::default(), 0, 0, 0);
+        assert_eq!(report.session_count, 2);
+        assert!(
+            report.fairness_index < 0.6,
+            "one session captured ~99.9% of served cost: {}",
+            report.fairness_index
+        );
+        assert_eq!(report.lanes[Lane::Batch.index()].queries, 9);
+        assert_eq!(report.lanes[Lane::Interactive.index()].queries, 1);
+        assert!(report.to_string().contains("fairness index"));
     }
 }

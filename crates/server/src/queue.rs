@@ -1,52 +1,55 @@
-//! A bounded MPMC admission queue.
+//! The blocking admission queue around a [`Scheduler`] policy.
 //!
-//! `push` blocks while the queue is at capacity — that is the server's
-//! backpressure: clients cannot submit faster than the worker pool
-//! drains. `pop` blocks while empty and returns `None` once the queue
-//! is closed and drained, which is how workers learn to exit.
+//! `push` blocks while the policy reports no room for the job's lane —
+//! that is the server's backpressure: clients cannot submit faster
+//! than the worker pool drains, and under lane-aware policies a batch
+//! storm backpressures batch producers without touching interactive
+//! admission. `pop` blocks while empty and returns `None` once the
+//! queue is closed and drained, which is how workers learn to exit.
 //!
 //! Built on `std::sync` (Mutex + two Condvars) rather than the
-//! crossbeam shim because the shim's channel is unbounded.
+//! crossbeam shim because the shim's channel is unbounded. The policy
+//! itself ([`crate::scheduler`]) is a plain data structure; all
+//! waiting lives here.
 
-use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
-#[derive(Debug)]
+use adaptdb::cost::{Lane, LANE_COUNT};
+
+use crate::scheduler::{JobMeta, Scheduler};
+
 struct State<T> {
-    items: VecDeque<T>,
+    policy: Box<dyn Scheduler<T>>,
     closed: bool,
 }
 
-/// Bounded blocking FIFO shared by producers (client sessions) and
-/// consumers (executor workers).
-#[derive(Debug)]
-pub struct BoundedQueue<T> {
+/// Bounded blocking admission queue shared by producers (client
+/// sessions) and consumers (executor workers), ordered by a pluggable
+/// [`Scheduler`] policy.
+pub struct SchedQueue<T> {
     state: Mutex<State<T>>,
-    capacity: usize,
     not_full: Condvar,
     not_empty: Condvar,
 }
 
-impl<T> BoundedQueue<T> {
-    /// A queue admitting at most `capacity` pending items.
-    pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "queue capacity must be positive");
-        BoundedQueue {
-            state: Mutex::new(State { items: VecDeque::new(), closed: false }),
-            capacity,
+impl<T: Send> SchedQueue<T> {
+    /// A queue ordered (and capacity-bounded) by `policy`.
+    pub fn new(policy: Box<dyn Scheduler<T>>) -> Self {
+        SchedQueue {
+            state: Mutex::new(State { policy, closed: false }),
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
         }
     }
 
-    /// Maximum number of pending items.
-    pub fn capacity(&self) -> usize {
-        self.capacity
+    /// The active policy's name (`"fifo"` | `"lanes"` | `"fair"`).
+    pub fn policy_name(&self) -> &'static str {
+        self.state.lock().unwrap().policy.name()
     }
 
-    /// Currently queued items.
+    /// Currently queued jobs.
     pub fn len(&self) -> usize {
-        self.state.lock().unwrap().items.len()
+        self.state.lock().unwrap().policy.len()
     }
 
     /// True when nothing is queued.
@@ -54,30 +57,47 @@ impl<T> BoundedQueue<T> {
         self.len() == 0
     }
 
-    /// Enqueue, blocking while the queue is full. Returns the item back
-    /// if the queue has been closed.
-    pub fn push(&self, item: T) -> Result<(), T> {
+    /// Queued jobs per lane (gauges).
+    pub fn lane_depths(&self) -> [usize; LANE_COUNT] {
+        self.state.lock().unwrap().policy.lane_depths()
+    }
+
+    /// Per-lane counts of jobs that would run before a new arrival in
+    /// `lane` under the active policy.
+    pub fn depths_ahead(&self, lane: Lane) -> [usize; LANE_COUNT] {
+        self.state.lock().unwrap().policy.depths_ahead(lane)
+    }
+
+    /// Enqueue, blocking while the job's lane is at capacity. Returns
+    /// the item back if the queue has been closed.
+    pub fn push(&self, item: T, meta: JobMeta) -> Result<(), T> {
         let mut state = self.state.lock().unwrap();
-        while state.items.len() >= self.capacity && !state.closed {
+        while !state.policy.has_room(&meta) && !state.closed {
             state = self.not_full.wait(state).unwrap();
         }
         if state.closed {
             return Err(item);
         }
-        state.items.push_back(item);
+        state.policy.push(item, meta);
         drop(state);
         self.not_empty.notify_one();
         Ok(())
     }
 
-    /// Dequeue, blocking while empty. `None` means closed and drained.
-    pub fn pop(&self) -> Option<T> {
+    /// Dequeue the policy's next job, blocking while empty. `None`
+    /// means closed and drained.
+    pub fn pop(&self) -> Option<(T, JobMeta)> {
         let mut state = self.state.lock().unwrap();
         loop {
-            if let Some(item) = state.items.pop_front() {
+            if let Some(job) = state.policy.pop() {
                 drop(state);
-                self.not_full.notify_one();
-                return Some(item);
+                // Producers wait on *heterogeneous* predicates (their
+                // own lane's capacity), so notify_one could wake a
+                // producer whose lane is still full and strand the one
+                // whose lane just freed. Wake them all; each re-checks
+                // its own lane.
+                self.not_full.notify_all();
+                return Some(job);
             }
             if state.closed {
                 return None;
@@ -86,8 +106,8 @@ impl<T> BoundedQueue<T> {
         }
     }
 
-    /// Close the queue: pending items still drain, new pushes fail, and
-    /// blocked consumers wake up.
+    /// Close the queue: pending jobs still drain, new pushes fail, and
+    /// blocked producers/consumers wake up.
     pub fn close(&self) {
         self.state.lock().unwrap().closed = true;
         self.not_empty.notify_all();
@@ -98,48 +118,58 @@ impl<T> BoundedQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheduler::Fifo;
     use std::sync::Arc;
+
+    fn fifo_queue(capacity: usize) -> SchedQueue<usize> {
+        SchedQueue::new(Box::new(Fifo::new(capacity)))
+    }
+
+    fn meta() -> JobMeta {
+        JobMeta::new(1, Lane::Interactive, 1, None)
+    }
 
     #[test]
     fn fifo_order_single_thread() {
-        let q = BoundedQueue::new(4);
-        q.push(1).unwrap();
-        q.push(2).unwrap();
+        let q = fifo_queue(4);
+        q.push(1, meta()).unwrap();
+        q.push(2, meta()).unwrap();
         assert_eq!(q.len(), 2);
-        assert_eq!(q.pop(), Some(1));
-        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop().map(|(v, _)| v), Some(1));
+        assert_eq!(q.pop().map(|(v, _)| v), Some(2));
         assert!(q.is_empty());
+        assert_eq!(q.policy_name(), "fifo");
     }
 
     #[test]
     fn close_drains_then_stops() {
-        let q = BoundedQueue::new(4);
-        q.push(1).unwrap();
+        let q = fifo_queue(4);
+        q.push(1, meta()).unwrap();
         q.close();
-        assert_eq!(q.push(2), Err(2));
-        assert_eq!(q.pop(), Some(1));
-        assert_eq!(q.pop(), None);
+        assert_eq!(q.push(2, meta()), Err(2));
+        assert_eq!(q.pop().map(|(v, _)| v), Some(1));
+        assert!(q.pop().is_none());
     }
 
     #[test]
     fn push_blocks_at_capacity_until_pop() {
-        let q = Arc::new(BoundedQueue::new(1));
-        q.push(0u32).unwrap();
+        let q = Arc::new(fifo_queue(1));
+        q.push(0, meta()).unwrap();
         let qc = q.clone();
         let producer = std::thread::spawn(move || {
             // Blocks until the consumer below makes room.
-            qc.push(1).unwrap();
+            qc.push(1, meta()).unwrap();
         });
         std::thread::sleep(std::time::Duration::from_millis(20));
         assert_eq!(q.len(), 1, "producer must be blocked at capacity");
-        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop().map(|(v, _)| v), Some(0));
         producer.join().unwrap();
-        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop().map(|(v, _)| v), Some(1));
     }
 
     #[test]
     fn many_producers_many_consumers_deliver_exactly_once() {
-        let q = Arc::new(BoundedQueue::new(8));
+        let q = Arc::new(fifo_queue(8));
         let n_prod = 4;
         let per = 200;
         let mut handles = Vec::new();
@@ -147,7 +177,7 @@ mod tests {
             let q = q.clone();
             handles.push(std::thread::spawn(move || {
                 for i in 0..per {
-                    q.push(p * per + i).unwrap();
+                    q.push(p * per + i, meta()).unwrap();
                 }
             }));
         }
@@ -156,7 +186,7 @@ mod tests {
             let q = q.clone();
             consumers.push(std::thread::spawn(move || {
                 let mut got = Vec::new();
-                while let Some(v) = q.pop() {
+                while let Some((v, _)) = q.pop() {
                     got.push(v);
                 }
                 got
@@ -172,5 +202,53 @@ mod tests {
         }
         all.sort_unstable();
         assert_eq!(all, (0..n_prod * per).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn freed_interactive_slot_wakes_the_interactive_producer() {
+        use crate::scheduler::PriorityLanes;
+        use std::time::Duration;
+        // Per-lane capacities mean producers block on *different*
+        // predicates: freeing an interactive slot must wake the
+        // interactive producer even if a batch producer is also
+        // waiting (notify_one could hand the wakeup to the wrong one).
+        let q: Arc<SchedQueue<u32>> =
+            Arc::new(SchedQueue::new(Box::new(PriorityLanes::new([1, 1, 1]))));
+        q.push(1, JobMeta::new(1, Lane::Interactive, 1, None)).unwrap();
+        q.push(2, JobMeta::new(1, Lane::Batch, 9, None)).unwrap();
+        let qb = q.clone();
+        let batch_producer = std::thread::spawn(move || {
+            qb.push(4, JobMeta::new(2, Lane::Batch, 9, None)).unwrap();
+        });
+        let (tx, rx) = std::sync::mpsc::channel();
+        let qi = q.clone();
+        let interactive_producer = std::thread::spawn(move || {
+            qi.push(3, JobMeta::new(2, Lane::Interactive, 1, None)).unwrap();
+            tx.send(()).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.len(), 2, "both producers must be blocked at capacity");
+        // Free the interactive slot; the interactive producer must get
+        // through promptly even though the batch lane is still full.
+        assert_eq!(q.pop().map(|(v, _)| v), Some(1));
+        rx.recv_timeout(Duration::from_secs(2))
+            .expect("interactive producer stayed blocked after its lane freed");
+        interactive_producer.join().unwrap();
+        assert_eq!(q.pop().map(|(v, _)| v), Some(3), "interactive lane served first");
+        assert_eq!(q.pop().map(|(v, _)| v), Some(2));
+        batch_producer.join().unwrap();
+        assert_eq!(q.pop().map(|(v, _)| v), Some(4));
+    }
+
+    #[test]
+    fn lane_aware_backpressure_is_per_lane() {
+        use crate::scheduler::PriorityLanes;
+        let q: SchedQueue<u32> = SchedQueue::new(Box::new(PriorityLanes::new([2, 1, 1])));
+        q.push(1, JobMeta::new(1, Lane::Batch, 9, None)).unwrap();
+        // Batch lane full — but interactive admission proceeds without
+        // blocking.
+        q.push(2, JobMeta::new(2, Lane::Interactive, 1, None)).unwrap();
+        assert_eq!(q.lane_depths(), [1, 1, 0]);
+        assert_eq!(q.pop().map(|(v, _)| v), Some(2), "interactive served first");
     }
 }

@@ -1,0 +1,680 @@
+//! The admission scheduler: pluggable policies deciding which queued
+//! query a free worker runs next.
+//!
+//! Admission used to be one bounded FIFO; it is now a first-class
+//! subsystem. Every submission carries a [`JobMeta`] — its session, a
+//! scheduling [`Lane`] (from cost classification or an explicit
+//! override), the cheap cost estimate's projected blocks, and an
+//! optional deadline — and a [`Scheduler`] policy owns the queue order:
+//!
+//! * [`Fifo`] — the original behavior, re-expressed as a policy: one
+//!   queue, one capacity, arrival order. Lanes are recorded (for the
+//!   gauges) but ignored for ordering.
+//! * [`PriorityLanes`] — three lanes served in strict priority order
+//!   (interactive > batch > maintenance), each with its own capacity so
+//!   a batch storm exerts backpressure on batch producers only.
+//!   Deadline promotion: a batch/maintenance job that has burned half
+//!   its deadline waiting is served next, ahead of the lane order.
+//! * [`FairShare`] — the same strict lane priority, with
+//!   deficit-weighted round-robin (DRR) across sessions *within* each
+//!   lane: each rotation grants a session `quantum` cost-blocks of
+//!   credit, and a job runs when its projected cost fits the credit,
+//!   so a session flooding expensive scans gets proportionally fewer
+//!   turns in its lane than sessions running cheap work. Deadline
+//!   promotion applies across sessions.
+//!
+//! Policies are pure data structures (no locks, no waiting); the
+//! blocking machinery lives in [`crate::queue::SchedQueue`]. All
+//! policies preserve per-session submission order within a lane, and
+//! none of them can change a query's *result* — scheduling reorders
+//! work, nothing else.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::time::{Duration, Instant};
+
+use adaptdb::cost::{Lane, LANE_COUNT};
+use adaptdb::SchedPolicy;
+
+/// Scheduling metadata carried by every submission.
+#[derive(Debug, Clone)]
+pub struct JobMeta {
+    /// Submitting session (0 = the server's one-off `run`).
+    pub session: u64,
+    /// Admission lane (cost classification or explicit override).
+    pub lane: Lane,
+    /// Projected candidate blocks from the cheap cost estimate — the
+    /// fair-share scheduling weight (clamped to ≥ 1).
+    pub cost_blocks: usize,
+    /// Optional latency deadline. Lane-aware policies promote the job
+    /// ahead of lane order once half the deadline has elapsed in the
+    /// queue.
+    pub deadline: Option<Duration>,
+    /// When the client submitted.
+    pub submitted: Instant,
+    /// Set by the policy when the job was served via deadline
+    /// promotion rather than lane order.
+    pub promoted: bool,
+}
+
+impl JobMeta {
+    /// Metadata for a fresh submission (submitted = now).
+    pub fn new(session: u64, lane: Lane, cost_blocks: usize, deadline: Option<Duration>) -> Self {
+        JobMeta { session, lane, cost_blocks, deadline, submitted: Instant::now(), promoted: false }
+    }
+
+    /// DRR weight: projected blocks, at least 1 so zero-cost estimates
+    /// (unknown tables, empty scans) still consume a turn.
+    fn weight(&self) -> f64 {
+        self.cost_blocks.max(1) as f64
+    }
+
+    /// True once the job has burned half its deadline waiting — the
+    /// promotion trigger (promoting *at* the deadline would already be
+    /// too late to meet it).
+    fn urgent(&self, now: Instant) -> bool {
+        match self.deadline {
+            Some(d) => now.duration_since(self.submitted) * 2 >= d,
+            None => false,
+        }
+    }
+}
+
+/// An admission-queue ordering policy. Implementations are plain data
+/// structures; [`crate::queue::SchedQueue`] supplies blocking,
+/// capacity waits, and close semantics around them.
+pub trait Scheduler<T>: Send {
+    /// Short policy name for reports (`"fifo"`, `"lanes"`, `"fair"`).
+    fn name(&self) -> &'static str;
+    /// False when admitting a job with this metadata must wait
+    /// (its lane — or the shared queue — is at capacity).
+    fn has_room(&self, meta: &JobMeta) -> bool;
+    /// Enqueue. Callers check [`Scheduler::has_room`] first.
+    fn push(&mut self, item: T, meta: JobMeta);
+    /// The next job to run, or `None` when empty. Policies set
+    /// [`JobMeta::promoted`] when the pick came from deadline
+    /// promotion.
+    fn pop(&mut self) -> Option<(T, JobMeta)>;
+    /// Total queued jobs.
+    fn len(&self) -> usize;
+    /// True when nothing is queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Queued jobs per lane (gauges).
+    fn lane_depths(&self) -> [usize; LANE_COUNT];
+    /// Per-lane counts of queued jobs that would run *before* a new
+    /// arrival in `lane` — the input to the per-lane wait estimate, so
+    /// a drained batch lane never masks (or inflates) the interactive
+    /// backlog.
+    fn depths_ahead(&self, lane: Lane) -> [usize; LANE_COUNT];
+}
+
+/// Build the configured policy at a given total capacity. Lane-aware
+/// policies give *each* lane the full capacity (backpressure applies
+/// per lane); FIFO keeps one shared bound, exactly like the original
+/// queue.
+pub fn build<T: Send + 'static>(
+    policy: SchedPolicy,
+    capacity: usize,
+    quantum: f64,
+) -> Box<dyn Scheduler<T>> {
+    let caps = [capacity; LANE_COUNT];
+    match policy {
+        SchedPolicy::Fifo => Box::new(Fifo::new(capacity)),
+        SchedPolicy::Lanes => Box::new(PriorityLanes::new(caps)),
+        SchedPolicy::Fair => Box::new(FairShare::new(caps, quantum)),
+    }
+}
+
+fn lane_queues<T>() -> [VecDeque<(T, JobMeta)>; LANE_COUNT] {
+    std::array::from_fn(|_| VecDeque::new())
+}
+
+fn depth_of<T>(lanes: &[VecDeque<(T, JobMeta)>; LANE_COUNT]) -> [usize; LANE_COUNT] {
+    std::array::from_fn(|i| lanes[i].len())
+}
+
+/// Remove the first urgent job (deadline half-burned) from the batch or
+/// maintenance lane, marking it promoted. Interactive jobs never need
+/// promotion — they are already in the top lane.
+fn take_urgent<T>(lanes: &mut [VecDeque<(T, JobMeta)>; LANE_COUNT]) -> Option<(T, JobMeta)> {
+    let now = Instant::now();
+    for lane in lanes.iter_mut().skip(1) {
+        if let Some(pos) = lane.iter().position(|(_, m)| m.urgent(now)) {
+            let (item, mut meta) = lane.remove(pos).expect("position exists");
+            meta.promoted = true;
+            return Some((item, meta));
+        }
+    }
+    None
+}
+
+/// The original bounded FIFO, as a policy: one queue, arrival order,
+/// one shared capacity. Lane tallies are kept for the gauges only.
+#[derive(Debug)]
+pub struct Fifo<T> {
+    items: VecDeque<(T, JobMeta)>,
+    capacity: usize,
+    depths: [usize; LANE_COUNT],
+}
+
+impl<T> Fifo<T> {
+    /// A FIFO admitting at most `capacity` pending jobs.
+    pub fn new(capacity: usize) -> Self {
+        Fifo { items: VecDeque::new(), capacity: capacity.max(1), depths: [0; LANE_COUNT] }
+    }
+}
+
+impl<T: Send> Scheduler<T> for Fifo<T> {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn has_room(&self, _meta: &JobMeta) -> bool {
+        self.items.len() < self.capacity
+    }
+
+    fn push(&mut self, item: T, meta: JobMeta) {
+        self.depths[meta.lane.index()] += 1;
+        self.items.push_back((item, meta));
+    }
+
+    fn pop(&mut self) -> Option<(T, JobMeta)> {
+        let (item, meta) = self.items.pop_front()?;
+        self.depths[meta.lane.index()] -= 1;
+        Some((item, meta))
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn lane_depths(&self) -> [usize; LANE_COUNT] {
+        self.depths
+    }
+
+    fn depths_ahead(&self, _lane: Lane) -> [usize; LANE_COUNT] {
+        // One queue: everything already waiting runs first, whatever
+        // lane the new arrival belongs to.
+        self.depths
+    }
+}
+
+/// Strict-priority lanes with per-lane capacity and deadline promotion.
+#[derive(Debug)]
+pub struct PriorityLanes<T> {
+    lanes: [VecDeque<(T, JobMeta)>; LANE_COUNT],
+    caps: [usize; LANE_COUNT],
+}
+
+impl<T> PriorityLanes<T> {
+    /// Lanes with the given per-lane capacities (clamped to ≥ 1).
+    pub fn new(caps: [usize; LANE_COUNT]) -> Self {
+        PriorityLanes { lanes: lane_queues(), caps: caps.map(|c| c.max(1)) }
+    }
+}
+
+impl<T: Send> Scheduler<T> for PriorityLanes<T> {
+    fn name(&self) -> &'static str {
+        "lanes"
+    }
+
+    fn has_room(&self, meta: &JobMeta) -> bool {
+        self.lanes[meta.lane.index()].len() < self.caps[meta.lane.index()]
+    }
+
+    fn push(&mut self, item: T, meta: JobMeta) {
+        self.lanes[meta.lane.index()].push_back((item, meta));
+    }
+
+    fn pop(&mut self) -> Option<(T, JobMeta)> {
+        if let Some(promoted) = take_urgent(&mut self.lanes) {
+            return Some(promoted);
+        }
+        self.lanes.iter_mut().find_map(VecDeque::pop_front)
+    }
+
+    fn len(&self) -> usize {
+        self.lanes.iter().map(VecDeque::len).sum()
+    }
+
+    fn lane_depths(&self) -> [usize; LANE_COUNT] {
+        depth_of(&self.lanes)
+    }
+
+    fn depths_ahead(&self, lane: Lane) -> [usize; LANE_COUNT] {
+        // Strictly higher-priority lanes run first, plus the occupants
+        // of the arrival's own lane; lower lanes never get ahead.
+        std::array::from_fn(|i| if i <= lane.index() { self.lanes[i].len() } else { 0 })
+    }
+}
+
+/// One session's backlog within one lane of [`FairShare`], plus its
+/// DRR deficit credit for that lane.
+#[derive(Debug)]
+struct SessionQueue<T> {
+    jobs: VecDeque<(T, JobMeta)>,
+    deficit: f64,
+}
+
+impl<T> SessionQueue<T> {
+    fn new() -> Self {
+        SessionQueue { jobs: VecDeque::new(), deficit: 0.0 }
+    }
+}
+
+/// Deficit round-robin across the sessions queued in one lane.
+#[derive(Debug)]
+struct DrrLane<T> {
+    sessions: BTreeMap<u64, SessionQueue<T>>,
+    /// Sessions with queued work, in rotation order.
+    order: VecDeque<u64>,
+    depth: usize,
+}
+
+impl<T> DrrLane<T> {
+    fn new() -> Self {
+        DrrLane { sessions: BTreeMap::new(), order: VecDeque::new(), depth: 0 }
+    }
+
+    fn push(&mut self, item: T, meta: JobMeta) {
+        self.depth += 1;
+        let session = meta.session;
+        let sq = self.sessions.entry(session).or_insert_with(|| {
+            self.order.push_back(session);
+            SessionQueue::new()
+        });
+        sq.jobs.push_back((item, meta));
+    }
+
+    /// DRR pop (Shreedhar & Varghese). Conceptually: rotate through
+    /// the sessions, granting each visit `quantum` cost-blocks of
+    /// credit, until a session's credit covers its head job — cheap
+    /// sessions get a turn nearly every rotation while a session
+    /// flooding expensive scans pays for its weight in skipped turns.
+    /// Computed in closed form rather than by literal rotation (a
+    /// 100k-block head job would otherwise spin thousands of
+    /// iterations under the queue mutex): the session at rotation
+    /// position `p` is visited at steps `p, p+n, …` and can serve at
+    /// its `v`-th top-up where `v = ceil((weight − deficit)/quantum)`,
+    /// so the winner is the smallest `p + v·n` — identical schedule,
+    /// O(sessions) per pop. The deficit is dropped when a session
+    /// drains, so idle sessions cannot bank credit.
+    fn pop(&mut self, quantum: f64) -> Option<(T, JobMeta)> {
+        let n = self.order.len();
+        if n == 0 {
+            return None;
+        }
+        // The step at which each session could first serve; all steps
+        // are distinct mod n, so the minimum is unique.
+        let (t_star, winner_pos) = self
+            .order
+            .iter()
+            .enumerate()
+            .map(|(pos, sid)| {
+                let sq = &self.sessions[sid];
+                let weight = sq.jobs.front().expect("ordered session has work").1.weight();
+                let gap = (weight - sq.deficit).max(0.0);
+                let visits = (gap / quantum).ceil() as usize;
+                (pos + visits * n, pos)
+            })
+            .min()
+            .expect("non-empty order");
+        // Replay the credit every session would have accrued over the
+        // skipped steps: position p is topped up at steps p, p+n, …
+        // strictly before t_star.
+        for (pos, sid) in self.order.iter().enumerate() {
+            let visits = if pos < t_star { (t_star - pos).div_ceil(n) } else { 0 };
+            self.sessions.get_mut(sid).expect("ordered session exists").deficit +=
+                visits as f64 * quantum;
+        }
+        // The loop would have rotated once per skipped step, leaving
+        // the winner at the front.
+        self.order.rotate_left(t_star % n);
+        let sid = *self.order.front().expect("non-empty order");
+        debug_assert_eq!(winner_pos % n, t_star % n);
+        let sq = self.sessions.get_mut(&sid).expect("winner session exists");
+        let (item, meta) = sq.jobs.pop_front().expect("head exists");
+        debug_assert!(sq.deficit >= meta.weight() - 1e-9, "winner must afford its head");
+        sq.deficit -= meta.weight();
+        self.depth -= 1;
+        self.retire_if_empty(sid);
+        Some((item, meta))
+    }
+
+    /// Remove the first urgent job (deadline half-burned), if any.
+    fn take_urgent(&mut self, now: Instant) -> Option<(T, JobMeta)> {
+        let sid = *self
+            .order
+            .iter()
+            .find(|sid| self.sessions[sid].jobs.iter().any(|(_, m)| m.urgent(now)))?;
+        let sq = self.sessions.get_mut(&sid).expect("session exists");
+        let pos = sq.jobs.iter().position(|(_, m)| m.urgent(now)).expect("urgent job exists");
+        let (item, mut meta) = sq.jobs.remove(pos).expect("position exists");
+        meta.promoted = true;
+        sq.deficit = (sq.deficit - meta.weight()).max(0.0);
+        self.depth -= 1;
+        self.retire_if_empty(sid);
+        Some((item, meta))
+    }
+
+    fn retire_if_empty(&mut self, sid: u64) {
+        if self.sessions.get(&sid).is_some_and(|sq| sq.jobs.is_empty()) {
+            self.sessions.remove(&sid);
+            self.order.retain(|&s| s != sid);
+        }
+    }
+}
+
+/// Per-session fair share: lanes keep their strict priority (so the
+/// interactive lane is as protected as under [`PriorityLanes`]), and
+/// *within* each lane sessions share by deficit-weighted round-robin —
+/// one session's scan storm cannot crowd other sessions out of its own
+/// lane either. Deadline promotion applies across sessions and lanes,
+/// exactly as in [`PriorityLanes`].
+#[derive(Debug)]
+pub struct FairShare<T> {
+    lanes: [DrrLane<T>; LANE_COUNT],
+    quantum: f64,
+    caps: [usize; LANE_COUNT],
+}
+
+impl<T> FairShare<T> {
+    /// Fair share with per-lane capacities and a DRR quantum in
+    /// cost-block units.
+    pub fn new(caps: [usize; LANE_COUNT], quantum: f64) -> Self {
+        FairShare {
+            lanes: std::array::from_fn(|_| DrrLane::new()),
+            quantum: quantum.max(1.0),
+            caps: caps.map(|c| c.max(1)),
+        }
+    }
+}
+
+impl<T: Send> Scheduler<T> for FairShare<T> {
+    fn name(&self) -> &'static str {
+        "fair"
+    }
+
+    fn has_room(&self, meta: &JobMeta) -> bool {
+        self.lanes[meta.lane.index()].depth < self.caps[meta.lane.index()]
+    }
+
+    fn push(&mut self, item: T, meta: JobMeta) {
+        self.lanes[meta.lane.index()].push(item, meta);
+    }
+
+    fn pop(&mut self) -> Option<(T, JobMeta)> {
+        // Deadline promotion first: an urgent batch/maintenance job
+        // runs next no matter whose deficit is due.
+        let now = Instant::now();
+        if let Some(promoted) = self.lanes.iter_mut().skip(1).find_map(|l| l.take_urgent(now)) {
+            return Some(promoted);
+        }
+        let quantum = self.quantum;
+        self.lanes.iter_mut().find_map(|l| l.pop(quantum))
+    }
+
+    fn len(&self) -> usize {
+        self.lanes.iter().map(|l| l.depth).sum()
+    }
+
+    fn lane_depths(&self) -> [usize; LANE_COUNT] {
+        std::array::from_fn(|i| self.lanes[i].depth)
+    }
+
+    fn depths_ahead(&self, lane: Lane) -> [usize; LANE_COUNT] {
+        // Same-or-higher lanes run first, exactly as under
+        // [`PriorityLanes`]; rotation order within the arrival's own
+        // lane makes this a mean-field estimate, not an exact schedule.
+        std::array::from_fn(|i| if i <= lane.index() { self.lanes[i].depth } else { 0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(session: u64, lane: Lane, cost: usize) -> JobMeta {
+        JobMeta::new(session, lane, cost, None)
+    }
+
+    fn drain<T>(s: &mut dyn Scheduler<T>) -> Vec<(T, JobMeta)> {
+        std::iter::from_fn(|| s.pop()).collect()
+    }
+
+    #[test]
+    fn fifo_preserves_arrival_order_across_lanes() {
+        let mut f = Fifo::new(8);
+        f.push(1, meta(1, Lane::Batch, 50));
+        f.push(2, meta(2, Lane::Interactive, 1));
+        f.push(3, meta(1, Lane::Maintenance, 10));
+        assert_eq!(f.lane_depths(), [1, 1, 1]);
+        assert_eq!(f.depths_ahead(Lane::Interactive), [1, 1, 1], "fifo: everything is ahead");
+        let order: Vec<i32> = drain(&mut f).into_iter().map(|(v, _)| v).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_capacity_bounds_admission() {
+        let mut f = Fifo::new(2);
+        assert!(f.has_room(&meta(1, Lane::Interactive, 1)));
+        f.push(1, meta(1, Lane::Interactive, 1));
+        f.push(2, meta(1, Lane::Batch, 1));
+        assert!(!f.has_room(&meta(1, Lane::Interactive, 1)));
+        f.pop();
+        assert!(f.has_room(&meta(1, Lane::Interactive, 1)));
+    }
+
+    #[test]
+    fn lanes_serve_strict_priority() {
+        let mut p = PriorityLanes::new([4, 4, 4]);
+        p.push(10, meta(1, Lane::Batch, 50));
+        p.push(11, meta(1, Lane::Maintenance, 5));
+        p.push(12, meta(2, Lane::Interactive, 1));
+        p.push(13, meta(1, Lane::Batch, 50));
+        p.push(14, meta(3, Lane::Interactive, 1));
+        let order: Vec<i32> = drain(&mut p).into_iter().map(|(v, _)| v).collect();
+        assert_eq!(order, vec![12, 14, 10, 13, 11], "interactive, then batch FIFO, then maint");
+    }
+
+    #[test]
+    fn lane_caps_are_independent() {
+        let p: PriorityLanes<i32> = {
+            let mut p = PriorityLanes::new([1, 2, 1]);
+            p.push(1, meta(1, Lane::Batch, 9));
+            p.push(2, meta(1, Lane::Batch, 9));
+            p
+        };
+        // Batch full; interactive still admits — a storm only
+        // backpressures its own lane.
+        assert!(!p.has_room(&meta(2, Lane::Batch, 9)));
+        assert!(p.has_room(&meta(2, Lane::Interactive, 1)));
+    }
+
+    #[test]
+    fn lanes_depths_ahead_ignore_lower_lanes() {
+        let mut p = PriorityLanes::new([8, 8, 8]);
+        p.push(1, meta(1, Lane::Batch, 50));
+        p.push(2, meta(1, Lane::Batch, 50));
+        p.push(3, meta(1, Lane::Maintenance, 5));
+        // A drained interactive lane means an interactive arrival waits
+        // on nothing — the batch backlog must not mask that.
+        assert_eq!(p.depths_ahead(Lane::Interactive), [0, 0, 0]);
+        assert_eq!(p.depths_ahead(Lane::Batch), [0, 2, 0]);
+        assert_eq!(p.depths_ahead(Lane::Maintenance), [0, 2, 1]);
+    }
+
+    #[test]
+    fn deadline_promotion_overtakes_older_batch_work() {
+        let mut p = PriorityLanes::new([8, 8, 8]);
+        p.push(1, meta(1, Lane::Batch, 50));
+        p.push(2, meta(1, Lane::Batch, 50));
+        // Deadline 0: urgent immediately (half of zero has elapsed).
+        p.push(3, JobMeta::new(2, Lane::Batch, 50, Some(Duration::ZERO)));
+        p.push(4, meta(1, Lane::Batch, 50));
+        let (first, m) = p.pop().unwrap();
+        assert_eq!(first, 3, "promoted ahead of older batch work");
+        assert!(m.promoted);
+        let rest: Vec<i32> = drain(&mut p).into_iter().map(|(v, _)| v).collect();
+        assert_eq!(rest, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn unexpired_deadlines_do_not_promote() {
+        let mut p = PriorityLanes::new([8, 8, 8]);
+        p.push(1, meta(1, Lane::Batch, 50));
+        p.push(2, JobMeta::new(2, Lane::Batch, 50, Some(Duration::from_secs(3600))));
+        let (first, m) = p.pop().unwrap();
+        assert_eq!(first, 1, "an hour-long deadline is not urgent yet");
+        assert!(!m.promoted);
+    }
+
+    #[test]
+    fn fair_share_weights_sessions_by_cost() {
+        // Session 1 floods expensive jobs (cost 50); sessions 2 and 3
+        // run point queries (cost 1). With quantum 10, session 1 needs
+        // 5 rotations of credit per job while 2 and 3 run every
+        // rotation: the cheap sessions finish all 4 jobs each before
+        // the storm drains.
+        let mut f = FairShare::new([64; LANE_COUNT], 10.0);
+        for i in 0..4 {
+            f.push(100 + i, meta(1, Lane::Interactive, 50));
+            f.push(200 + i, meta(2, Lane::Interactive, 1));
+            f.push(300 + i, meta(3, Lane::Interactive, 1));
+        }
+        let order: Vec<i32> = drain(&mut f).into_iter().map(|(v, _)| v).collect();
+        assert_eq!(order.len(), 12);
+        let storm_positions: Vec<usize> = order
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v >= 100 && **v < 200)
+            .map(|(i, _)| i)
+            .collect();
+        let cheap_last =
+            order.iter().enumerate().filter(|(_, v)| **v >= 200).map(|(i, _)| i).max().unwrap();
+        assert!(
+            storm_positions.iter().filter(|&&p| p < cheap_last).count() <= 2,
+            "storm jobs must mostly wait behind cheap sessions: {order:?}"
+        );
+        // Per-session FIFO order is preserved.
+        let s2: Vec<i32> = order.iter().copied().filter(|v| (200..300).contains(v)).collect();
+        assert_eq!(s2, vec![200, 201, 202, 203]);
+    }
+
+    /// Literal one-step DRR rotation — the specification the
+    /// closed-form [`DrrLane::pop`] must reproduce exactly.
+    fn reference_drr(jobs: &[(u64, usize)], quantum: f64) -> Vec<i32> {
+        use std::collections::BTreeMap;
+        let mut queues: BTreeMap<u64, (VecDeque<(i32, f64)>, f64)> = BTreeMap::new();
+        let mut order: VecDeque<u64> = VecDeque::new();
+        for (i, (sid, w)) in jobs.iter().enumerate() {
+            if !queues.contains_key(sid) {
+                order.push_back(*sid);
+            }
+            queues.entry(*sid).or_default().0.push_back((i as i32, *w.max(&1) as f64));
+        }
+        let mut out = Vec::new();
+        while let Some(&sid) = order.front() {
+            let (q, deficit) = queues.get_mut(&sid).unwrap();
+            let (item, w) = *q.front().unwrap();
+            if *deficit >= w {
+                q.pop_front();
+                *deficit -= w;
+                out.push(item);
+                if q.is_empty() {
+                    queues.remove(&sid);
+                    order.retain(|&s| s != sid);
+                }
+            } else {
+                *deficit += quantum;
+                order.rotate_left(1);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fair_share_closed_form_matches_reference_rotation() {
+        // A scripted mix of sessions and weights, including one job far
+        // heavier than the quantum (the case the closed form exists
+        // for): the schedule must be identical to literal rotation.
+        let quantum = 8.0;
+        let jobs: &[(u64, usize)] = &[
+            (1, 50),
+            (2, 1),
+            (3, 7),
+            (1, 3),
+            (2, 120_000),
+            (3, 8),
+            (4, 1),
+            (1, 9),
+            (4, 33),
+            (2, 2),
+            (5, 4),
+        ];
+        let mut fair = FairShare::new([64; LANE_COUNT], quantum);
+        for (i, (sid, w)) in jobs.iter().enumerate() {
+            fair.push(i as i32, meta(*sid, Lane::Interactive, *w));
+        }
+        let got: Vec<i32> = drain(&mut fair).into_iter().map(|(v, _)| v).collect();
+        assert_eq!(got, reference_drr(jobs, quantum));
+    }
+
+    #[test]
+    fn fair_share_serves_interactive_lane_before_batch() {
+        let mut f = FairShare::new([64; LANE_COUNT], 8.0);
+        f.push(1, meta(1, Lane::Batch, 400));
+        f.push(2, meta(2, Lane::Batch, 400));
+        f.push(3, meta(3, Lane::Interactive, 4));
+        // The interactive arrival overtakes the queued batch work of
+        // other sessions — FairShare protects the interactive lane
+        // exactly like PriorityLanes, then shares within lanes.
+        assert_eq!(f.pop().unwrap().0, 3);
+        assert_eq!(f.depths_ahead(Lane::Interactive), [0, 0, 0]);
+        let rest: Vec<i32> = drain(&mut f).into_iter().map(|(v, _)| v).collect();
+        assert_eq!(rest, vec![1, 2]);
+    }
+
+    #[test]
+    fn fair_share_single_session_degenerates_to_fifo() {
+        let mut f = FairShare::new([64; LANE_COUNT], 4.0);
+        for i in 0..5 {
+            f.push(i, meta(7, Lane::Interactive, 30));
+        }
+        let order: Vec<i32> = drain(&mut f).into_iter().map(|(v, _)| v).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+        assert_eq!(f.len(), 0);
+    }
+
+    #[test]
+    fn fair_share_promotes_deadlines_across_sessions() {
+        let mut f = FairShare::new([64; LANE_COUNT], 4.0);
+        f.push(1, meta(1, Lane::Interactive, 1));
+        f.push(2, JobMeta::new(2, Lane::Batch, 50, Some(Duration::ZERO)));
+        let (first, m) = f.pop().unwrap();
+        assert_eq!(first, 2);
+        assert!(m.promoted);
+        assert_eq!(f.pop().unwrap().0, 1);
+        assert!(f.pop().is_none());
+    }
+
+    #[test]
+    fn fair_share_lane_caps_and_depths() {
+        let mut f = FairShare::new([2, 1, 1], 4.0);
+        f.push(1, meta(1, Lane::Batch, 5));
+        assert!(!f.has_room(&meta(2, Lane::Batch, 5)), "global batch cap reached");
+        assert!(f.has_room(&meta(2, Lane::Interactive, 1)));
+        f.push(2, meta(2, Lane::Interactive, 1));
+        assert_eq!(f.lane_depths(), [1, 1, 0]);
+        assert_eq!(f.depths_ahead(Lane::Interactive), [1, 0, 0]);
+        assert_eq!(f.depths_ahead(Lane::Batch), [1, 1, 0]);
+    }
+
+    #[test]
+    fn build_maps_policy_names() {
+        assert_eq!(build::<i32>(SchedPolicy::Fifo, 4, 8.0).name(), "fifo");
+        assert_eq!(build::<i32>(SchedPolicy::Lanes, 4, 8.0).name(), "lanes");
+        assert_eq!(build::<i32>(SchedPolicy::Fair, 4, 8.0).name(), "fair");
+    }
+}

@@ -298,7 +298,12 @@ fn latency_aware_admission_sheds_load_beyond_wait_bound() {
     // backlog must trip the estimate.
     let server = DbServer::start_with(
         db,
-        ServerOptions { workers: Some(1), queue_capacity: Some(64), max_queue_wait_ms: Some(0.0) },
+        ServerOptions {
+            workers: Some(1),
+            queue_capacity: Some(64),
+            max_queue_wait_ms: Some(0.0),
+            ..Default::default()
+        },
     );
     // An empty queue always admits (estimate is 0 × mean = 0).
     server.run(&join_query()).unwrap();

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""CI gate for the serving-throughput benchmark's mixed-workload figure.
+
+Usage: check_bench_throughput.py <fresh BENCH_throughput.json> [baseline]
+
+Fails (exit 1) when the fresh run is missing required keys, or when the
+cost-aware scheduler stops delivering its acceptance properties on the
+mixed point-query + scan-storm + adaptation-on scenario:
+
+  * interactive p95 under `lanes` must be at least LANES_P95_FACTOR x
+    lower than under `fifo` at identical offered load;
+  * interactive p95 under `fair` must not exceed `fifo`;
+  * total throughput under `lanes` must stay within QPS_TOLERANCE of
+    `fifo` (the acceptance bound); `fair` within FAIR_QPS_TOLERANCE;
+  * maintenance pacing must have deferred work under load
+    (`maintenance_deferrals` >= 1 per policy) — the paced quota was
+    genuinely smaller than the inbox;
+  * cost classification must route the majority of storm joins into
+    the batch lane (`storm_batch_share` >= MIN_STORM_BATCH_SHARE).
+
+Latency gates compare policies *within* the fresh run (identical
+machine, identical load), so CI-runner speed never trips them; the
+optional baseline argument is checked for schema compatibility only
+(wall-clock numbers are machine-dependent, unlike the deterministic
+shuffle benchmark).
+"""
+
+import json
+import sys
+
+REQUIRED_TOP = ["bench", "scale", "seed", "cells", "mixed"]
+REQUIRED_CELL = [
+    "clients",
+    "adaptive",
+    "queries",
+    "secs",
+    "qps",
+    "mean_latency_ms",
+    "maintenance_writes",
+    "sim_secs_serial",
+    "sim_secs_pipelined",
+]
+REQUIRED_MIXED = ["storm_sessions", "interactive_sessions", "workers", "lanes", "policies"]
+REQUIRED_LANE = ["policy", "lane", "queries", "mean_ms", "p50_ms", "p95_ms", "p99_ms"]
+REQUIRED_POLICY = [
+    "policy",
+    "queries",
+    "secs",
+    "qps",
+    "maintenance_writes",
+    "maintenance_deferrals",
+    "fairness_index",
+    "storm_batch_share",
+]
+POLICIES = ("fifo", "lanes", "fair")
+LANES = ("interactive", "batch")
+
+# The acceptance bar: lanes holds interactive p95 at least 2x lower
+# than FIFO at equal offered load (measured margin is ~8-40x).
+LANES_P95_FACTOR = 2.0
+# Throughput under `lanes` stays within 10% of FIFO — the acceptance
+# bound. `fair` gets a looser bound: it is not part of the acceptance
+# criterion and its DRR bookkeeping makes its short-run makespan
+# noisier.
+QPS_TOLERANCE = 0.10
+FAIR_QPS_TOLERANCE = 0.20
+MIN_STORM_BATCH_SHARE = 0.5
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench_throughput: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {path}: {e}")
+
+
+def validate(doc: dict, path: str) -> None:
+    for key in REQUIRED_TOP:
+        if key not in doc:
+            fail(f"{path}: missing key {key!r}")
+    if doc["bench"] != "throughput":
+        fail(f"{path}: bench is {doc['bench']!r}, expected 'throughput'")
+    if not doc["cells"]:
+        fail(f"{path}: cells is empty")
+    for cell in doc["cells"]:
+        for key in REQUIRED_CELL:
+            if key not in cell:
+                fail(f"{path}: cell missing key {key!r}")
+    mixed = doc["mixed"]
+    for key in REQUIRED_MIXED:
+        if key not in mixed:
+            fail(f"{path}: mixed missing key {key!r}")
+    for cell in mixed["lanes"]:
+        for key in REQUIRED_LANE:
+            if key not in cell:
+                fail(f"{path}: mixed lane cell missing key {key!r}")
+    for cell in mixed["policies"]:
+        for key in REQUIRED_POLICY:
+            if key not in cell:
+                fail(f"{path}: mixed policy cell missing key {key!r}")
+    seen = {(c["policy"], c["lane"]) for c in mixed["lanes"]}
+    for policy in POLICIES:
+        for lane in LANES:
+            if (policy, lane) not in seen:
+                fail(f"{path}: mixed lanes missing ({policy}, {lane}) cell")
+    seen_policies = {c["policy"] for c in mixed["policies"]}
+    for policy in POLICIES:
+        if policy not in seen_policies:
+            fail(f"{path}: mixed policies missing {policy!r}")
+
+
+def lane_cell(doc: dict, policy: str, lane: str) -> dict:
+    return next(
+        c for c in doc["mixed"]["lanes"] if c["policy"] == policy and c["lane"] == lane
+    )
+
+
+def policy_cell(doc: dict, policy: str) -> dict:
+    return next(c for c in doc["mixed"]["policies"] if c["policy"] == policy)
+
+
+def check_scheduler(doc: dict, path: str) -> None:
+    fifo_p95 = lane_cell(doc, "fifo", "interactive")["p95_ms"]
+    lanes_p95 = lane_cell(doc, "lanes", "interactive")["p95_ms"]
+    fair_p95 = lane_cell(doc, "fair", "interactive")["p95_ms"]
+    if lanes_p95 * LANES_P95_FACTOR > fifo_p95:
+        fail(
+            f"{path}: lanes interactive p95 {lanes_p95:.2f} ms is not "
+            f"{LANES_P95_FACTOR}x lower than fifo {fifo_p95:.2f} ms"
+        )
+    if fair_p95 > fifo_p95:
+        fail(
+            f"{path}: fair interactive p95 {fair_p95:.2f} ms exceeds "
+            f"fifo {fifo_p95:.2f} ms"
+        )
+    fifo_qps = policy_cell(doc, "fifo")["qps"]
+    for policy, tolerance in (("lanes", QPS_TOLERANCE), ("fair", FAIR_QPS_TOLERANCE)):
+        cell = policy_cell(doc, policy)
+        if cell["queries"] != policy_cell(doc, "fifo")["queries"]:
+            fail(f"{path}: {policy} ran a different offered load than fifo")
+        if cell["qps"] < fifo_qps * (1.0 - tolerance):
+            fail(
+                f"{path}: {policy} throughput {cell['qps']:.1f} q/s regresses more "
+                f"than {tolerance:.0%} vs fifo {fifo_qps:.1f} q/s"
+            )
+    for policy in POLICIES:
+        cell = policy_cell(doc, policy)
+        if cell["maintenance_deferrals"] < 1:
+            fail(
+                f"{path}: {policy} run never deferred maintenance under load — "
+                f"pacing is not engaging"
+            )
+        if cell["storm_batch_share"] < MIN_STORM_BATCH_SHARE:
+            fail(
+                f"{path}: {policy} classified only {cell['storm_batch_share']:.0%} of "
+                f"storm joins into the batch lane"
+            )
+        if not 0.0 < cell["fairness_index"] <= 1.0 + 1e-9:
+            fail(f"{path}: {policy} fairness index {cell['fairness_index']} out of range")
+
+
+def main() -> None:
+    if len(sys.argv) not in (2, 3):
+        fail("usage: check_bench_throughput.py <fresh.json> [baseline.json]")
+    fresh_path = sys.argv[1]
+    fresh = load(fresh_path)
+    validate(fresh, fresh_path)
+    check_scheduler(fresh, fresh_path)
+    if len(sys.argv) == 3:
+        # Baseline: schema compatibility only — wall-clock latency is
+        # machine-dependent, so no numeric regression gate here.
+        base_path = sys.argv[2]
+        validate(load(base_path), base_path)
+
+    fifo = lane_cell(fresh, "fifo", "interactive")["p95_ms"]
+    lanes = lane_cell(fresh, "lanes", "interactive")["p95_ms"]
+    print(
+        f"check_bench_throughput: OK — interactive p95 fifo {fifo:.2f} ms vs "
+        f"lanes {lanes:.2f} ms ({fifo / max(lanes, 1e-9):.1f}x lower), "
+        f"throughput within {QPS_TOLERANCE:.0%}, maintenance pacing engaged"
+    )
+
+
+if __name__ == "__main__":
+    main()
