@@ -73,7 +73,11 @@ fn measure(opts: &BenchOpts, nodes: usize, replication: usize, fetch_window: usi
     }
     let clock = SimClock::new();
     let ctx = ExecContext::single(&store, &clock)
-        .with_shuffle(ShuffleOptions { partitions: Some(nodes), replication })
+        .with_shuffle(ShuffleOptions {
+            partitions: Some(nodes),
+            replication,
+            split_threshold: None,
+        })
         .with_fetch_window(fetch_window);
     let none = PredicateSet::none();
     let rows = shuffle_join(

@@ -72,6 +72,45 @@ impl CostParams {
     }
 }
 
+/// Decide which shuffle partitions a reduce phase should split across
+/// extra reducers, from the map-side per-partition row histograms of
+/// both sides. Returns one split factor per partition (`1` = run the
+/// partition on its placed reducer as usual; `k > 1` = fan the
+/// partition's bigger side out over `k` reducers, broadcasting the
+/// smaller side to each — the inverse of AQE-style coalescing, after
+/// Bala-Join's communication/computation rebalancing).
+///
+/// A partition is *heavy* when its combined row count exceeds
+/// `threshold ×` the mean partition load **and** at least `min_rows`
+/// (so tiny skews on near-empty shuffles never split). The factor is
+/// proportional to the overload, capped at `max_factor` (the number of
+/// reducers that can share it).
+pub fn plan_partition_splits(
+    left_rows: &[usize],
+    right_rows: &[usize],
+    threshold: f64,
+    max_factor: usize,
+    min_rows: usize,
+) -> Vec<usize> {
+    let partitions = left_rows.len().max(right_rows.len());
+    let total_of =
+        |p: usize| left_rows.get(p).copied().unwrap_or(0) + right_rows.get(p).copied().unwrap_or(0);
+    let total: usize = (0..partitions).map(total_of).sum();
+    if partitions == 0 || total == 0 || max_factor <= 1 || threshold <= 0.0 {
+        return vec![1; partitions];
+    }
+    let mean = total as f64 / partitions as f64;
+    (0..partitions)
+        .map(|p| {
+            let load = total_of(p);
+            if (load as f64) <= threshold * mean || load < min_rows {
+                return 1;
+            }
+            (((load as f64) / mean).ceil() as usize).clamp(2, max_factor)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,5 +154,42 @@ mod tests {
     fn remote_reads_cost_more() {
         let p = CostParams::default();
         assert!(p.secs_for(0, 10, 0) > p.secs_for(10, 0, 0));
+    }
+
+    #[test]
+    fn uniform_partitions_never_split() {
+        let rows = [100usize; 8];
+        assert_eq!(plan_partition_splits(&rows, &rows, 4.0, 4, 10), vec![1; 8]);
+    }
+
+    #[test]
+    fn heavy_partition_splits_proportionally_and_caps() {
+        // Partition 0 holds ~10x the mean load: split, capped at 3.
+        let left = [1000usize, 10, 10, 10];
+        let right = [1000usize, 10, 10, 10];
+        let plan = plan_partition_splits(&left, &right, 2.0, 3, 10);
+        assert_eq!(plan[0], 3, "overloaded partition capped at max_factor");
+        assert_eq!(&plan[1..], &[1, 1, 1]);
+        // A generous cap lets the factor track the overload instead.
+        let plan = plan_partition_splits(&left, &right, 2.0, 16, 10);
+        assert!((2..=8).contains(&plan[0]), "factor ~ load/mean, got {}", plan[0]);
+    }
+
+    #[test]
+    fn small_absolute_loads_never_split() {
+        // Skewed in *ratio* but trivially small: min_rows suppresses it.
+        let left = [9usize, 0, 0, 0];
+        let right = [0usize; 4];
+        assert_eq!(plan_partition_splits(&left, &right, 2.0, 4, 10), vec![1; 4]);
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_split() {
+        assert!(plan_partition_splits(&[], &[], 4.0, 4, 10).is_empty());
+        assert_eq!(plan_partition_splits(&[0, 0], &[0, 0], 4.0, 4, 0), vec![1, 1]);
+        // One reducer available → nothing to split across.
+        assert_eq!(plan_partition_splits(&[1000, 1], &[0, 0], 2.0, 1, 10), vec![1, 1]);
+        // Histograms of unequal length behave as zero-padded.
+        assert_eq!(plan_partition_splits(&[1000, 1], &[1000], 2.0, 4, 10).len(), 2);
     }
 }

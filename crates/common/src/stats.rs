@@ -60,6 +60,23 @@ pub struct ShuffleStats {
     pub local_fetches: usize,
     /// Run-block fetches that crossed the simulated network.
     pub remote_fetches: usize,
+    /// Build-side blocks spilled back to scratch by the memory-budgeted
+    /// build phase (a subset of [`IoStats::writes`], like run spills).
+    pub build_blocks_spilled: usize,
+    /// Extra run-block reads performed to broadcast a split partition's
+    /// small side to its sibling sub-tasks. A breakdown of [`IoStats`]
+    /// reads, deliberately *not* counted in
+    /// [`ShuffleStats::local_fetches`]/[`ShuffleStats::remote_fetches`]
+    /// so `fetches() == blocks_spilled` keeps holding for every run.
+    pub broadcast_fetches: usize,
+    /// Hot partitions the reduce phase split across extra reducers.
+    pub split_partitions: usize,
+    /// Deepest recursive-repartitioning level any budgeted build
+    /// reached (gauge; 0 when every build fit its budget).
+    pub max_recursion_depth: usize,
+    /// Largest build-side hash table any reducer held at once, in
+    /// blocks (gauge; bounded by `join_mem_budget_blocks` when set).
+    pub peak_reducer_mem_blocks: usize,
 }
 
 impl ShuffleStats {
@@ -77,13 +94,19 @@ impl ShuffleStats {
         self.local_fetches as f64 / self.fetches() as f64
     }
 
-    /// Merge another tally into this one.
+    /// Merge another tally into this one (gauges take the max).
     pub fn merge(&mut self, other: &ShuffleStats) {
         self.runs_written += other.runs_written;
         self.blocks_spilled += other.blocks_spilled;
         self.bytes_spilled += other.bytes_spilled;
         self.local_fetches += other.local_fetches;
         self.remote_fetches += other.remote_fetches;
+        self.build_blocks_spilled += other.build_blocks_spilled;
+        self.broadcast_fetches += other.broadcast_fetches;
+        self.split_partitions += other.split_partitions;
+        self.max_recursion_depth = self.max_recursion_depth.max(other.max_recursion_depth);
+        self.peak_reducer_mem_blocks =
+            self.peak_reducer_mem_blocks.max(other.peak_reducer_mem_blocks);
     }
 }
 
@@ -267,11 +290,32 @@ mod tests {
             bytes_spilled: 100,
             local_fetches: 1,
             remote_fetches: 2,
+            build_blocks_spilled: 4,
+            broadcast_fetches: 5,
+            split_partitions: 1,
+            max_recursion_depth: 2,
+            peak_reducer_mem_blocks: 6,
         };
-        let b = ShuffleStats { local_fetches: 1, ..ShuffleStats::default() };
+        let b = ShuffleStats {
+            local_fetches: 1,
+            build_blocks_spilled: 1,
+            broadcast_fetches: 2,
+            split_partitions: 1,
+            max_recursion_depth: 1,
+            peak_reducer_mem_blocks: 9,
+            ..ShuffleStats::default()
+        };
         a.merge(&b);
         assert_eq!(a.fetches(), 4);
         assert_eq!(a.locality_fraction(), 0.5);
+        // Counters sum; gauges take the max.
+        assert_eq!(a.build_blocks_spilled, 5);
+        assert_eq!(a.broadcast_fetches, 7);
+        assert_eq!(a.split_partitions, 2);
+        assert_eq!(a.max_recursion_depth, 2);
+        assert_eq!(a.peak_reducer_mem_blocks, 9);
+        // Broadcast reads never leak into the fetch breakdown.
+        assert_eq!(a.fetches(), a.local_fetches + a.remote_fetches);
         // Nothing shuffled → vacuously fully local.
         assert_eq!(ShuffleStats::default().locality_fraction(), 1.0);
     }

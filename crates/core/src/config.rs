@@ -105,6 +105,22 @@ pub struct DbConfig {
     /// exactly what `C_SJ = 3` prices in. Raising it trades spill
     /// bandwidth for fetch locality (see `fig_shuffle`).
     pub shuffle_replication: usize,
+    /// Hot-partition split threshold for shuffle joins: a reduce
+    /// partition whose combined row load exceeds this multiple of the
+    /// mean partition load (and is at least two blocks of rows) is
+    /// split across extra reducers — the skew inverse of AQE-style
+    /// coalescing. `None` disables splitting. The default (4×) leaves
+    /// uniform workloads untouched.
+    pub shuffle_split_threshold: Option<f64>,
+    /// Per-reducer build-side memory budget for shuffle joins, in
+    /// blocks: a reducer whose build hash table would exceed it spills
+    /// the overflow to scratch and recursively repartitions it
+    /// (Grace-style), falling back to block-nested-loop at the
+    /// recursion cap. `None` (the default) is unbounded — the
+    /// pre-budget join, bit-identical block counts. Defaults honor the
+    /// `ADAPTDB_JOIN_MEM` environment variable; see
+    /// [`DbConfig::env_join_mem`].
+    pub join_mem_budget_blocks: Option<usize>,
     /// In-flight depth of the pipelined fetch backend: scans prefetch
     /// the manifest and reducers prefetch shuffle runs with up to this
     /// many block reads outstanding, charged max-of-window latency on
@@ -166,6 +182,8 @@ impl Default for DbConfig {
             adapt_selections: true,
             shuffle_partitions: None,
             shuffle_replication: 1,
+            shuffle_split_threshold: Some(4.0),
+            join_mem_budget_blocks: DbConfig::env_join_mem(),
             fetch_window: DbConfig::env_fetch_window().unwrap_or(4),
             sched: DbConfig::env_sched().unwrap_or_default(),
             batch_cost_blocks: 64,
@@ -194,6 +212,14 @@ impl DbConfig {
     /// results or block counts — only how much fetch latency overlaps.
     pub fn env_fetch_window() -> Option<usize> {
         std::env::var("ADAPTDB_FETCH_WINDOW").ok()?.trim().parse::<usize>().ok().filter(|w| *w > 0)
+    }
+
+    /// The `ADAPTDB_JOIN_MEM` override, if set to a positive integer:
+    /// the per-reducer build-memory budget in blocks. Unlike the other
+    /// overrides this changes the I/O *plan* (budgeted builds spill and
+    /// re-read overflow), but never a query's rows.
+    pub fn env_join_mem() -> Option<usize> {
+        std::env::var("ADAPTDB_JOIN_MEM").ok()?.trim().parse::<usize>().ok().filter(|b| *b > 0)
     }
 
     /// The `ADAPTDB_SCHED` override, if set to a recognized policy
@@ -248,6 +274,7 @@ impl DbConfig {
         adaptdb_exec::ShuffleOptions {
             partitions: Some(self.shuffle_fanout()),
             replication: self.shuffle_replication.max(1),
+            split_threshold: self.shuffle_split_threshold,
         }
     }
 }
@@ -290,6 +317,18 @@ mod tests {
         assert_eq!(c.shuffle_fanout(), 7);
         assert_eq!(c.shuffle_options().partitions, Some(7));
         assert_eq!(c.shuffle_options().replication, 3);
+    }
+
+    #[test]
+    fn skew_knobs_default_and_thread_through() {
+        let c = DbConfig::default();
+        assert_eq!(c.shuffle_split_threshold, Some(4.0), "splitting on by default at 4x mean");
+        assert_eq!(c.shuffle_options().split_threshold, Some(4.0));
+        if std::env::var("ADAPTDB_JOIN_MEM").is_err() {
+            assert_eq!(c.join_mem_budget_blocks, None, "build memory unbounded by default");
+        }
+        let c = DbConfig { shuffle_split_threshold: None, ..c };
+        assert_eq!(c.shuffle_options().split_threshold, None);
     }
 
     #[test]

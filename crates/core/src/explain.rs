@@ -49,6 +49,10 @@ pub struct ExplainReport {
     pub build_side: Option<JoinSide>,
     /// Number of build groups in the schedule.
     pub groups: Option<usize>,
+    /// Per-reducer build-side memory budget (blocks) the join would run
+    /// under ([`crate::DbConfig::join_mem_budget_blocks`]). `None` =
+    /// unbounded builds, the pre-budget behavior.
+    pub join_mem_budget_blocks: Option<usize>,
     /// Candidate blocks the admission cost model projects
     /// ([`cost::estimate_query`]) — the scheduler's classification and
     /// fair-share weighting signal.
@@ -94,6 +98,9 @@ impl std::fmt::Display for ExplainReport {
         if let (Some(side), Some(groups)) = (self.build_side, self.groups) {
             writeln!(f, "  build side: {side:?}, {groups} groups")?;
         }
+        if let Some(budget) = self.join_mem_budget_blocks {
+            writeln!(f, "  join memory budget: {budget} blocks per reducer build")?;
+        }
         writeln!(
             f,
             "  scheduler: ~{} candidate blocks, {} lane",
@@ -112,6 +119,9 @@ impl Database {
         let mut report = self.explain_inner(query, params)?;
         report.est_cost_blocks = est.blocks;
         report.est_lane = est.lane(self.config());
+        if !matches!(query, Query::Scan(_)) {
+            report.join_mem_budget_blocks = self.config().join_mem_budget_blocks;
+        }
         Ok(report)
     }
 
@@ -137,6 +147,7 @@ impl Database {
                     est_c_hyj: None,
                     build_side: None,
                     groups: None,
+                    join_mem_budget_blocks: None,
                     est_cost_blocks: 0,
                     est_lane: Lane::Interactive,
                 })
@@ -227,6 +238,7 @@ impl Database {
                 est_c_hyj: None,
                 build_side: None,
                 groups: None,
+                join_mem_budget_blocks: None,
                 est_cost_blocks: 0,
                 est_lane: Lane::Interactive,
             });
@@ -262,6 +274,7 @@ impl Database {
                     est_c_hyj: Some(plan.c_hyj),
                     build_side: Some(plan.build_side),
                     groups: Some(plan.groups.len()),
+                    join_mem_budget_blocks: None,
                     est_cost_blocks: 0,
                     est_lane: Lane::Interactive,
                 }
@@ -286,6 +299,7 @@ impl Database {
                     est_c_hyj: None,
                     build_side: None,
                     groups: None,
+                    join_mem_budget_blocks: None,
                     est_cost_blocks: 0,
                     est_lane: Lane::Interactive,
                 }

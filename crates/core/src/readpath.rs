@@ -42,6 +42,7 @@ fn exec_ctx<'a, S: SnapshotSource>(src: &'a S, clock: &'a SimClock) -> ExecConte
     ExecContext::new(src.store(), clock, src.config().threads)
         .with_shuffle(src.config().shuffle_options())
         .with_fetch_window(src.config().fetch_window)
+        .with_join_mem_budget(src.config().join_mem_budget_blocks)
 }
 
 /// Execute one query against the source's snapshots: plan, run, account

@@ -140,6 +140,46 @@ impl SimClock {
         }
     }
 
+    /// Record a budgeted build phase spilling `blocks` overflow
+    /// build-side blocks back to scratch. Charges the block writes on
+    /// the I/O tally (spill is real I/O, like run spill) and the count
+    /// on the shuffle breakdown's `build_blocks_spilled`.
+    pub fn record_build_spill(&self, blocks: usize) {
+        if blocks == 0 {
+            return;
+        }
+        self.io.lock().writes += blocks;
+        self.shuffle.lock().build_blocks_spilled += blocks;
+    }
+
+    /// Classify an already-charged read as a broadcast of a split
+    /// partition's small side to a sibling sub-task. Like
+    /// [`SimClock::record_shuffle_fetch`] this never charges the read
+    /// itself — but it lands on the separate `broadcast_fetches`
+    /// counter, so per-run fetch invariants are undisturbed.
+    pub fn record_broadcast_fetch(&self, _kind: ReadKind) {
+        self.shuffle.lock().broadcast_fetches += 1;
+    }
+
+    /// Record one hot partition being split across extra reducers.
+    pub fn record_partition_split(&self) {
+        self.shuffle.lock().split_partitions += 1;
+    }
+
+    /// Record a budgeted build recursing to repartition depth `depth`
+    /// (gauge: the tally keeps the maximum).
+    pub fn record_recursion_depth(&self, depth: usize) {
+        let mut sh = self.shuffle.lock();
+        sh.max_recursion_depth = sh.max_recursion_depth.max(depth);
+    }
+
+    /// Record a reducer holding a `blocks`-block build table (gauge:
+    /// the tally keeps the per-query maximum).
+    pub fn record_reducer_peak(&self, blocks: usize) {
+        let mut sh = self.shuffle.lock();
+        sh.peak_reducer_mem_blocks = sh.peak_reducer_mem_blocks.max(blocks);
+    }
+
     /// Snapshot of the tally so far.
     pub fn snapshot(&self) -> IoStats {
         *self.io.lock()
@@ -271,6 +311,35 @@ mod tests {
         // take() resets the overlap tally with the rest.
         c.take();
         assert_eq!(c.overlap_snapshot(), adaptdb_common::OverlapStats::default());
+    }
+
+    #[test]
+    fn skew_tallies_classify_and_gauge() {
+        let c = SimClock::new();
+        // Build spill charges writes; zero-block spills are a no-op.
+        c.record_build_spill(2);
+        c.record_build_spill(0);
+        // Broadcast fetches classify only — no read charged here.
+        c.record_broadcast_fetch(ReadKind::Local);
+        c.record_broadcast_fetch(ReadKind::Remote);
+        c.record_partition_split();
+        // Gauges keep the maximum, not the sum.
+        c.record_recursion_depth(1);
+        c.record_recursion_depth(3);
+        c.record_recursion_depth(2);
+        c.record_reducer_peak(4);
+        c.record_reducer_peak(2);
+        let io = c.snapshot();
+        let sh = c.shuffle_snapshot();
+        assert_eq!(io.writes, 2);
+        assert_eq!(io.reads(), 0);
+        assert_eq!(sh.build_blocks_spilled, 2);
+        assert_eq!(sh.broadcast_fetches, 2);
+        assert_eq!(sh.split_partitions, 1);
+        assert_eq!(sh.max_recursion_depth, 3);
+        assert_eq!(sh.peak_reducer_mem_blocks, 4);
+        // Broadcasts stay out of the per-run fetch breakdown.
+        assert_eq!(sh.fetches(), 0);
     }
 
     #[test]

@@ -13,11 +13,17 @@ pub struct ShuffleOptions {
     /// Replication factor for spilled runs (1 = unreplicated, the
     /// Spark/MapReduce shuffle-file convention).
     pub replication: usize,
+    /// Hot-partition split threshold: a partition whose combined row
+    /// load exceeds this multiple of the mean is split across extra
+    /// reducers during the reduce phase (the inverse of AQE-style
+    /// coalescing). `None` disables splitting — every partition runs
+    /// on its placed reducer, the pre-skew behavior.
+    pub split_threshold: Option<f64>,
 }
 
 impl Default for ShuffleOptions {
     fn default() -> Self {
-        ShuffleOptions { partitions: None, replication: 1 }
+        ShuffleOptions { partitions: None, replication: 1, split_threshold: None }
     }
 }
 
@@ -39,6 +45,12 @@ pub struct ExecContext<'a> {
     /// serial I/O, the pre-pipelining behavior; block *counts* are
     /// identical at every window, only overlapped latency differs.
     pub fetch_window: usize,
+    /// Per-reducer build-side memory budget for hash joins, in blocks.
+    /// A build side that would exceed it is spilled to scratch and
+    /// recursively repartitioned (Grace-style), falling back to
+    /// block-nested-loop at the recursion cap. `None` = unbounded,
+    /// which reproduces the pre-budget join bit-identically.
+    pub join_mem_budget_blocks: Option<usize>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -51,6 +63,7 @@ impl<'a> ExecContext<'a> {
             threads: threads.max(1),
             shuffle: ShuffleOptions::default(),
             fetch_window: 1,
+            join_mem_budget_blocks: None,
         }
     }
 
@@ -69,6 +82,14 @@ impl<'a> ExecContext<'a> {
     /// clamped to ≥ 1).
     pub fn with_fetch_window(mut self, window: usize) -> Self {
         self.fetch_window = window.max(1);
+        self
+    }
+
+    /// Same context with a per-reducer build-memory budget in blocks
+    /// (builder style). `None` = unbounded; `Some(0)` is clamped to one
+    /// block (a build table can never hold less than one).
+    pub fn with_join_mem_budget(mut self, budget_blocks: Option<usize>) -> Self {
+        self.join_mem_budget_blocks = budget_blocks.map(|b| b.max(1));
         self
     }
 }

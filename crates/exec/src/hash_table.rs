@@ -36,12 +36,13 @@ type Build = BuildHasherDefault<PassThroughHasher>;
 pub struct JoinHashTable {
     map: HashMap<Value, Vec<Row>, Build>,
     rows: usize,
+    keys: usize,
 }
 
 impl JoinHashTable {
     /// An empty table.
     pub fn new() -> Self {
-        JoinHashTable { map: HashMap::default(), rows: 0 }
+        JoinHashTable { map: HashMap::default(), rows: 0, keys: 0 }
     }
 
     /// Build from rows keyed on `attr`.
@@ -56,7 +57,11 @@ impl JoinHashTable {
     /// Insert one row keyed on `attr`.
     pub fn insert(&mut self, attr: AttrId, row: Row) {
         self.rows += 1;
-        self.map.entry(row.get(attr).clone()).or_default().push(row);
+        let bucket = self.map.entry(row.get(attr).clone()).or_default();
+        if bucket.is_empty() {
+            self.keys += 1;
+        }
+        bucket.push(row);
     }
 
     /// Rows whose key equals `key`.
@@ -74,9 +79,11 @@ impl JoinHashTable {
         self.rows == 0
     }
 
-    /// Number of distinct keys.
+    /// Number of distinct keys, maintained incrementally on insert
+    /// (the hyper-join hot path reads this per probe block — it must
+    /// never rescan the table).
     pub fn distinct_keys(&self) -> usize {
-        self.map.len()
+        self.keys
     }
 }
 
@@ -106,6 +113,17 @@ mod tests {
         let t = JoinHashTable::new();
         assert!(t.is_empty());
         assert!(t.probe(&Value::Int(0)).is_empty());
+        assert_eq!(t.distinct_keys(), 0);
+    }
+
+    #[test]
+    fn distinct_keys_tracks_inserts_incrementally() {
+        let mut t = JoinHashTable::new();
+        for i in 0..100i64 {
+            t.insert(0, row![i % 7, i]);
+            assert_eq!(t.distinct_keys(), ((i + 1).min(7)) as usize);
+        }
+        assert_eq!(t.len(), 100);
     }
 
     #[test]

@@ -46,6 +46,8 @@ pub use repartition::{
     repartition_blocks, repartition_blocks_with, RepartitionOutcome, RetireMode,
 };
 pub use scan::scan_blocks;
-pub use shuffle_join::{hash_join_rows, shuffle_join, shuffle_join_rows, ShuffleJoinSpec};
+pub use shuffle_join::{
+    hash_join_rows, reduce_partition, shuffle_join, shuffle_join_rows, ShuffleJoinSpec,
+};
 pub use shuffle_service::{ShuffleService, ShuffledSide};
 pub use step_join::{hyper_step_join, StepGroup};

@@ -131,15 +131,20 @@ fn pipelined_exchange<'a>(
 ) -> Result<Vec<Row>> {
     let mut streams = svc.partition_streams();
     let mut seen = vec![0usize; svc.partitions()];
-    spill_left(svc, &mut |side| svc.push_new_runs(&mut streams, side, &mut seen, false))?;
+    let left =
+        spill_left(svc, &mut |side| svc.push_new_runs(&mut streams, side, &mut seen, false))?;
     seen.fill(0);
-    spill_right(svc, &mut |side| svc.push_new_runs(&mut streams, side, &mut seen, true))?;
+    let right =
+        spill_right(svc, &mut |side| svc.push_new_runs(&mut streams, side, &mut seen, true))?;
+    // Both histograms are complete once the spills return, so the split
+    // plan is known before any stream is drained.
+    let plan = svc.split_plan(&left, &right);
     // Reduce: each partition drains its (already in-flight) stream and
     // joins; partitions run in parallel, output in partition order.
-    let tasks: Vec<_> = streams.into_iter().collect();
-    let results = parallel::map_ordered(tasks, threads, |mut stream| -> Result<Vec<Row>> {
+    let tasks: Vec<_> = streams.into_iter().enumerate().collect();
+    let results = parallel::map_ordered(tasks, threads, |(p, mut stream)| -> Result<Vec<Row>> {
         let (l, r) = svc.drain_partition(&mut stream)?;
-        Ok(hash_join_rows(l, &r, left_attr, right_attr))
+        join_partition(svc, p, plan[p], l, r, left_attr, right_attr, &left, &right)
     });
     let mut out = Vec::new();
     for r in results {
@@ -150,7 +155,9 @@ fn pipelined_exchange<'a>(
 
 /// Reduce phase shared by the block- and row-input shuffles: each
 /// reducer fetches both sides' runs for its partition and hash-joins
-/// them. Partitions run in parallel; output order is partition order.
+/// them under the context's memory budget, splitting hot partitions
+/// per the histogram-driven plan. Partitions run in parallel; output
+/// order is partition order.
 fn reduce_join(
     svc: &ShuffleService<'_>,
     threads: usize,
@@ -159,17 +166,215 @@ fn reduce_join(
     left_attr: AttrId,
     right_attr: AttrId,
 ) -> Result<Vec<Row>> {
+    let plan = svc.split_plan(left, right);
     let tasks: Vec<usize> = (0..svc.partitions()).collect();
     let results = parallel::map_ordered(tasks, threads, |p| -> Result<Vec<Row>> {
-        let l = svc.fetch(p, left)?;
-        let r = svc.fetch(p, right)?;
-        Ok(hash_join_rows(l, &r, left_attr, right_attr))
+        reduce_partition(svc, p, plan[p], left, right, left_attr, right_attr)
     });
     let mut out = Vec::new();
     for r in results {
         out.extend(r?);
     }
     Ok(out)
+}
+
+/// One reduce task: fetch both sides of partition `p` and join them
+/// under the memory budget, fanning out over `split_k` sub-tasks when
+/// the split plan marked the partition heavy. Public so benchmarks can
+/// run reduce tasks one at a time and read per-task clock deltas.
+pub fn reduce_partition(
+    svc: &ShuffleService<'_>,
+    p: usize,
+    split_k: usize,
+    left: &ShuffledSide,
+    right: &ShuffledSide,
+    left_attr: AttrId,
+    right_attr: AttrId,
+) -> Result<Vec<Row>> {
+    let l = svc.fetch(p, left)?;
+    let r = svc.fetch(p, right)?;
+    join_partition(svc, p, split_k, l, r, left_attr, right_attr, left, right)
+}
+
+/// Join one partition's fetched rows, shared by the serial and
+/// pipelined exchanges so their accounting is identical.
+///
+/// Unsplit (`split_k <= 1`): one budgeted join. Split: the bigger side
+/// is divided round-robin over `split_k` sub-tasks, each of which
+/// joins its share against the *whole* smaller side — the smaller
+/// side's run blocks are re-read once per extra sub-task (the
+/// broadcast leg, charged on `broadcast_fetches`), which is the
+/// communication price Bala-Join pays to rebalance computation. The
+/// union of the sub-task outputs is exactly the unsplit join: every
+/// big-side row meets the full small side exactly once.
+#[allow(clippy::too_many_arguments)]
+fn join_partition(
+    svc: &ShuffleService<'_>,
+    p: usize,
+    split_k: usize,
+    left_rows: Vec<Row>,
+    right_rows: Vec<Row>,
+    left_attr: AttrId,
+    right_attr: AttrId,
+    left_side: &ShuffledSide,
+    right_side: &ShuffledSide,
+) -> Result<Vec<Row>> {
+    if split_k <= 1 {
+        return budgeted_join(svc, p, 0, left_rows, right_rows, left_attr, right_attr);
+    }
+    svc.ctx().clock.record_partition_split();
+    let left_small = left_rows.len() <= right_rows.len();
+    let small_runs = if left_small { &left_side.runs[p] } else { &right_side.runs[p] };
+    svc.charge_broadcasts(p, split_k, small_runs)?;
+    let round_robin = |rows: &[Row], j: usize| -> Vec<Row> {
+        rows.iter().skip(j).step_by(split_k).cloned().collect()
+    };
+    let mut out = Vec::new();
+    for j in 0..split_k {
+        if left_small {
+            let subset = round_robin(&right_rows, j);
+            out.extend(budgeted_join(svc, p, 0, left_rows.clone(), subset, left_attr, right_attr)?);
+        } else {
+            let subset = round_robin(&left_rows, j);
+            out.extend(budgeted_join(
+                svc,
+                p,
+                0,
+                subset,
+                right_rows.clone(),
+                left_attr,
+                right_attr,
+            )?);
+        }
+    }
+    Ok(out)
+}
+
+/// Recursion cap for the budgeted build's Grace-style repartitioning.
+/// A partition that still overflows after this many salted re-splits
+/// (e.g. one key holding more rows than the whole budget) falls back
+/// to block-nested-loop, which honors the budget at any skew.
+const MAX_RECURSION_DEPTH: usize = 3;
+
+/// Re-mix a key hash for recursion level `depth`, so each level's
+/// sub-partitioning is independent of the reducer-routing hash (all
+/// keys in a partition already agree modulo the fan-out) and of the
+/// levels above it. splitmix64-style finalizer.
+fn salted(hash: u64, depth: usize) -> u64 {
+    let mut x = hash ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(depth as u64 + 1);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The memory-budgeted hash join of one (sub-)task, after "Design
+/// Trade-offs for a Robust Dynamic Hybrid Hash Join":
+///
+/// * no budget, or the build side fits → plain in-memory join
+///   ([`hash_join_rows`], bit-identical to the pre-budget engine);
+/// * over budget below the cap → partition *both* sides by a salted
+///   key hash, spill each build-side group to scratch and read it back
+///   (Grace-style, charged as build-spill writes + ordinary reads),
+///   recurse per group;
+/// * over budget at the cap → block-nested-loop: build-side chunks of
+///   at most the budget, each probed by the full probe side.
+///
+/// The probe side stays materialized throughout (only the build table
+/// is budgeted — the documented simplification); every path records
+/// the peak build size on the reducer-memory gauge.
+fn budgeted_join(
+    svc: &ShuffleService<'_>,
+    p: usize,
+    depth: usize,
+    left: Vec<Row>,
+    right: Vec<Row>,
+    left_attr: AttrId,
+    right_attr: AttrId,
+) -> Result<Vec<Row>> {
+    let rpb = svc.rows_per_block();
+    let build_len = left.len().min(right.len());
+    let budget_rows = match svc.ctx().join_mem_budget_blocks {
+        None => {
+            svc.ctx().clock.record_reducer_peak(build_len.div_ceil(rpb));
+            return Ok(hash_join_rows(left, &right, left_attr, right_attr));
+        }
+        Some(blocks) => blocks.max(1) * rpb,
+    };
+    if build_len <= budget_rows {
+        svc.ctx().clock.record_reducer_peak(build_len.div_ceil(rpb));
+        return Ok(hash_join_rows(left, &right, left_attr, right_attr));
+    }
+    if depth >= MAX_RECURSION_DEPTH {
+        return Ok(block_nested_loop(svc, left, right, left_attr, right_attr, budget_rows));
+    }
+    svc.ctx().clock.record_recursion_depth(depth + 1);
+    let fanout = build_len.div_ceil(budget_rows).clamp(2, 8);
+    let left_build = left.len() <= right.len();
+    let split = |rows: Vec<Row>, attr: AttrId| -> Vec<Vec<Row>> {
+        let mut groups = vec![Vec::new(); fanout];
+        for row in rows {
+            let g = (salted(row.get(attr).stable_hash(), depth) % fanout as u64) as usize;
+            groups[g].push(row);
+        }
+        groups
+    };
+    let lgroups = split(left, left_attr);
+    let rgroups = split(right, right_attr);
+    let mut out = Vec::new();
+    for (lg, rg) in lgroups.into_iter().zip(rgroups) {
+        if lg.is_empty() || rg.is_empty() {
+            continue; // No possible matches: the group never touches disk.
+        }
+        // Grace-style: the build side's group goes through scratch.
+        let (lg, rg) = if left_build {
+            (svc.spill_and_reload_build(p, lg)?, rg)
+        } else {
+            (lg, svc.spill_and_reload_build(p, rg)?)
+        };
+        out.extend(budgeted_join(svc, p, depth + 1, lg, rg, left_attr, right_attr)?);
+    }
+    Ok(out)
+}
+
+/// The budget-honoring leaf fallback: hash-build at most `budget_rows`
+/// of the smaller side at a time and probe the entire other side per
+/// chunk. Quadratic in passes but bounded in memory at any skew (a
+/// single key bigger than the budget lands here by construction).
+fn block_nested_loop(
+    svc: &ShuffleService<'_>,
+    left: Vec<Row>,
+    right: Vec<Row>,
+    left_attr: AttrId,
+    right_attr: AttrId,
+    budget_rows: usize,
+) -> Vec<Row> {
+    let rpb = svc.rows_per_block();
+    let chunk_rows = budget_rows.max(1);
+    let mut out = Vec::new();
+    if left.len() <= right.len() {
+        for chunk in left.chunks(chunk_rows) {
+            svc.ctx().clock.record_reducer_peak(chunk.len().div_ceil(rpb));
+            let table = JoinHashTable::build(chunk.to_vec(), left_attr);
+            for r in &right {
+                for l in table.probe(r.get(right_attr)) {
+                    out.push(l.concat(r));
+                }
+            }
+        }
+    } else {
+        for chunk in right.chunks(chunk_rows) {
+            svc.ctx().clock.record_reducer_peak(chunk.len().div_ceil(rpb));
+            let table = JoinHashTable::build(chunk.to_vec(), right_attr);
+            for l in &left {
+                for r in table.probe(l.get(left_attr)) {
+                    out.push(l.concat(r));
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Plain in-memory hash join (used by reducers and by multi-way join
@@ -295,6 +500,7 @@ mod tests {
         ExecContext::new(store, clock, threads).with_shuffle(crate::context::ShuffleOptions {
             partitions: Some(partitions),
             replication: 1,
+            split_threshold: None,
         })
     }
 
@@ -520,6 +726,97 @@ mod tests {
         assert_eq!(sh.blocks_spilled, io.writes);
         assert_eq!(sh.fetches(), io.writes, "every spilled block is fetched once");
         assert_eq!(io.reads(), sh.fetches(), "row inputs charge no block reads");
+    }
+
+    /// Skewed inputs: every left row carries the single hot key `0`, so
+    /// one reducer partition swallows the whole left side.
+    fn skewed_setup(n: i64, per_block: i64) -> (BlockStore, Vec<BlockId>, Vec<BlockId>) {
+        let store = BlockStore::new(4, 1, 1);
+        let mut lids = Vec::new();
+        let mut rids = Vec::new();
+        let mut k = 0i64;
+        while k < n {
+            let hi = (k + per_block).min(n);
+            lids.push(store.write_block("l", (k..hi).map(|i| row![0i64, i]).collect(), 2, None));
+            rids.push(store.write_block("r", (k..hi).map(|i| row![i, i * 3]).collect(), 2, None));
+            k = hi;
+        }
+        (store, lids, rids)
+    }
+
+    fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
+        rows.sort_by(|x, y| x.values().cmp(y.values()));
+        rows
+    }
+
+    #[test]
+    fn budgeted_join_matches_unbudgeted_rows_exactly() {
+        let (store, lids, rids) = setup(400, 25);
+        let none = PredicateSet::none();
+        let c_free = SimClock::new();
+        let free =
+            shuffle_join(ctx_with(&store, &c_free, 1, 4), spec(&lids, &rids, &none, 25)).unwrap();
+        for budget in [1usize, 2, 8] {
+            let c = SimClock::new();
+            let tight = shuffle_join(
+                ctx_with(&store, &c, 1, 4).with_join_mem_budget(Some(budget)),
+                spec(&lids, &rids, &none, 25),
+            )
+            .unwrap();
+            assert_eq!(sorted(free.clone()), sorted(tight), "budget {budget} changed the join");
+            let sh = c.shuffle_snapshot();
+            assert!(
+                sh.peak_reducer_mem_blocks <= budget,
+                "budget {budget} exceeded: peak {}",
+                sh.peak_reducer_mem_blocks
+            );
+        }
+        // Unbudgeted runs spill no build blocks and record a real peak.
+        let sh = c_free.shuffle_snapshot();
+        assert_eq!(sh.build_blocks_spilled, 0);
+        assert!(sh.peak_reducer_mem_blocks >= 1);
+    }
+
+    #[test]
+    fn single_hot_key_falls_back_to_nested_loop_within_budget() {
+        // Every left row shares one key: salted repartitioning can never
+        // shrink the build side, so the recursion cap must trigger the
+        // block-nested-loop leaf — and the budget must still hold.
+        let store = BlockStore::new(2, 1, 1);
+        let lids =
+            vec![store.write_block("l", (0..200i64).map(|i| row![7i64, i]).collect(), 2, None)];
+        let rids = vec![store.write_block("r", vec![row![7i64, -1i64]], 2, None)];
+        let none = PredicateSet::none();
+        let c = SimClock::new();
+        let rows = shuffle_join(
+            ctx_with(&store, &c, 1, 1).with_join_mem_budget(Some(1)),
+            spec(&lids, &rids, &none, 10),
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 200, "every hot-key pair must appear");
+        let sh = c.shuffle_snapshot();
+        assert!(sh.peak_reducer_mem_blocks <= 1, "BNL leaf broke the budget");
+    }
+
+    #[test]
+    fn hot_partition_split_preserves_rows_and_charges_broadcasts() {
+        let (store, lids, rids) = skewed_setup(800, 50);
+        let none = PredicateSet::none();
+        let c_plain = SimClock::new();
+        let plain =
+            shuffle_join(ctx_with(&store, &c_plain, 1, 4), spec(&lids, &rids, &none, 50)).unwrap();
+        let c_split = SimClock::new();
+        let mut ctx = ctx_with(&store, &c_split, 1, 4);
+        ctx.shuffle.split_threshold = Some(1.5);
+        let split = shuffle_join(ctx, spec(&lids, &rids, &none, 50)).unwrap();
+        assert_eq!(sorted(plain), sorted(split), "splitting changed the join");
+        let sh = c_split.shuffle_snapshot();
+        assert!(sh.split_partitions > 0, "one hot key on 4 reducers must trip the threshold");
+        assert!(sh.broadcast_fetches > 0, "extra sub-tasks re-read the small side");
+        // The per-run fetch invariant survives: broadcasts are tallied
+        // separately, never on local/remote_fetches.
+        assert_eq!(sh.fetches(), sh.blocks_spilled);
+        assert_eq!(c_plain.shuffle_snapshot().split_partitions, 0);
     }
 
     #[test]

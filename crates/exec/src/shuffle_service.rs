@@ -64,6 +64,17 @@ static SHUFFLE_SEQ: AtomicU64 = AtomicU64::new(0);
 pub struct ShuffledSide {
     /// Run blocks per reducer partition.
     pub runs: Vec<Vec<BlockId>>,
+    /// Map-side key histogram: rows routed to each partition. Collected
+    /// for free while mappers partition (no extra I/O) and fed to
+    /// [`ShuffleService::split_plan`] so the reduce phase can detect
+    /// heavy partitions before fetching them.
+    pub rows: Vec<usize>,
+}
+
+impl ShuffledSide {
+    fn empty(partitions: usize) -> Self {
+        ShuffledSide { runs: vec![Vec::new(); partitions], rows: vec![0; partitions] }
+    }
 }
 
 /// One shuffle: a scratch namespace, a reducer placement, and the
@@ -153,7 +164,7 @@ impl<'a> ShuffleService<'a> {
             let dfs = self.ctx.store.dfs();
             TaskScheduler::new(&dfs).map_tasks_by_node(table, blocks)?
         };
-        let mut side = ShuffledSide { runs: vec![Vec::new(); self.partitions] };
+        let mut side = ShuffledSide::empty(self.partitions);
         for (node, blks) in per_node {
             let mut mapper = MapTask::new(self, node);
             for b in blks {
@@ -197,7 +208,7 @@ impl<'a> ShuffleService<'a> {
             let dfs = self.ctx.store.dfs();
             dfs.alive_nodes()
         };
-        let mut side = ShuffledSide { runs: vec![Vec::new(); self.partitions] };
+        let mut side = ShuffledSide::empty(self.partitions);
         if rows.is_empty() {
             return Ok(side);
         }
@@ -219,11 +230,49 @@ impl<'a> ShuffleService<'a> {
         Ok(side)
     }
 
+    /// The node partition `partition`'s reduce task actually runs on:
+    /// its placed reducer while that node is alive, otherwise a
+    /// deterministic fail-over onto a live node. Reducer placement is a
+    /// one-shot snapshot taken at [`ShuffleService::new`]; a node that
+    /// dies *after* placement but *before* the fetch leg must not sink
+    /// the join (the map side already fails over this way) — the
+    /// rerouted reducer's fetches classify against its fail-over node,
+    /// so reads that lose their co-located replica charge Remote.
+    pub fn reducer_node(&self, partition: usize) -> NodeId {
+        let placed = self.reducers[partition];
+        let dfs = self.ctx.store.dfs();
+        if !dfs.is_dead(placed) {
+            return placed;
+        }
+        let alive = dfs.alive_nodes();
+        if alive.is_empty() {
+            return placed; // Every read will fail loudly downstream.
+        }
+        alive[partition % alive.len()]
+    }
+
+    /// The node sub-task `j` of a split partition runs on: distinct
+    /// live nodes cycling from the partition's own reducer, so a split
+    /// spreads one hot partition's work across the cluster instead of
+    /// queueing it on a single node.
+    fn split_node(&self, partition: usize, j: usize) -> NodeId {
+        let alive = {
+            let dfs = self.ctx.store.dfs();
+            dfs.alive_nodes()
+        };
+        if alive.is_empty() {
+            return self.reducer_node(partition);
+        }
+        let base = self.reducer_node(partition);
+        let start = alive.iter().position(|n| *n == base).unwrap_or(partition % alive.len());
+        alive[(start + j) % alive.len()]
+    }
+
     /// Reduce-side fetch of one partition's runs: every run block is
     /// read from the reducer's node, classified local/remote by the
     /// DFS, and tagged on the shuffle breakdown.
     pub fn fetch(&self, partition: usize, side: &ShuffledSide) -> Result<Vec<Row>> {
-        let node = self.reducers[partition];
+        let node = self.reducer_node(partition);
         let mut rows = Vec::new();
         for &id in &side.runs[partition] {
             let (block, kind) =
@@ -260,7 +309,7 @@ impl<'a> ShuffleService<'a> {
         right: bool,
     ) {
         for (p, runs) in side.runs.iter().enumerate() {
-            let node = self.reducers[p];
+            let node = self.reducer_node(p);
             for &id in &runs[seen[p]..] {
                 let tag = if right { RIGHT_SIDE_TAG | id as u64 } else { id as u64 };
                 streams[p].push(id, Some(node), tag);
@@ -294,7 +343,100 @@ impl<'a> ShuffleService<'a> {
     /// `partition` — verification hook for tests, charges nothing.
     pub fn classify_fetch(&self, partition: usize, run: BlockId) -> Result<ReadKind> {
         let gid = GlobalBlockId::new(&self.scratch, run);
-        self.ctx.store.dfs().read_from(&gid, self.reducers[partition])
+        self.ctx.store.dfs().read_from(&gid, self.reducer_node(partition))
+    }
+
+    /// Per-partition split factors for the reduce phase, from both
+    /// sides' map-side row histograms: `1` = run on the placed reducer,
+    /// `k > 1` = fan the partition over `k` sub-tasks (see
+    /// [`adaptdb_common::cost::plan_partition_splits`]). Splitting is
+    /// off (`None` threshold) unless the context enables it; the
+    /// absolute floor of two blocks' worth of rows keeps tiny shuffles
+    /// from ever splitting.
+    pub fn split_plan(&self, left: &ShuffledSide, right: &ShuffledSide) -> Vec<usize> {
+        let Some(threshold) = self.ctx.shuffle.split_threshold else {
+            return vec![1; self.partitions];
+        };
+        let max_factor = self.ctx.store.dfs().live_nodes();
+        adaptdb_common::cost::plan_partition_splits(
+            &left.rows,
+            &right.rows,
+            threshold,
+            max_factor,
+            2 * self.rows_per_block,
+        )
+    }
+
+    /// Charge the broadcast leg of a `k`-way split: sub-tasks `1..k`
+    /// each re-read the small side's `runs` from their own node. The
+    /// reads are real I/O (charged local/remote by placement like any
+    /// read) but land on the shuffle breakdown's `broadcast_fetches`
+    /// counter — never on the per-run fetch counters, which stay
+    /// exactly one fetch per spilled block.
+    pub(crate) fn charge_broadcasts(
+        &self,
+        partition: usize,
+        k: usize,
+        runs: &[BlockId],
+    ) -> Result<()> {
+        for j in 1..k {
+            let node = self.split_node(partition, j);
+            for &id in runs {
+                let (_, kind) = self.ctx.store.read_block_classified(
+                    &self.scratch,
+                    id,
+                    node,
+                    self.ctx.clock,
+                )?;
+                self.ctx.clock.record_broadcast_fetch(kind);
+            }
+        }
+        Ok(())
+    }
+
+    /// Grace-style overflow spill for a budgeted build: write `rows` as
+    /// scratch blocks on the partition's reduce node (unreplicated,
+    /// like shuffle runs), charge them as build spill, then read them
+    /// straight back (charged as ordinary reads — local here, since
+    /// the reducer re-reads its own spill). Returns the re-read rows.
+    pub(crate) fn spill_and_reload_build(
+        &self,
+        partition: usize,
+        rows: Vec<Row>,
+    ) -> Result<Vec<Row>> {
+        if rows.is_empty() {
+            return Ok(rows);
+        }
+        let node = self.reducer_node(partition);
+        let arity = rows[0].arity();
+        let mut blocks = Vec::new();
+        for chunk in rows.chunks(self.rows_per_block) {
+            blocks.push(self.ctx.store.write_block_with(
+                &self.scratch,
+                chunk.to_vec(),
+                arity,
+                Some(node),
+                Some(1),
+            ));
+        }
+        self.ctx.clock.record_build_spill(blocks.len());
+        let mut back = Vec::with_capacity(rows.len());
+        for id in blocks {
+            let (block, _) =
+                self.ctx.store.read_block_classified(&self.scratch, id, node, self.ctx.clock)?;
+            back.extend(block.rows);
+        }
+        Ok(back)
+    }
+
+    /// The execution context this shuffle runs under.
+    pub(crate) fn ctx(&self) -> ExecContext<'a> {
+        self.ctx
+    }
+
+    /// Rows per spilled block (the block-size unit budgets are in).
+    pub(crate) fn rows_per_block(&self) -> usize {
+        self.rows_per_block
     }
 
     /// Drop the scratch namespace (every spilled run). Deletes are
@@ -311,11 +453,14 @@ struct MapTask<'s, 'a> {
     svc: &'s ShuffleService<'a>,
     writer: Option<PartitionedWriter<'a>>,
     node: NodeId,
+    /// Rows routed to each partition — the map-side key histogram the
+    /// split planner reads. Counting here costs no extra I/O.
+    rows: Vec<usize>,
 }
 
 impl<'s, 'a> MapTask<'s, 'a> {
     fn new(svc: &'s ShuffleService<'a>, node: NodeId) -> Self {
-        MapTask { svc, writer: None, node }
+        MapTask { svc, writer: None, node, rows: vec![0; svc.partitions] }
     }
 
     fn push(&mut self, hash: u64, row: Row) {
@@ -333,12 +478,16 @@ impl<'s, 'a> MapTask<'s, 'a> {
             .with_replication(Some(svc.ctx.shuffle.replication))
         });
         let p = (hash % svc.partitions as u64) as BucketId;
+        self.rows[p as usize] += 1;
         writer.push(p, row);
     }
 
     /// Flush the task's runs, charge the spill, and hand the run block
-    /// lists to the side being built.
+    /// lists (plus the row histogram) to the side being built.
     fn spill(self, side: &mut ShuffledSide) -> Result<()> {
+        for (p, n) in self.rows.iter().enumerate() {
+            side.rows[p] += n;
+        }
         let Some(writer) = self.writer else {
             return Ok(()); // Nothing matched on this node: no phantom runs.
         };
@@ -516,8 +665,11 @@ mod tests {
         svc.cleanup();
 
         let c2 = SimClock::new();
-        let full = ExecContext::single(&store, &c2)
-            .with_shuffle(crate::context::ShuffleOptions { partitions: None, replication: 4 });
+        let full = ExecContext::single(&store, &c2).with_shuffle(crate::context::ShuffleOptions {
+            partitions: None,
+            replication: 4,
+            split_threshold: None,
+        });
         let svc = ShuffleService::new(full, 4, 100, "t").unwrap();
         let side = svc.spill_blocks("t", &ids, 0, &PredicateSet::none()).unwrap();
         for p in 0..4 {

@@ -562,6 +562,9 @@ fn submit(
     // interactive and the executor reports the real error.
     let est = cost::estimate_query(&QueryView::new(shared), query).unwrap_or_default();
     let lane = opts.lane.unwrap_or_else(|| est.lane(&shared.config));
+    // Seed the cold-start queue-wait prior: before any query finishes,
+    // the admission estimate is the only service-time signal available.
+    shared.metrics.note_estimate(est.est_secs(&shared.config.cost));
     // Latency-aware admission: when a wait bound is configured, shed
     // load up front instead of blocking. The estimate is per lane —
     // only work scheduled *ahead* of this submission counts, priced at
@@ -630,7 +633,8 @@ fn worker_loop(shared: &Shared) {
             "a server read path skipped clock accounting"
         );
         let ok = result.is_ok();
-        if ok {
+        if let Ok(r) = &result {
+            shared.metrics.note_shuffle(&r.stats.shuffle);
             // Feed the window/adaptation machinery off the hot path;
             // the query is owned here, so no clone on the serving path.
             shared.push_observation(query);

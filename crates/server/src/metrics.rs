@@ -55,6 +55,15 @@ pub(crate) struct Metrics {
     latency: Mutex<[LaneAgg; LANE_COUNT]>,
     /// Per-session served work, for the fairness index.
     sessions: Mutex<BTreeMap<u64, SessionServe>>,
+    /// Admission-time cost estimates `(count, total est secs)`, the
+    /// cold-start seed for [`Metrics::est_wait_ms`]: before any query
+    /// has *finished*, observed service means are empty, and a first
+    /// storm would read `est wait = 0` and never shed. The planner's
+    /// estimate of what's been admitted is the best prior available.
+    estimates: Mutex<(u64, f64)>,
+    /// Merged shuffle-service breakdown of every served query (spill,
+    /// fetch locality, skew mitigation tallies).
+    shuffle: Mutex<ShuffleStats>,
 }
 
 impl Metrics {
@@ -68,7 +77,23 @@ impl Metrics {
             shed: std::array::from_fn(|_| AtomicU64::new(0)),
             latency: Mutex::new([LaneAgg::default(); LANE_COUNT]),
             sessions: Mutex::new(BTreeMap::new()),
+            estimates: Mutex::new((0, 0.0)),
+            shuffle: Mutex::new(ShuffleStats::default()),
         }
+    }
+
+    /// Record one admission-time cost estimate (estimated execution
+    /// seconds) — the cold-start prior for queue-wait estimation.
+    pub(crate) fn note_estimate(&self, est_secs: f64) {
+        let mut e = self.estimates.lock();
+        e.0 += 1;
+        e.1 += est_secs.max(0.0);
+    }
+
+    /// Merge one served query's shuffle breakdown into the server-wide
+    /// aggregate surfaced on [`ServerReport`].
+    pub(crate) fn note_shuffle(&self, sh: &ShuffleStats) {
+        self.shuffle.lock().merge(sh);
     }
 
     /// Mark a query as picked up by a worker (gauge up).
@@ -143,7 +168,19 @@ impl Metrics {
         let lanes = self.latency.lock();
         let overall_queries: u64 = lanes.iter().map(|a| a.queries).sum();
         if overall_queries == 0 {
-            return 0.0;
+            // Cold start: nothing has finished yet, so observed service
+            // means are all empty. Price the backlog at the mean
+            // admission-time *cost estimate* instead of reading zero —
+            // otherwise shedding and pacing never trigger during the
+            // first storm. Scales with the backlog, so an empty queue
+            // still estimates zero wait.
+            let (count, total_secs) = *self.estimates.lock();
+            if count == 0 {
+                return 0.0;
+            }
+            let est_mean = total_secs / count as f64;
+            let depth: usize = depths_ahead.iter().sum();
+            return depth as f64 * est_mean * 1e3 / workers.max(1) as f64;
         }
         let overall_mean =
             lanes.iter().map(|a| a.total_service_secs).sum::<f64>() / overall_queries as f64;
@@ -222,6 +259,7 @@ impl Metrics {
             promoted: self.promoted.load(Ordering::Relaxed),
             session_count,
             fairness_index,
+            shuffle: *self.shuffle.lock(),
         }
     }
 }
@@ -301,6 +339,10 @@ pub struct ServerReport {
     /// (1.0 = perfectly even shares, → 1/n under total capture by one
     /// session).
     pub fairness_index: f64,
+    /// Merged shuffle-service breakdown of every served query: spill
+    /// and fetch-locality counts plus the skew-mitigation tallies
+    /// (build spill, hot-partition splits, peak reducer memory).
+    pub shuffle: ShuffleStats,
 }
 
 impl std::fmt::Display for ServerReport {
@@ -342,6 +384,18 @@ impl std::fmt::Display for ServerReport {
             "sessions: {} served, fairness index {:.3}, {} deadline promotions",
             self.session_count, self.fairness_index, self.promoted
         )?;
+        if self.shuffle.blocks_spilled > 0 {
+            writeln!(
+                f,
+                "shuffle: {} blocks spilled, {:.0}% local fetches, {} build-spill blocks, \
+                 {} split partitions, peak reducer mem {} blocks",
+                self.shuffle.blocks_spilled,
+                self.shuffle.locality_fraction() * 100.0,
+                self.shuffle.build_blocks_spilled,
+                self.shuffle.split_partitions,
+                self.shuffle.peak_reducer_mem_blocks
+            )?;
+        }
         write!(
             f,
             "maintenance: {} passes, {} reads / {} writes (off hot path), \
@@ -457,6 +511,63 @@ mod tests {
         // mean rather than zero, so an untried lane still sheds.
         let est = m.est_wait_ms([0, 2, 0], 1);
         assert!((est - 20.0).abs() < 1.0, "{est}");
+    }
+
+    #[test]
+    fn cold_start_seeds_from_cost_estimate() {
+        let m = Metrics::new();
+        // Nothing served, nothing estimated: the estimate is honestly
+        // zero (no prior of any kind).
+        assert_eq!(m.est_wait_ms([5, 0, 0], 1), 0.0);
+        // Two submissions estimated at 2 s and 4 s have been admitted
+        // but none has finished — the first-storm regression: the wait
+        // estimate must read the 3 s estimate mean, not zero.
+        m.note_estimate(2.0);
+        m.note_estimate(4.0);
+        let est = m.est_wait_ms([5, 0, 0], 1);
+        assert!((est - 15_000.0).abs() < 1.0, "5 × 3 s estimated service: {est}");
+        // The seed scales with backlog: an empty queue still waits 0.
+        assert_eq!(m.est_wait_ms([0, 0, 0], 1), 0.0);
+        // More workers drain the same backlog proportionally faster.
+        let est4 = m.est_wait_ms([5, 0, 0], 4);
+        assert!((est4 - 3_750.0).abs() < 1.0, "{est4}");
+        // Once real service history exists, it takes over from the seed.
+        m.begin();
+        m.record(
+            Lane::Interactive,
+            1,
+            1,
+            false,
+            Duration::from_millis(10),
+            Duration::from_millis(10),
+            true,
+        );
+        let warm = m.est_wait_ms([5, 0, 0], 1);
+        assert!((warm - 50.0).abs() < 1.0, "observed 10 ms mean wins: {warm}");
+    }
+
+    #[test]
+    fn report_aggregates_shuffle_breakdown() {
+        let m = Metrics::new();
+        let sh = ShuffleStats {
+            blocks_spilled: 8,
+            local_fetches: 6,
+            remote_fetches: 2,
+            build_blocks_spilled: 3,
+            split_partitions: 1,
+            peak_reducer_mem_blocks: 4,
+            ..Default::default()
+        };
+        m.note_shuffle(&sh);
+        m.note_shuffle(&sh);
+        let report =
+            m.report("fifo", 1, 4, [0; LANE_COUNT], [0.0; LANE_COUNT], IoStats::default(), 0, 0, 0);
+        assert_eq!(report.shuffle.blocks_spilled, 16);
+        assert_eq!(report.shuffle.build_blocks_spilled, 6);
+        assert_eq!(report.shuffle.split_partitions, 2);
+        // Peak memory is a gauge: max, not sum.
+        assert_eq!(report.shuffle.peak_reducer_mem_blocks, 4);
+        assert!(report.to_string().contains("peak reducer mem 4 blocks"));
     }
 
     #[test]

@@ -13,11 +13,14 @@
 //!   103-query production trace (§7.6; the paper itself used synthetic
 //!   data generated from the company's statistics),
 //! * [`pref`] — the predicate-based reference partitioning (PREF)
-//!   baseline of Fig. 12: static co-partitioning with tuple replication.
+//!   baseline of Fig. 12: static co-partitioning with tuple replication,
+//! * [`zipf`] — Zipfian join-key generators for the skew experiments
+//!   (memory-budgeted builds, hot-partition splitting).
 
 pub mod cmt;
 pub mod patterns;
 pub mod pref;
 pub mod tpch;
+pub mod zipf;
 
 pub use tpch::{Template, TpchGen};

@@ -1,0 +1,119 @@
+//! Zipfian key generators for the skew experiments.
+//!
+//! Real join keys are rarely uniform: a few customers place most
+//! orders, a few items dominate most lineitems. The skew benchmarks
+//! (`fig_skew`) and the skew-equivalence tests draw join keys from a
+//! Zipf(s) distribution over `n` keys — `P(key = i) ∝ (i+1)^-s` —
+//! sweeping `s` from `0.0` (uniform) to `1.2`+ (one key dominating),
+//! which is what stresses the memory-budgeted build, recursive
+//! repartitioning, and hot-partition splitting paths.
+
+use adaptdb_common::{row, Row};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A Zipf(s) sampler over keys `0..n`, by inverse-CDF lookup
+/// (binary search over the precomputed cumulative weights).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Sampler over `n_keys` keys with exponent `s`. `s = 0.0` is
+    /// uniform; larger `s` concentrates mass on low-numbered keys
+    /// (key `0` is always the hottest).
+    pub fn new(n_keys: usize, s: f64) -> Self {
+        let n = n_keys.max(1);
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for i in 0..n {
+            total += ((i + 1) as f64).powf(-s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of distinct keys.
+    pub fn keys(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw one key.
+    pub fn sample(&self, rng: &mut StdRng) -> i64 {
+        let u: f64 = rng.random_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1) as i64
+    }
+}
+
+/// `n` two-column rows `[key, i]` with Zipf(s)-distributed keys over
+/// `0..n_keys` — the skewed side of a synthetic join.
+pub fn zipf_rows(n: usize, n_keys: usize, s: f64, rng: &mut StdRng) -> Vec<Row> {
+    let zipf = Zipf::new(n_keys, s);
+    (0..n as i64).map(|i| row![zipf.sample(rng), i]).collect()
+}
+
+/// `n_keys` two-column rows `[key, key * 7]`, one per key — the
+/// dimension side every skewed key matches exactly once.
+pub fn key_rows(n_keys: usize) -> Vec<Row> {
+    (0..n_keys as i64).map(|k| row![k, k * 7]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptdb_common::rng;
+
+    #[test]
+    fn uniform_exponent_spreads_keys() {
+        let zipf = Zipf::new(100, 0.0);
+        let mut rng = rng::seeded(7);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..10_000 {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        assert!(counts.iter().all(|&c| c > 0), "uniform draw covers the domain");
+        assert!(max < 300, "no key dominates at s=0: max {max}");
+    }
+
+    #[test]
+    fn heavy_exponent_concentrates_on_key_zero() {
+        let zipf = Zipf::new(100, 1.2);
+        let mut rng = rng::seeded(7);
+        let hot = (0..10_000).filter(|_| zipf.sample(&mut rng) == 0).count();
+        assert!(hot > 1_500, "key 0 must dominate at s=1.2: {hot}/10000");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_in_range() {
+        let zipf = Zipf::new(10, 0.8);
+        let a: Vec<i64> = {
+            let mut r = rng::seeded(3);
+            (0..64).map(|_| zipf.sample(&mut r)).collect()
+        };
+        let b: Vec<i64> = {
+            let mut r = rng::seeded(3);
+            (0..64).map(|_| zipf.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&k| (0..10).contains(&k)));
+    }
+
+    #[test]
+    fn row_helpers_shape_and_match() {
+        let mut r = rng::seeded(5);
+        let facts = zipf_rows(200, 16, 1.0, &mut r);
+        let dims = key_rows(16);
+        assert_eq!(facts.len(), 200);
+        assert_eq!(dims.len(), 16);
+        // Every fact key has exactly one dimension match.
+        for f in &facts {
+            let k = f.get(0).as_int().unwrap();
+            assert!(dims.iter().any(|d| d.get(0).as_int().unwrap() == k));
+        }
+    }
+}

@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""CI gate for the skew-robustness benchmark.
+
+Usage: check_bench_skew.py <fresh BENCH_skew.json> <committed baseline>
+
+Fails (exit 1) when the fresh run is missing required keys, or when any
+of the skew contracts breaks:
+
+* **bounded tail** — p99 task time at Zipf s=1.2 must stay within
+  P99_FACTOR of the uniform (s=0.0) run: splitting + budgeting are the
+  point of the feature, and this is the headline number;
+* **bounded memory** — every budgeted cell's peak reducer build must
+  fit its budget, and unbudgeted cells must never spill builds;
+* **row invariance** — rows_out must be identical across the whole
+  budget sweep and the parity cell (mitigations change *how*, never
+  *what*);
+* **fetch accounting** — local + remote fetches == spill blocks in
+  every cell (broadcast re-reads and build spills live on their own
+  counters and must not leak into the run-fetch invariant);
+* **parity** — the budget-∞/split-off cell must match the committed
+  baseline *bit-identically* on every counter: with the feature off,
+  the engine is the pre-skew engine;
+* **cost regression** — cost_per_block and sim_secs within TOLERANCE
+  of the baseline everywhere (deterministic sim, so drift means an
+  accounting change — the tolerance only absorbs intentional retunes).
+"""
+
+import json
+import sys
+
+REQUIRED_TOP = [
+    "bench",
+    "scale",
+    "seed",
+    "rows_per_block",
+    "split_threshold",
+    "skew_sweep",
+    "budget_sweep",
+    "parity",
+]
+REQUIRED_CELL = [
+    "s",
+    "budget",
+    "split",
+    "input_blocks",
+    "spill_blocks",
+    "build_spill_blocks",
+    "broadcast_fetches",
+    "local_fetches",
+    "remote_fetches",
+    "split_partitions",
+    "peak_mem_blocks",
+    "max_recursion_depth",
+    "rows_out",
+    "p99_task_secs",
+    "max_task_secs",
+    "mean_task_secs",
+    "cost_per_block",
+    "sim_secs",
+]
+SWEEPS = ("skew_sweep", "budget_sweep", "parity")
+TOLERANCE = 0.20
+# Skewed (s=1.2) p99 task time may exceed uniform (s=0.0) by at most
+# this factor when splitting + budgeting are on.
+P99_FACTOR = 3.0
+# Counters that must match the baseline exactly in the parity cell.
+PARITY_EXACT = [
+    "input_blocks",
+    "spill_blocks",
+    "build_spill_blocks",
+    "broadcast_fetches",
+    "local_fetches",
+    "remote_fetches",
+    "split_partitions",
+    "peak_mem_blocks",
+    "max_recursion_depth",
+    "rows_out",
+    "cost_per_block",
+    "sim_secs",
+]
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench_skew: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {path}: {e}")
+
+
+def validate(doc: dict, path: str) -> None:
+    for key in REQUIRED_TOP:
+        if key not in doc:
+            fail(f"{path}: missing key {key!r}")
+    if doc["bench"] != "skew":
+        fail(f"{path}: bench is {doc['bench']!r}, expected 'skew'")
+    for sweep in SWEEPS:
+        if not doc[sweep]:
+            fail(f"{path}: {sweep} is empty")
+        for cell in doc[sweep]:
+            for key in REQUIRED_CELL:
+                if key not in cell:
+                    fail(f"{path}: {sweep} cell missing key {key!r}")
+
+
+def cells(doc: dict):
+    for sweep in SWEEPS:
+        for cell in doc[sweep]:
+            yield sweep, cell
+
+
+def cell_key(sweep: str, cell: dict):
+    return (sweep, cell["s"], cell["budget"], cell["split"])
+
+
+def check_contracts(doc: dict, path: str) -> None:
+    for sweep, cell in cells(doc):
+        key = cell_key(sweep, cell)
+        fetches = cell["local_fetches"] + cell["remote_fetches"]
+        if fetches != cell["spill_blocks"]:
+            fail(
+                f"{path}: {key}: fetches {fetches} != spill blocks "
+                f"{cell['spill_blocks']}; broadcasts/build-spill leaked into run fetches"
+            )
+        if cell["budget"] is None:
+            if cell["build_spill_blocks"] != 0:
+                fail(f"{path}: {key}: unbudgeted build spilled")
+        elif cell["peak_mem_blocks"] > cell["budget"]:
+            fail(
+                f"{path}: {key}: peak {cell['peak_mem_blocks']} blocks "
+                f"exceeds budget {cell['budget']}"
+            )
+        if not cell["split"] and cell["split_partitions"] != 0:
+            fail(f"{path}: {key}: split off but partitions were split")
+
+    sweep = sorted(doc["skew_sweep"], key=lambda c: c["s"])
+    uniform, skewed = sweep[0], sweep[-1]
+    if uniform["s"] != 0.0 or skewed["s"] < 1.2:
+        fail(f"{path}: skew_sweep must span s=0.0 .. s>=1.2")
+    bound = P99_FACTOR * max(uniform["p99_task_secs"], 1e-9)
+    if skewed["p99_task_secs"] > bound:
+        fail(
+            f"{path}: p99 at s={skewed['s']} is {skewed['p99_task_secs']:.3f}s, "
+            f"> {P99_FACTOR}x the uniform run's {uniform['p99_task_secs']:.3f}s"
+        )
+    if skewed["split_partitions"] == 0:
+        fail(f"{path}: s={skewed['s']} did not trip the split threshold")
+
+    rows = {c["rows_out"] for c in doc["budget_sweep"]} | {
+        c["rows_out"] for c in doc["parity"]
+    }
+    if len(rows) != 1:
+        fail(f"{path}: rows_out varies across the budget sweep: {sorted(rows)}")
+
+
+def check_parity(fresh: dict, base: dict) -> None:
+    """With budget ∞ and splitting off, the engine must be the pre-skew
+    engine: every counter bit-identical to the committed baseline."""
+    f, b = fresh["parity"][0], base["parity"][0]
+    for metric in PARITY_EXACT:
+        if f[metric] != b[metric]:
+            fail(
+                f"parity cell diverged on {metric}: {f[metric]} vs "
+                f"baseline {b[metric]} (budget=null/split=off must be bit-identical)"
+            )
+
+
+def check_regressions(fresh: dict, base: dict) -> None:
+    fresh_cells = {cell_key(sweep, c): c for sweep, c in cells(fresh)}
+    regressions = []
+    for sweep, base_cell in cells(base):
+        key = cell_key(sweep, base_cell)
+        fresh_cell = fresh_cells.get(key)
+        if fresh_cell is None:
+            fail(f"fresh run lost cell {key} present in the baseline")
+        for metric in ("cost_per_block", "sim_secs"):
+            got, want = fresh_cell[metric], base_cell[metric]
+            if got > want * (1.0 + TOLERANCE):
+                regressions.append(f"{key}: {metric} {got:.3f} vs baseline {want:.3f}")
+    if regressions:
+        fail("skew-join cost regressed >20%:\n  " + "\n  ".join(regressions))
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        fail("usage: check_bench_skew.py <fresh.json> <baseline.json>")
+    fresh_path, base_path = sys.argv[1], sys.argv[2]
+    fresh, base = load(fresh_path), load(base_path)
+    validate(fresh, fresh_path)
+    validate(base, base_path)
+    check_contracts(fresh, fresh_path)
+    check_parity(fresh, base)
+    check_regressions(fresh, base)
+    n = sum(1 for _ in cells(fresh))
+    print(
+        f"check_bench_skew: OK ({n} cells; p99 bound {P99_FACTOR}x, "
+        f"memory <= budget, parity bit-identical, costs within {TOLERANCE:.0%})"
+    )
+
+
+if __name__ == "__main__":
+    main()

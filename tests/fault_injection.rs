@@ -6,7 +6,12 @@
 //! through the full query stack.
 
 use adaptdb::{Database, DbConfig, Mode};
-use adaptdb_common::{row, Error, JoinQuery, Query, Row, ScanQuery, Schema, ValueType};
+use adaptdb_common::{
+    row, Error, JoinQuery, PredicateSet, Query, Row, ScanQuery, Schema, ValueType,
+};
+use adaptdb_dfs::SimClock;
+use adaptdb_exec::{reduce_partition, ExecContext, ShuffleOptions, ShuffleService};
+use adaptdb_storage::BlockStore;
 
 fn schema2() -> Schema {
     Schema::from_pairs(&[("k", ValueType::Int), ("x", ValueType::Int)])
@@ -96,6 +101,65 @@ fn recovery_restores_local_reads() {
             d.store().preferred_node(table, b).unwrap();
         }
     }
+}
+
+/// Reducer placement is a one-shot snapshot of the live nodes taken
+/// when the shuffle opens; a node that dies *after* placement but
+/// *before* the fetch leg must not sink the join. The rerouted reduce
+/// task runs on a fail-over node, so runs whose surviving replica
+/// lives elsewhere now charge Remote — the same contract as the
+/// map-side fail-over.
+#[test]
+fn reducer_node_death_mid_shuffle_fails_over() {
+    let write_inputs = |store: &BlockStore| -> (Vec<u32>, Vec<u32>) {
+        let mut lids = Vec::new();
+        let mut rids = Vec::new();
+        for k in 0..8i64 {
+            let range = || k * 50..(k + 1) * 50;
+            lids.push(store.write_block("l", range().map(|i| row![i, i]).collect(), 2, None));
+            rids.push(store.write_block("r", range().map(|i| row![i, -i]).collect(), 2, None));
+        }
+        (lids, rids)
+    };
+    // Spilled runs replicated ×2, so a reducer node can die without
+    // stranding its partition's runs.
+    let shuffle = ShuffleOptions { partitions: Some(4), replication: 2, split_threshold: None };
+    let none = PredicateSet::none();
+    let run = |fail_reducer: bool| -> (Vec<Row>, adaptdb_common::ShuffleStats, bool) {
+        let store = BlockStore::new(4, 2, 17);
+        let (lids, rids) = write_inputs(&store);
+        let clock = SimClock::new();
+        let ctx = ExecContext::single(&store, &clock).with_shuffle(shuffle);
+        let svc = ShuffleService::new(ctx, 4, 50, "l+r").unwrap();
+        // Map phase completes against a healthy cluster…
+        let left = svc.spill_blocks("l", &lids, 0, &none).unwrap();
+        let right = svc.spill_blocks("r", &rids, 0, &none).unwrap();
+        let mut rerouted = false;
+        if fail_reducer {
+            // …then partition 0's reducer dies before any fetch.
+            let victim = svc.reducer_nodes()[0];
+            store.dfs_mut().fail_node(victim);
+            rerouted = svc.reducer_node(0) != victim;
+        }
+        let plan = svc.split_plan(&left, &right);
+        let mut rows = Vec::new();
+        for (p, &k) in plan.iter().enumerate() {
+            rows.extend(reduce_partition(&svc, p, k, &left, &right, 0, 0).unwrap());
+        }
+        svc.cleanup();
+        rows.sort_by(|a, b| a.values().cmp(b.values()));
+        (rows, clock.shuffle_snapshot(), rerouted)
+    };
+    let (healthy_rows, healthy_sh, _) = run(false);
+    let (degraded_rows, degraded_sh, rerouted) = run(true);
+    assert_eq!(healthy_rows.len(), 400);
+    assert_eq!(healthy_rows, degraded_rows, "reducer fail-over must not change the join");
+    assert!(rerouted, "partition 0 must run on a fail-over node");
+    // Every run is still fetched exactly once, and the rerouted
+    // reducer's lost co-location shows up as remote (not local) reads.
+    assert_eq!(degraded_sh.fetches(), degraded_sh.blocks_spilled);
+    assert!(degraded_sh.remote_fetches > 0, "fail-over fetches must charge Remote");
+    assert!(healthy_sh.remote_fetches > 0);
 }
 
 /// Adaptation keeps working on a degraded cluster: repartitioning

@@ -134,7 +134,11 @@ fn failed_node_fetch_failover_mid_stream() {
         let (store, lids, rids) = mk_store();
         let clock = SimClock::new();
         let ctx = ExecContext::single(&store, &clock)
-            .with_shuffle(ShuffleOptions { partitions: Some(4), replication: 2 })
+            .with_shuffle(ShuffleOptions {
+                partitions: Some(4),
+                replication: 2,
+                split_threshold: None,
+            })
             .with_fetch_window(4);
         // Drive the service directly so the failure lands exactly
         // between the map phase (spill) and the reduce phase (fetch).
@@ -192,7 +196,11 @@ fn deeper_windows_save_monotonically_at_equal_counts() {
     for window in [1usize, 2, 4, 8] {
         let clock = SimClock::new();
         let ctx = ExecContext::single(&store, &clock)
-            .with_shuffle(ShuffleOptions { partitions: Some(4), replication: 1 })
+            .with_shuffle(ShuffleOptions {
+                partitions: Some(4),
+                replication: 1,
+                split_threshold: None,
+            })
             .with_fetch_window(window);
         let rows = shuffle_join(
             ctx,
@@ -231,7 +239,7 @@ fn deeper_windows_save_monotonically_at_equal_counts() {
     let (_, sh) = baseline.unwrap();
     let clock = SimClock::new();
     let ctx = ExecContext::single(&store, &clock)
-        .with_shuffle(ShuffleOptions { partitions: Some(4), replication: 1 })
+        .with_shuffle(ShuffleOptions { partitions: Some(4), replication: 1, split_threshold: None })
         .with_fetch_window(4);
     shuffle_join(
         ctx,
