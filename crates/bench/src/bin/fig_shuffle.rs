@@ -19,11 +19,19 @@
 //! baseline with a tight tolerance — including a minimum overlap
 //! factor on the pipelined series (`scripts/check_bench_shuffle.py`).
 //!
-//! Usage: `fig_shuffle [--scale X] [--seed N] [--quick]`
+//! With `--trace-out PATH` (or `ADAPTDB_TRACE=1`) every measured cell
+//! additionally records a query-lifecycle span tree on the simulated
+//! clock, exported as one Chrome trace-event JSON (one viewer process
+//! per cell) — and the binary asserts that each cell's root-span
+//! duration equals its serial `sim_secs` within µs rounding. Tracing
+//! never changes any measured count or cost column.
+//!
+//! Usage: `fig_shuffle [--scale X] [--seed N] [--quick] [--trace-out PATH]`
 
+use adaptdb::DbConfig;
 use adaptdb_bench::{parse_args, print_table, BenchOpts};
-use adaptdb_common::{row, CostParams, PredicateSet};
-use adaptdb_dfs::SimClock;
+use adaptdb_common::{chrome_trace_json, row, CostParams, PredicateSet, Trace, Tracer};
+use adaptdb_dfs::{secs_to_us, SimClock, TraceCtx};
 use adaptdb_exec::{shuffle_join, ExecContext, ShuffleJoinSpec, ShuffleOptions};
 use adaptdb_storage::BlockStore;
 
@@ -45,6 +53,8 @@ struct Cell {
     sim_secs_pipelined: f64,
     fetch_secs_serial: f64,
     fetch_secs_pipelined: f64,
+    /// Span tree of this cell's join when tracing is on.
+    trace: Option<Trace>,
 }
 
 /// Weak scaling: data per node is constant, so a bigger cluster
@@ -58,8 +68,15 @@ fn rows_per_side(opts: &BenchOpts, nodes: usize) -> usize {
 }
 
 /// Load two join-ready tables and run one shuffle join with the given
-/// pipelined fetch window, returning the measured cell.
-fn measure(opts: &BenchOpts, nodes: usize, replication: usize, fetch_window: usize) -> Cell {
+/// pipelined fetch window, returning the measured cell (with its span
+/// tree when `trace_on`).
+fn measure(
+    opts: &BenchOpts,
+    nodes: usize,
+    replication: usize,
+    fetch_window: usize,
+    trace_on: bool,
+) -> Cell {
     let store = BlockStore::new(nodes, 1, opts.seed);
     let n = rows_per_side(opts, nodes) as i64;
     let mut lids = Vec::new();
@@ -71,14 +88,24 @@ fn measure(opts: &BenchOpts, nodes: usize, replication: usize, fetch_window: usi
         rids.push(store.write_block("r", (k..hi).map(|i| row![i, i * 3]).collect(), 2, None));
         k = hi;
     }
+    let params = CostParams::default();
     let clock = SimClock::new();
+    let tracer = trace_on.then(Tracer::new);
+    let root = tracer.as_ref().map(|t| t.start("cell", None, 0));
+    let trace_ctx = tracer.as_ref().zip(root).map(|(t, root)| TraceCtx {
+        tracer: t,
+        params: &params,
+        parent: root,
+        base_us: 0,
+    });
     let ctx = ExecContext::single(&store, &clock)
         .with_shuffle(ShuffleOptions {
             partitions: Some(nodes),
             replication,
             split_threshold: None,
         })
-        .with_fetch_window(fetch_window);
+        .with_fetch_window(fetch_window)
+        .with_trace(trace_ctx);
     let none = PredicateSet::none();
     let rows = shuffle_join(
         ctx,
@@ -99,7 +126,6 @@ fn measure(opts: &BenchOpts, nodes: usize, replication: usize, fetch_window: usi
     let io = clock.snapshot();
     let sh = clock.shuffle_snapshot();
     let ov = clock.overlap_snapshot();
-    let params = CostParams::default();
     let input_blocks = lids.len() + rids.len();
     // The fetch leg alone, serial vs overlapped (same parallelism
     // divisor as sim_secs so the columns are comparable).
@@ -108,6 +134,16 @@ fn measure(opts: &BenchOpts, nodes: usize, replication: usize, fetch_window: usi
         / params.parallelism.max(1) as f64;
     let saved = ov.saved_secs(&params);
     let sim_secs = io.simulated_secs(&params);
+    let trace = if let (Some(t), Some(root)) = (tracer, root) {
+        t.attr_i(root, "nodes", nodes as i64);
+        t.attr_i(root, "replication", replication as i64);
+        t.attr_i(root, "fetch_window", fetch_window as i64);
+        t.attr_i(root, "input_blocks", input_blocks as i64);
+        t.end(root, secs_to_us(sim_secs));
+        Some(t.finish())
+    } else {
+        None
+    };
     Cell {
         nodes,
         replication,
@@ -123,6 +159,7 @@ fn measure(opts: &BenchOpts, nodes: usize, replication: usize, fetch_window: usi
         sim_secs_pipelined: sim_secs - saved,
         fetch_secs_serial,
         fetch_secs_pipelined: fetch_secs_serial - saved,
+        trace,
     }
 }
 
@@ -197,6 +234,7 @@ fn table_rows(cells: &[Cell]) -> Vec<Vec<String>> {
 
 fn main() {
     let (opts, _) = parse_args();
+    let trace_on = opts.trace_out.is_some() || DbConfig::env_trace();
     let node_counts: &[usize] = if opts.quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
     let replications: &[usize] = if opts.quick { &[1, 4] } else { &[1, 2, 4] };
     let windows: &[usize] = if opts.quick { &[1, 4] } else { &[1, 2, 4, 8] };
@@ -204,9 +242,12 @@ fn main() {
     // The node and locality sweeps run pipelined at the default depth
     // (counts are window-invariant, so C_SJ columns are comparable with
     // any baseline); the window sweep isolates the pipelining axis.
-    let node_sweep: Vec<Cell> = node_counts.iter().map(|&n| measure(&opts, n, 1, 4)).collect();
-    let locality_sweep: Vec<Cell> = replications.iter().map(|&r| measure(&opts, 4, r, 4)).collect();
-    let window_sweep: Vec<Cell> = windows.iter().map(|&w| measure(&opts, 4, 1, w)).collect();
+    let node_sweep: Vec<Cell> =
+        node_counts.iter().map(|&n| measure(&opts, n, 1, 4, trace_on)).collect();
+    let locality_sweep: Vec<Cell> =
+        replications.iter().map(|&r| measure(&opts, 4, r, 4, trace_on)).collect();
+    let window_sweep: Vec<Cell> =
+        windows.iter().map(|&w| measure(&opts, 4, 1, w, trace_on)).collect();
 
     let headers = [
         "nodes",
@@ -271,4 +312,35 @@ fn main() {
     assert_eq!(serial.hidden_fetches, 0, "serial fetching hides nothing");
 
     write_json("BENCH_shuffle.json", &node_sweep, &locality_sweep, &window_sweep, &opts);
+
+    if trace_on {
+        // Every cell's span tree, one viewer "process" per cell. The
+        // root span was closed at the cell's serial simulated seconds,
+        // so the per-cell root durations must sum to the run's total
+        // sim_secs within µs rounding — the tracing-vs-accounting
+        // consistency check.
+        let cells: Vec<&Cell> =
+            node_sweep.iter().chain(locality_sweep.iter()).chain(window_sweep.iter()).collect();
+        let parts: Vec<(u32, &Trace)> = cells
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.trace.as_ref().map(|t| (i as u32 + 1, t)))
+            .collect();
+        assert_eq!(parts.len(), cells.len(), "tracing was on for every cell");
+        let total_sim_secs: f64 = cells.iter().map(|c| c.sim_secs).sum();
+        let total_span_us: u64 = parts.iter().map(|(_, t)| t.root_duration_us()).sum();
+        let diff_us = (total_span_us as f64 - total_sim_secs * 1e6).abs();
+        assert!(
+            diff_us <= cells.len() as f64,
+            "span durations must sum to sim_secs within rounding: {total_span_us} µs vs \
+             {total_sim_secs} s (diff {diff_us} µs)"
+        );
+        let path = opts.trace_out.as_deref().unwrap_or("BENCH_shuffle_trace.json");
+        std::fs::write(path, chrome_trace_json(&parts)).expect("write trace JSON");
+        println!(
+            "wrote {path} ({} spans, root durations sum to {:.4} sim s)",
+            parts.iter().map(|(_, t)| t.spans.len()).sum::<usize>(),
+            total_span_us as f64 / 1e6
+        );
+    }
 }

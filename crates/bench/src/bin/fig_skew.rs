@@ -29,7 +29,7 @@
 //! Usage: `fig_skew [--scale X] [--seed N] [--quick]`
 
 use adaptdb_bench::{parse_args, print_table, BenchOpts};
-use adaptdb_common::{row, CostParams, PredicateSet, Row};
+use adaptdb_common::{row, CostParams, Histogram, PredicateSet, Row};
 use adaptdb_dfs::SimClock;
 use adaptdb_exec::{reduce_partition, ExecContext, ShuffleOptions, ShuffleService};
 use adaptdb_storage::BlockStore;
@@ -68,14 +68,6 @@ fn rows_per_side(opts: &BenchOpts) -> usize {
     n.div_ceil(ROWS_PER_BLOCK) * ROWS_PER_BLOCK
 }
 
-fn p99(sorted_secs: &[f64]) -> f64 {
-    if sorted_secs.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted_secs.len() as f64 * 0.99).ceil() as usize).max(1) - 1;
-    sorted_secs[idx.min(sorted_secs.len() - 1)]
-}
-
 /// One Zipf(s)-keyed join, reduced task by task so per-task simulated
 /// seconds can be read off the clock.
 fn measure(opts: &BenchOpts, s: f64, budget: Option<usize>, split: bool) -> Cell {
@@ -106,16 +98,19 @@ fn measure(opts: &BenchOpts, s: f64, budget: Option<usize>, split: bool) -> Cell
     let plan = svc.split_plan(&left, &right);
     let params = CostParams::default();
     let mut rows_out = 0usize;
-    let mut task_secs = Vec::new();
+    // Log-bucketed histogram instead of a sorted Vec: count/sum/max are
+    // exact, and nearest-rank p99 over ≤100 tasks resolves to the max
+    // in both formulations, so the JSON stays bit-identical.
+    let mut task_secs = Histogram::new();
     for (p, &k) in plan.iter().enumerate() {
         let before = clock.snapshot().simulated_secs(&params);
         rows_out += reduce_partition(&svc, p, k, &left, &right, 0, 0).expect("reduce").len();
         let delta = clock.snapshot().simulated_secs(&params) - before;
         // A k-way split runs k concurrent sub-tasks on distinct nodes.
-        task_secs.push(delta / k.max(1) as f64);
+        task_secs.record(delta / k.max(1) as f64);
     }
     svc.cleanup();
-    task_secs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    assert!(!task_secs.is_empty(), "split plan produced no reduce tasks");
 
     let io = clock.snapshot();
     let sh = clock.shuffle_snapshot();
@@ -134,9 +129,9 @@ fn measure(opts: &BenchOpts, s: f64, budget: Option<usize>, split: bool) -> Cell
         peak_mem_blocks: sh.peak_reducer_mem_blocks,
         max_recursion_depth: sh.max_recursion_depth,
         rows_out,
-        p99_task_secs: p99(&task_secs),
-        max_task_secs: *task_secs.last().expect("non-empty"),
-        mean_task_secs: task_secs.iter().sum::<f64>() / task_secs.len() as f64,
+        p99_task_secs: task_secs.quantile(0.99),
+        max_task_secs: task_secs.max(),
+        mean_task_secs: task_secs.mean(),
         cost_per_block: (io.reads() + io.writes) as f64 / input_blocks as f64,
         sim_secs: io.simulated_secs(&params),
     }

@@ -18,7 +18,7 @@ use adaptdb::cost::Lane;
 use adaptdb::{Database, DbConfig, Mode, SchedPolicy};
 use adaptdb_bench::{parse_args, print_table, BenchOpts};
 use adaptdb_common::rng;
-use adaptdb_common::{CmpOp, Predicate, PredicateSet, Query, ScanQuery};
+use adaptdb_common::{CmpOp, Histogram, Predicate, PredicateSet, Query, ScanQuery};
 use adaptdb_server::{DbServer, ServerOptions};
 use adaptdb_workloads::tpch::{li, ord, Template, TpchGen};
 
@@ -185,14 +185,6 @@ fn write_json(
     );
     std::fs::write(path, json).expect("write BENCH_throughput.json");
     println!("wrote {path}");
-}
-
-/// Latency percentile over client-side wall samples (ms).
-fn percentile(samples: &mut [f64], p: f64) -> f64 {
-    assert!(!samples.is_empty());
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let idx = ((samples.len() as f64 * p).ceil() as usize).clamp(1, samples.len()) - 1;
-    samples[idx]
 }
 
 /// Per-lane latency summary of one mixed-workload run.
@@ -399,20 +391,27 @@ fn main() {
         let (first, first_ms) = measure_mixed(&opts, policy, storm_per, interactive_per);
         let (second, second_ms) = measure_mixed(&opts, policy, storm_per, interactive_per);
         let best = if second.qps > first.qps { second } else { first };
-        for (lane, mut ms) in [Lane::Interactive, Lane::Batch].into_iter().zip(
+        for (lane, ms) in [Lane::Interactive, Lane::Batch].into_iter().zip(
             first_ms.into_iter().zip(second_ms).map(|(mut a, b)| {
                 a.extend(b);
                 a
             }),
         ) {
+            // Pool both runs' wall samples into a log-bucketed
+            // histogram; percentiles are quantized to one bucket width
+            // (≲9%), far inside the 2x policy-comparison gates.
+            let mut hist = Histogram::new();
+            for &x in &ms {
+                hist.record(x);
+            }
             mixed_lanes.push(MixedLaneCell {
                 policy: best.policy,
                 lane: lane.name(),
                 queries: ms.len(),
-                mean_ms: ms.iter().sum::<f64>() / ms.len() as f64,
-                p50_ms: percentile(&mut ms, 0.50),
-                p95_ms: percentile(&mut ms, 0.95),
-                p99_ms: percentile(&mut ms, 0.99),
+                mean_ms: hist.mean(),
+                p50_ms: hist.quantile(0.50),
+                p95_ms: hist.quantile(0.95),
+                p99_ms: hist.quantile(0.99),
             });
         }
         mixed_policies.push(best);

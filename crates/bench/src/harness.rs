@@ -11,16 +11,21 @@ pub struct BenchOpts {
     pub quick: bool,
     /// Master seed.
     pub seed: u64,
+    /// Where to write a Chrome trace-event JSON of the run's span
+    /// trees (`--trace-out PATH`). Implies tracing on in binaries that
+    /// support it; `ADAPTDB_TRACE=1` also enables tracing, printed to
+    /// a default path next to the figure's JSON.
+    pub trace_out: Option<String>,
 }
 
 impl Default for BenchOpts {
     fn default() -> Self {
-        BenchOpts { scale: 0.2, quick: false, seed: 42 }
+        BenchOpts { scale: 0.2, quick: false, seed: 42, trace_out: None }
     }
 }
 
-/// Parse `--scale X`, `--seed N`, `--quick` from argv; unknown flags are
-/// returned for figure-specific handling.
+/// Parse `--scale X`, `--seed N`, `--quick`, `--trace-out PATH` from
+/// argv; unknown flags are returned for figure-specific handling.
 pub fn parse_args() -> (BenchOpts, Vec<String>) {
     let mut opts = BenchOpts::default();
     let mut rest = Vec::new();
@@ -36,6 +41,9 @@ pub fn parse_args() -> (BenchOpts, Vec<String>) {
                     args.next().and_then(|v| v.parse().ok()).expect("--seed needs a number");
             }
             "--quick" => opts.quick = true,
+            "--trace-out" => {
+                opts.trace_out = Some(args.next().expect("--trace-out needs a path"));
+            }
             other => rest.push(other.to_string()),
         }
     }

@@ -21,8 +21,13 @@
 //! * [`stats`] — per-query execution statistics (block reads, shuffle
 //!   volume, simulated seconds).
 //!
+//! * [`telemetry`] — span trees, log-bucketed histograms, the metrics
+//!   registry, Chrome-trace export, and the maintenance event journal.
+//!
 //! Everything is deterministic: random choices in higher layers flow
 //! from explicitly seeded RNGs (see [`rng`]).
+
+#![warn(missing_docs)]
 
 pub mod bitset;
 pub mod cost;
@@ -34,6 +39,7 @@ pub mod rng;
 pub mod row;
 pub mod schema;
 pub mod stats;
+pub mod telemetry;
 pub mod value;
 
 /// Identifier of a stored data block. Block ids are unique per table and
@@ -66,4 +72,8 @@ pub use range::ValueRange;
 pub use row::Row;
 pub use schema::{AttrId, Field, Schema};
 pub use stats::{IoStats, OverlapStats, QueryStats, ShuffleStats};
+pub use telemetry::{
+    chrome_trace_json, AttrValue, Histogram, Journal, JournalEvent, MetricsRegistry, Span, SpanId,
+    Trace, Tracer,
+};
 pub use value::{Value, ValueType};

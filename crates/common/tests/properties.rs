@@ -2,7 +2,9 @@
 //! bitset algebra against a reference implementation, range algebra,
 //! predicate semantics.
 
-use adaptdb_common::{BitSet, CmpOp, Predicate, PredicateSet, Row, Value, ValueRange};
+use adaptdb_common::{
+    BitSet, CmpOp, Predicate, PredicateSet, Row, ShuffleStats, Value, ValueRange,
+};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
@@ -147,5 +149,52 @@ proptest! {
         prop_assert_eq!(rc.arity(), ra.arity() + rb.arity());
         prop_assert!(rc.byte_size() >= ra.byte_size());
         prop_assert!(rc.byte_size() >= rb.byte_size());
+    }
+
+    /// `ShuffleStats::merge` is order-independent: rate fields are
+    /// sums and gauge fields (`max_recursion_depth`,
+    /// `peak_reducer_mem_blocks`) are maxima — both commutative and
+    /// associative — so folding any permutation of the same per-query
+    /// tallies must produce the identical server-wide aggregate. This
+    /// is what lets `ServerReport` merge worker-completed queries in
+    /// whatever order they finish.
+    #[test]
+    fn shuffle_stats_merge_is_order_independent(
+        parts in prop::collection::vec(
+            (0usize..100, 0usize..100, 0usize..100, 0usize..100, 0usize..8, 0usize..64),
+            1..10,
+        ),
+        seed in any::<u64>(),
+    ) {
+        let stats: Vec<ShuffleStats> = parts
+            .iter()
+            .map(|&(runs, spilled, local, remote, depth, peak)| ShuffleStats {
+                runs_written: runs,
+                blocks_spilled: spilled,
+                bytes_spilled: spilled * 4096 + runs,
+                local_fetches: local,
+                remote_fetches: remote,
+                build_blocks_spilled: spilled % 7,
+                broadcast_fetches: local % 5,
+                split_partitions: remote % 3,
+                max_recursion_depth: depth,
+                peak_reducer_mem_blocks: peak,
+            })
+            .collect();
+        let fold = |xs: &[&ShuffleStats]| {
+            let mut acc = ShuffleStats::default();
+            for x in xs {
+                acc.merge(x);
+            }
+            acc
+        };
+        let forward: Vec<&ShuffleStats> = stats.iter().collect();
+        let reversed: Vec<&ShuffleStats> = stats.iter().rev().collect();
+        let mut rng = adaptdb_common::rng::derived(seed, "merge-order");
+        let perm = adaptdb_common::rng::sample_indices(&mut rng, stats.len(), stats.len());
+        let shuffled: Vec<&ShuffleStats> = perm.iter().map(|&i| &stats[i]).collect();
+        let a = fold(&forward);
+        prop_assert_eq!(&a, &fold(&reversed));
+        prop_assert_eq!(&a, &fold(&shuffled));
     }
 }

@@ -156,6 +156,15 @@ pub struct DbConfig {
     /// default) keeps the configured window unconditionally. Block
     /// counts and results are identical at every setting.
     pub fetch_pace_wait_ms: Option<f64>,
+    /// Query-lifecycle tracing: when on, every query run through
+    /// [`crate::Database`] or the server collects a span tree
+    /// (plan/scan/shuffle map/fetch/probe/…) timestamped on the
+    /// simulated clocks, exportable as Chrome trace-event JSON. Tracing
+    /// is observational only — it never charges a clock, so every
+    /// stat, block count, and result is bit-identical with it off
+    /// (the default). Defaults honor the `ADAPTDB_TRACE` environment
+    /// variable; see [`DbConfig::env_trace`].
+    pub trace: bool,
     /// Cost model for simulated seconds and plan comparison.
     pub cost: CostParams,
     /// System variant.
@@ -189,6 +198,7 @@ impl Default for DbConfig {
             batch_cost_blocks: 64,
             maint_pace_wait_ms: 5.0,
             fetch_pace_wait_ms: None,
+            trace: DbConfig::env_trace(),
             cost: CostParams::default(),
             mode: Mode::Adaptive,
             threads: DbConfig::env_threads().unwrap_or(2),
@@ -227,6 +237,17 @@ impl DbConfig {
     /// never changes results — only the order queries are admitted in.
     pub fn env_sched() -> Option<SchedPolicy> {
         SchedPolicy::parse(&std::env::var("ADAPTDB_SCHED").ok()?)
+    }
+
+    /// The `ADAPTDB_TRACE` override: `1` / `true` / `on` enables
+    /// query-lifecycle tracing (anything else, or unset, leaves it
+    /// off). Tracing never changes results, counts, or simulated
+    /// costs — it only collects span trees.
+    pub fn env_trace() -> bool {
+        matches!(
+            std::env::var("ADAPTDB_TRACE").map(|v| v.trim().to_ascii_lowercase()).as_deref(),
+            Ok("1") | Ok("true") | Ok("on")
+        )
     }
 
     /// A small configuration suited to unit tests and doc examples:

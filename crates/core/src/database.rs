@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use adaptdb_common::rng;
 use adaptdb_common::{AttrId, BlockId, Error, Query, QueryStats, Result, Row, Schema};
-use adaptdb_dfs::SimClock;
+use adaptdb_dfs::{SimClock, TraceCtx};
 use adaptdb_exec::RetireMode;
 use adaptdb_storage::{BlockStore, PartitionedWriter, Reservoir};
 use adaptdb_tree::{
@@ -34,6 +34,10 @@ pub struct QueryResult {
     pub rows: Vec<Row>,
     /// Everything measured while answering.
     pub stats: QueryStats,
+    /// Span tree for the query when [`DbConfig::trace`] is on, `None`
+    /// otherwise. Timestamps are simulated microseconds: adaptation
+    /// work occupies `[0, repart_end]`, execution the remainder.
+    pub trace: Option<Arc<adaptdb_common::Trace>>,
 }
 
 impl QueryResult {
@@ -110,6 +114,13 @@ impl Database {
     /// unaffected, only planning.
     pub fn set_buffer_blocks(&mut self, blocks: usize) {
         self.config.buffer_blocks = blocks.max(1);
+    }
+
+    /// Toggle query-lifecycle tracing ([`DbConfig::trace`]) at runtime.
+    /// While on, every [`Database::run`] carries a span tree in
+    /// [`QueryResult::trace`]; accounting is unchanged either way.
+    pub fn set_trace(&mut self, on: bool) {
+        self.config.trace = on;
     }
 
     /// Switch how migrated source blocks are disposed of. A concurrent
@@ -319,11 +330,33 @@ impl Database {
         let unaccounted_before = self.store.unaccounted_reads();
         self.record_observation(query)?;
 
+        let tracer = self.config.trace.then(adaptdb_common::Tracer::new);
+        let root = tracer.as_ref().map(|t| t.start("query", None, 0));
+
         let repart_clock = SimClock::new();
         self.adapt_now(query, &repart_clock)?;
 
+        // Adaptation occupies [0, repart_end] on the trace timeline;
+        // execution spans start where the piggybacked rewrite finished.
+        let params = self.config.cost.clone();
+        let repart_end_us = adaptdb_dfs::secs_to_us(repart_clock.simulated_secs(&params));
+        if let (Some(t), Some(root)) = (tracer.as_ref(), root) {
+            let io = repart_clock.snapshot();
+            let id = t.start("adapt", Some(root), 0);
+            t.attr_i(id, "reads", io.reads() as i64);
+            t.attr_i(id, "writes", io.writes as i64);
+            t.end(id, repart_end_us);
+        }
+
         let query_clock = SimClock::new();
-        let (rows, strategy, c_hyj) = readpath::execute_query(self, query, &query_clock)?;
+        let trace_ctx = tracer.as_ref().zip(root).map(|(t, root)| TraceCtx {
+            tracer: t,
+            params: &params,
+            parent: root,
+            base_us: repart_end_us,
+        });
+        let (rows, strategy, c_hyj) =
+            readpath::execute_query_traced(self, query, &query_clock, trace_ctx)?;
         debug_assert_eq!(
             self.store.unaccounted_reads(),
             unaccounted_before,
@@ -337,7 +370,19 @@ impl Database {
         stats.overlap = query_clock.overlap_snapshot();
         stats.estimated_c_hyj = c_hyj;
         stats.wall_secs = started.elapsed().as_secs_f64();
-        Ok(QueryResult { rows, stats })
+
+        let trace = if let (Some(t), Some(root)) = (tracer, root) {
+            t.attr_s(root, "strategy", &format!("{strategy:?}"));
+            t.attr_i(root, "rows", rows.len() as i64);
+            t.attr_i(root, "blocks_read", stats.total_io().reads() as i64);
+            let total_us =
+                repart_end_us + adaptdb_dfs::secs_to_us(stats.query_io.simulated_secs(&params));
+            t.end(root, total_us);
+            Some(Arc::new(t.finish()))
+        } else {
+            None
+        };
+        Ok(QueryResult { rows, stats, trace })
     }
 
     // ----- window bookkeeping ------------------------------------------

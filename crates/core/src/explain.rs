@@ -4,8 +4,10 @@
 //! planner picks hyper-join or shuffle (the §5.4 decision) at the
 //! current state of migration.
 
+use std::sync::Arc;
+
 use adaptdb_common::stats::JoinStrategy;
-use adaptdb_common::{CostParams, Query, Result};
+use adaptdb_common::{CostParams, Query, QueryStats, Result, Trace};
 use adaptdb_join::{planner as join_planner, JoinDecision, JoinSide};
 
 use crate::cost::{self, Lane};
@@ -110,6 +112,69 @@ impl std::fmt::Display for ExplainReport {
     }
 }
 
+/// `EXPLAIN ANALYZE`: the pre-execution projection side by side with
+/// what actually happened — measured statistics and the executed span
+/// tree. Produced by [`Database::explain_analyze`], which forces
+/// tracing on for the one run.
+#[derive(Debug, Clone)]
+pub struct ExplainAnalyzeReport {
+    /// The plan projection, taken *before* the query ran (and before
+    /// any piggybacked adaptation it triggered).
+    pub explain: ExplainReport,
+    /// Everything measured while answering.
+    pub stats: QueryStats,
+    /// The executed span tree on the simulated-microsecond timeline.
+    pub trace: Arc<Trace>,
+    /// Output row count (the rows themselves are discarded, as in SQL
+    /// `EXPLAIN ANALYZE`).
+    pub rows: usize,
+}
+
+impl std::fmt::Display for ExplainAnalyzeReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.explain)?;
+        writeln!(f, "analyze:")?;
+        if self.stats.strategy != self.explain.strategy {
+            writeln!(
+                f,
+                "  strategy drift: planned {}, ran {} (adaptation moved blocks first)",
+                self.explain.strategy, self.stats.strategy
+            )?;
+        }
+        writeln!(
+            f,
+            "  blocks read: {} actual vs ~{} estimated (+{} repartition writes)",
+            self.stats.query_io.reads(),
+            self.explain.est_cost_blocks,
+            self.stats.repartition_io.writes
+        )?;
+        let sh = &self.stats.shuffle;
+        if sh.fetches() > 0 {
+            let realized = sh.local_fetches as f64 / sh.fetches() as f64;
+            writeln!(
+                f,
+                "  shuffle locality: {:.0}% realized vs ~{:.0}% projected",
+                realized * 100.0,
+                self.explain.est_shuffle_locality * 100.0
+            )?;
+        }
+        if self.stats.overlap.hidden() > 0 {
+            writeln!(
+                f,
+                "  fetch overlap: {} of {} fetch latencies hidden by pipelining",
+                self.stats.overlap.hidden(),
+                self.stats.overlap.fetches
+            )?;
+        }
+        writeln!(f, "  rows out: {}", self.rows)?;
+        writeln!(f, "span tree:")?;
+        for line in self.trace.render_tree().lines() {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
 impl Database {
     /// Explain the plan for `query` without executing it (and without
     /// triggering any adaptation — the query is *not* added to windows).
@@ -123,6 +188,22 @@ impl Database {
             report.join_mem_budget_blocks = self.config().join_mem_budget_blocks;
         }
         Ok(report)
+    }
+
+    /// `EXPLAIN ANALYZE`: take the plan projection, then execute the
+    /// query with tracing forced on and return both. The run is a real
+    /// [`Database::run`] — windows are updated and adaptation happens
+    /// exactly as it would for a normal query; only the output rows are
+    /// discarded. The previous tracing setting is restored afterwards.
+    pub fn explain_analyze(&mut self, query: &Query) -> Result<ExplainAnalyzeReport> {
+        let explain = self.explain(query)?;
+        let was_tracing = self.config().trace;
+        self.set_trace(true);
+        let result = self.run(query);
+        self.set_trace(was_tracing);
+        let result = result?;
+        let trace = result.trace.expect("tracing was forced on");
+        Ok(ExplainAnalyzeReport { explain, stats: result.stats, trace, rows: result.rows.len() })
     }
 
     fn explain_inner(&self, query: &Query, params: &CostParams) -> Result<ExplainReport> {

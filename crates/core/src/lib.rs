@@ -56,6 +56,6 @@ pub use adaptdb_exec::RetireMode;
 pub use config::{DbConfig, Mode, SchedPolicy};
 pub use cost::{CostEstimate, Lane};
 pub use database::{Database, QueryResult};
-pub use explain::ExplainReport;
+pub use explain::{ExplainAnalyzeReport, ExplainReport};
 pub use readpath::SnapshotSource;
 pub use table::{TableSnapshot, TableState, TreeInfo};

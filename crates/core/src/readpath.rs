@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use adaptdb_common::stats::JoinStrategy;
 use adaptdb_common::{AttrId, BlockId, Error, PredicateSet, Query, Result, Row};
-use adaptdb_dfs::SimClock;
+use adaptdb_dfs::{SimClock, TraceCtx};
 use adaptdb_exec::{
     hyper_join, scan_blocks, shuffle_join, shuffle_join_rows, ExecContext, HyperJoinSpec,
     ShuffleJoinSpec,
@@ -38,11 +38,16 @@ pub trait SnapshotSource {
     fn snapshot(&self, table: &str) -> Result<Arc<TableSnapshot>>;
 }
 
-fn exec_ctx<'a, S: SnapshotSource>(src: &'a S, clock: &'a SimClock) -> ExecContext<'a> {
+fn exec_ctx<'a, S: SnapshotSource>(
+    src: &'a S,
+    clock: &'a SimClock,
+    trace: Option<TraceCtx<'a>>,
+) -> ExecContext<'a> {
     ExecContext::new(src.store(), clock, src.config().threads)
         .with_shuffle(src.config().shuffle_options())
         .with_fetch_window(src.config().fetch_window)
         .with_join_mem_budget(src.config().join_mem_budget_blocks)
+        .with_trace(trace)
 }
 
 /// Execute one query against the source's snapshots: plan, run, account
@@ -53,9 +58,22 @@ pub fn execute_query<S: SnapshotSource>(
     query: &Query,
     clock: &SimClock,
 ) -> Result<(Vec<Row>, JoinStrategy, Option<f64>)> {
+    execute_query_traced(src, query, clock, None)
+}
+
+/// [`execute_query`] with an optional tracing handle: operator spans
+/// (plan, scan, shuffle map/fetch/probe, hyper-join) nest under the
+/// handle's parent span. `None` is exactly `execute_query` — tracing
+/// never changes accounting, so the untraced path stays bit-identical.
+pub fn execute_query_traced<'a, S: SnapshotSource>(
+    src: &'a S,
+    query: &Query,
+    clock: &'a SimClock,
+    trace: Option<TraceCtx<'a>>,
+) -> Result<(Vec<Row>, JoinStrategy, Option<f64>)> {
     match query {
         Query::Scan(s) => {
-            let rows = execute_scan(src, &s.table, &s.predicates, clock)?;
+            let rows = execute_scan(src, &s.table, &s.predicates, clock, trace)?;
             Ok((rows, JoinStrategy::ScanOnly, None))
         }
         Query::Join(j) => {
@@ -68,6 +86,7 @@ pub fn execute_query<S: SnapshotSource>(
                 &j.right.predicates,
                 j.right_attr,
                 clock,
+                trace,
             )?;
             Ok((rows, strategy, c))
         }
@@ -81,9 +100,10 @@ pub fn execute_query<S: SnapshotSource>(
                 &first.right.predicates,
                 first.right_attr,
                 clock,
+                trace,
             )?;
             for step in steps {
-                let (step_rows, used_hyper) = execute_step(src, step, rows, clock)?;
+                let (step_rows, used_hyper) = execute_step(src, step, rows, clock, trace)?;
                 rows = step_rows;
                 if !used_hyper && strategy == JoinStrategy::HyperJoin {
                     strategy = JoinStrategy::Mixed;
@@ -101,11 +121,12 @@ pub fn execute_query<S: SnapshotSource>(
 /// tempLO based on custkey, and can then use hyper-join"). Otherwise
 /// the step falls back to scanning the table and shuffling both
 /// sides. Returns the joined rows and whether the hyper path ran.
-fn execute_step<S: SnapshotSource>(
-    src: &S,
+fn execute_step<'a, S: SnapshotSource>(
+    src: &'a S,
     step: &adaptdb_common::JoinStep,
     intermediate: Vec<Row>,
-    clock: &SimClock,
+    clock: &'a SimClock,
+    trace: Option<TraceCtx<'a>>,
 ) -> Result<(Vec<Row>, bool)> {
     let config = src.config();
     let table = &step.table.table;
@@ -138,8 +159,16 @@ fn execute_step<S: SnapshotSource>(
                     adaptdb_exec::StepGroup { blocks, range }
                 })
                 .collect();
+            let (child, span) = match trace {
+                Some(t) => {
+                    let (c, g) = t.span("hyper-step", clock);
+                    (Some(c), Some(g))
+                }
+                None => (None, None),
+            };
+            let before = span.as_ref().map(|_| clock.snapshot());
             let rows = adaptdb_exec::hyper_step_join(
-                exec_ctx(src, clock),
+                exec_ctx(src, clock, child),
                 table,
                 groups,
                 step.table_attr,
@@ -148,13 +177,18 @@ fn execute_step<S: SnapshotSource>(
                 step.intermediate_attr,
                 config.rows_per_block,
             )?;
+            if let (Some(g), Some(b)) = (&span, before) {
+                let a = clock.snapshot();
+                g.attr_s("table", table);
+                g.attr_i("blocks_read", (a.reads() - b.reads()) as i64);
+            }
             return Ok((rows, true));
         }
     }
     // Fallback: scan through the trees, shuffle both sides.
-    let side = execute_scan(src, table, preds, clock)?;
+    let side = execute_scan(src, table, preds, clock, trace)?;
     let rows = shuffle_join_rows(
-        exec_ctx(src, clock),
+        exec_ctx(src, clock, trace),
         intermediate,
         side,
         step.intermediate_attr,
@@ -164,37 +198,43 @@ fn execute_step<S: SnapshotSource>(
     Ok((rows, false))
 }
 
-fn execute_scan<S: SnapshotSource>(
-    src: &S,
+fn execute_scan<'a, S: SnapshotSource>(
+    src: &'a S,
     table: &str,
     preds: &PredicateSet,
-    clock: &SimClock,
+    clock: &'a SimClock,
+    trace: Option<TraceCtx<'a>>,
 ) -> Result<Vec<Row>> {
     let snap = src.snapshot(table)?;
     if src.config().mode == Mode::FullScan {
         // Baseline: no tree pruning, no metadata skipping.
         let blocks = snap.all_blocks();
-        let rows = scan_blocks(exec_ctx(src, clock), table, &blocks, &PredicateSet::none())?;
+        let rows = scan_blocks(exec_ctx(src, clock, trace), table, &blocks, &PredicateSet::none())?;
         return Ok(rows.into_iter().filter(|r| preds.matches(r)).collect());
     }
     let blocks = snap.lookup_blocks(preds);
-    scan_blocks(exec_ctx(src, clock), table, &blocks, preds)
+    scan_blocks(exec_ctx(src, clock, trace), table, &blocks, preds)
 }
 
 #[allow(clippy::too_many_arguments)]
-fn execute_join<S: SnapshotSource>(
-    src: &S,
+fn execute_join<'a, S: SnapshotSource>(
+    src: &'a S,
     left: &str,
     left_preds: &PredicateSet,
     left_attr: AttrId,
     right: &str,
     right_preds: &PredicateSet,
     right_attr: AttrId,
-    clock: &SimClock,
+    clock: &'a SimClock,
+    trace: Option<TraceCtx<'a>>,
 ) -> Result<(Vec<Row>, JoinStrategy, Option<f64>)> {
     let config = src.config();
     let lt = src.snapshot(left)?;
     let rt = src.snapshot(right)?;
+    // Planning reads only in-memory metadata, so this span is
+    // zero-duration on the simulated timeline; its attributes carry
+    // the candidate sets and the cost-based decision.
+    let plan_span = trace.map(|t| t.span("plan", clock).1);
     let allow_hyper = matches!(config.mode, Mode::Adaptive | Mode::FullRepartition | Mode::Fixed);
 
     let (lc, rc) = if config.mode == Mode::FullScan {
@@ -210,6 +250,11 @@ fn execute_join<S: SnapshotSource>(
     };
 
     if !allow_hyper {
+        if let Some(g) = plan_span {
+            g.attr_i("left_candidates", lc.len() as i64);
+            g.attr_i("right_candidates", rc.len() as i64);
+            g.attr_s("decision", "shuffle");
+        }
         let rows = run_shuffle(
             src,
             left,
@@ -221,6 +266,7 @@ fn execute_join<S: SnapshotSource>(
             right_preds,
             right_attr,
             clock,
+            trace,
         )?;
         return Ok((rows, JoinStrategy::ShuffleJoin, None));
     }
@@ -263,10 +309,33 @@ fn execute_join<S: SnapshotSource>(
         other => other,
     };
 
+    if let Some(g) = plan_span {
+        g.attr_i("left_candidates", lc.len() as i64);
+        g.attr_i("right_candidates", rc.len() as i64);
+        match &decision {
+            JoinDecision::Hyper(plan) => {
+                g.attr_s("decision", "hyper");
+                g.attr_f("est_c_hyj", plan.c_hyj);
+            }
+            JoinDecision::Shuffle { est_cost, hyper_cost } => {
+                g.attr_s("decision", "shuffle");
+                g.attr_f("est_shuffle_cost", *est_cost);
+                g.attr_f("est_hyper_cost", *hyper_cost);
+            }
+        }
+    }
+
     match decision {
         JoinDecision::Hyper(plan) => {
+            let hspan = match trace {
+                Some(t) => {
+                    let (c, g) = t.span("hyper-join", clock);
+                    Some((c, g, clock.snapshot()))
+                }
+                None => None,
+            };
             let mut rows = hyper_join(
-                exec_ctx(src, clock),
+                exec_ctx(src, clock, hspan.as_ref().map(|(c, _, _)| *c)),
                 HyperJoinSpec {
                     left_table: left,
                     right_table: right,
@@ -277,6 +346,12 @@ fn execute_join<S: SnapshotSource>(
                     plan: &plan,
                 },
             )?;
+            if let Some((_, g, before)) = &hspan {
+                let after = clock.snapshot();
+                g.attr_i("blocks_read", (after.reads() - before.reads()) as i64);
+                g.attr_f("est_c_hyj", plan.c_hyj);
+            }
+            drop(hspan);
             let mut mixed = false;
             // Remainder joins for mid-migration blocks (planner case 2).
             if !r_rest.is_empty() {
@@ -292,6 +367,7 @@ fn execute_join<S: SnapshotSource>(
                     right_preds,
                     right_attr,
                     clock,
+                    trace,
                 )?);
             }
             if !l_rest.is_empty() {
@@ -308,6 +384,7 @@ fn execute_join<S: SnapshotSource>(
                     right_preds,
                     right_attr,
                     clock,
+                    trace,
                 )?);
             }
             let strategy = if mixed { JoinStrategy::Mixed } else { JoinStrategy::HyperJoin };
@@ -325,6 +402,7 @@ fn execute_join<S: SnapshotSource>(
                 right_preds,
                 right_attr,
                 clock,
+                trace,
             )?;
             Ok((rows, JoinStrategy::ShuffleJoin, None))
         }
@@ -332,8 +410,8 @@ fn execute_join<S: SnapshotSource>(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run_shuffle<S: SnapshotSource>(
-    src: &S,
+fn run_shuffle<'a, S: SnapshotSource>(
+    src: &'a S,
     left: &str,
     left_blocks: &[BlockId],
     left_preds: &PredicateSet,
@@ -342,11 +420,12 @@ fn run_shuffle<S: SnapshotSource>(
     right_blocks: &[BlockId],
     right_preds: &PredicateSet,
     right_attr: AttrId,
-    clock: &SimClock,
+    clock: &'a SimClock,
+    trace: Option<TraceCtx<'a>>,
 ) -> Result<Vec<Row>> {
     let config = src.config();
     shuffle_join(
-        exec_ctx(src, clock),
+        exec_ctx(src, clock, trace),
         ShuffleJoinSpec {
             left_table: left,
             left_blocks,

@@ -26,7 +26,9 @@
 pub mod clock;
 pub mod cluster;
 pub mod locality;
+pub mod trace;
 
 pub use clock::{ClockKind, SimClock};
 pub use cluster::{NodeId, Placement, ReadKind, SimDfs};
 pub use locality::TaskScheduler;
+pub use trace::{secs_to_us, SpanGuard, TraceCtx};

@@ -1,0 +1,118 @@
+//! Binding between the span [`Tracer`] and the simulated clocks.
+//!
+//! `adaptdb-common`'s tracer takes explicit microsecond timestamps; this
+//! module supplies them from a [`SimClock`]: "now" on the trace timeline
+//! is the clock's accumulated I/O tally converted to simulated seconds
+//! via [`CostParams`] (the *serial* accounting — pipelined overlap shows
+//! up as span attributes, never as a shorter timeline). Because the
+//! tallies are sums, any barrier-point reading is deterministic even
+//! when worker threads interleaved arbitrarily within the phase, which
+//! is what makes traces byte-reproducible.
+//!
+//! Tracing is observational only: nothing here charges a clock.
+
+use crate::clock::SimClock;
+use adaptdb_common::telemetry::{SpanId, Tracer};
+use adaptdb_common::CostParams;
+
+/// A copyable handle threaded through execution contexts when tracing
+/// is enabled: the tracer, the cost constants that map clock tallies to
+/// simulated time, the span to parent new spans under, and a base
+/// offset for composing multiple clocks (e.g. a repartition phase on
+/// the maintenance clock followed by execution on the query clock) on
+/// one timeline.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceCtx<'a> {
+    /// The span collector for the current query.
+    pub tracer: &'a Tracer,
+    /// Cost constants used to convert clock tallies to microseconds.
+    pub params: &'a CostParams,
+    /// Span new child spans attach under.
+    pub parent: SpanId,
+    /// Offset (µs) added to every timestamp derived from the clock.
+    pub base_us: u64,
+}
+
+impl<'a> TraceCtx<'a> {
+    /// Current position on the trace timeline: the clock's serial
+    /// simulated seconds, as microseconds, plus the base offset.
+    pub fn now_us(&self, clock: &SimClock) -> u64 {
+        self.base_us + secs_to_us(clock.simulated_secs(self.params))
+    }
+
+    /// Start a span at the clock's current timestamp and return a
+    /// guard that ends it (at the then-current timestamp) on drop,
+    /// plus a `TraceCtx` whose `parent` is the new span.
+    pub fn span(self, name: &'static str, clock: &'a SimClock) -> (TraceCtx<'a>, SpanGuard<'a>) {
+        let id = self.tracer.start(name, Some(self.parent), self.now_us(clock));
+        let child = TraceCtx { parent: id, ..self };
+        (child, SpanGuard { ctx: self, clock, id })
+    }
+}
+
+/// Ends its span on drop, timestamped at the clock's position then.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    ctx: TraceCtx<'a>,
+    clock: &'a SimClock,
+    id: SpanId,
+}
+
+impl SpanGuard<'_> {
+    /// The guarded span's id (for attaching attributes later).
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+
+    /// Attach an integer attribute to the guarded span.
+    pub fn attr_i(&self, key: &str, v: i64) {
+        self.ctx.tracer.attr_i(self.id, key, v);
+    }
+
+    /// Attach a float attribute to the guarded span.
+    pub fn attr_f(&self, key: &str, v: f64) {
+        self.ctx.tracer.attr_f(self.id, key, v);
+    }
+
+    /// Attach a string attribute to the guarded span.
+    pub fn attr_s(&self, key: &str, v: &str) {
+        self.ctx.tracer.attr_s(self.id, key, v);
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.ctx.tracer.end(self.id, self.ctx.now_us(self.clock));
+    }
+}
+
+/// Convert simulated seconds to whole microseconds (round-to-nearest).
+pub fn secs_to_us(secs: f64) -> u64 {
+    (secs * 1e6).round().max(0.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ReadKind;
+
+    #[test]
+    fn span_guard_tracks_clock_progress() {
+        let clock = SimClock::new();
+        let params = CostParams::default();
+        let tracer = Tracer::new();
+        let root = tracer.start("query", None, 0);
+        let ctx = TraceCtx { tracer: &tracer, params: &params, parent: root, base_us: 0 };
+        {
+            let (_child, guard) = ctx.span("scan", &clock);
+            clock.record_read(ReadKind::Local);
+            guard.attr_i("blocks", 1);
+        }
+        tracer.end(root, ctx.now_us(&clock));
+        let trace = tracer.finish();
+        let scan = trace.find("scan").unwrap();
+        assert_eq!(scan.start_us, 0);
+        assert_eq!(scan.end_us, secs_to_us(params.secs_for(1, 0, 0)));
+        assert_eq!(trace.root_duration_us(), scan.end_us);
+    }
+}

@@ -1,6 +1,6 @@
 //! Shared execution context.
 
-use adaptdb_dfs::SimClock;
+use adaptdb_dfs::{SimClock, SpanGuard, TraceCtx};
 use adaptdb_storage::BlockStore;
 
 /// Shuffle-service knobs threaded through the context so every
@@ -51,6 +51,10 @@ pub struct ExecContext<'a> {
     /// block-nested-loop at the recursion cap. `None` = unbounded,
     /// which reproduces the pre-budget join bit-identically.
     pub join_mem_budget_blocks: Option<usize>,
+    /// Span-tracing handle; `None` (the default) disables tracing and
+    /// every operator skips its telemetry calls entirely, keeping all
+    /// accounting bit-identical to an untraced run.
+    pub trace: Option<TraceCtx<'a>>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -64,6 +68,7 @@ impl<'a> ExecContext<'a> {
             shuffle: ShuffleOptions::default(),
             fetch_window: 1,
             join_mem_budget_blocks: None,
+            trace: None,
         }
     }
 
@@ -91,5 +96,44 @@ impl<'a> ExecContext<'a> {
     pub fn with_join_mem_budget(mut self, budget_blocks: Option<usize>) -> Self {
         self.join_mem_budget_blocks = budget_blocks.map(|b| b.max(1));
         self
+    }
+
+    /// Same context with a tracing handle (builder style). `None`
+    /// leaves tracing disabled.
+    pub fn with_trace(mut self, trace: Option<TraceCtx<'a>>) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Begin a span named `name` under the current trace parent. Returns
+    /// a context whose subsequent spans nest under the new span, plus a
+    /// guard that ends it (at the clock's then-current timestamp) on
+    /// drop. A no-op returning `(self, None)` when tracing is off.
+    ///
+    /// Spans must only be opened/closed at *barrier points* on the
+    /// coordinating thread: the clock's tally-derived timestamps are
+    /// deterministic there regardless of how worker threads interleaved
+    /// within the phase (see [`ExecContext::worker_trace`]).
+    pub fn traced(self, name: &'static str) -> (Self, Option<SpanGuard<'a>>) {
+        match self.trace {
+            None => (self, None),
+            Some(t) => {
+                let (child, guard) = t.span(name, self.clock);
+                (self.with_trace(Some(child)), Some(guard))
+            }
+        }
+    }
+
+    /// The trace handle worker closures may use: the real handle when
+    /// execution is single-threaded (clock readings stay deterministic),
+    /// `None` otherwise — parallel workers share one clock, so their
+    /// mid-phase readings would vary run to run and break the
+    /// byte-reproducibility of traces.
+    pub fn worker_trace(&self) -> Option<TraceCtx<'a>> {
+        if self.threads <= 1 {
+            self.trace
+        } else {
+            None
+        }
     }
 }

@@ -24,6 +24,29 @@ pub fn scan_blocks(
     blocks: &[BlockId],
     preds: &PredicateSet,
 ) -> Result<Vec<Row>> {
+    let (ctx, span) = ctx.traced("scan");
+    let before = span.as_ref().map(|_| ctx.clock.snapshot());
+    let out = scan_inner(ctx, table, blocks, preds)?;
+    if let (Some(span), Some(before)) = (span, before) {
+        let after = ctx.clock.snapshot();
+        span.attr_s("table", table);
+        span.attr_i("blocks_listed", blocks.len() as i64);
+        span.attr_i("blocks_read", (after.reads() - before.reads()) as i64);
+        span.attr_i("local_reads", (after.local_reads - before.local_reads) as i64);
+        span.attr_i("remote_reads", (after.remote_reads - before.remote_reads) as i64);
+        span.attr_i("rows_scanned", (after.rows_scanned - before.rows_scanned) as i64);
+        span.attr_i("rows_out", (after.rows_out - before.rows_out) as i64);
+    }
+    Ok(out)
+}
+
+/// Scan body shared by the traced wrapper above.
+fn scan_inner(
+    ctx: ExecContext<'_>,
+    table: &str,
+    blocks: &[BlockId],
+    preds: &PredicateSet,
+) -> Result<Vec<Row>> {
     // Metadata-level skip first (no I/O charged for skipped blocks).
     let mut to_read = Vec::with_capacity(blocks.len());
     for &b in blocks {
@@ -66,6 +89,7 @@ fn scan_pipelined(
     let chunks: Vec<Vec<BlockId>> = to_read.chunks(chunk_len).map(<[BlockId]>::to_vec).collect();
     let results = parallel::map_ordered(chunks, ctx.threads, |chunk| -> Result<Vec<Row>> {
         let mut stream = ctx.store.fetch_stream(table, ctx.clock, ctx.fetch_window);
+        stream.set_trace(ctx.worker_trace());
         for (i, &b) in chunk.iter().enumerate() {
             stream.push(b, None, i as u64);
         }

@@ -11,6 +11,7 @@
 //! charged flat-local as the old in-process shuffle did.
 
 use adaptdb_common::{AttrId, BlockId, PredicateSet, Result, Row};
+use adaptdb_dfs::{secs_to_us, SimClock, SpanGuard};
 
 use crate::context::ExecContext;
 use crate::hash_table::JoinHashTable;
@@ -56,9 +57,75 @@ fn coalesced_partitions(requested: usize, min_side_blocks: usize, mappers: usize
     requested.max(1).min((min_side_blocks / mappers.max(1)).max(1))
 }
 
+/// Attach map-phase attributes (runs / blocks / bytes spilled) to an
+/// open `map-spill` span from the shuffle-tally delta across the phase.
+fn annotate_map(
+    span: &Option<SpanGuard<'_>>,
+    clock: &SimClock,
+    before: Option<adaptdb_common::ShuffleStats>,
+) {
+    if let (Some(span), Some(b)) = (span, before) {
+        let a = clock.shuffle_snapshot();
+        span.attr_i("runs", (a.runs_written - b.runs_written) as i64);
+        span.attr_i("blocks_spilled", (a.blocks_spilled - b.blocks_spilled) as i64);
+        span.attr_i("bytes_spilled", (a.bytes_spilled - b.bytes_spilled) as i64);
+    }
+}
+
+/// Run the reduce phase under a `reduce` span, then synthesize its
+/// `fetch` and `probe` child spans from the phase's shuffle-tally
+/// delta. The per-partition work runs in parallel, so only these
+/// barrier-level totals are deterministic (see
+/// [`ExecContext::worker_trace`]): the fetch leg's duration is its
+/// serial cost share (`local + penalized remote` fetches), the probe
+/// leg is the remainder — including broadcast re-reads and build-spill
+/// round-trips, which a `skew-mitigation` span itemizes when the
+/// budgeted join had to intervene.
+fn traced_reduce(
+    ctx: ExecContext<'_>,
+    body: impl FnOnce() -> Result<Vec<Row>>,
+) -> Result<Vec<Row>> {
+    let (ctx, span) = ctx.traced("reduce");
+    let Some(span) = span else { return body() };
+    let t = ctx.trace.expect("traced() yielded a span, so the handle is set");
+    let start_us = t.now_us(ctx.clock);
+    let before = ctx.clock.shuffle_snapshot();
+    let out = body()?;
+    let after = ctx.clock.shuffle_snapshot();
+    let end_us = t.now_us(ctx.clock);
+    let ld = after.local_fetches - before.local_fetches;
+    let rd = after.remote_fetches - before.remote_fetches;
+    let fetch_end = (start_us + secs_to_us(t.params.secs_for(ld, rd, 0))).min(end_us);
+    let tracer = t.tracer;
+    let fetch = tracer.start("fetch", Some(span.id()), start_us);
+    tracer.attr_i(fetch, "local_fetches", ld as i64);
+    tracer.attr_i(fetch, "remote_fetches", rd as i64);
+    tracer.end(fetch, fetch_end);
+    let probe = tracer.start("probe", Some(span.id()), fetch_end);
+    tracer.attr_i(probe, "peak_reducer_mem_blocks", after.peak_reducer_mem_blocks as i64);
+    tracer.end(probe, end_us);
+    let splits = after.split_partitions - before.split_partitions;
+    let spilled = after.build_blocks_spilled - before.build_blocks_spilled;
+    if splits > 0 || spilled > 0 || after.max_recursion_depth > before.max_recursion_depth {
+        let m = tracer.start("skew-mitigation", Some(probe), end_us);
+        tracer.attr_i(m, "split_partitions", splits as i64);
+        tracer.attr_i(
+            m,
+            "broadcast_fetches",
+            (after.broadcast_fetches - before.broadcast_fetches) as i64,
+        );
+        tracer.attr_i(m, "build_blocks_spilled", spilled as i64);
+        tracer.attr_i(m, "max_recursion_depth", after.max_recursion_depth as i64);
+        tracer.end(m, end_us);
+    }
+    drop(span);
+    Ok(out)
+}
+
 /// Execute a shuffle join over stored blocks through the shuffle
 /// service (map spill to DFS, reducer fetch with locality accounting).
 pub fn shuffle_join(ctx: ExecContext<'_>, spec: ShuffleJoinSpec<'_>) -> Result<Vec<Row>> {
+    let (ctx, span) = ctx.traced("shuffle-join");
     let mappers = ctx.store.dfs().live_nodes();
     let requested = ctx.shuffle.partitions.unwrap_or(mappers);
     let data_blocks = spec.left_blocks.len().min(spec.right_blocks.len());
@@ -68,6 +135,12 @@ pub fn shuffle_join(ctx: ExecContext<'_>, spec: ShuffleJoinSpec<'_>) -> Result<V
         spec.rows_per_block,
         &format!("{}+{}", spec.left_table, spec.right_table),
     )?;
+    if let Some(s) = &span {
+        s.attr_s("left", spec.left_table);
+        s.attr_s("right", spec.right_table);
+        s.attr_i("partitions", svc.partitions() as i64);
+        s.attr_i("input_blocks", (spec.left_blocks.len() + spec.right_blocks.len()) as i64);
+    }
     let result = if ctx.fetch_window > 1 {
         pipelined_exchange(
             &svc,
@@ -95,22 +168,31 @@ pub fn shuffle_join(ctx: ExecContext<'_>, spec: ShuffleJoinSpec<'_>) -> Result<V
         )
     } else {
         (|| {
-            let left = svc.spill_blocks(
-                spec.left_table,
-                spec.left_blocks,
-                spec.left_attr,
-                spec.left_preds,
-            )?;
-            let right = svc.spill_blocks(
-                spec.right_table,
-                spec.right_blocks,
-                spec.right_attr,
-                spec.right_preds,
-            )?;
-            reduce_join(&svc, ctx.threads, &left, &right, spec.left_attr, spec.right_attr)
+            let (left, right) = {
+                let (_mctx, mspan) = ctx.traced("map-spill");
+                let before = mspan.as_ref().map(|_| ctx.clock.shuffle_snapshot());
+                let left = svc.spill_blocks(
+                    spec.left_table,
+                    spec.left_blocks,
+                    spec.left_attr,
+                    spec.left_preds,
+                )?;
+                let right = svc.spill_blocks(
+                    spec.right_table,
+                    spec.right_blocks,
+                    spec.right_attr,
+                    spec.right_preds,
+                )?;
+                annotate_map(&mspan, ctx.clock, before);
+                (left, right)
+            };
+            traced_reduce(ctx, || {
+                reduce_join(&svc, ctx.threads, &left, &right, spec.left_attr, spec.right_attr)
+            })
         })()
     };
     svc.cleanup();
+    drop(span);
     result
 }
 
@@ -129,28 +211,46 @@ fn pipelined_exchange<'a>(
     spill_left: impl FnOnce(&ShuffleService<'a>, &mut dyn FnMut(&ShuffledSide)) -> Result<ShuffledSide>,
     spill_right: impl FnOnce(&ShuffleService<'a>, &mut dyn FnMut(&ShuffledSide)) -> Result<ShuffledSide>,
 ) -> Result<Vec<Row>> {
+    let ctx = svc.ctx();
     let mut streams = svc.partition_streams();
-    let mut seen = vec![0usize; svc.partitions()];
-    let left =
-        spill_left(svc, &mut |side| svc.push_new_runs(&mut streams, side, &mut seen, false))?;
-    seen.fill(0);
-    let right =
-        spill_right(svc, &mut |side| svc.push_new_runs(&mut streams, side, &mut seen, true))?;
+    // Prefetch windows issued by the streams may fire during either
+    // phase, so their spans (single-threaded runs only) parent under
+    // the exchange itself rather than under map or reduce.
+    if let Some(t) = ctx.worker_trace() {
+        for s in &mut streams {
+            s.set_trace(Some(t));
+        }
+    }
+    let (left, right) = {
+        let (_mctx, mspan) = ctx.traced("map-spill");
+        let before = mspan.as_ref().map(|_| ctx.clock.shuffle_snapshot());
+        let mut seen = vec![0usize; svc.partitions()];
+        let left =
+            spill_left(svc, &mut |side| svc.push_new_runs(&mut streams, side, &mut seen, false))?;
+        seen.fill(0);
+        let right =
+            spill_right(svc, &mut |side| svc.push_new_runs(&mut streams, side, &mut seen, true))?;
+        annotate_map(&mspan, ctx.clock, before);
+        (left, right)
+    };
     // Both histograms are complete once the spills return, so the split
     // plan is known before any stream is drained.
     let plan = svc.split_plan(&left, &right);
     // Reduce: each partition drains its (already in-flight) stream and
     // joins; partitions run in parallel, output in partition order.
-    let tasks: Vec<_> = streams.into_iter().enumerate().collect();
-    let results = parallel::map_ordered(tasks, threads, |(p, mut stream)| -> Result<Vec<Row>> {
-        let (l, r) = svc.drain_partition(&mut stream)?;
-        join_partition(svc, p, plan[p], l, r, left_attr, right_attr, &left, &right)
-    });
-    let mut out = Vec::new();
-    for r in results {
-        out.extend(r?);
-    }
-    Ok(out)
+    traced_reduce(ctx, || {
+        let tasks: Vec<_> = streams.into_iter().enumerate().collect();
+        let results =
+            parallel::map_ordered(tasks, threads, |(p, mut stream)| -> Result<Vec<Row>> {
+                let (l, r) = svc.drain_partition(&mut stream)?;
+                join_partition(svc, p, plan[p], l, r, left_attr, right_attr, &left, &right)
+            });
+        let mut out = Vec::new();
+        for r in results {
+            out.extend(r?);
+        }
+        Ok(out)
+    })
 }
 
 /// Reduce phase shared by the block- and row-input shuffles: each
@@ -421,6 +521,12 @@ pub fn shuffle_join_rows(
     right_attr: AttrId,
     rows_per_block: usize,
 ) -> Result<Vec<Row>> {
+    let (ctx, span) = ctx.traced("shuffle-join");
+    if let Some(s) = &span {
+        s.attr_s("left", "rows");
+        s.attr_s("right", "rows");
+        s.attr_i("input_rows", (left.len() + right.len()) as i64);
+    }
     let mappers = ctx.store.dfs().live_nodes();
     let requested = ctx.shuffle.partitions.unwrap_or(mappers);
     let data_blocks = left.len().min(right.len()).div_ceil(rows_per_block.max(1));
@@ -441,12 +547,19 @@ pub fn shuffle_join_rows(
         )
     } else {
         (|| {
-            let l = svc.spill_rows(left, left_attr)?;
-            let r = svc.spill_rows(right, right_attr)?;
-            reduce_join(&svc, ctx.threads, &l, &r, left_attr, right_attr)
+            let (l, r) = {
+                let (_mctx, mspan) = ctx.traced("map-spill");
+                let before = mspan.as_ref().map(|_| ctx.clock.shuffle_snapshot());
+                let l = svc.spill_rows(left, left_attr)?;
+                let r = svc.spill_rows(right, right_attr)?;
+                annotate_map(&mspan, ctx.clock, before);
+                (l, r)
+            };
+            traced_reduce(ctx, || reduce_join(&svc, ctx.threads, &l, &r, left_attr, right_attr))
         })()
     };
     svc.cleanup();
+    drop(span);
     result
 }
 

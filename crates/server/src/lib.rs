@@ -134,6 +134,10 @@ pub(crate) struct Shared {
     /// Grace entries (retired-block batches) still awaiting reader
     /// drain — a gauge the maintenance loop refreshes every pass.
     pending_gc: AtomicU64,
+    /// JSON-lines journal of maintenance/adaptation decisions
+    /// (adaptation passes, snapshot swaps, GC batches, pacing
+    /// deferrals). Only written when [`DbConfig::trace`] is on.
+    journal: adaptdb_common::Journal,
     shutdown: AtomicBool,
 }
 
@@ -184,6 +188,19 @@ impl Shared {
             std::mem::take(&mut *inbox)
         } else {
             self.maint_deferrals.fetch_add(1, Ordering::SeqCst);
+            if let Some(j) = self.journal() {
+                j.event(
+                    self.journal_ts_us(),
+                    "maintenance-deferral",
+                    vec![
+                        ("taken".into(), adaptdb_common::AttrValue::Int(quota as i64)),
+                        (
+                            "deferred".into(),
+                            adaptdb_common::AttrValue::Int((inbox.len() - quota) as i64),
+                        ),
+                    ],
+                );
+            }
             inbox.drain(..quota).collect()
         };
         self.maint_backlog.store(inbox.len() as u64, Ordering::SeqCst);
@@ -213,6 +230,17 @@ impl Shared {
 
     pub(crate) fn maint_clock(&self) -> &SimClock {
         &self.maint_clock
+    }
+
+    /// The maintenance journal, or `None` while tracing is off (so the
+    /// hot paths skip formatting entirely).
+    pub(crate) fn journal(&self) -> Option<&adaptdb_common::Journal> {
+        self.config.trace.then_some(&self.journal)
+    }
+
+    /// Journal timestamp: the maintenance clock's simulated time, µs.
+    pub(crate) fn journal_ts_us(&self) -> u64 {
+        adaptdb_dfs::secs_to_us(self.maint_clock.simulated_secs(&self.config.cost))
     }
 
     pub(crate) fn note_pass(&self, processed: usize, pending_gc: usize) {
@@ -373,6 +401,7 @@ impl DbServer {
             maint_backlog: AtomicU64::new(0),
             maint_deferrals: AtomicU64::new(0),
             pending_gc: AtomicU64::new(0),
+            journal: adaptdb_common::Journal::new(),
             shutdown: AtomicBool::new(false),
         });
         let workers = (0..worker_count)
@@ -430,6 +459,21 @@ impl DbServer {
             self.shared.maint_backlog.load(Ordering::SeqCst) as usize,
             self.shared.maint_deferrals.load(Ordering::SeqCst),
         )
+    }
+
+    /// JSON-lines journal of maintenance/adaptation decisions —
+    /// adaptation passes (with their maintenance-clock I/O deltas and
+    /// retired-block counts), snapshot swaps per table, GC batches, and
+    /// pacing deferrals. Empty unless [`DbConfig::trace`] is on.
+    /// Timestamps are the maintenance clock's simulated microseconds.
+    pub fn journal_jsonl(&self) -> String {
+        self.shared.journal.to_jsonl()
+    }
+
+    /// The journal's events as structured values (see
+    /// [`DbServer::journal_jsonl`]).
+    pub fn journal_events(&self) -> Vec<adaptdb_common::JournalEvent> {
+        self.shared.journal.snapshot()
     }
 
     /// Block until every observation submitted so far has been through
@@ -615,8 +659,30 @@ fn worker_loop(shared: &Shared) {
         let unaccounted_before = shared.store.unaccounted_reads();
         let clock = SimClock::new();
         let view = QueryView::with_fetch_window(shared, fetch_window);
-        let result =
-            readpath::execute_query(&view, &query, &clock).map(|(rows, strategy, c_hyj)| {
+        // Per-query span tree when tracing is on. The simulated clock
+        // starts at zero per query; admission wait is wall time, not
+        // simulated, so it rides as a zero-duration span attribute.
+        let params = shared.config.cost.clone();
+        let tracer = shared.config.trace.then(adaptdb_common::Tracer::new);
+        let root = tracer.as_ref().map(|t| {
+            let root = t.start("query", None, 0);
+            let w = t.start("admission-wait", Some(root), 0);
+            t.attr_f(w, "wall_ms", queue_wait.as_secs_f64() * 1e3);
+            t.attr_s(w, "lane", meta.lane.name());
+            if meta.promoted {
+                t.attr_i(w, "promoted", 1);
+            }
+            t.end(w, 0);
+            root
+        });
+        let trace_ctx = tracer.as_ref().zip(root).map(|(t, root)| adaptdb_dfs::TraceCtx {
+            tracer: t,
+            params: &params,
+            parent: root,
+            base_us: 0,
+        });
+        let result = readpath::execute_query_traced(&view, &query, &clock, trace_ctx).map(
+            |(rows, strategy, c_hyj)| {
                 let mut stats = QueryStats::empty(strategy);
                 stats.query_io = clock.snapshot();
                 stats.shuffle = clock.shuffle_snapshot();
@@ -625,8 +691,17 @@ fn worker_loop(shared: &Shared) {
                 // Submit-to-finish, so admission wait shows up under load.
                 stats.wall_secs = meta.submitted.elapsed().as_secs_f64();
                 stats.queue_wait_secs = queue_wait.as_secs_f64();
-                QueryResult { rows, stats }
-            });
+                let trace = tracer.map(|t| {
+                    let root = root.expect("root exists when tracing");
+                    t.attr_s(root, "strategy", &format!("{strategy:?}"));
+                    t.attr_i(root, "rows", rows.len() as i64);
+                    t.attr_i(root, "blocks_read", stats.query_io.reads() as i64);
+                    t.end(root, adaptdb_dfs::secs_to_us(stats.query_io.simulated_secs(&params)));
+                    Arc::new(t.finish())
+                });
+                QueryResult { rows, stats, trace }
+            },
+        );
         debug_assert_eq!(
             shared.store.unaccounted_reads(),
             unaccounted_before,

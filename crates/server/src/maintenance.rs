@@ -39,7 +39,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use adaptdb::TableSnapshot;
-use adaptdb_common::BlockId;
+use adaptdb_common::{AttrValue, BlockId};
 
 use crate::Shared;
 
@@ -120,6 +120,7 @@ pub(crate) fn run_loop(shared: &Shared) {
 /// publish any changed layouts. Returns the grace entry guarding the
 /// blocks this round retired.
 fn adapt_and_publish(shared: &Shared, queries: &[adaptdb_common::Query]) -> Option<GraceEntry> {
+    let io_before = shared.maint_clock().snapshot();
     let mut engine = shared.engine().lock();
     for q in queries {
         // A worker already surfaced any error (e.g. unknown table) to
@@ -130,6 +131,7 @@ fn adapt_and_publish(shared: &Shared, queries: &[adaptdb_common::Query]) -> Opti
     let blocks = engine.take_retired();
     // Install the new layouts: one atomic Arc swap per changed table.
     let mut guards = Vec::new();
+    let mut swapped: Vec<String> = Vec::new();
     {
         let mut published = shared.published().write();
         for name in engine.table_names() {
@@ -137,12 +139,35 @@ fn adapt_and_publish(shared: &Shared, queries: &[adaptdb_common::Query]) -> Opti
             match published.get_mut(&name) {
                 Some(slot) if !Arc::ptr_eq(slot, &fresh) => {
                     guards.push(std::mem::replace(slot, fresh));
+                    swapped.push(name);
                 }
                 Some(_) => {}
                 None => {
                     published.insert(name.clone(), fresh);
                 }
             }
+        }
+    }
+    if let Some(j) = shared.journal() {
+        // The realized cost of this pass: the maintenance clock's I/O
+        // delta (rewrite reads + migration writes, off the hot path).
+        let io_after = shared.maint_clock().snapshot();
+        let mut fields = vec![
+            ("queries".into(), AttrValue::Int(queries.len() as i64)),
+            ("reads".into(), AttrValue::Int((io_after.reads() - io_before.reads()) as i64)),
+            ("writes".into(), AttrValue::Int((io_after.writes - io_before.writes) as i64)),
+            ("retired_blocks".into(), AttrValue::Int(blocks.len() as i64)),
+        ];
+        if !swapped.is_empty() {
+            fields.push(("swapped_tables".into(), AttrValue::Str(swapped.join(","))));
+        }
+        j.event(shared.journal_ts_us(), "adaptation-pass", fields);
+        for table in &swapped {
+            j.event(
+                shared.journal_ts_us(),
+                "snapshot-swap",
+                vec![("table".into(), AttrValue::Str(table.clone()))],
+            );
         }
     }
     if guards.is_empty() && blocks.is_empty() {
@@ -161,6 +186,18 @@ fn collect(shared: &Shared, grace: &mut VecDeque<GraceEntry>, force: bool) {
             break;
         }
         let entry = grace.pop_front().expect("front exists");
+        if let Some(j) = shared.journal() {
+            if !entry.blocks.is_empty() {
+                j.event(
+                    shared.journal_ts_us(),
+                    "gc",
+                    vec![
+                        ("blocks".into(), AttrValue::Int(entry.blocks.len() as i64)),
+                        ("forced".into(), AttrValue::Int(i64::from(force))),
+                    ],
+                );
+            }
+        }
         for (table, block) in entry.blocks {
             // The block can only be missing if the engine re-migrated it
             // eagerly, which deferred mode never does; ignore regardless.

@@ -5,25 +5,28 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use adaptdb::cost::{Lane, LANES, LANE_COUNT};
-use adaptdb_common::{IoStats, OverlapStats, QueryStats, ShuffleStats};
+use adaptdb_common::{Histogram, IoStats, OverlapStats, QueryStats, ShuffleStats};
 use parking_lot::Mutex;
 
 /// Latency aggregate for one lane, kept under a mutex (updated once per
-/// query, so contention is negligible next to query execution).
-#[derive(Debug, Default, Clone, Copy)]
+/// query, so contention is negligible next to query execution). Both
+/// distributions are log-bucketed [`Histogram`]s: count/sum/min/max are
+/// exact (so means and the admission-control math are unchanged from
+/// the old scalar accumulators) and quantiles are O(1)-memory with
+/// ≤ one bucket width (~9% relative) error.
+#[derive(Debug, Default, Clone)]
 struct LaneAgg {
-    queries: u64,
-    total_secs: f64,
-    max_secs: f64,
+    /// Submit-to-finish latency, milliseconds — what clients experience.
+    latency_ms: Histogram,
     /// In-service (pop-to-finish) seconds only — excludes queue wait,
     /// so the admission estimate never feeds its own backlog back into
     /// itself.
-    total_service_secs: f64,
+    service_secs: Histogram,
 }
 
 impl LaneAgg {
-    fn mean_service_secs(&self) -> Option<f64> {
-        (self.queries > 0).then(|| self.total_service_secs / self.queries as f64)
+    fn queries(&self) -> u64 {
+        self.latency_ms.count()
     }
 }
 
@@ -55,12 +58,14 @@ pub(crate) struct Metrics {
     latency: Mutex<[LaneAgg; LANE_COUNT]>,
     /// Per-session served work, for the fairness index.
     sessions: Mutex<BTreeMap<u64, SessionServe>>,
-    /// Admission-time cost estimates `(count, total est secs)`, the
+    /// Admission-time cost estimates (estimated execution seconds), the
     /// cold-start seed for [`Metrics::est_wait_ms`]: before any query
     /// has *finished*, observed service means are empty, and a first
     /// storm would read `est wait = 0` and never shed. The planner's
     /// estimate of what's been admitted is the best prior available.
-    estimates: Mutex<(u64, f64)>,
+    /// Held as a histogram so the cold path reads the same
+    /// mean-of-distribution state the warm path does.
+    estimates: Mutex<Histogram>,
     /// Merged shuffle-service breakdown of every served query (spill,
     /// fetch locality, skew mitigation tallies).
     shuffle: Mutex<ShuffleStats>,
@@ -75,9 +80,9 @@ impl Metrics {
             in_flight: AtomicU64::new(0),
             promoted: AtomicU64::new(0),
             shed: std::array::from_fn(|_| AtomicU64::new(0)),
-            latency: Mutex::new([LaneAgg::default(); LANE_COUNT]),
+            latency: Mutex::new(std::array::from_fn(|_| LaneAgg::default())),
             sessions: Mutex::new(BTreeMap::new()),
-            estimates: Mutex::new((0, 0.0)),
+            estimates: Mutex::new(Histogram::new()),
             shuffle: Mutex::new(ShuffleStats::default()),
         }
     }
@@ -85,9 +90,7 @@ impl Metrics {
     /// Record one admission-time cost estimate (estimated execution
     /// seconds) — the cold-start prior for queue-wait estimation.
     pub(crate) fn note_estimate(&self, est_secs: f64) {
-        let mut e = self.estimates.lock();
-        e.0 += 1;
-        e.1 += est_secs.max(0.0);
+        self.estimates.lock().record(est_secs.max(0.0));
     }
 
     /// Merge one served query's shuffle breakdown into the server-wide
@@ -132,10 +135,8 @@ impl Metrics {
         {
             let mut lanes = self.latency.lock();
             let agg = &mut lanes[lane.index()];
-            agg.queries += 1;
-            agg.total_secs += secs;
-            agg.max_secs = agg.max_secs.max(secs);
-            agg.total_service_secs += service.as_secs_f64();
+            agg.latency_ms.record(secs * 1e3);
+            agg.service_secs.record(service.as_secs_f64());
         }
         let mut sessions = self.sessions.lock();
         let s = sessions.entry(session).or_default();
@@ -166,28 +167,35 @@ impl Metrics {
     /// batch lane from inflating) the interactive-lane decision.
     pub(crate) fn est_wait_ms(&self, depths_ahead: [usize; LANE_COUNT], workers: usize) -> f64 {
         let lanes = self.latency.lock();
-        let overall_queries: u64 = lanes.iter().map(|a| a.queries).sum();
-        if overall_queries == 0 {
-            // Cold start: nothing has finished yet, so observed service
-            // means are all empty. Price the backlog at the mean
-            // admission-time *cost estimate* instead of reading zero —
-            // otherwise shedding and pacing never trigger during the
-            // first storm. Scales with the backlog, so an empty queue
-            // still estimates zero wait.
-            let (count, total_secs) = *self.estimates.lock();
-            if count == 0 {
+        // One fallback chain for every lane, cold or warm: the lane's
+        // own observed service mean, else the overall observed mean,
+        // else the mean admission-time *cost estimate*. The last rung
+        // is the cold-start seed: before any query has finished, pricing
+        // the backlog at the planner's estimate (instead of reading
+        // zero) is what lets shedding and pacing trigger during the
+        // first storm. Histogram sums/counts are exact, so the means
+        // here are identical to the old scalar accumulators.
+        let overall_queries: u64 = lanes.iter().map(|a| a.service_secs.count()).sum();
+        let overall_mean = if overall_queries > 0 {
+            lanes.iter().map(|a| a.service_secs.sum()).sum::<f64>() / overall_queries as f64
+        } else {
+            let est = self.estimates.lock();
+            if est.is_empty() {
                 return 0.0;
             }
-            let est_mean = total_secs / count as f64;
-            let depth: usize = depths_ahead.iter().sum();
-            return depth as f64 * est_mean * 1e3 / workers.max(1) as f64;
-        }
-        let overall_mean =
-            lanes.iter().map(|a| a.total_service_secs).sum::<f64>() / overall_queries as f64;
+            est.mean()
+        };
         let secs: f64 = depths_ahead
             .iter()
             .zip(lanes.iter())
-            .map(|(&d, agg)| d as f64 * agg.mean_service_secs().unwrap_or(overall_mean))
+            .map(|(&d, agg)| {
+                let mean = if agg.service_secs.is_empty() {
+                    overall_mean
+                } else {
+                    agg.service_secs.mean()
+                };
+                d as f64 * mean
+            })
             .sum();
         secs * 1e3 / workers.max(1) as f64
     }
@@ -208,25 +216,24 @@ impl Metrics {
         let queries = self.queries.load(Ordering::Relaxed);
         let errors = self.errors.load(Ordering::Relaxed);
         let in_flight = self.in_flight.load(Ordering::Relaxed) as usize;
-        let lanes_agg = *self.latency.lock();
+        let lanes_agg = self.latency.lock().clone();
         let elapsed_secs = self.started.elapsed().as_secs_f64();
-        let total_secs: f64 = lanes_agg.iter().map(|a| a.total_secs).sum();
-        let max_secs = lanes_agg.iter().map(|a| a.max_secs).fold(0.0f64, f64::max);
-        let mean_latency_ms = if queries > 0 { total_secs / queries as f64 * 1e3 } else { 0.0 };
+        let total_ms: f64 = lanes_agg.iter().map(|a| a.latency_ms.sum()).sum();
+        let max_ms = lanes_agg.iter().map(|a| a.latency_ms.max()).fold(0.0f64, f64::max);
+        let mean_latency_ms = if queries > 0 { total_ms / queries as f64 } else { 0.0 };
         let lanes = LANES.map(|lane| {
-            let agg = lanes_agg[lane.index()];
+            let agg = &lanes_agg[lane.index()];
             LaneReport {
                 lane: lane.name(),
                 depth: lane_depths[lane.index()],
                 est_wait_ms: lane_waits_ms[lane.index()],
-                queries: agg.queries,
+                queries: agg.queries(),
                 shed: self.shed[lane.index()].load(Ordering::Relaxed),
-                mean_latency_ms: if agg.queries > 0 {
-                    agg.total_secs / agg.queries as f64 * 1e3
-                } else {
-                    0.0
-                },
-                max_latency_ms: agg.max_secs * 1e3,
+                mean_latency_ms: agg.latency_ms.mean(),
+                max_latency_ms: agg.latency_ms.max(),
+                p50_ms: agg.latency_ms.quantile(0.50),
+                p95_ms: agg.latency_ms.quantile(0.95),
+                p99_ms: agg.latency_ms.quantile(0.99),
             }
         });
         let (session_count, fairness_index) = {
@@ -245,7 +252,7 @@ impl Metrics {
             elapsed_secs,
             qps: if elapsed_secs > 0.0 { queries as f64 / elapsed_secs } else { 0.0 },
             mean_latency_ms,
-            max_latency_ms: max_secs * 1e3,
+            max_latency_ms: max_ms,
             maintenance_io,
             maintenance_passes,
             maintenance_backlog,
@@ -279,10 +286,22 @@ pub struct LaneReport {
     pub queries: u64,
     /// Submissions rejected by the admission bound in this lane.
     pub shed: u64,
-    /// Mean submit-to-finish latency of this lane's queries, ms.
+    /// Mean submit-to-finish latency of this lane's queries, ms
+    /// (exact — histogram sums are not quantized).
     pub mean_latency_ms: f64,
-    /// Worst submit-to-finish latency of this lane's queries, ms.
+    /// Worst submit-to-finish latency of this lane's queries, ms
+    /// (exact — the histogram tracks the true max).
     pub max_latency_ms: f64,
+    /// Median submit-to-finish latency, ms. Log-bucketed estimate:
+    /// within one bucket width (≈ 9% relative) of the true percentile,
+    /// at O(1) memory regardless of query count.
+    pub p50_ms: f64,
+    /// 95th-percentile submit-to-finish latency, ms (bucketed, see
+    /// [`LaneReport::p50_ms`]).
+    pub p95_ms: f64,
+    /// 99th-percentile submit-to-finish latency, ms (bucketed, see
+    /// [`LaneReport::p50_ms`]).
+    pub p99_ms: f64,
 }
 
 /// A point-in-time throughput/latency summary of a running server.
@@ -370,12 +389,16 @@ impl std::fmt::Display for ServerReport {
         for lane in &self.lanes {
             writeln!(
                 f,
-                "lane {}: {} served, {} waiting, est wait {:.2} ms, mean {:.2} ms, shed {}",
+                "lane {}: {} served, {} waiting, est wait {:.2} ms, mean {:.2} ms, \
+                 p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, shed {}",
                 lane.lane,
                 lane.queries,
                 lane.depth,
                 lane.est_wait_ms,
                 lane.mean_latency_ms,
+                lane.p50_ms,
+                lane.p95_ms,
+                lane.p99_ms,
                 lane.shed
             )?;
         }

@@ -30,7 +30,7 @@
 use std::collections::VecDeque;
 
 use adaptdb_common::{BlockId, GlobalBlockId, Result};
-use adaptdb_dfs::{NodeId, ReadKind, SimClock};
+use adaptdb_dfs::{NodeId, ReadKind, SimClock, TraceCtx};
 
 use crate::block::Block;
 use crate::codec;
@@ -78,6 +78,10 @@ pub struct FetchStream<'a> {
     pending: VecDeque<FetchRequest>,
     ready: VecDeque<Result<FetchCompletion>>,
     issued: usize,
+    /// Optional span tracing: when set, every issued window records a
+    /// `fetch-window` span (observational only — the window's clock
+    /// charge is identical with tracing off).
+    trace: Option<TraceCtx<'a>>,
 }
 
 impl<'a> FetchStream<'a> {
@@ -95,7 +99,16 @@ impl<'a> FetchStream<'a> {
             pending: VecDeque::new(),
             ready: VecDeque::new(),
             issued: 0,
+            trace: None,
         }
+    }
+
+    /// Attach a tracing handle: each subsequently issued window records
+    /// a `fetch-window` span with its local/remote split. Callers must
+    /// only attach a trace when the stream is drained from a single
+    /// thread (trace timestamps read the shared clock).
+    pub fn set_trace(&mut self, trace: Option<TraceCtx<'a>>) {
+        self.trace = trace;
     }
 
     /// The table this stream fetches from.
@@ -164,7 +177,17 @@ impl<'a> FetchStream<'a> {
                 Err(e) => errors.push(Err(e)),
             }
         }
+        let span = self.trace.map(|t| {
+            let (_, guard) = t.span("fetch-window", self.clock);
+            guard.attr_i("local", locals.len() as i64);
+            guard.attr_i("remote", remotes.len() as i64);
+            if !errors.is_empty() {
+                guard.attr_i("errors", errors.len() as i64);
+            }
+            guard
+        });
         self.clock.record_fetch_window(locals.len(), remotes.len());
+        drop(span);
         self.ready.extend(locals);
         self.ready.extend(remotes);
         self.ready.extend(errors);

@@ -1,0 +1,57 @@
+//! Query-lifecycle tracing demo: run the TPC-H join templates with
+//! tracing on, print each query's span tree and EXPLAIN ANALYZE for
+//! the first one, then export every trace as one Chrome trace-event
+//! JSON (load it at `ui.perfetto.dev` or `chrome://tracing`).
+//!
+//! ```sh
+//! cargo run --release --example trace_tpch [-- OUT.json]
+//! ```
+//!
+//! The CI trace gate runs this binary and validates the export with
+//! `scripts/check_trace.py`.
+
+use std::sync::Arc;
+
+use adaptdb::{Database, DbConfig, Mode};
+use adaptdb_common::{chrome_trace_json, rng, Trace};
+use adaptdb_workloads::tpch::{Template, TpchGen};
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "trace_tpch.json".to_string());
+    let gen = TpchGen::new(0.05, 7);
+    let config =
+        DbConfig { rows_per_block: 100, buffer_blocks: 8, trace: true, ..DbConfig::default() };
+    let mut db = Database::new(config.with_mode(Mode::Adaptive));
+    gen.load_upfront(&mut db).unwrap();
+    println!("loaded TPC-H micro-SF 0.05: {} lineitem rows, tracing on", gen.counts().lineitem);
+
+    // EXPLAIN ANALYZE for the first template: projection vs reality.
+    let mut q_rng = rng::seeded(5);
+    let templates = Template::join_templates();
+    let first = templates[0].instantiate(&mut q_rng);
+    let report = db.explain_analyze(&first).unwrap();
+    println!("\nEXPLAIN ANALYZE {}:\n{report}", templates[0].name());
+
+    // One traced run per remaining template; keep the span trees.
+    let mut traces: Vec<(String, Arc<Trace>)> = vec![(templates[0].name().into(), report.trace)];
+    for t in &templates[1..] {
+        let q = t.instantiate(&mut q_rng);
+        let res = db.run(&q).unwrap();
+        let trace = res.trace.expect("tracing is on");
+        let root = trace.roots().next().expect("root span");
+        println!(
+            "{:>4}: {} spans, {:.3} simulated s",
+            t.name(),
+            trace.spans.len(),
+            root.duration_us() as f64 / 1e6
+        );
+        traces.push((t.name().into(), trace));
+    }
+
+    // Export: one Chrome-trace "process" per query, pid = query index.
+    let parts: Vec<(u32, &Trace)> =
+        traces.iter().enumerate().map(|(i, (_, t))| ((i + 1) as u32, t.as_ref())).collect();
+    std::fs::write(&out, chrome_trace_json(&parts)).unwrap();
+    let spans: usize = traces.iter().map(|(_, t)| t.spans.len()).sum();
+    println!("\nwrote {out}: {} queries, {spans} spans", traces.len());
+}
