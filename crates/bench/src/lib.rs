@@ -13,4 +13,4 @@
 pub mod figures;
 pub mod harness;
 
-pub use harness::{parse_args, print_table, BenchOpts};
+pub use harness::{parse_args, print_table, BenchOpts, Stopwatch};

@@ -30,6 +30,23 @@ impl BitSet {
         BitSet { bits, words: vec![0u64; bits.div_ceil(64)].into_boxed_slice() }
     }
 
+    /// An all-ones vector of `bits` bits — the identity for
+    /// [`BitSet::intersect_with`], used as the starting selection when
+    /// evaluating predicate conjunctions column-wise.
+    pub fn all_set(bits: usize) -> Self {
+        let mut out = BitSet::new(bits);
+        for w in out.words.iter_mut() {
+            *w = !0u64;
+        }
+        let extra = bits % 64;
+        if extra != 0 {
+            if let Some(last) = out.words.last_mut() {
+                *last &= (1u64 << extra) - 1;
+            }
+        }
+        out
+    }
+
     /// Build from the indices of set bits.
     pub fn from_indices(bits: usize, indices: &[usize]) -> Self {
         let mut s = BitSet::new(bits);
@@ -96,6 +113,17 @@ impl BitSet {
         assert_eq!(self.bits, other.bits, "bitset width mismatch");
         for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
             *a |= *b;
+        }
+    }
+
+    /// In-place intersection: `self &= other`. Widths must match. This
+    /// is the word-level AND that combines per-predicate selection
+    /// vectors in the columnar scan path.
+    #[inline]
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.bits, other.bits, "bitset width mismatch");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= *b;
         }
     }
 
@@ -216,6 +244,21 @@ mod tests {
         assert_eq!(c.count_ones(), 1);
         // Double complement is identity.
         assert_eq!(c.complement(), b);
+    }
+
+    #[test]
+    fn intersect_with_and_all_set() {
+        let mut a = BitSet::from_binary_str("1110");
+        let b = BitSet::from_binary_str("0110");
+        a.intersect_with(&b);
+        assert_eq!(a.to_string(), "0110");
+        // all_set is the identity for intersection and masks tail bits.
+        let ones = BitSet::all_set(130);
+        assert_eq!(ones.count_ones(), 130);
+        let mut c = BitSet::from_indices(130, &[0, 64, 129]);
+        c.intersect_with(&ones);
+        assert_eq!(c.iter_ones().collect::<Vec<_>>(), vec![0, 64, 129]);
+        assert_eq!(BitSet::all_set(0).count_ones(), 0);
     }
 
     #[test]

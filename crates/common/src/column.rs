@@ -1,0 +1,420 @@
+//! Typed column vectors and record batches.
+//!
+//! The row-at-a-time executor holds one boxed [`Value`] per cell; the
+//! columnar path stores each attribute as a contiguous typed vector
+//! ([`ColumnVec`]) and a block's worth of them as a [`RecordBatch`].
+//! Conversion to and from `Vec<Row>` is lossless: today's `Value`
+//! semantics have no NULLs, so the "validity story" is trivially
+//! all-present — a heterogeneous column simply falls back to the
+//! [`ColumnVec::Mixed`] variant instead of inventing nullability.
+//!
+//! Predicates evaluate column-wise into a selection [`BitSet`]
+//! (per-predicate vectors combined with word-level AND), reproducing
+//! [`Predicate::matches`] bit for bit — including `Value`'s cross-type
+//! rank comparisons and `total_cmp` double ordering.
+
+use crate::bitset::BitSet;
+use crate::predicate::{CmpOp, Predicate, PredicateSet};
+use crate::row::Row;
+use crate::value::{Value, ValueType};
+use std::cmp::Ordering;
+
+/// A single column stored as a contiguous typed vector.
+///
+/// The typed variants cover homogeneous columns (the common case for
+/// generated and TPC-H data); [`ColumnVec::Mixed`] keeps arbitrary
+/// `Value` mixtures representable so `Vec<Row>` → batch → `Vec<Row>`
+/// is lossless for any input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnVec {
+    /// Homogeneous [`ValueType::Int`] column.
+    Int(Vec<i64>),
+    /// Homogeneous [`ValueType::Double`] column.
+    Double(Vec<f64>),
+    /// Homogeneous [`ValueType::Str`] column.
+    Str(Vec<String>),
+    /// Homogeneous [`ValueType::Date`] column.
+    Date(Vec<i32>),
+    /// Homogeneous [`ValueType::Bool`] column.
+    Bool(Vec<bool>),
+    /// Heterogeneous fallback: one [`Value`] per cell.
+    Mixed(Vec<Value>),
+}
+
+/// Apply a comparison operator to an already-computed [`Ordering`] —
+/// the single definition both row and columnar evaluation reduce to.
+#[inline]
+fn op_matches(op: CmpOp, ord: Ordering) -> bool {
+    match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Neq => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+    }
+}
+
+impl ColumnVec {
+    /// Build a column from cell values: a typed vector when every cell
+    /// shares one type, [`ColumnVec::Mixed`] otherwise. An empty input
+    /// yields an empty `Mixed` column.
+    pub fn from_values(values: Vec<Value>) -> ColumnVec {
+        let Some(first) = values.first() else {
+            return ColumnVec::Mixed(values);
+        };
+        let t = first.value_type();
+        if values.iter().any(|v| v.value_type() != t) {
+            return ColumnVec::Mixed(values);
+        }
+        match t {
+            ValueType::Int => ColumnVec::Int(
+                values.into_iter().map(|v| if let Value::Int(x) = v { x } else { 0 }).collect(),
+            ),
+            ValueType::Double => ColumnVec::Double(
+                values
+                    .into_iter()
+                    .map(|v| if let Value::Double(x) = v { x } else { 0.0 })
+                    .collect(),
+            ),
+            ValueType::Str => ColumnVec::Str(
+                values
+                    .into_iter()
+                    .map(|v| if let Value::Str(x) = v { x } else { String::new() })
+                    .collect(),
+            ),
+            ValueType::Date => ColumnVec::Date(
+                values.into_iter().map(|v| if let Value::Date(x) = v { x } else { 0 }).collect(),
+            ),
+            ValueType::Bool => ColumnVec::Bool(
+                values
+                    .into_iter()
+                    .map(|v| if let Value::Bool(x) = v { x } else { false })
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnVec::Int(v) => v.len(),
+            ColumnVec::Double(v) => v.len(),
+            ColumnVec::Str(v) => v.len(),
+            ColumnVec::Date(v) => v.len(),
+            ColumnVec::Bool(v) => v.len(),
+            ColumnVec::Mixed(v) => v.len(),
+        }
+    }
+
+    /// True when the column has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The shared cell type for typed variants, `None` for
+    /// [`ColumnVec::Mixed`].
+    pub fn value_type(&self) -> Option<ValueType> {
+        match self {
+            ColumnVec::Int(_) => Some(ValueType::Int),
+            ColumnVec::Double(_) => Some(ValueType::Double),
+            ColumnVec::Str(_) => Some(ValueType::Str),
+            ColumnVec::Date(_) => Some(ValueType::Date),
+            ColumnVec::Bool(_) => Some(ValueType::Bool),
+            ColumnVec::Mixed(_) => None,
+        }
+    }
+
+    /// Cell `i` as a [`Value`] (clones string payloads).
+    #[inline]
+    pub fn value_at(&self, i: usize) -> Value {
+        match self {
+            ColumnVec::Int(v) => Value::Int(v[i]),
+            ColumnVec::Double(v) => Value::Double(v[i]),
+            ColumnVec::Str(v) => Value::Str(v[i].clone()),
+            ColumnVec::Date(v) => Value::Date(v[i]),
+            ColumnVec::Bool(v) => Value::Bool(v[i]),
+            ColumnVec::Mixed(v) => v[i].clone(),
+        }
+    }
+
+    /// Same row-semantic footprint as summing [`Value::byte_size`] over
+    /// the cells — the canonical sizing definition shared with the row
+    /// path (see `Row::byte_size`).
+    pub fn byte_size(&self) -> usize {
+        match self {
+            ColumnVec::Int(v) => v.len() * 8,
+            ColumnVec::Double(v) => v.len() * 8,
+            ColumnVec::Str(v) => v.iter().map(|s| s.len() + 4).sum(),
+            ColumnVec::Date(v) => v.len() * 4,
+            ColumnVec::Bool(v) => v.len(),
+            ColumnVec::Mixed(v) => v.iter().map(Value::byte_size).sum(),
+        }
+    }
+
+    /// Evaluate one comparison against every cell, returning a
+    /// selection vector with bit `i` set iff cell `i` matches.
+    /// Bit-for-bit equivalent to calling [`Predicate::matches`] per
+    /// row: same-type cells compare natively (`total_cmp` for
+    /// doubles), differently-typed cells fall back to `Value`'s fixed
+    /// cross-type rank — a constant for a whole typed column, so those
+    /// columns fill in O(words).
+    pub fn eval(&self, op: CmpOp, lit: &Value) -> BitSet {
+        let n = self.len();
+        // Cross-type comparison against a typed column: every cell
+        // compares identically (rank order), so the answer is all-ones
+        // or all-zeros without touching the payload.
+        if let Some(t) = self.value_type() {
+            if t != lit.value_type() {
+                let ord = t.rank().cmp(&lit.value_type().rank());
+                return if op_matches(op, ord) { BitSet::all_set(n) } else { BitSet::new(n) };
+            }
+        }
+        let mut sel = BitSet::new(n);
+        match (self, lit) {
+            (ColumnVec::Int(v), Value::Int(c)) => {
+                for (i, x) in v.iter().enumerate() {
+                    if op_matches(op, x.cmp(c)) {
+                        sel.set(i);
+                    }
+                }
+            }
+            (ColumnVec::Double(v), Value::Double(c)) => {
+                for (i, x) in v.iter().enumerate() {
+                    if op_matches(op, x.total_cmp(c)) {
+                        sel.set(i);
+                    }
+                }
+            }
+            (ColumnVec::Str(v), Value::Str(c)) => {
+                for (i, x) in v.iter().enumerate() {
+                    if op_matches(op, x.as_str().cmp(c.as_str())) {
+                        sel.set(i);
+                    }
+                }
+            }
+            (ColumnVec::Date(v), Value::Date(c)) => {
+                for (i, x) in v.iter().enumerate() {
+                    if op_matches(op, x.cmp(c)) {
+                        sel.set(i);
+                    }
+                }
+            }
+            (ColumnVec::Bool(v), Value::Bool(c)) => {
+                for (i, x) in v.iter().enumerate() {
+                    if op_matches(op, x.cmp(c)) {
+                        sel.set(i);
+                    }
+                }
+            }
+            (ColumnVec::Mixed(v), c) => {
+                for (i, x) in v.iter().enumerate() {
+                    if op_matches(op, x.cmp(c)) {
+                        sel.set(i);
+                    }
+                }
+            }
+            // Typed column with a same-type literal is covered above;
+            // typed column with a different-type literal early-returned.
+            _ => unreachable!("typed column vs same-type literal handled above"),
+        }
+        sel
+    }
+}
+
+/// A block's worth of rows stored column-major: one [`ColumnVec`] per
+/// attribute, all the same length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordBatch {
+    columns: Vec<ColumnVec>,
+    rows: usize,
+}
+
+impl RecordBatch {
+    /// Build a batch from rows. Returns `None` when the rows are
+    /// ragged (mixed arity) — callers fall back to the row
+    /// representation, keeping the conversion lossless for any input.
+    pub fn try_from_rows(rows: &[Row]) -> Option<RecordBatch> {
+        let Some(first) = rows.first() else {
+            return Some(RecordBatch { columns: Vec::new(), rows: 0 });
+        };
+        let arity = first.arity();
+        if rows.iter().any(|r| r.arity() != arity) {
+            return None;
+        }
+        let columns = (0..arity)
+            .map(|a| {
+                ColumnVec::from_values(
+                    rows.iter().map(|r| r.get(a as crate::schema::AttrId).clone()).collect(),
+                )
+            })
+            .collect();
+        Some(RecordBatch { columns, rows: rows.len() })
+    }
+
+    /// Build a batch directly from columns (all must share one length).
+    pub fn from_columns(columns: Vec<ColumnVec>) -> RecordBatch {
+        let rows = columns.first().map_or(0, ColumnVec::len);
+        assert!(columns.iter().all(|c| c.len() == rows), "column length mismatch");
+        RecordBatch { columns, rows }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column at attribute position `a`.
+    pub fn column(&self, a: usize) -> &ColumnVec {
+        &self.columns[a]
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[ColumnVec] {
+        &self.columns
+    }
+
+    /// Row `i` rematerialized.
+    pub fn row_at(&self, i: usize) -> Row {
+        Row::new(self.columns.iter().map(|c| c.value_at(i)).collect())
+    }
+
+    /// Rematerialize every row — the lossless inverse of
+    /// [`RecordBatch::try_from_rows`].
+    pub fn to_rows(&self) -> Vec<Row> {
+        (0..self.rows).map(|i| self.row_at(i)).collect()
+    }
+
+    /// Evaluate a predicate conjunction column-wise: one selection
+    /// vector per predicate, combined with word-level AND
+    /// ([`BitSet::intersect_with`]). Bit `i` set iff
+    /// [`PredicateSet::matches`] would accept row `i`.
+    pub fn select(&self, preds: &PredicateSet) -> BitSet {
+        let mut sel = BitSet::all_set(self.rows);
+        for p in preds.predicates() {
+            let Predicate { attr, op, value } = p;
+            sel.intersect_with(&self.columns[*attr as usize].eval(*op, value));
+        }
+        sel
+    }
+
+    /// Rows at the selected indices, in ascending row order.
+    pub fn gather(&self, sel: &BitSet) -> Vec<Row> {
+        sel.iter_ones().map(|i| self.row_at(i)).collect()
+    }
+
+    /// Row-semantic footprint: identical to summing `Row::byte_size`
+    /// over [`RecordBatch::to_rows`] (each row carries a fixed 8-byte
+    /// overhead in that definition). Block-sizing decisions use this
+    /// one canonical figure in both formats.
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(ColumnVec::byte_size).sum::<usize>() + self.rows * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    fn sample_rows() -> Vec<Row> {
+        vec![
+            row![1i64, 1.5, "aa", true],
+            row![2i64, 2.5, "bb", false],
+            row![3i64, f64::NAN, "cc", true],
+        ]
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let rows = sample_rows();
+        let batch = RecordBatch::try_from_rows(&rows).unwrap();
+        assert_eq!(batch.num_rows(), 3);
+        assert_eq!(batch.num_columns(), 4);
+        assert_eq!(batch.to_rows(), rows);
+        // Typed columns for homogeneous input.
+        assert_eq!(batch.column(0).value_type(), Some(ValueType::Int));
+        assert_eq!(batch.column(2).value_type(), Some(ValueType::Str));
+    }
+
+    #[test]
+    fn mixed_columns_round_trip() {
+        let rows = vec![row![1i64, "x"], row![2.5, "y"]];
+        let batch = RecordBatch::try_from_rows(&rows).unwrap();
+        assert_eq!(batch.column(0).value_type(), None);
+        assert_eq!(batch.to_rows(), rows);
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected() {
+        let rows = vec![row![1i64], row![1i64, 2i64]];
+        assert!(RecordBatch::try_from_rows(&rows).is_none());
+        // Empty input is a valid empty batch.
+        let empty = RecordBatch::try_from_rows(&[]).unwrap();
+        assert_eq!(empty.num_rows(), 0);
+        assert!(empty.to_rows().is_empty());
+    }
+
+    #[test]
+    fn select_matches_row_evaluation() {
+        let rows = sample_rows();
+        let batch = RecordBatch::try_from_rows(&rows).unwrap();
+        let cases = vec![
+            PredicateSet::none(),
+            PredicateSet::none().and(Predicate::new(0, CmpOp::Ge, 2i64)),
+            PredicateSet::none().and(Predicate::new(0, CmpOp::Gt, 1i64)).and(Predicate::new(
+                3,
+                CmpOp::Eq,
+                true,
+            )),
+            PredicateSet::none().and(Predicate::new(2, CmpOp::Neq, "bb")),
+            PredicateSet::none().and(Predicate::new(1, CmpOp::Le, 2.5)),
+            // Cross-type literal: Int column vs Str literal — constant
+            // rank comparison, Int < Str for every row.
+            PredicateSet::none().and(Predicate::new(0, CmpOp::Lt, "z")),
+            PredicateSet::none().and(Predicate::new(0, CmpOp::Gt, "z")),
+        ];
+        for preds in cases {
+            let sel = batch.select(&preds);
+            for (i, r) in rows.iter().enumerate() {
+                assert_eq!(sel.get(i), preds.matches(r), "preds {preds:?} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn nan_selects_like_total_cmp() {
+        let rows = sample_rows();
+        let batch = RecordBatch::try_from_rows(&rows).unwrap();
+        // total_cmp: NaN > 2.5, and NaN == NaN.
+        let gt = batch.select(&PredicateSet::none().and(Predicate::new(1, CmpOp::Gt, 2.5)));
+        assert_eq!(gt.iter_ones().collect::<Vec<_>>(), vec![2]);
+        let eq = batch.select(&PredicateSet::none().and(Predicate::new(1, CmpOp::Eq, f64::NAN)));
+        assert_eq!(eq.iter_ones().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn gather_returns_selected_rows_in_order() {
+        let rows = sample_rows();
+        let batch = RecordBatch::try_from_rows(&rows).unwrap();
+        let sel = BitSet::from_indices(3, &[0, 2]);
+        assert_eq!(batch.gather(&sel), vec![rows[0].clone(), rows[2].clone()]);
+    }
+
+    #[test]
+    fn byte_size_matches_row_definition() {
+        let rows = sample_rows();
+        let batch = RecordBatch::try_from_rows(&rows).unwrap();
+        let row_total: usize = rows.iter().map(Row::byte_size).sum();
+        assert_eq!(batch.byte_size(), row_total);
+        // Mixed columns agree too.
+        let rows = vec![row![1i64, "x"], row![2.5, "y"]];
+        let batch = RecordBatch::try_from_rows(&rows).unwrap();
+        assert_eq!(batch.byte_size(), rows.iter().map(Row::byte_size).sum::<usize>());
+    }
+}

@@ -16,6 +16,10 @@
 //!   `Ranget`), used both for tree pruning and for hyper-join overlap
 //!   computation.
 //! * [`bitset::BitSet`] — the fixed-width bit vectors `v_i` of §4.1.1.
+//! * [`column::ColumnVec`] / [`column::RecordBatch`] — typed column
+//!   vectors and column-major batches, losslessly convertible to and
+//!   from `Vec<Row>`, with column-wise predicate evaluation into a
+//!   selection [`bitset::BitSet`].
 //! * [`query::JoinQuery`] — the query objects the storage manager plans.
 //! * [`cost::CostParams`] — the I/O cost model of §4.2 (Eq. 1 and 2).
 //! * [`stats`] — per-query execution statistics (block reads, shuffle
@@ -30,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod bitset;
+pub mod column;
 pub mod cost;
 pub mod error;
 pub mod predicate;
@@ -64,6 +69,7 @@ impl GlobalBlockId {
 }
 
 pub use bitset::BitSet;
+pub use column::{ColumnVec, RecordBatch};
 pub use cost::CostParams;
 pub use error::{Error, Result};
 pub use predicate::{CmpOp, Predicate, PredicateSet};

@@ -19,6 +19,13 @@ pub struct IoStats {
     pub rows_scanned: usize,
     /// Rows produced by the query.
     pub rows_out: usize,
+    /// Candidate blocks the scan *skipped* via per-column zone maps
+    /// (block min/max metadata excluded the predicates) before any
+    /// read was issued. Not I/O — never part of [`IoStats::reads`] or
+    /// simulated seconds; this tally only makes the second pruning
+    /// tier (tree → zone map) observable. Identical with the columnar
+    /// feature on or off: both scan paths consult the same metadata.
+    pub zone_skipped: usize,
 }
 
 impl IoStats {
@@ -34,6 +41,7 @@ impl IoStats {
         self.writes += other.writes;
         self.rows_scanned += other.rows_scanned;
         self.rows_out += other.rows_out;
+        self.zone_skipped += other.zone_skipped;
     }
 
     /// Simulated seconds under a cost model.

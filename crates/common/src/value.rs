@@ -27,6 +27,19 @@ pub enum ValueType {
 }
 
 impl ValueType {
+    /// The fixed cross-type ordering rank [`Value`]'s `Ord` uses when
+    /// two values have different types. Exposed crate-internally so the
+    /// columnar evaluator can reproduce cross-type comparisons exactly.
+    pub(crate) fn rank(self) -> u8 {
+        match self {
+            ValueType::Bool => 0,
+            ValueType::Int => 1,
+            ValueType::Date => 2,
+            ValueType::Double => 3,
+            ValueType::Str => 4,
+        }
+    }
+
     /// Human-readable name, used in error messages.
     pub fn name(self) -> &'static str {
         match self {
@@ -145,14 +158,8 @@ impl Value {
         }
     }
 
-    fn type_rank(&self) -> u8 {
-        match self {
-            Value::Bool(_) => 0,
-            Value::Int(_) => 1,
-            Value::Date(_) => 2,
-            Value::Double(_) => 3,
-            Value::Str(_) => 4,
-        }
+    pub(crate) fn type_rank(&self) -> u8 {
+        self.value_type().rank()
     }
 }
 

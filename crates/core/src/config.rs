@@ -156,6 +156,23 @@ pub struct DbConfig {
     /// default) keeps the configured window unconditionally. Block
     /// counts and results are identical at every setting.
     pub fetch_pace_wait_ms: Option<f64>,
+    /// Columnar execution: blocks are written in the columnar `ADB2`
+    /// wire format and scans/hyper-join probes evaluate predicates
+    /// column-wise into selection bitsets over lazily-decoded payloads,
+    /// materializing only selected rows in morsel-sized gathers. Purely
+    /// a wall-clock optimization: rows, row order, block boundaries,
+    /// block counts, and every simulated stat are bit-identical with it
+    /// off (the default), and legacy `ADB1` blocks remain readable
+    /// either way. Defaults honor the `ADAPTDB_COLUMNAR` environment
+    /// variable; see [`DbConfig::env_columnar`].
+    pub columnar: bool,
+    /// Morsel size in rows for columnar scan/probe work: selected row
+    /// ranges split into cache-sized morsels dispatched through the
+    /// ordered parallel executor (deterministic output order at any
+    /// thread count). Irrelevant when `columnar` is off. Defaults honor
+    /// the `ADAPTDB_MORSEL_ROWS` environment variable; see
+    /// [`DbConfig::env_morsel_rows`].
+    pub morsel_rows: usize,
     /// Query-lifecycle tracing: when on, every query run through
     /// [`crate::Database`] or the server collects a span tree
     /// (plan/scan/shuffle map/fetch/probe/…) timestamped on the
@@ -198,6 +215,8 @@ impl Default for DbConfig {
             batch_cost_blocks: 64,
             maint_pace_wait_ms: 5.0,
             fetch_pace_wait_ms: None,
+            columnar: DbConfig::env_columnar(),
+            morsel_rows: DbConfig::env_morsel_rows().unwrap_or(adaptdb_exec::DEFAULT_MORSEL_ROWS),
             trace: DbConfig::env_trace(),
             cost: CostParams::default(),
             mode: Mode::Adaptive,
@@ -237,6 +256,25 @@ impl DbConfig {
     /// never changes results — only the order queries are admitted in.
     pub fn env_sched() -> Option<SchedPolicy> {
         SchedPolicy::parse(&std::env::var("ADAPTDB_SCHED").ok()?)
+    }
+
+    /// The `ADAPTDB_COLUMNAR` override: `1` / `true` / `on` enables
+    /// columnar block encoding and column-wise execution (anything
+    /// else, or unset, leaves it off). Never changes results, block
+    /// counts, or simulated costs — only wall-clock.
+    pub fn env_columnar() -> bool {
+        matches!(
+            std::env::var("ADAPTDB_COLUMNAR").map(|v| v.trim().to_ascii_lowercase()).as_deref(),
+            Ok("1") | Ok("true") | Ok("on")
+        )
+    }
+
+    /// The `ADAPTDB_MORSEL_ROWS` override, if set to a positive
+    /// integer: the morsel size (in rows) for columnar scan/probe
+    /// gathers. Like `ADAPTDB_THREADS`, this never changes results —
+    /// morsels reassemble in input order.
+    pub fn env_morsel_rows() -> Option<usize> {
+        std::env::var("ADAPTDB_MORSEL_ROWS").ok()?.trim().parse::<usize>().ok().filter(|m| *m > 0)
     }
 
     /// The `ADAPTDB_TRACE` override: `1` / `true` / `on` enables
@@ -366,6 +404,17 @@ mod tests {
         assert!(c.batch_cost_blocks > 0);
         assert!(c.maint_pace_wait_ms > 0.0);
         assert_eq!(c.fetch_pace_wait_ms, None, "prefetch pacing is opt-in");
+    }
+
+    #[test]
+    fn columnar_defaults_off_and_morsel_positive() {
+        if std::env::var("ADAPTDB_COLUMNAR").is_err() {
+            assert!(!DbConfig::default().columnar, "columnar is opt-in");
+        }
+        if std::env::var("ADAPTDB_MORSEL_ROWS").is_err() {
+            assert_eq!(DbConfig::default().morsel_rows, adaptdb_exec::DEFAULT_MORSEL_ROWS);
+        }
+        assert!(DbConfig::default().morsel_rows > 0);
     }
 
     #[test]

@@ -91,6 +91,7 @@ impl Database {
     /// Create a database over a fresh simulated cluster.
     pub fn new(config: DbConfig) -> Self {
         let store = Arc::new(BlockStore::new(config.nodes, config.replication, config.seed));
+        store.set_columnar(config.columnar);
         let rng = rng::derived(config.seed, "database");
         Database {
             config,

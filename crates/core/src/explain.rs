@@ -23,6 +23,13 @@ pub struct ExplainReport {
     /// Candidate blocks per referenced table, after `lookup(T, q)`
     /// pruning: `(table, matching-tree blocks, other-tree blocks)`.
     pub candidates: Vec<(String, usize, usize)>,
+    /// Candidate blocks the per-block zone maps (min/max column
+    /// metadata) would additionally exclude before any read — the
+    /// pruning stage *after* tree pruning. Projected with the exact
+    /// check the scan runs, so for scan queries it equals the measured
+    /// `IoStats::zone_skipped`. Join legs read exactly their scheduled
+    /// blocks (no zone-map stage), so joins project 0.
+    pub est_zone_skipped: usize,
     /// Eq. 1 estimate for shuffling the candidates.
     pub est_shuffle_cost: f64,
     /// Shuffle-service estimate: run blocks the map side would spill
@@ -69,6 +76,13 @@ impl std::fmt::Display for ExplainReport {
         writeln!(f, "strategy: {}", self.strategy)?;
         for (t, m, o) in &self.candidates {
             writeln!(f, "  {t}: {m} matching-tree blocks, {o} other blocks")?;
+        }
+        if self.est_zone_skipped > 0 {
+            writeln!(
+                f,
+                "  zone maps: {} candidate blocks skipped before any read",
+                self.est_zone_skipped
+            )?;
         }
         writeln!(f, "  shuffle estimate (Eq.1): {:.1} block-I/Os", self.est_shuffle_cost)?;
         if self.est_shuffle_spill_blocks > 0 {
@@ -158,6 +172,13 @@ impl std::fmt::Display for ExplainAnalyzeReport {
                 self.explain.est_shuffle_locality * 100.0
             )?;
         }
+        if self.stats.query_io.zone_skipped > 0 || self.explain.est_zone_skipped > 0 {
+            writeln!(
+                f,
+                "  zone maps: {} blocks skipped vs ~{} projected",
+                self.stats.query_io.zone_skipped, self.explain.est_zone_skipped
+            )?;
+        }
         if self.stats.overlap.hidden() > 0 {
             writeln!(
                 f,
@@ -210,14 +231,29 @@ impl Database {
         match query {
             Query::Scan(s) => {
                 let ts = self.table(&s.table)?;
-                let blocks = if self.config().mode == Mode::FullScan {
-                    ts.all_blocks().len()
+                let (blocks, est_zone_skipped) = if self.config().mode == Mode::FullScan {
+                    // The baseline passes no predicates to the scan, so
+                    // zone maps never exclude anything.
+                    (ts.all_blocks().len(), 0)
                 } else {
-                    ts.lookup_blocks(&s.predicates).len()
+                    let candidates = ts.lookup_blocks(&s.predicates);
+                    // Project zone-map skipping with the scan's exact
+                    // runtime check over the same block metadata.
+                    let mut skipped = 0usize;
+                    for &b in &candidates {
+                        if !self
+                            .store()
+                            .with_block_meta(&s.table, b, |m| s.predicates.may_match(&m.ranges))?
+                        {
+                            skipped += 1;
+                        }
+                    }
+                    (candidates.len(), skipped)
                 };
                 Ok(ExplainReport {
                     strategy: JoinStrategy::ScanOnly,
                     candidates: vec![(s.table.clone(), 0, blocks)],
+                    est_zone_skipped,
                     est_shuffle_cost: 0.0,
                     est_shuffle_spill_blocks: 0,
                     est_shuffle_locality: 1.0,
@@ -309,6 +345,7 @@ impl Database {
             return Ok(ExplainReport {
                 strategy: JoinStrategy::ShuffleJoin,
                 candidates,
+                est_zone_skipped: 0,
                 est_shuffle_cost,
                 est_shuffle_spill_blocks,
                 est_shuffle_locality,
@@ -345,6 +382,7 @@ impl Database {
                 ExplainReport {
                     strategy: if mixed { JoinStrategy::Mixed } else { JoinStrategy::HyperJoin },
                     candidates,
+                    est_zone_skipped: 0,
                     est_shuffle_cost,
                     est_shuffle_spill_blocks: spill,
                     est_shuffle_locality,
@@ -366,6 +404,7 @@ impl Database {
                 ExplainReport {
                     strategy: JoinStrategy::ShuffleJoin,
                     candidates,
+                    est_zone_skipped: 0,
                     est_shuffle_cost,
                     est_shuffle_spill_blocks,
                     est_shuffle_locality,
@@ -529,6 +568,42 @@ mod tests {
         let (_, _, pruned) = report.candidates[0];
         let full = d.table("l").unwrap().total_blocks();
         assert!(pruned < full, "{pruned} vs {full}");
+    }
+
+    /// The zone-map projection uses the scan's exact runtime check, so
+    /// `EXPLAIN ANALYZE` must show estimate == measured — with columnar
+    /// execution on or off.
+    #[test]
+    fn zone_skip_projection_matches_runtime() {
+        use adaptdb_common::{CmpOp, Predicate};
+        for columnar in [false, true] {
+            let mut d = Database::new(
+                DbConfig { rows_per_block: 10, fetch_window: 4, columnar, ..DbConfig::small() }
+                    .with_mode(Mode::Fixed),
+            );
+            let schema = Schema::from_pairs(&[("k", ValueType::Int), ("x", ValueType::Int)]);
+            // The tree only knows attribute 0 (`k`); `x` is invisible
+            // to tree pruning but clustered enough for zone maps.
+            d.create_table("l", schema, vec![0]).unwrap();
+            d.load_two_phase("l", (0..200i64).map(|i| row![i % 100, i]).collect(), 0, None)
+                .unwrap();
+            // A predicate on the non-partitioned attribute (`x`): the
+            // tree cannot prune on it, the zone maps can.
+            let q = Query::Scan(ScanQuery::new(
+                "l",
+                PredicateSet::none().and(Predicate::new(1, CmpOp::Lt, 20i64)),
+            ));
+            let report = d.explain_analyze(&q).unwrap();
+            assert!(
+                report.explain.est_zone_skipped > 0,
+                "columnar={columnar}: zone maps must project skips"
+            );
+            assert_eq!(
+                report.stats.query_io.zone_skipped, report.explain.est_zone_skipped,
+                "columnar={columnar}"
+            );
+            assert!(report.to_string().contains("zone maps"));
+        }
     }
 
     #[test]

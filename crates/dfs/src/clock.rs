@@ -110,6 +110,14 @@ impl SimClock {
         self.io.lock().writes += n;
     }
 
+    /// Record `n` candidate blocks skipped by zone maps (per-column
+    /// min/max metadata) before any read was issued. Skips are *not*
+    /// I/O — they charge no read and no simulated time; the tally only
+    /// exposes how much the metadata pruning tier saved.
+    pub fn record_zone_skips(&self, n: usize) {
+        self.io.lock().zone_skipped += n;
+    }
+
     /// Record rows flowing through operators.
     pub fn record_rows(&self, scanned: usize, out: usize) {
         let mut io = self.io.lock();
@@ -340,6 +348,21 @@ mod tests {
         assert_eq!(sh.peak_reducer_mem_blocks, 4);
         // Broadcasts stay out of the per-run fetch breakdown.
         assert_eq!(sh.fetches(), 0);
+    }
+
+    #[test]
+    fn zone_skips_tally_without_charging_io() {
+        let c = SimClock::new();
+        c.record_zone_skips(3);
+        c.record_zone_skips(2);
+        let io = c.snapshot();
+        assert_eq!(io.zone_skipped, 5);
+        assert_eq!(io.reads(), 0, "skips are not reads");
+        let params =
+            CostParams { parallelism: 1, cpu_per_block_secs: 0.0, ..CostParams::default() };
+        assert_eq!(c.simulated_secs(&params), 0.0, "skips cost no simulated time");
+        c.take();
+        assert_eq!(c.snapshot().zone_skipped, 0);
     }
 
     #[test]

@@ -55,7 +55,22 @@ pub struct ExecContext<'a> {
     /// every operator skips its telemetry calls entirely, keeping all
     /// accounting bit-identical to an untraced run.
     pub trace: Option<TraceCtx<'a>>,
+    /// Columnar execution: scans and join probes evaluate predicates
+    /// column-wise into a selection bitset over lazily-decoded `ADB2`
+    /// payloads, materializing only selected rows. Purely a wall-clock
+    /// optimization — rows, row order, block counts, and every
+    /// simulated stat are bit-identical with it off (the default).
+    pub columnar: bool,
+    /// Morsel size in rows for columnar scan/probe work: selected row
+    /// ranges are split into cache-sized morsels dispatched through
+    /// `parallel::map_ordered`, so multi-threaded runs reassemble in
+    /// deterministic input order. Irrelevant when `columnar` is off.
+    pub morsel_rows: usize,
 }
+
+/// Default morsel size in rows (a cache-friendly unit of scan/probe
+/// work; blocks bigger than this split into several morsels).
+pub const DEFAULT_MORSEL_ROWS: usize = 1024;
 
 impl<'a> ExecContext<'a> {
     /// Context with an explicit thread budget (serial I/O; widen with
@@ -69,6 +84,8 @@ impl<'a> ExecContext<'a> {
             fetch_window: 1,
             join_mem_budget_blocks: None,
             trace: None,
+            columnar: false,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
         }
     }
 
@@ -102,6 +119,21 @@ impl<'a> ExecContext<'a> {
     /// leaves tracing disabled.
     pub fn with_trace(mut self, trace: Option<TraceCtx<'a>>) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Same context with columnar execution switched on or off
+    /// (builder style). Results and counts are identical either way;
+    /// only wall-clock changes.
+    pub fn with_columnar(mut self, on: bool) -> Self {
+        self.columnar = on;
+        self
+    }
+
+    /// Same context with an explicit morsel size in rows (builder
+    /// style; clamped to ≥ 1).
+    pub fn with_morsel_rows(mut self, rows: usize) -> Self {
+        self.morsel_rows = rows.max(1);
         self
     }
 

@@ -8,7 +8,7 @@
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
-use adaptdb_common::{AttrId, Row, Value};
+use adaptdb_common::{AttrId, BitSet, ColumnVec, Row, Value};
 
 /// A `Hasher` that passes through the 64-bit value written into it.
 #[derive(Default)]
@@ -69,6 +69,27 @@ impl JoinHashTable {
         self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// Probe a whole key column in one call: for every index set in
+    /// `sel`, look up that key and return `(row_index, matching build
+    /// rows)` for the indices that hit, in ascending index order. This
+    /// is the columnar probe entry point — the caller materializes
+    /// probe rows only for the returned indices (late materialization),
+    /// and the ascending order makes multi-threaded morsel runs
+    /// deterministic.
+    ///
+    /// `sel` must be as wide as `keys`.
+    pub fn probe_batch<'t>(&'t self, keys: &ColumnVec, sel: &BitSet) -> Vec<(usize, &'t [Row])> {
+        assert_eq!(sel.len(), keys.len(), "selection width must match key column");
+        let mut out = Vec::new();
+        for i in sel.iter_ones() {
+            let hits = self.probe(&keys.value_at(i));
+            if !hits.is_empty() {
+                out.push((i, hits));
+            }
+        }
+        out
+    }
+
     /// Number of rows stored.
     pub fn len(&self) -> usize {
         self.rows
@@ -124,6 +145,33 @@ mod tests {
             assert_eq!(t.distinct_keys(), ((i + 1).min(7)) as usize);
         }
         assert_eq!(t.len(), 100);
+    }
+
+    #[test]
+    fn batch_probe_matches_scalar_probe() {
+        let t = JoinHashTable::build(vec![row![1i64, "a"], row![2i64, "b"], row![1i64, "c"]], 0);
+        let keys = ColumnVec::from_values(vec![
+            Value::Int(0),
+            Value::Int(1),
+            Value::Int(2),
+            Value::Int(1),
+        ]);
+        // All selected: index 0 misses, the rest hit.
+        let all = BitSet::all_set(4);
+        let hits = t.probe_batch(&keys, &all);
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].0, 1);
+        assert_eq!(hits[0].1, t.probe(&Value::Int(1)));
+        assert_eq!(hits[1].0, 2);
+        assert_eq!(hits[1].1.len(), 1);
+        assert_eq!(hits[2].0, 3);
+        // Selection masks out rows before the lookup.
+        let mut some = BitSet::new(4);
+        some.set(0);
+        some.set(2);
+        let hits = t.probe_batch(&keys, &some);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 2);
     }
 
     #[test]

@@ -28,6 +28,8 @@
 //!   workloads,
 //! * [`parallel`] — a scoped worker pool shared by the operators.
 
+#![warn(missing_docs)]
+
 pub mod aggregate;
 pub mod context;
 pub mod hash_table;
@@ -39,7 +41,7 @@ pub mod shuffle_join;
 pub mod shuffle_service;
 pub mod step_join;
 
-pub use context::{ExecContext, ShuffleOptions};
+pub use context::{ExecContext, ShuffleOptions, DEFAULT_MORSEL_ROWS};
 pub use hash_table::JoinHashTable;
 pub use hyper_join::{hyper_join, HyperJoinSpec};
 pub use repartition::{

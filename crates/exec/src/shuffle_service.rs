@@ -330,10 +330,12 @@ impl<'a> ShuffleService<'a> {
         while let Some(completion) = stream.next_completion() {
             let c = completion?;
             self.ctx.clock.record_shuffle_fetch(c.kind);
-            if c.tag & RIGHT_SIDE_TAG != 0 {
-                right.extend(c.block.rows);
+            let side = c.tag & RIGHT_SIDE_TAG;
+            let rows = c.into_block()?.rows;
+            if side != 0 {
+                right.extend(rows);
             } else {
-                left.extend(c.block.rows);
+                left.extend(rows);
             }
         }
         Ok((left, right))

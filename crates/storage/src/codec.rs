@@ -5,8 +5,11 @@
 //! one tag byte per value. No external serialization framework — a
 //! storage manager's on-disk format should be explicit.
 //!
+//! Two formats coexist, distinguished by magic. The original
+//! row-oriented `ADB1`:
+//!
 //! ```text
-//! block  := MAGIC(4) id(u32) row_count(u32) row*
+//! block  := "ADB1" id(u32) row_count(u32) row*
 //! row    := arity(u16) value*
 //! value  := tag(u8) payload
 //!   tag 0 = Int    payload i64 LE
@@ -15,14 +18,41 @@
 //!   tag 3 = Date   payload i32 LE
 //!   tag 4 = Bool   payload u8
 //! ```
+//!
+//! and the columnar `ADB2` ([`encode_block_columnar`]): a per-column
+//! directory followed by contiguous per-column payloads, so a reader
+//! can decode a single column — or a single row range — without
+//! touching the rest of the block ([`LazyBlock`]):
+//!
+//! ```text
+//! block     := "ADB2" id(u32) row_count(u32) col_count(u16)
+//!              directory payloads
+//! directory := col_count × [tag(u8) byte_len(u32)]
+//! payload   := tag 0   Int    8×rows bytes, i64 LE each
+//!              tag 1   Double 8×rows bytes, f64 bits LE each
+//!              tag 2   Str    per cell len(u32) + UTF-8 bytes
+//!              tag 3   Date   4×rows bytes, i32 LE each
+//!              tag 4   Bool   1×rows bytes
+//!              tag 255 Mixed  per cell ADB1 value encoding
+//! ```
+//!
+//! `Mixed` columns (heterogeneous cell types) and ragged row sets
+//! (mixed arity, which fall back to whole-block `ADB1`) keep the
+//! columnar writer lossless for any input [`decode_block`] accepts.
 
-use adaptdb_common::{Error, Result, Row, Value};
+use adaptdb_common::{ColumnVec, Error, RecordBatch, Result, Row, Value};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::block::Block;
 
-/// Magic prefix of every encoded block.
+/// Magic prefix of a row-oriented (`ADB1`) encoded block.
 pub const BLOCK_MAGIC: &[u8; 4] = b"ADB1";
+
+/// Magic prefix of a columnar (`ADB2`) encoded block.
+pub const BLOCK_MAGIC_V2: &[u8; 4] = b"ADB2";
+
+/// Directory tag of a heterogeneous (`Mixed`) column in `ADB2`.
+const COL_TAG_MIXED: u8 = 255;
 
 /// Append the encoding of one value.
 pub fn encode_value(buf: &mut BytesMut, v: &Value) {
@@ -127,8 +157,16 @@ pub fn encode_block(block: &Block) -> Bytes {
     buf.freeze()
 }
 
-/// Decode a whole block.
-pub fn decode_block(mut buf: Bytes) -> Result<Block> {
+/// Decode a whole block in either format (dispatches on magic).
+pub fn decode_block(buf: Bytes) -> Result<Block> {
+    if buf.remaining() >= 4 && &buf[0..4] == BLOCK_MAGIC_V2 {
+        return LazyBlock::parse(buf)?.into_block();
+    }
+    decode_block_v1(buf)
+}
+
+/// Decode a row-oriented `ADB1` block.
+fn decode_block_v1(mut buf: Bytes) -> Result<Block> {
     if buf.remaining() < 12 {
         return Err(Error::Codec("truncated block header".into()));
     }
@@ -146,6 +184,422 @@ pub fn decode_block(mut buf: Bytes) -> Result<Block> {
         return Err(Error::Codec(format!("{} trailing bytes after block", buf.remaining())));
     }
     Ok(Block::new(id, rows))
+}
+
+/// Skip one ADB1-encoded value without materializing it, advancing
+/// `buf`. Used by the lazy reader to walk variable-width payloads past
+/// unselected cells.
+fn skip_value(buf: &mut Bytes) -> Result<()> {
+    if buf.remaining() < 1 {
+        return Err(Error::Codec("truncated value tag".into()));
+    }
+    let tag = buf.get_u8();
+    let fixed = match tag {
+        0 | 1 => 8,
+        3 => 4,
+        4 => 1,
+        2 => {
+            if buf.remaining() < 4 {
+                return Err(Error::Codec("truncated Str length".into()));
+            }
+            buf.get_u32_le() as usize
+        }
+        other => return Err(Error::Codec(format!("unknown value tag {other}"))),
+    };
+    if buf.remaining() < fixed {
+        return Err(Error::Codec("truncated value payload".into()));
+    }
+    buf.advance(fixed);
+    Ok(())
+}
+
+/// Encode a block columnar (`ADB2`). Ragged row sets (mixed arity)
+/// cannot be laid out column-major, so they fall back to whole-block
+/// `ADB1` — [`decode_block`] dispatches on magic, making the fallback
+/// invisible to readers.
+pub fn encode_block_columnar(block: &Block) -> Bytes {
+    let Some(batch) = RecordBatch::try_from_rows(&block.rows) else {
+        return encode_block(block);
+    };
+    // Arity-0 rows carry no columns to lay out; keep them in ADB1 so
+    // the row count survives the round trip.
+    if batch.num_columns() == 0 && batch.num_rows() > 0 {
+        return encode_block(block);
+    }
+    let encoded: Vec<(u8, BytesMut)> = batch.columns().iter().map(encode_column).collect();
+    let payload_len: usize = encoded.iter().map(|(_, p)| p.len()).sum();
+    let mut buf = BytesMut::with_capacity(14 + encoded.len() * 5 + payload_len);
+    buf.put_slice(BLOCK_MAGIC_V2);
+    buf.put_u32_le(block.id);
+    buf.put_u32_le(batch.num_rows() as u32);
+    buf.put_u16_le(batch.num_columns() as u16);
+    for (tag, payload) in &encoded {
+        buf.put_u8(*tag);
+        buf.put_u32_le(payload.len() as u32);
+    }
+    for (_, payload) in encoded {
+        buf.put_slice(&payload);
+    }
+    buf.freeze()
+}
+
+/// Encode one column as its `ADB2` directory tag plus payload bytes.
+fn encode_column(col: &ColumnVec) -> (u8, BytesMut) {
+    let mut buf = BytesMut::with_capacity(col.len() * 8);
+    match col {
+        ColumnVec::Int(v) => {
+            for x in v {
+                buf.put_i64_le(*x);
+            }
+            (0, buf)
+        }
+        ColumnVec::Double(v) => {
+            for x in v {
+                buf.put_u64_le(x.to_bits());
+            }
+            (1, buf)
+        }
+        ColumnVec::Str(v) => {
+            for s in v {
+                buf.put_u32_le(s.len() as u32);
+                buf.put_slice(s.as_bytes());
+            }
+            (2, buf)
+        }
+        ColumnVec::Date(v) => {
+            for x in v {
+                buf.put_i32_le(*x);
+            }
+            (3, buf)
+        }
+        ColumnVec::Bool(v) => {
+            for x in v {
+                buf.put_u8(*x as u8);
+            }
+            (4, buf)
+        }
+        ColumnVec::Mixed(v) => {
+            for x in v {
+                encode_value(&mut buf, x);
+            }
+            (COL_TAG_MIXED, buf)
+        }
+    }
+}
+
+/// Location of one column's payload inside a lazy block.
+#[derive(Debug, Clone, Copy)]
+struct ColRegion {
+    tag: u8,
+    start: usize,
+    end: usize,
+}
+
+/// Payload of a parsed block that has *not* (necessarily) been
+/// decoded to rows yet.
+///
+/// `ADB1` blocks decode eagerly at parse time — the row format offers
+/// no partial access, and eager decoding keeps error behavior
+/// identical to the pre-columnar read path. `ADB2` blocks only
+/// validate the header and column directory; individual columns
+/// ([`LazyBlock::column`]) and selected row ranges
+/// ([`LazyBlock::gather_range`]) decode on demand, which is what makes
+/// late materialization (decode the predicate columns, then only the
+/// selected rows) cheap.
+#[derive(Debug, Clone)]
+pub struct LazyBlock {
+    id: u32,
+    inner: LazyInner,
+}
+
+#[derive(Debug, Clone)]
+enum LazyInner {
+    /// Row-format payload, fully decoded at parse time.
+    Rows(Vec<Row>),
+    /// Columnar payload: validated directory over undecoded bytes.
+    Columnar { rows: usize, cols: Vec<ColRegion>, bytes: Bytes },
+}
+
+impl LazyBlock {
+    /// Parse an encoded block in either format. `ADB2` headers and
+    /// directories are validated here (bad magic, truncation, length
+    /// mismatches, trailing bytes); `ADB1` payloads are fully decoded,
+    /// so any codec error in either format still surfaces at parse
+    /// time or at first column access — never silently.
+    pub fn parse(buf: Bytes) -> Result<LazyBlock> {
+        if buf.remaining() >= 4 && &buf[0..4] == BLOCK_MAGIC_V2 {
+            return LazyBlock::parse_columnar(buf);
+        }
+        let block = decode_block_v1(buf)?;
+        Ok(LazyBlock { id: block.id, inner: LazyInner::Rows(block.rows) })
+    }
+
+    fn parse_columnar(mut buf: Bytes) -> Result<LazyBlock> {
+        if buf.remaining() < 14 {
+            return Err(Error::Codec("truncated columnar block header".into()));
+        }
+        buf.advance(4); // magic, checked by the caller
+        let id = buf.get_u32_le();
+        let rows = buf.get_u32_le() as usize;
+        let col_count = buf.get_u16_le() as usize;
+        if buf.remaining() < col_count * 5 {
+            return Err(Error::Codec("truncated column directory".into()));
+        }
+        let mut cols = Vec::with_capacity(col_count);
+        let mut offset = 0usize;
+        for _ in 0..col_count {
+            let tag = buf.get_u8();
+            let len = buf.get_u32_le() as usize;
+            let width = match tag {
+                0 | 1 => Some(8),
+                3 => Some(4),
+                4 => Some(1),
+                2 | COL_TAG_MIXED => None,
+                other => return Err(Error::Codec(format!("unknown column tag {other}"))),
+            };
+            if let Some(w) = width {
+                if len != w * rows {
+                    return Err(Error::Codec(format!(
+                        "column payload length {len} != {w}×{rows} rows"
+                    )));
+                }
+            }
+            cols.push(ColRegion { tag, start: offset, end: offset + len });
+            offset += len;
+        }
+        if buf.remaining() != offset {
+            return Err(Error::Codec(format!(
+                "column payloads occupy {} bytes, directory claims {offset}",
+                buf.remaining()
+            )));
+        }
+        Ok(LazyBlock { id, inner: LazyInner::Columnar { rows, cols, bytes: buf } })
+    }
+
+    /// Block id carried in the encoding.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Number of rows in the block (known without decoding).
+    pub fn row_count(&self) -> usize {
+        match &self.inner {
+            LazyInner::Rows(rows) => rows.len(),
+            LazyInner::Columnar { rows, .. } => *rows,
+        }
+    }
+
+    /// Number of columns. For row payloads this is the first row's
+    /// arity (0 for an empty block) — columnar callers only see
+    /// uniform-arity blocks, since ragged sets encode as `ADB1` *and*
+    /// decode to the `Rows` variant.
+    pub fn num_columns(&self) -> usize {
+        match &self.inner {
+            LazyInner::Rows(rows) => rows.first().map_or(0, Row::arity),
+            LazyInner::Columnar { cols, .. } => cols.len(),
+        }
+    }
+
+    /// Decode a single column. For columnar payloads this touches only
+    /// that column's bytes; for row payloads it projects the
+    /// already-decoded rows (failing on ragged arity).
+    pub fn column(&self, idx: usize) -> Result<ColumnVec> {
+        match &self.inner {
+            LazyInner::Rows(rows) => {
+                let mut values = Vec::with_capacity(rows.len());
+                for r in rows {
+                    if idx >= r.arity() {
+                        return Err(Error::Codec(format!(
+                            "column {idx} out of range for arity-{} row",
+                            r.arity()
+                        )));
+                    }
+                    values.push(r.get(idx as adaptdb_common::AttrId).clone());
+                }
+                Ok(ColumnVec::from_values(values))
+            }
+            LazyInner::Columnar { rows, cols, bytes } => match cols.get(idx) {
+                Some(col) => decode_column(col.tag, *rows, bytes.slice(col.start..col.end)),
+                None => Err(Error::Codec(format!("column {idx} out of range"))),
+            },
+        }
+    }
+
+    /// Materialize rows `start..end` whose bit is set in the
+    /// block-wide selection `sel`, in ascending row order. Fixed-width
+    /// columns seek directly to each selected cell; variable-width
+    /// columns (Str, Mixed) skip-walk their payload, advancing past
+    /// unselected cells without allocating.
+    pub fn gather_range(
+        &self,
+        start: usize,
+        end: usize,
+        sel: &adaptdb_common::BitSet,
+    ) -> Result<Vec<Row>> {
+        let n = self.row_count();
+        assert!(start <= end && end <= n, "gather range {start}..{end} out of {n} rows");
+        assert_eq!(sel.len(), n, "selection width mismatch");
+        let picked: Vec<usize> = (start..end).filter(|&i| sel.get(i)).collect();
+        match &self.inner {
+            LazyInner::Rows(rows) => Ok(picked.iter().map(|&i| rows[i].clone()).collect()),
+            LazyInner::Columnar { cols, bytes, .. } => {
+                let mut out: Vec<Vec<Value>> =
+                    picked.iter().map(|_| Vec::with_capacity(cols.len())).collect();
+                for col in cols {
+                    let mut payload = bytes.slice(col.start..col.end);
+                    match col.tag {
+                        0 => {
+                            for (j, &i) in picked.iter().enumerate() {
+                                let b: [u8; 8] = payload[i * 8..i * 8 + 8].try_into().unwrap();
+                                out[j].push(Value::Int(i64::from_le_bytes(b)));
+                            }
+                        }
+                        1 => {
+                            for (j, &i) in picked.iter().enumerate() {
+                                let b: [u8; 8] = payload[i * 8..i * 8 + 8].try_into().unwrap();
+                                out[j].push(Value::Double(f64::from_bits(u64::from_le_bytes(b))));
+                            }
+                        }
+                        3 => {
+                            for (j, &i) in picked.iter().enumerate() {
+                                let b: [u8; 4] = payload[i * 4..i * 4 + 4].try_into().unwrap();
+                                out[j].push(Value::Date(i32::from_le_bytes(b)));
+                            }
+                        }
+                        4 => {
+                            for (j, &i) in picked.iter().enumerate() {
+                                out[j].push(Value::Bool(payload[i] != 0));
+                            }
+                        }
+                        2 => {
+                            let mut next = picked.iter().zip(0..).peekable();
+                            for i in 0..end {
+                                if payload.remaining() < 4 {
+                                    return Err(Error::Codec("truncated Str length".into()));
+                                }
+                                let len = payload.get_u32_le() as usize;
+                                if payload.remaining() < len {
+                                    return Err(Error::Codec("truncated Str payload".into()));
+                                }
+                                match next.peek() {
+                                    Some(&(&p, j)) if p == i => {
+                                        let raw = payload.split_to(len);
+                                        let s = std::str::from_utf8(&raw).map_err(|e| {
+                                            Error::Codec(format!("invalid UTF-8 in Str: {e}"))
+                                        })?;
+                                        out[j].push(Value::Str(s.to_string()));
+                                        next.next();
+                                    }
+                                    _ => payload.advance(len),
+                                }
+                            }
+                        }
+                        COL_TAG_MIXED => {
+                            let mut next = picked.iter().zip(0..).peekable();
+                            for i in 0..end {
+                                match next.peek() {
+                                    Some(&(&p, j)) if p == i => {
+                                        out[j].push(decode_value(&mut payload)?);
+                                        next.next();
+                                    }
+                                    _ => skip_value(&mut payload)?,
+                                }
+                            }
+                        }
+                        other => return Err(Error::Codec(format!("unknown column tag {other}"))),
+                    }
+                }
+                Ok(picked.into_iter().zip(out).map(|(_, values)| Row::new(values)).collect())
+            }
+        }
+    }
+
+    /// Decode everything to a [`Block`] — the eager path, used by
+    /// consumers that need whole rows (joins, repartitioning, spill
+    /// fetch-back).
+    pub fn into_block(self) -> Result<Block> {
+        match self.inner {
+            LazyInner::Rows(rows) => Ok(Block::new(self.id, rows)),
+            LazyInner::Columnar { rows, cols, bytes } => {
+                let mut columns = Vec::with_capacity(cols.len());
+                for col in &cols {
+                    columns.push(decode_column(col.tag, rows, bytes.slice(col.start..col.end))?);
+                }
+                let batch = RecordBatch::from_columns(columns);
+                // A zero-column batch still carries a row count on the
+                // wire; only rows == 0 survives that round trip.
+                if batch.num_columns() == 0 && rows != 0 {
+                    return Err(Error::Codec(format!("{rows} rows but no columns")));
+                }
+                Ok(Block::new(self.id, batch.to_rows()))
+            }
+        }
+    }
+}
+
+/// Decode one full column payload.
+fn decode_column(tag: u8, rows: usize, mut payload: Bytes) -> Result<ColumnVec> {
+    match tag {
+        0 => {
+            let mut v = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                v.push(payload.get_i64_le());
+            }
+            Ok(ColumnVec::Int(v))
+        }
+        1 => {
+            let mut v = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                v.push(f64::from_bits(payload.get_u64_le()));
+            }
+            Ok(ColumnVec::Double(v))
+        }
+        3 => {
+            let mut v = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                v.push(payload.get_i32_le());
+            }
+            Ok(ColumnVec::Date(v))
+        }
+        4 => {
+            let mut v = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                v.push(payload.get_u8() != 0);
+            }
+            Ok(ColumnVec::Bool(v))
+        }
+        2 => {
+            let mut v = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                if payload.remaining() < 4 {
+                    return Err(Error::Codec("truncated Str length".into()));
+                }
+                let len = payload.get_u32_le() as usize;
+                if payload.remaining() < len {
+                    return Err(Error::Codec("truncated Str payload".into()));
+                }
+                let raw = payload.split_to(len);
+                let s = std::str::from_utf8(&raw)
+                    .map_err(|e| Error::Codec(format!("invalid UTF-8 in Str: {e}")))?;
+                v.push(s.to_string());
+            }
+            if payload.has_remaining() {
+                return Err(Error::Codec("trailing bytes after Str column".into()));
+            }
+            Ok(ColumnVec::Str(v))
+        }
+        COL_TAG_MIXED => {
+            let mut v = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                v.push(decode_value(&mut payload)?);
+            }
+            if payload.has_remaining() {
+                return Err(Error::Codec("trailing bytes after Mixed column".into()));
+            }
+            Ok(ColumnVec::Mixed(v))
+        }
+        other => Err(Error::Codec(format!("unknown column tag {other}"))),
+    }
 }
 
 #[cfg(test)]
@@ -219,5 +673,149 @@ mod tests {
         assert!(decode_value(&mut b).is_err());
     }
 
-    use adaptdb_common::{Row, Value};
+    fn round_trip_columnar(block: Block) {
+        let enc = encode_block_columnar(&block);
+        // Universal decoder accepts it regardless of which magic the
+        // encoder chose (ragged sets fall back to ADB1).
+        let dec = decode_block(enc.clone()).unwrap();
+        assert_eq!(dec, block);
+        // The lazy path agrees.
+        let lazy = LazyBlock::parse(enc).unwrap();
+        assert_eq!(lazy.id(), block.id);
+        assert_eq!(lazy.row_count(), block.rows.len());
+        assert_eq!(lazy.into_block().unwrap(), block);
+    }
+
+    #[test]
+    fn columnar_round_trip_all_types() {
+        round_trip_columnar(Block::new(
+            9,
+            vec![
+                row![1i64, 2.5, "hello", true],
+                Row::new(vec![
+                    Value::Int(-4),
+                    Value::Double(f64::NAN),
+                    Value::Str(String::new()),
+                    Value::Bool(false),
+                ]),
+            ],
+        ));
+    }
+
+    #[test]
+    fn columnar_round_trip_mixed_and_date() {
+        // Heterogeneous column 0 → Mixed payload; column 1 stays typed.
+        round_trip_columnar(Block::new(
+            3,
+            vec![
+                Row::new(vec![Value::Int(1), Value::Date(100)]),
+                Row::new(vec![Value::Str("x".into()), Value::Date(200)]),
+            ],
+        ));
+    }
+
+    #[test]
+    fn columnar_empty_block_round_trip() {
+        round_trip_columnar(Block::new(0, vec![]));
+    }
+
+    #[test]
+    fn ragged_rows_fall_back_to_adb1() {
+        let block = Block::new(5, vec![row![1i64], row![1i64, 2i64]]);
+        let enc = encode_block_columnar(&block);
+        assert_eq!(&enc[0..4], BLOCK_MAGIC, "ragged arity must use the row format");
+        round_trip_columnar(block);
+    }
+
+    #[test]
+    fn columnar_magic_is_adb2() {
+        let enc = encode_block_columnar(&Block::new(1, vec![row![7i64]]));
+        assert_eq!(&enc[0..4], BLOCK_MAGIC_V2);
+    }
+
+    #[test]
+    fn lazy_single_column_decode() {
+        let block = Block::new(
+            2,
+            vec![row![1i64, "aa", 1.5], row![2i64, "bb", 2.5], row![3i64, "cc", 3.5]],
+        );
+        let lazy = LazyBlock::parse(encode_block_columnar(&block)).unwrap();
+        assert_eq!(lazy.num_columns(), 3);
+        assert_eq!(lazy.column(0).unwrap(), ColumnVec::Int(vec![1, 2, 3]));
+        assert_eq!(
+            lazy.column(1).unwrap(),
+            ColumnVec::Str(vec!["aa".into(), "bb".into(), "cc".into()])
+        );
+        assert!(lazy.column(3).is_err());
+        // The ADB1 lazy path projects decoded rows identically.
+        let lazy1 = LazyBlock::parse(encode_block(&block)).unwrap();
+        assert_eq!(lazy1.column(0).unwrap(), ColumnVec::Int(vec![1, 2, 3]));
+        assert_eq!(lazy1.num_columns(), 3);
+    }
+
+    #[test]
+    fn gather_range_materializes_selected_rows_only() {
+        let rows = vec![
+            row![1i64, "aa", 1.5],
+            row![2i64, "bb", 2.5],
+            row![3i64, "cc", 3.5],
+            row![4i64, "dd", 4.5],
+        ];
+        let block = Block::new(2, rows.clone());
+        for enc in [encode_block(&block), encode_block_columnar(&block)] {
+            let lazy = LazyBlock::parse(enc).unwrap();
+            let sel = adaptdb_common::BitSet::from_indices(4, &[0, 2, 3]);
+            // Full range.
+            assert_eq!(
+                lazy.gather_range(0, 4, &sel).unwrap(),
+                vec![rows[0].clone(), rows[2].clone(), rows[3].clone()]
+            );
+            // Sub-ranges concatenate to the same output (morsel split).
+            let mut pieces = lazy.gather_range(0, 2, &sel).unwrap();
+            pieces.extend(lazy.gather_range(2, 4, &sel).unwrap());
+            assert_eq!(pieces, lazy.gather_range(0, 4, &sel).unwrap());
+            // Empty selection.
+            let none = adaptdb_common::BitSet::new(4);
+            assert!(lazy.gather_range(0, 4, &none).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn columnar_truncation_is_detected() {
+        let enc = encode_block_columnar(&Block::new(
+            1,
+            vec![row![42i64, "abc", 1.0], row![43i64, "de", 2.0]],
+        ));
+        for cut in 4..enc.len() {
+            let sliced = enc.slice(0..cut);
+            // Either the parse fails, or a later full decode does —
+            // truncation can never produce a successful round trip.
+            let ok = LazyBlock::parse(sliced).and_then(LazyBlock::into_block);
+            assert!(ok.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn columnar_trailing_garbage_is_rejected() {
+        let enc = encode_block_columnar(&Block::new(1, vec![row![7i64]]));
+        let mut raw = BytesMut::from(enc.as_ref());
+        raw.put_u8(0xFF);
+        assert!(LazyBlock::parse(raw.freeze()).is_err());
+    }
+
+    #[test]
+    fn columnar_fixed_width_length_mismatch_is_rejected() {
+        // Hand-build a directory claiming an Int column of the wrong size.
+        let mut raw = BytesMut::new();
+        raw.put_slice(BLOCK_MAGIC_V2);
+        raw.put_u32_le(1); // id
+        raw.put_u32_le(2); // rows
+        raw.put_u16_le(1); // cols
+        raw.put_u8(0); // Int
+        raw.put_u32_le(8); // should be 16 for 2 rows
+        raw.put_u64_le(0);
+        assert!(LazyBlock::parse(raw.freeze()).is_err());
+    }
+
+    use adaptdb_common::{ColumnVec, Row, Value};
 }

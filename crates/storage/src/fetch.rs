@@ -33,7 +33,7 @@ use adaptdb_common::{BlockId, GlobalBlockId, Result};
 use adaptdb_dfs::{NodeId, ReadKind, SimClock, TraceCtx};
 
 use crate::block::Block;
-use crate::codec;
+use crate::codec::{self, LazyBlock};
 use crate::store::BlockStore;
 
 /// One block request queued on a [`FetchStream`] (the table is a
@@ -55,8 +55,19 @@ pub struct FetchCompletion {
     pub tag: u64,
     /// How the DFS classified the read (remote on fail-over).
     pub kind: ReadKind,
-    /// The decoded block.
-    pub block: Block,
+    /// The fetched payload. Row-format (`ADB1`) blocks arrive fully
+    /// decoded inside the lazy wrapper; columnar (`ADB2`) blocks arrive
+    /// header-validated with columns still undecoded, so a columnar
+    /// consumer can materialize only what its selection needs.
+    pub payload: LazyBlock,
+}
+
+impl FetchCompletion {
+    /// Decode the payload to a whole [`Block`] — the eager path every
+    /// row-oriented consumer uses.
+    pub fn into_block(self) -> Result<Block> {
+        self.payload.into_block()
+    }
 }
 
 /// A pipelined fetch pipe over a [`BlockStore`]: push requests, pull
@@ -209,8 +220,8 @@ impl<'a> FetchStream<'a> {
                 self.store.block_bytes(&gid).ok_or(adaptdb_common::Error::UnknownBlock(req.id))?;
             (kind, bytes)
         };
-        let block = codec::decode_block(bytes)?;
-        Ok(FetchCompletion { tag: req.tag, kind, block })
+        let payload = codec::LazyBlock::parse(bytes)?;
+        Ok(FetchCompletion { tag: req.tag, kind, payload })
     }
 }
 

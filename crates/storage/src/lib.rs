@@ -36,6 +36,7 @@ pub mod store;
 pub mod writer;
 
 pub use block::{Block, BlockMeta};
+pub use codec::LazyBlock;
 pub use fetch::{FetchCompletion, FetchStream};
 pub use sample::Reservoir;
 pub use store::BlockStore;

@@ -13,7 +13,7 @@
 //! repartitioning pass, only behind individual map operations.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use adaptdb_common::{BlockId, Error, GlobalBlockId, Result, Row};
 use adaptdb_dfs::{NodeId, ReadKind, SimClock, SimDfs};
@@ -35,6 +35,11 @@ pub struct BlockStore {
     /// must keep this at zero; [`BlockStore::unaccounted_reads`] lets
     /// callers assert that in debug builds.
     unaccounted: AtomicUsize,
+    /// Encode new blocks columnar (`ADB2`) instead of row-oriented
+    /// (`ADB1`). Reads always dispatch on magic, so flipping this
+    /// mid-lifetime leaves existing blocks decodable — the formats
+    /// coexist freely within one store.
+    columnar: AtomicBool,
 }
 
 impl BlockStore {
@@ -46,7 +51,23 @@ impl BlockStore {
             meta: RwLock::new(HashMap::new()),
             next_id: Mutex::new(HashMap::new()),
             unaccounted: AtomicUsize::new(0),
+            columnar: AtomicBool::new(false),
         }
+    }
+
+    /// Switch the on-write encoding: `true` = columnar `ADB2`, `false`
+    /// (the default) = row-oriented `ADB1`. Block *boundaries*, ids,
+    /// metadata, and every simulated count are identical either way —
+    /// sizing uses the canonical row-semantic byte size, never the
+    /// encoded length.
+    pub fn set_columnar(&self, on: bool) {
+        self.columnar.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether new blocks are encoded columnar (see
+    /// [`BlockStore::set_columnar`]).
+    pub fn columnar(&self) -> bool {
+        self.columnar.load(Ordering::Relaxed)
     }
 
     /// Shared access to the underlying simulated DFS (a read guard —
@@ -98,16 +119,24 @@ impl BlockStore {
         let id = self.allocate_id(table);
         let block = Block::new(id, rows);
         let meta = block.compute_meta(arity);
-        let encoded = codec::encode_block(&block);
+        let encoded = if self.columnar() {
+            codec::encode_block_columnar(&block)
+        } else {
+            codec::encode_block(&block)
+        };
+        // The DFS is sized with the canonical row-semantic byte size
+        // (Σ `Row::byte_size`, same figure as `meta.byte_size`), not
+        // the encoded length — so placement and any byte accounting
+        // are bit-identical across block formats.
         let gid = GlobalBlockId::new(table, id);
         {
             let mut dfs = self.dfs.write();
             match replication {
                 Some(r) => {
-                    dfs.write_block_with_replication(gid.clone(), encoded.len(), writer, r);
+                    dfs.write_block_with_replication(gid.clone(), meta.byte_size, writer, r);
                 }
                 None => {
-                    dfs.write_block(gid.clone(), encoded.len(), writer);
+                    dfs.write_block(gid.clone(), meta.byte_size, writer);
                 }
             }
         }
@@ -142,6 +171,26 @@ impl BlockStore {
         clock.record_read(kind);
         let bytes = self.data.read().get(&gid).cloned().ok_or(Error::UnknownBlock(id))?;
         codec::decode_block(bytes).map(|block| (block, kind))
+    }
+
+    /// [`BlockStore::read_block_classified`] without eager row
+    /// materialization: `ADB2` payloads come back as a validated
+    /// [`codec::LazyBlock`] whose columns decode on demand (`ADB1`
+    /// payloads decode eagerly inside the lazy wrapper, preserving
+    /// error behavior). Accounting is identical to the eager read —
+    /// one charged, classified block read.
+    pub fn read_lazy_classified(
+        &self,
+        table: &str,
+        id: BlockId,
+        reader: NodeId,
+        clock: &SimClock,
+    ) -> Result<(codec::LazyBlock, ReadKind)> {
+        let gid = GlobalBlockId::new(table, id);
+        let kind = self.dfs.read().read_from(&gid, reader)?;
+        clock.record_read(kind);
+        let bytes = self.data.read().get(&gid).cloned().ok_or(Error::UnknownBlock(id))?;
+        codec::LazyBlock::parse(bytes).map(|lazy| (lazy, kind))
     }
 
     /// Open a pipelined [`crate::FetchStream`] over one `table` of this
@@ -361,6 +410,50 @@ mod tests {
         let clock = SimClock::new();
         s.read_block("t", id, 0, &clock).unwrap();
         assert_eq!(s.unaccounted_reads(), 2);
+    }
+
+    #[test]
+    fn columnar_flag_switches_encoding_not_semantics() {
+        let rows = vec![row![1i64, "aa", 1.5], row![2i64, "bb", 2.5]];
+        let s_row = store();
+        let s_col = store();
+        s_col.set_columnar(true);
+        assert!(!s_row.columnar());
+        assert!(s_col.columnar());
+        let id_r = s_row.write_block("t", rows.clone(), 3, None);
+        let id_c = s_col.write_block("t", rows.clone(), 3, None);
+        assert_eq!(id_r, id_c);
+        // The stored bytes differ by magic...
+        let raw_r = s_row.block_bytes(&GlobalBlockId::new("t", id_r)).unwrap();
+        let raw_c = s_col.block_bytes(&GlobalBlockId::new("t", id_c)).unwrap();
+        assert_eq!(&raw_r[0..4], codec::BLOCK_MAGIC);
+        assert_eq!(&raw_c[0..4], codec::BLOCK_MAGIC_V2);
+        // ...but decoded rows, metadata, and DFS sizing are identical.
+        let clock = SimClock::new();
+        let b_r = s_row.read_block("t", id_r, 0, &clock).unwrap();
+        let b_c = s_col.read_block("t", id_c, 0, &clock).unwrap();
+        assert_eq!(b_r, b_c);
+        assert_eq!(s_row.block_meta("t", id_r).unwrap(), s_col.block_meta("t", id_c).unwrap());
+        assert_eq!(s_row.dfs().logical_bytes(), s_col.dfs().logical_bytes());
+    }
+
+    #[test]
+    fn lazy_read_charges_and_classifies_like_eager() {
+        let s = store();
+        s.set_columnar(true);
+        let id = s.write_block("t", vec![row![1i64, "x"], row![2i64, "y"]], 2, Some(0));
+        let clock = SimClock::new();
+        let (lazy, kind) = s.read_lazy_classified("t", id, 0, &clock).unwrap();
+        assert_eq!(kind, ReadKind::Local);
+        assert_eq!(lazy.row_count(), 2);
+        assert_eq!(clock.snapshot().local_reads, 1);
+        // Mixed formats coexist: flip the flag, write ADB1, read both.
+        s.set_columnar(false);
+        let id2 = s.write_block("t", vec![row![3i64, "z"]], 2, Some(0));
+        let (lazy2, _) = s.read_lazy_classified("t", id2, 0, &clock).unwrap();
+        assert_eq!(lazy2.row_count(), 1);
+        assert_eq!(lazy.into_block().unwrap().rows[0], row![1i64, "x"]);
+        assert_eq!(lazy2.into_block().unwrap().rows[0], row![3i64, "z"]);
     }
 
     #[test]

@@ -5,6 +5,15 @@
 //! flush buffers as blocks once they reach the block-size budget. A bucket
 //! can end up with several physical blocks when data is skewed; the tree
 //! maps buckets to block lists.
+//!
+//! Every flush records per-column min/max **zone maps** in the block's
+//! [`crate::BlockMeta`] (via `Block::compute_meta` inside
+//! [`BlockStore::write_block_with`]) — the paper's per-block `Range_t`
+//! metadata, which the scan path uses to skip whole blocks before any
+//! decode. Block boundaries are decided by *row count* against the
+//! canonical row-semantic byte size, never by encoded length, so the
+//! row (`ADB1`) and columnar (`ADB2`) formats produce identical block
+//! boundaries, ids, and metadata for the same input.
 
 use std::collections::BTreeMap;
 
