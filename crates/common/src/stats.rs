@@ -175,6 +175,41 @@ impl OverlapStats {
     }
 }
 
+/// Ingest-path accounting: what the append API and the delta-fold
+/// maintenance decision did. Appends are acknowledged once their delta
+/// blocks are stored (and journaled, under a durable config); folds are
+/// the background repartition of accumulated deltas into the partition
+/// tree, charged to the maintenance clock like any other adaptation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Append calls acknowledged.
+    pub appends: usize,
+    /// Rows accepted across all appends.
+    pub rows_appended: usize,
+    /// Delta blocks written by the append path (including rewritten
+    /// tails).
+    pub delta_blocks_written: usize,
+    /// Partial tail blocks read back, merged, and rewritten so trickle
+    /// ingest converges to bulk-ingest block boundaries.
+    pub tail_rewrites: usize,
+    /// Delta-fold passes completed.
+    pub folds: usize,
+    /// Delta blocks folded into partition trees across all folds.
+    pub blocks_folded: usize,
+}
+
+impl IngestStats {
+    /// Merge another tally into this one.
+    pub fn merge(&mut self, other: &IngestStats) {
+        self.appends += other.appends;
+        self.rows_appended += other.rows_appended;
+        self.delta_blocks_written += other.delta_blocks_written;
+        self.tail_rewrites += other.tail_rewrites;
+        self.folds += other.folds;
+        self.blocks_folded += other.blocks_folded;
+    }
+}
+
 /// Which join strategy the planner chose for a query (§6 "Query Planner").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JoinStrategy {
@@ -326,6 +361,32 @@ mod tests {
         assert_eq!(a.fetches(), a.local_fetches + a.remote_fetches);
         // Nothing shuffled → vacuously fully local.
         assert_eq!(ShuffleStats::default().locality_fraction(), 1.0);
+    }
+
+    #[test]
+    fn ingest_stats_merge_accumulates() {
+        let mut a = IngestStats {
+            appends: 1,
+            rows_appended: 10,
+            delta_blocks_written: 2,
+            tail_rewrites: 1,
+            folds: 0,
+            blocks_folded: 0,
+        };
+        a.merge(&IngestStats {
+            appends: 2,
+            rows_appended: 5,
+            delta_blocks_written: 1,
+            tail_rewrites: 0,
+            folds: 1,
+            blocks_folded: 3,
+        });
+        assert_eq!(a.appends, 3);
+        assert_eq!(a.rows_appended, 15);
+        assert_eq!(a.delta_blocks_written, 3);
+        assert_eq!(a.tail_rewrites, 1);
+        assert_eq!(a.folds, 1);
+        assert_eq!(a.blocks_folded, 3);
     }
 
     #[test]

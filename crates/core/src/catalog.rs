@@ -12,11 +12,16 @@
 //! ```text
 //! catalog := "ADBK" u16 version u32 n_tables table*
 //! table   := str(name) schema u16 n_candidate_attrs attr* u32 n_trees tree*
+//!            u32 n_delta u32*            (version ≥ 2)
 //! schema  := u16 n_fields (str(name) u8 type_tag)*
 //! tree    := u32 len bytes(PartitionTree::encode)
 //!            u32 n_buckets (u32 bucket u32 n_blocks u32*)*
 //! str     := u16 len utf8-bytes
 //! ```
+//!
+//! Version 2 appends each table's unfolded delta-block list (append
+//! ingest, see `Database::append_rows`); version-1 blobs decode with an
+//! empty delta.
 
 use adaptdb_common::{AttrId, BlockId, Error, Result, Schema, ValueType};
 use adaptdb_storage::writer::BucketId;
@@ -27,7 +32,7 @@ use std::collections::BTreeMap;
 use crate::table::{TableState, TreeInfo};
 
 const MAGIC: &[u8; 4] = b"ADBK";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
 
 /// A deserialized catalog entry, ready to validate against a store.
 /// (Distinct from [`crate::TableSnapshot`], the in-memory layout readers pin.)
@@ -41,6 +46,8 @@ pub struct CatalogSnapshot {
     pub candidate_attrs: Vec<AttrId>,
     /// Trees with their bucket→block maps.
     pub trees: Vec<(PartitionTree, BTreeMap<BucketId, Vec<BlockId>>)>,
+    /// Unfolded delta blocks (append ingest), in append order.
+    pub delta: Vec<BlockId>,
 }
 
 fn put_str(buf: &mut BytesMut, s: &str) {
@@ -113,6 +120,10 @@ pub fn encode_catalog<'a>(tables: impl IntoIterator<Item = &'a TableState>) -> B
                 }
             }
         }
+        buf.put_u32_le(ts.delta().len() as u32);
+        for b in ts.delta() {
+            buf.put_u32_le(*b);
+        }
     }
     buf.freeze()
 }
@@ -132,7 +143,7 @@ pub fn decode_catalog(mut buf: Bytes) -> Result<Vec<CatalogSnapshot>> {
         return Err(Error::Codec("bad catalog magic".into()));
     }
     let version = buf.get_u16_le();
-    if version != VERSION {
+    if version == 0 || version > VERSION {
         return Err(Error::Codec(format!("unsupported catalog version {version}")));
     }
     let n_tables = buf.get_u32_le() as usize;
@@ -176,7 +187,21 @@ pub fn decode_catalog(mut buf: Bytes) -> Result<Vec<CatalogSnapshot>> {
             }
             trees.push((tree, buckets));
         }
-        out.push(CatalogSnapshot { name, schema: Schema::new(fields), candidate_attrs, trees });
+        let delta = if version >= 2 {
+            need!(buf, 4);
+            let n_delta = buf.get_u32_le() as usize;
+            need!(buf, 4 * n_delta);
+            (0..n_delta).map(|_| buf.get_u32_le()).collect()
+        } else {
+            Vec::new()
+        };
+        out.push(CatalogSnapshot {
+            name,
+            schema: Schema::new(fields),
+            candidate_attrs,
+            trees,
+            delta,
+        });
     }
     if buf.has_remaining() {
         return Err(Error::Codec("trailing bytes after catalog".into()));
@@ -201,6 +226,10 @@ pub fn apply_snapshot(ts: &mut TableState, snap: &CatalogSnapshot) -> Result<()>
             })
             .collect(),
     );
+    // `set_trees` preserves any existing delta; the snapshot's delta
+    // list replaces it wholesale.
+    ts.clear_delta();
+    ts.append_delta(snap.delta.iter().copied());
     Ok(())
 }
 
@@ -220,14 +249,16 @@ mod tests {
         );
         let mut info = TreeInfo::empty(tree);
         info.add_blocks(BTreeMap::from([(0, vec![10, 11]), (1, vec![12])]));
-        TableState::with_trees(
+        let mut ts = TableState::with_trees(
             "orders",
             Schema::from_pairs(&[("o_orderkey", ValueType::Int), ("o_comment", ValueType::Str)]),
             vec![info],
             vec![1],
             Reservoir::new(8, 1),
             QueryWindow::new(4),
-        )
+        );
+        ts.append_delta([20, 21]);
+        ts
     }
 
     #[test]
@@ -243,6 +274,7 @@ mod tests {
         assert_eq!(s.trees.len(), 1);
         assert_eq!(s.trees[0].0, ts.trees()[0].tree);
         assert_eq!(s.trees[0].1, ts.trees()[0].buckets);
+        assert_eq!(s.delta, vec![20, 21], "delta blocks ride the catalog");
     }
 
     #[test]
@@ -262,6 +294,10 @@ mod tests {
         assert_eq!(fresh.trees().len(), 1);
         assert_eq!(fresh.trees()[0].tree, ts.trees()[0].tree);
         assert_eq!(fresh.trees()[0].all_blocks(), vec![10, 11, 12]);
+        assert_eq!(fresh.delta(), &[20, 21]);
+        // Re-applying replaces, not appends.
+        apply_snapshot(&mut fresh, &snaps[0]).unwrap();
+        assert_eq!(fresh.delta(), &[20, 21]);
     }
 
     #[test]

@@ -182,6 +182,28 @@ pub struct DbConfig {
     /// (the default). Defaults honor the `ADAPTDB_TRACE` environment
     /// variable; see [`DbConfig::env_trace`].
     pub trace: bool,
+    /// Delta-fold threshold for the ingest path: once a table has
+    /// accumulated at least this many unfolded delta blocks, the next
+    /// adaptation pass folds them into the partition tree (a
+    /// repartition of just the deltas, costed on the maintenance
+    /// clock). Smaller = tighter query plans, more background I/O.
+    /// Defaults honor the `ADAPTDB_INGEST_FOLD` environment variable;
+    /// see [`DbConfig::env_ingest_fold`].
+    pub ingest_fold_blocks: usize,
+    /// Merge appended rows into a partial delta tail block instead of
+    /// always opening a new block: the tail is read back (charged),
+    /// rewritten full-size, and the old tail retired. Keeps trickle
+    /// ingest block counts identical to bulk ingest of the same rows.
+    /// On by default; disable to make every append its own block run.
+    pub ingest_merge_tail: bool,
+    /// Durable-journal directory: when set, every block write/remove
+    /// and every committed catalog snapshot is logged to a write-ahead
+    /// manifest journal under this path (`FileDfs` backend), and
+    /// [`crate::Database::open_durable`] can recover the last committed
+    /// snapshot after a crash. `None` (the default) keeps the purely
+    /// in-memory `SimDfs`. Defaults honor the `ADAPTDB_DURABLE_PATH`
+    /// environment variable; see [`DbConfig::env_durable_path`].
+    pub durable_path: Option<String>,
     /// Cost model for simulated seconds and plan comparison.
     pub cost: CostParams,
     /// System variant.
@@ -218,6 +240,9 @@ impl Default for DbConfig {
             columnar: DbConfig::env_columnar(),
             morsel_rows: DbConfig::env_morsel_rows().unwrap_or(adaptdb_exec::DEFAULT_MORSEL_ROWS),
             trace: DbConfig::env_trace(),
+            ingest_fold_blocks: DbConfig::env_ingest_fold().unwrap_or(8),
+            ingest_merge_tail: true,
+            durable_path: DbConfig::env_durable_path(),
             cost: CostParams::default(),
             mode: Mode::Adaptive,
             threads: DbConfig::env_threads().unwrap_or(2),
@@ -286,6 +311,25 @@ impl DbConfig {
             std::env::var("ADAPTDB_TRACE").map(|v| v.trim().to_ascii_lowercase()).as_deref(),
             Ok("1") | Ok("true") | Ok("on")
         )
+    }
+
+    /// The `ADAPTDB_INGEST_FOLD` override, if set to a positive
+    /// integer: the delta-block count at which the next adaptation
+    /// pass folds a table's deltas into its partition tree. Changes
+    /// *when* background fold I/O happens, never any query's rows.
+    pub fn env_ingest_fold() -> Option<usize> {
+        std::env::var("ADAPTDB_INGEST_FOLD").ok()?.trim().parse::<usize>().ok().filter(|n| *n > 0)
+    }
+
+    /// The `ADAPTDB_DURABLE_PATH` override, if set to a non-empty
+    /// path: the directory the write-ahead manifest journal lives in.
+    /// Purely a durability feature — results and simulated costs are
+    /// identical with it unset.
+    pub fn env_durable_path() -> Option<String> {
+        std::env::var("ADAPTDB_DURABLE_PATH")
+            .ok()
+            .map(|p| p.trim().to_string())
+            .filter(|p| !p.is_empty())
     }
 
     /// A small configuration suited to unit tests and doc examples:
@@ -415,6 +459,19 @@ mod tests {
             assert_eq!(DbConfig::default().morsel_rows, adaptdb_exec::DEFAULT_MORSEL_ROWS);
         }
         assert!(DbConfig::default().morsel_rows > 0);
+    }
+
+    #[test]
+    fn ingest_knobs_default_and_guarded_by_env() {
+        let c = DbConfig::default();
+        if std::env::var("ADAPTDB_INGEST_FOLD").is_err() {
+            assert_eq!(c.ingest_fold_blocks, 8);
+        }
+        assert!(c.ingest_fold_blocks > 0);
+        assert!(c.ingest_merge_tail, "tail merging on by default (trickle == bulk counts)");
+        if std::env::var("ADAPTDB_DURABLE_PATH").is_err() {
+            assert_eq!(c.durable_path, None, "durability is opt-in; SimDfs stays the default");
+        }
     }
 
     #[test]

@@ -69,6 +69,12 @@ pub struct ExplainReport {
     /// The scheduling lane cost classification would admit this query
     /// into under the current `batch_cost_blocks` threshold.
     pub est_lane: Lane,
+    /// Unfolded ingest delta blocks across the referenced tables —
+    /// appended data the query must read outside any partitioning tree
+    /// (they classify as `other` blocks). Maintenance folds them into
+    /// the tree once a table accumulates
+    /// [`crate::DbConfig::ingest_fold_blocks`] of them.
+    pub delta_blocks: usize,
 }
 
 impl std::fmt::Display for ExplainReport {
@@ -122,6 +128,13 @@ impl std::fmt::Display for ExplainReport {
             "  scheduler: ~{} candidate blocks, {} lane",
             self.est_cost_blocks, self.est_lane
         )?;
+        if self.delta_blocks > 0 {
+            writeln!(
+                f,
+                "  ingest: {} unfolded delta blocks awaiting maintenance fold",
+                self.delta_blocks
+            )?;
+        }
         Ok(())
     }
 }
@@ -205,6 +218,11 @@ impl Database {
         let mut report = self.explain_inner(query, params)?;
         report.est_cost_blocks = est.blocks;
         report.est_lane = est.lane(self.config());
+        report.delta_blocks = report
+            .candidates
+            .iter()
+            .map(|(t, _, _)| self.table(t).map(|ts| ts.delta().len()).unwrap_or(0))
+            .sum();
         if !matches!(query, Query::Scan(_)) {
             report.join_mem_budget_blocks = self.config().join_mem_budget_blocks;
         }
@@ -267,6 +285,7 @@ impl Database {
                     join_mem_budget_blocks: None,
                     est_cost_blocks: 0,
                     est_lane: Lane::Interactive,
+                    delta_blocks: 0,
                 })
             }
             Query::Join(j) => self.explain_join(
@@ -359,6 +378,7 @@ impl Database {
                 join_mem_budget_blocks: None,
                 est_cost_blocks: 0,
                 est_lane: Lane::Interactive,
+                delta_blocks: 0,
             });
         }
         let both_matching = !lc.matching.is_empty() && !rc.matching.is_empty();
@@ -396,6 +416,7 @@ impl Database {
                     join_mem_budget_blocks: None,
                     est_cost_blocks: 0,
                     est_lane: Lane::Interactive,
+                    delta_blocks: 0,
                 }
             }
             JoinDecision::Shuffle { hyper_cost, .. } => {
@@ -422,6 +443,7 @@ impl Database {
                     join_mem_budget_blocks: None,
                     est_cost_blocks: 0,
                     est_lane: Lane::Interactive,
+                    delta_blocks: 0,
                 }
             }
         })
@@ -604,6 +626,18 @@ mod tests {
             );
             assert!(report.to_string().contains("zone maps"));
         }
+    }
+
+    #[test]
+    fn explain_surfaces_unfolded_delta_blocks() {
+        let mut d = db(Mode::Fixed);
+        assert_eq!(d.explain(&join()).unwrap().delta_blocks, 0);
+        // Appended rows land as delta blocks outside the tree; explain
+        // must show the query will have to read them.
+        d.append_rows("l", (0..20i64).map(|i| row![i, i]).collect()).unwrap();
+        let report = d.explain(&join()).unwrap();
+        assert!(report.delta_blocks > 0, "append must surface as delta blocks");
+        assert!(report.to_string().contains("unfolded delta blocks"));
     }
 
     #[test]

@@ -62,6 +62,9 @@ pub fn classify_candidates(
             out.other.extend(blocks);
         }
     }
+    // Unfolded delta blocks live under no tree: they always shuffle
+    // (and their presence forces the mixed/shuffle path, never hyper).
+    out.other.extend_from_slice(&table.delta);
     out
 }
 
@@ -112,6 +115,7 @@ mod tests {
         TableSnapshot {
             schema: Schema::from_pairs(&[("k", ValueType::Int), ("x", ValueType::Int)]),
             trees: vec![a, b],
+            delta: Vec::new(),
         }
     }
 
@@ -139,6 +143,20 @@ mod tests {
         // Tree A prunes to bucket 0 → block 1; tree B cannot prune attr 0.
         assert_eq!(c.matching, vec![1]);
         assert_eq!(c.other, vec![3, 4]);
+    }
+
+    #[test]
+    fn delta_blocks_classify_as_other_on_every_attr() {
+        let mut t = two_tree_table();
+        t.delta = vec![9, 10];
+        let c = classify_candidates(&t, &PredicateSet::none(), 0);
+        assert_eq!(c.matching, vec![1, 2]);
+        assert_eq!(c.other, vec![3, 4, 9, 10], "deltas always shuffle");
+        // Even a predicate that prunes every tree keeps the deltas.
+        use adaptdb_common::{CmpOp, Predicate};
+        let preds = PredicateSet::none().and(Predicate::new(0, CmpOp::Le, 10i64));
+        let c = classify_candidates(&t, &preds, 0);
+        assert!(c.other.ends_with(&[9, 10]));
     }
 
     #[test]

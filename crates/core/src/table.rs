@@ -89,17 +89,23 @@ pub struct TableSnapshot {
     pub schema: Schema,
     /// Partitioning trees (usually one; several mid-migration).
     pub trees: Vec<TreeInfo>,
+    /// Appended-but-not-yet-folded delta blocks: ingest lands here in
+    /// arrival order, outside any tree, until maintenance folds them
+    /// into the partition layout. A query that pinned this snapshot
+    /// reads base + exactly these deltas — appends after the pin are
+    /// invisible (snapshot isolation).
+    pub delta: Vec<BlockId>,
 }
 
 impl TableSnapshot {
     /// A snapshot with no trees yet.
     pub fn empty(schema: Schema) -> Self {
-        TableSnapshot { schema, trees: Vec::new() }
+        TableSnapshot { schema, trees: Vec::new(), delta: Vec::new() }
     }
 
-    /// Total stored blocks across all trees.
+    /// Total stored blocks across all trees plus unfolded deltas.
     pub fn total_blocks(&self) -> usize {
-        self.trees.iter().map(TreeInfo::block_count).sum()
+        self.trees.iter().map(TreeInfo::block_count).sum::<usize>() + self.delta.len()
     }
 
     /// Index of the tree organized for `attr`, if one exists.
@@ -107,15 +113,22 @@ impl TableSnapshot {
         self.trees.iter().position(|t| t.join_attr() == Some(attr))
     }
 
-    /// All blocks of the table.
+    /// All blocks of the table (tree-resident, then deltas).
     pub fn all_blocks(&self) -> Vec<BlockId> {
-        self.trees.iter().flat_map(TreeInfo::all_blocks).collect()
+        let mut out: Vec<BlockId> = self.trees.iter().flat_map(TreeInfo::all_blocks).collect();
+        out.extend_from_slice(&self.delta);
+        out
     }
 
     /// `lookup` across every tree (a query may touch blocks under any
-    /// tree while migration is in flight).
+    /// tree while migration is in flight), plus every unfolded delta
+    /// block — trees cannot prune deltas (they route no delta rows),
+    /// but per-block zone maps still skip them at scan time.
     pub fn lookup_blocks(&self, preds: &PredicateSet) -> Vec<BlockId> {
-        self.trees.iter().flat_map(|t| t.lookup_blocks(preds)).collect()
+        let mut out: Vec<BlockId> =
+            self.trees.iter().flat_map(|t| t.lookup_blocks(preds)).collect();
+        out.extend_from_slice(&self.delta);
+        out
     }
 }
 
@@ -166,7 +179,7 @@ impl TableState {
     ) -> Self {
         TableState {
             name: name.into(),
-            snapshot: Arc::new(TableSnapshot { schema, trees }),
+            snapshot: Arc::new(TableSnapshot { schema, trees, delta: Vec::new() }),
             sample,
             window,
             candidate_attrs,
@@ -204,9 +217,41 @@ impl TableState {
     }
 
     /// Replace the tree set wholesale (bulk load, catalog restore, full
-    /// repartition) — installs a brand-new snapshot.
+    /// repartition) — installs a brand-new snapshot. Unfolded delta
+    /// blocks are preserved: replacing the tree layout never loses
+    /// appended rows.
     pub fn set_trees(&mut self, trees: Vec<TreeInfo>) {
-        self.snapshot = Arc::new(TableSnapshot { schema: self.snapshot.schema.clone(), trees });
+        self.snapshot = Arc::new(TableSnapshot {
+            schema: self.snapshot.schema.clone(),
+            trees,
+            delta: self.snapshot.delta.clone(),
+        });
+    }
+
+    /// The appended-but-unfolded delta blocks, in arrival order.
+    pub fn delta(&self) -> &[BlockId] {
+        &self.snapshot.delta
+    }
+
+    /// Append freshly written delta blocks (copy-on-write: pinned
+    /// readers keep their admission-time view).
+    pub fn append_delta(&mut self, blocks: impl IntoIterator<Item = BlockId>) {
+        Arc::make_mut(&mut self.snapshot).delta.extend(blocks);
+    }
+
+    /// Drop `ids` from the delta list (they were folded into a tree or
+    /// rewritten by a tail merge).
+    pub fn remove_delta(&mut self, ids: &std::collections::HashSet<BlockId>) {
+        if self.snapshot.delta.iter().any(|b| ids.contains(b)) {
+            Arc::make_mut(&mut self.snapshot).delta.retain(|b| !ids.contains(b));
+        }
+    }
+
+    /// Clear the delta list entirely (after a full fold).
+    pub fn clear_delta(&mut self) {
+        if !self.snapshot.delta.is_empty() {
+            Arc::make_mut(&mut self.snapshot).delta.clear();
+        }
     }
 
     /// Total stored blocks across all trees.
@@ -326,6 +371,30 @@ mod tests {
         drop(published);
         let unique_before = Arc::strong_count(&ts.snapshot_arc());
         assert_eq!(unique_before, 2); // ours + the temporary
+    }
+
+    #[test]
+    fn delta_blocks_ride_every_lookup_and_survive_set_trees() {
+        let mut ts = state_with(vec![tree_info()]);
+        let pinned = ts.snapshot_arc();
+        ts.append_delta([200, 201]);
+        // The pinned reader sees its admission-time view; the engine
+        // sees base + delta everywhere blocks are resolved.
+        assert_eq!(pinned.total_blocks(), 3);
+        assert_eq!(ts.total_blocks(), 5);
+        assert_eq!(ts.all_blocks(), vec![100, 101, 102, 200, 201]);
+        // Tree pruning cannot exclude deltas: even a fully pruning
+        // predicate still returns them.
+        let preds = PredicateSet::none().and(Predicate::new(0, CmpOp::Gt, 10i64));
+        assert_eq!(ts.lookup_blocks(&preds), vec![102, 200, 201]);
+        // Replacing the tree layout keeps the unfolded deltas.
+        ts.set_trees(vec![tree_info()]);
+        assert_eq!(ts.delta(), &[200, 201]);
+        // Removing a folded subset leaves the rest in order.
+        ts.remove_delta(&[200].into_iter().collect());
+        assert_eq!(ts.delta(), &[201]);
+        ts.clear_delta();
+        assert!(ts.delta().is_empty());
     }
 
     #[test]

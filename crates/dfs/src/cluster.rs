@@ -171,6 +171,16 @@ impl SimDfs {
         p
     }
 
+    /// Re-register a block at an explicit placement — crash recovery
+    /// replaying a durable journal. Unlike [`SimDfs::write_block`] this
+    /// advances neither the round-robin cursor nor the replica RNG, so
+    /// restoring N blocks leaves future placements exactly where a
+    /// fresh cluster would put them.
+    pub fn restore_block(&mut self, id: GlobalBlockId, bytes: usize, replicas: Vec<NodeId>) {
+        assert!(!replicas.is_empty(), "restored block needs at least one replica");
+        self.placement.insert(id, Placement { replicas, bytes });
+    }
+
     /// Remove a block (repartitioning retires old blocks).
     pub fn remove_block(&mut self, id: &GlobalBlockId) -> Result<()> {
         self.placement.remove(id).map(|_| ()).ok_or(Error::UnknownBlock(id.block))
@@ -357,6 +367,27 @@ mod tests {
         // Overrides above the node count are clamped.
         let p = dfs.write_block_with_replication(gid(1), 64, Some(0), 99);
         assert_eq!(p.replicas.len(), 6);
+    }
+
+    #[test]
+    fn restore_block_preserves_future_placement_determinism() {
+        // Restoring a recovered placement must consume neither the
+        // round-robin cursor nor the replica RNG: a cluster that
+        // restored N blocks places future writes exactly like a fresh
+        // cluster that never saw them.
+        let mut a = SimDfs::new(4, 2, 7);
+        let p = a.write_block(gid(0), 100, Some(1));
+        let mut restored = SimDfs::new(4, 2, 7);
+        restored.restore_block(gid(0), 100, p.replicas.clone());
+        assert_eq!(restored.locate(&gid(0)).unwrap(), &p);
+        assert_eq!(restored.read_from(&gid(0), p.replicas[0]).unwrap(), ReadKind::Local);
+        let mut fresh = SimDfs::new(4, 2, 7);
+        for blk in 1..10 {
+            assert_eq!(
+                restored.write_block(gid(blk), 10, None),
+                fresh.write_block(gid(blk), 10, None)
+            );
+        }
     }
 
     #[test]

@@ -73,7 +73,7 @@ use std::time::{Duration, Instant};
 use adaptdb::cost::{self, Lane};
 use adaptdb::readpath::{self, SnapshotSource};
 use adaptdb::{Database, DbConfig, QueryResult, RetireMode, SchedPolicy, TableSnapshot};
-use adaptdb_common::{Error, Query, QueryStats, Result};
+use adaptdb_common::{Error, Query, QueryStats, Result, Row};
 use adaptdb_dfs::SimClock;
 use adaptdb_storage::BlockStore;
 use parking_lot::{Mutex, RwLock};
@@ -134,6 +134,12 @@ pub(crate) struct Shared {
     /// Grace entries (retired-block batches) still awaiting reader
     /// drain — a gauge the maintenance loop refreshes every pass.
     pending_gc: AtomicU64,
+    /// Snapshots displaced by the ingest path ([`DbServer::append`]
+    /// swaps published layouts itself, off the maintenance thread).
+    /// The next maintenance pass folds them into its grace entry, so
+    /// blocks a tail merge retired stay readable until every query
+    /// pinned to a pre-append snapshot drains.
+    append_guards: Mutex<Vec<Arc<TableSnapshot>>>,
     /// JSON-lines journal of maintenance/adaptation decisions
     /// (adaptation passes, snapshot swaps, GC batches, pacing
     /// deferrals). Only written when [`DbConfig::trace`] is on.
@@ -241,6 +247,12 @@ impl Shared {
     /// Journal timestamp: the maintenance clock's simulated time, µs.
     pub(crate) fn journal_ts_us(&self) -> u64 {
         adaptdb_dfs::secs_to_us(self.maint_clock.simulated_secs(&self.config.cost))
+    }
+
+    /// Drain the snapshots displaced by appends since the last pass
+    /// (maintenance folds them into its grace entry).
+    pub(crate) fn take_append_guards(&self) -> Vec<Arc<TableSnapshot>> {
+        std::mem::take(&mut self.append_guards.lock())
     }
 
     pub(crate) fn note_pass(&self, processed: usize, pending_gc: usize) {
@@ -401,6 +413,7 @@ impl DbServer {
             maint_backlog: AtomicU64::new(0),
             maint_deferrals: AtomicU64::new(0),
             pending_gc: AtomicU64::new(0),
+            append_guards: Mutex::new(Vec::new()),
             journal: adaptdb_common::Journal::new(),
             shutdown: AtomicBool::new(false),
         });
@@ -439,8 +452,22 @@ impl DbServer {
         submit(&self.shared, 0, query, SubmitOptions::default()).0
     }
 
+    /// Append rows to a served table — the ingest write path. Rows
+    /// land in delta blocks outside any partitioning tree and are
+    /// visible to every query admitted after this returns; a query
+    /// already pinned to the previous snapshot never sees them
+    /// (snapshot isolation per admission). Maintenance folds
+    /// accumulated deltas into the partition tree once the table
+    /// crosses [`DbConfig::ingest_fold_blocks`]. On a durable engine
+    /// ([`Database::open_durable`]) the append has been committed to
+    /// the manifest journal before this returns.
+    pub fn append(&self, table: &str, rows: Vec<Row>) -> Result<usize> {
+        append_rows(&self.shared, table, rows)
+    }
+
     /// Server-level throughput/latency report, including the live
-    /// per-lane depth/wait gauges and per-session fairness stats.
+    /// per-lane depth/wait gauges, ingest counters, and per-session
+    /// fairness stats.
     pub fn report(&self) -> ServerReport {
         let lane_depths = self.shared.queue.lane_depths();
         let lane_waits_ms = [
@@ -448,6 +475,17 @@ impl DbServer {
             self.shared.est_wait_ms(Lane::Batch),
             self.shared.est_wait_ms(Lane::Maintenance),
         ];
+        // Ingest counters live on the engine; the lock is taken and
+        // released before any other lock (same order as maintenance).
+        let (ingest, delta_blocks) = {
+            let engine = self.shared.engine.lock();
+            let delta = engine
+                .table_names()
+                .iter()
+                .map(|n| engine.table(n).map(|t| t.delta().len()).unwrap_or(0))
+                .sum();
+            (engine.ingest_stats(), delta)
+        };
         self.shared.metrics.report(
             self.shared.queue.policy_name(),
             self.worker_count,
@@ -458,6 +496,8 @@ impl DbServer {
             self.shared.maintenance_passes.load(Ordering::SeqCst),
             self.shared.maint_backlog.load(Ordering::SeqCst) as usize,
             self.shared.maint_deferrals.load(Ordering::SeqCst),
+            ingest,
+            delta_blocks,
         )
     }
 
@@ -581,6 +621,12 @@ impl Session {
         res
     }
 
+    /// Append rows to a served table through this session — see
+    /// [`DbServer::append`] for the visibility and durability contract.
+    pub fn append(&mut self, table: &str, rows: Vec<Row>) -> Result<usize> {
+        append_rows(&self.shared, table, rows)
+    }
+
     /// This session's fairness-principal id (stable for its lifetime).
     pub fn id(&self) -> u64 {
         self.id
@@ -590,6 +636,46 @@ impl Session {
     pub fn stats(&self) -> &SessionStats {
         &self.stats
     }
+}
+
+/// The shared ingest write path: run the engine's append under the
+/// maintenance mutex, then publish the table's new snapshot with the
+/// same lock discipline as `maintenance::adapt_and_publish` (engine
+/// lock held across the published-map write, so snapshot swaps are
+/// totally ordered). The displaced snapshot is parked on
+/// `Shared::append_guards` so a tail block retired by the merge is not
+/// garbage-collected while a pre-append reader still pins it.
+fn append_rows(shared: &Shared, table: &str, rows: Vec<Row>) -> Result<usize> {
+    let engine = &mut *shared.engine.lock();
+    let n = engine.append_rows_with(table, rows, shared.maint_clock())?;
+    let ts = engine.table(table)?;
+    let delta_blocks = ts.delta().len();
+    let fresh = ts.snapshot_arc();
+    {
+        let mut published = shared.published.write();
+        match published.get_mut(table) {
+            Some(slot) if !Arc::ptr_eq(slot, &fresh) => {
+                let displaced = std::mem::replace(slot, fresh);
+                shared.append_guards.lock().push(displaced);
+            }
+            Some(_) => {}
+            None => {
+                published.insert(table.to_string(), fresh);
+            }
+        }
+    }
+    if let Some(j) = shared.journal() {
+        j.event(
+            shared.journal_ts_us(),
+            "append",
+            vec![
+                ("table".into(), adaptdb_common::AttrValue::Str(table.to_string())),
+                ("rows".into(), adaptdb_common::AttrValue::Int(n as i64)),
+                ("delta_blocks".into(), adaptdb_common::AttrValue::Int(delta_blocks as i64)),
+            ],
+        );
+    }
+    Ok(n)
 }
 
 /// Classify, admission-check, enqueue, and await one query. Returns the

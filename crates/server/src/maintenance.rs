@@ -130,7 +130,10 @@ fn adapt_and_publish(shared: &Shared, queries: &[adaptdb_common::Query]) -> Opti
     }
     let blocks = engine.take_retired();
     // Install the new layouts: one atomic Arc swap per changed table.
-    let mut guards = Vec::new();
+    // Snapshots the ingest path displaced since the last pass guard
+    // this entry too: a tail block retired by an append's merge may
+    // still be pinned by a pre-append reader.
+    let mut guards = shared.take_append_guards();
     let mut swapped: Vec<String> = Vec::new();
     {
         let mut published = shared.published().write();

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use adaptdb::cost::{Lane, LANES, LANE_COUNT};
-use adaptdb_common::{Histogram, IoStats, OverlapStats, QueryStats, ShuffleStats};
+use adaptdb_common::{Histogram, IngestStats, IoStats, OverlapStats, QueryStats, ShuffleStats};
 use parking_lot::Mutex;
 
 /// Latency aggregate for one lane, kept under a mutex (updated once per
@@ -212,6 +212,8 @@ impl Metrics {
         maintenance_passes: u64,
         maintenance_backlog: usize,
         maintenance_deferrals: u64,
+        ingest: IngestStats,
+        delta_blocks: usize,
     ) -> ServerReport {
         let queries = self.queries.load(Ordering::Relaxed);
         let errors = self.errors.load(Ordering::Relaxed);
@@ -267,6 +269,8 @@ impl Metrics {
             session_count,
             fairness_index,
             shuffle: *self.shuffle.lock(),
+            ingest,
+            delta_blocks,
         }
     }
 }
@@ -362,6 +366,14 @@ pub struct ServerReport {
     /// and fetch-locality counts plus the skew-mitigation tallies
     /// (build spill, hot-partition splits, peak reducer memory).
     pub shuffle: ShuffleStats,
+    /// Ingest counters since the server started: appends accepted,
+    /// rows and delta blocks written, tail rewrites, and maintenance
+    /// folds of deltas into the partition tree.
+    pub ingest: IngestStats,
+    /// Unfolded ingest delta blocks across all served tables right now
+    /// (gauge; maintenance folds a table once it crosses
+    /// `DbConfig::ingest_fold_blocks`).
+    pub delta_blocks: usize,
 }
 
 impl std::fmt::Display for ServerReport {
@@ -417,6 +429,20 @@ impl std::fmt::Display for ServerReport {
                 self.shuffle.build_blocks_spilled,
                 self.shuffle.split_partitions,
                 self.shuffle.peak_reducer_mem_blocks
+            )?;
+        }
+        if self.ingest.appends > 0 || self.delta_blocks > 0 {
+            writeln!(
+                f,
+                "ingest: {} appends ({} rows), {} delta blocks written, {} tail rewrites, \
+                 {} folds ({} blocks); {} unfolded now",
+                self.ingest.appends,
+                self.ingest.rows_appended,
+                self.ingest.delta_blocks_written,
+                self.ingest.tail_rewrites,
+                self.ingest.folds,
+                self.ingest.blocks_folded,
+                self.delta_blocks
             )?;
         }
         write!(
@@ -583,8 +609,19 @@ mod tests {
         };
         m.note_shuffle(&sh);
         m.note_shuffle(&sh);
-        let report =
-            m.report("fifo", 1, 4, [0; LANE_COUNT], [0.0; LANE_COUNT], IoStats::default(), 0, 0, 0);
+        let report = m.report(
+            "fifo",
+            1,
+            4,
+            [0; LANE_COUNT],
+            [0.0; LANE_COUNT],
+            IoStats::default(),
+            0,
+            0,
+            0,
+            IngestStats::default(),
+            0,
+        );
         assert_eq!(report.shuffle.blocks_spilled, 16);
         assert_eq!(report.shuffle.build_blocks_spilled, 6);
         assert_eq!(report.shuffle.split_partitions, 2);
@@ -618,8 +655,19 @@ mod tests {
             Duration::from_millis(1),
             true,
         );
-        let report =
-            m.report("fifo", 1, 4, [0; LANE_COUNT], [0.0; LANE_COUNT], IoStats::default(), 0, 0, 0);
+        let report = m.report(
+            "fifo",
+            1,
+            4,
+            [0; LANE_COUNT],
+            [0.0; LANE_COUNT],
+            IoStats::default(),
+            0,
+            0,
+            0,
+            IngestStats::default(),
+            0,
+        );
         assert_eq!(report.session_count, 2);
         assert!(
             report.fairness_index < 0.6,

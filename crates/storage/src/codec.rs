@@ -138,7 +138,10 @@ pub fn decode_row(buf: &mut Bytes) -> Result<Row> {
         return Err(Error::Codec("truncated row arity".into()));
     }
     let arity = buf.get_u16_le() as usize;
-    let mut values = Vec::with_capacity(arity);
+    // Cap the preallocation by what the buffer can possibly hold (the
+    // smallest value is 2 bytes): a corrupt arity must fail with a
+    // truncation error, not allocate first.
+    let mut values = Vec::with_capacity(arity.min(buf.remaining() / 2));
     for _ in 0..arity {
         values.push(decode_value(buf)?);
     }
@@ -176,7 +179,11 @@ fn decode_block_v1(mut buf: Bytes) -> Result<Block> {
     }
     let id = buf.get_u32_le();
     let row_count = buf.get_u32_le() as usize;
-    let mut rows = Vec::with_capacity(row_count);
+    // The count is untrusted: cap the preallocation by the bytes that
+    // are actually present (a row encodes to ≥ 2 bytes), so a
+    // bit-flipped header cannot demand gigabytes before the first
+    // truncation error.
+    let mut rows = Vec::with_capacity(row_count.min(buf.remaining() / 2));
     for _ in 0..row_count {
         rows.push(decode_row(&mut buf)?);
     }
@@ -569,7 +576,11 @@ fn decode_column(tag: u8, rows: usize, mut payload: Bytes) -> Result<ColumnVec> 
             Ok(ColumnVec::Bool(v))
         }
         2 => {
-            let mut v = Vec::with_capacity(rows);
+            // Variable-width payloads are not length-validated by the
+            // directory (only fixed-width ones are), so the row count
+            // is untrusted here: cap the preallocation by the payload
+            // size (every cell carries at least its 4-byte length).
+            let mut v = Vec::with_capacity(rows.min(payload.remaining() / 4));
             for _ in 0..rows {
                 if payload.remaining() < 4 {
                     return Err(Error::Codec("truncated Str length".into()));
@@ -589,7 +600,9 @@ fn decode_column(tag: u8, rows: usize, mut payload: Bytes) -> Result<ColumnVec> 
             Ok(ColumnVec::Str(v))
         }
         COL_TAG_MIXED => {
-            let mut v = Vec::with_capacity(rows);
+            // Untrusted count, same as Str: the smallest ADB1 value
+            // (a Bool) is 2 bytes.
+            let mut v = Vec::with_capacity(rows.min(payload.remaining() / 2));
             for _ in 0..rows {
                 v.push(decode_value(&mut payload)?);
             }

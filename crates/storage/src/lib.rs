@@ -24,12 +24,17 @@
 //!   it to choose the appropriate cut points"),
 //! * [`fetch::FetchStream`] — the pipelined (async-style) fetch
 //!   backend: batched block requests with an in-flight window,
-//!   out-of-order completions, and overlapped-latency accounting.
+//!   out-of-order completions, and overlapped-latency accounting,
+//! * [`durable::FileJournal`] — the write-ahead manifest journal
+//!   backing crash-consistent ingest: CRC-framed block/remove/drop
+//!   records plus atomic catalog-commit records, replayed to the last
+//!   committed snapshot on recovery.
 
 #![warn(missing_docs)]
 
 pub mod block;
 pub mod codec;
+pub mod durable;
 pub mod fetch;
 pub mod sample;
 pub mod store;
@@ -37,6 +42,7 @@ pub mod writer;
 
 pub use block::{Block, BlockMeta};
 pub use codec::LazyBlock;
+pub use durable::{FileJournal, JournalRecord};
 pub use fetch::{FetchCompletion, FetchStream};
 pub use sample::Reservoir;
 pub use store::BlockStore;

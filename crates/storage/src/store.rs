@@ -14,6 +14,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use adaptdb_common::{BlockId, Error, GlobalBlockId, Result, Row};
 use adaptdb_dfs::{NodeId, ReadKind, SimClock, SimDfs};
@@ -22,6 +23,7 @@ use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::block::{Block, BlockMeta};
 use crate::codec;
+use crate::durable::{FileJournal, JournalRecord};
 
 /// Block storage for all tables of one database instance.
 #[derive(Debug)]
@@ -40,6 +42,12 @@ pub struct BlockStore {
     /// mid-lifetime leaves existing blocks decodable — the formats
     /// coexist freely within one store.
     columnar: AtomicBool,
+    /// Durable manifest journal, when the database runs with a real-file
+    /// backend. While attached, every non-scratch block write, remove,
+    /// and table drop is logged write-ahead of the catalog commit that
+    /// references it; scratch namespaces (`__`-prefixed tables, e.g.
+    /// shuffle spill) are transient by contract and never logged.
+    journal: RwLock<Option<Arc<FileJournal>>>,
 }
 
 impl BlockStore {
@@ -52,6 +60,31 @@ impl BlockStore {
             next_id: Mutex::new(HashMap::new()),
             unaccounted: AtomicUsize::new(0),
             columnar: AtomicBool::new(false),
+            journal: RwLock::new(None),
+        }
+    }
+
+    /// Attach (or detach) a durable manifest journal. See the `journal`
+    /// field docs for what gets logged; recovery (`restore_block`)
+    /// bypasses the journal so replay never re-logs history.
+    pub fn set_journal(&self, journal: Option<Arc<FileJournal>>) {
+        *self.journal.write() = journal;
+    }
+
+    /// The attached manifest journal, if any.
+    pub fn journal(&self) -> Option<Arc<FileJournal>> {
+        self.journal.read().clone()
+    }
+
+    /// Append a manifest record for a non-scratch table. A journal that
+    /// cannot append can no longer uphold its durability contract, so
+    /// failures are fatal rather than silently dropped.
+    fn journal_record(&self, table: &str, make: impl FnOnce() -> JournalRecord) {
+        if table.starts_with("__") {
+            return;
+        }
+        if let Some(j) = self.journal.read().as_ref() {
+            j.append(&make()).expect("manifest journal append failed");
         }
     }
 
@@ -129,20 +162,61 @@ impl BlockStore {
         // the encoded length — so placement and any byte accounting
         // are bit-identical across block formats.
         let gid = GlobalBlockId::new(table, id);
-        {
+        let placement = {
             let mut dfs = self.dfs.write();
             match replication {
-                Some(r) => {
-                    dfs.write_block_with_replication(gid.clone(), meta.byte_size, writer, r);
-                }
-                None => {
-                    dfs.write_block(gid.clone(), meta.byte_size, writer);
-                }
+                Some(r) => dfs.write_block_with_replication(gid.clone(), meta.byte_size, writer, r),
+                None => dfs.write_block(gid.clone(), meta.byte_size, writer),
             }
+        };
+        self.data.write().insert(gid, encoded.clone());
+        self.meta.write().entry(table.to_string()).or_default().insert(id, meta);
+        self.journal_record(table, || JournalRecord::WriteBlock {
+            table: table.to_string(),
+            id,
+            arity,
+            replicas: placement.replicas,
+            encoded,
+        });
+        id
+    }
+
+    /// Re-insert one block from a durable journal's committed prefix:
+    /// its encoded bytes, metadata re-derived by decoding them, and the
+    /// exact replica placement it had. Reserves the id and never
+    /// journals (recovery must not re-log history).
+    pub fn restore_block(
+        &self,
+        table: &str,
+        id: BlockId,
+        arity: usize,
+        replicas: Vec<NodeId>,
+        encoded: Bytes,
+    ) -> Result<()> {
+        let block = codec::decode_block(encoded.clone())?;
+        if block.id != id {
+            return Err(Error::Codec(format!(
+                "journaled block {table}:{id} decodes with id {}",
+                block.id
+            )));
         }
+        let meta = block.compute_meta(arity);
+        let gid = GlobalBlockId::new(table, id);
+        self.dfs.write().restore_block(gid.clone(), meta.byte_size, replicas);
         self.data.write().insert(gid, encoded);
         self.meta.write().entry(table.to_string()).or_default().insert(id, meta);
-        id
+        self.reserve_ids(table, id + 1);
+        Ok(())
+    }
+
+    /// Raise a table's id allocator to at least `next`. Recovery
+    /// reserves every id the journal's committed prefix ever allocated —
+    /// including since-removed blocks — so fresh writes can never
+    /// collide with replayed history.
+    pub fn reserve_ids(&self, table: &str, next: BlockId) {
+        let mut ids = self.next_id.lock();
+        let slot = ids.entry(table.to_string()).or_insert(0);
+        *slot = (*slot).max(next);
     }
 
     /// Read and decode a block, recording the access on `clock`.
@@ -279,6 +353,9 @@ impl BlockStore {
         if let Some(m) = self.meta.write().get_mut(table) {
             m.remove(&id);
         }
+        // Journaled only on success: a failed (already-gone) remove
+        // leaves no record, so replay never double-frees.
+        self.journal_record(table, || JournalRecord::RemoveBlock { table: table.to_string(), id });
         Ok(())
     }
 
@@ -300,6 +377,13 @@ impl BlockStore {
             }
         }
         self.next_id.lock().remove(table);
+        if !ids.is_empty() {
+            // Only a drop that actually removed blocks is journaled —
+            // dropping an absent table is a no-op here and on replay,
+            // which keeps scratch-namespace cleanup idempotent across
+            // crash-recovery cycles.
+            self.journal_record(table, || JournalRecord::DropTable { table: table.to_string() });
+        }
         ids.len()
     }
 
@@ -454,6 +538,52 @@ mod tests {
         assert_eq!(lazy2.row_count(), 1);
         assert_eq!(lazy.into_block().unwrap().rows[0], row![1i64, "x"]);
         assert_eq!(lazy2.into_block().unwrap().rows[0], row![3i64, "z"]);
+    }
+
+    #[test]
+    fn journaled_store_recovers_bit_identically_and_skips_scratch() {
+        let dir =
+            std::env::temp_dir().join(format!("adaptdb-store-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (j, _) = FileJournal::open_with_recovery(&dir).unwrap();
+        let s = store();
+        s.set_journal(Some(Arc::new(j)));
+        let id = s.write_block("t", vec![row![1i64], row![2i64]], 1, None);
+        // Scratch namespaces are transient: never journaled.
+        s.write_block("__shuffle/q/0", vec![row![9i64]], 1, None);
+        assert_eq!(s.drop_table("__shuffle/q/0"), 1);
+        // A block removed pre-commit must not resurface.
+        let gone = s.write_block("t", vec![row![3i64]], 1, None);
+        s.remove_block("t", gone).unwrap();
+        let keep_meta = s.block_meta("t", id).unwrap();
+        let keep_bytes = s.block_bytes(&GlobalBlockId::new("t", id)).unwrap();
+        let replicas = s.dfs().locate(&GlobalBlockId::new("t", id)).unwrap().replicas.clone();
+        let j = s.journal().unwrap();
+        j.append(&crate::durable::JournalRecord::Commit { catalog: Bytes::new() }).unwrap();
+        j.sync().unwrap();
+        drop(j);
+        drop(s);
+
+        let (_, rec) = FileJournal::open_with_recovery(&dir).unwrap();
+        assert_eq!(rec.blocks.len(), 1, "only the live non-scratch block survives");
+        let s2 = store();
+        for ((table, bid), rb) in &rec.blocks {
+            s2.restore_block(table, *bid, rb.arity, rb.replicas.clone(), rb.encoded.clone())
+                .unwrap();
+        }
+        for (t, n) in &rec.next_ids {
+            s2.reserve_ids(t, *n);
+        }
+        assert_eq!(s2.block_meta("t", id).unwrap(), keep_meta);
+        assert_eq!(s2.block_bytes(&GlobalBlockId::new("t", id)).unwrap(), keep_bytes);
+        assert_eq!(
+            s2.dfs().locate(&GlobalBlockId::new("t", id)).unwrap().replicas,
+            replicas,
+            "placement survives recovery"
+        );
+        // Removed block ids stay reserved: no collision with history.
+        assert_eq!(s2.write_block("t", vec![], 1, None), gone + 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

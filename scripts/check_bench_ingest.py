@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""CI gate for the ingest-under-load benchmark.
+
+Usage: check_bench_ingest.py <fresh BENCH_ingest.json> <committed baseline>
+
+Fails (exit 1) when the fresh run is missing required keys, or when any
+of the durable-ingest contracts breaks:
+
+* **accounting** — every round appends exactly once and every appended
+  row is counted (`appends == rounds`, `rows_appended == rate * rounds`);
+* **conservation** — after the drain fold every appended row is visible
+  exactly once: `rows_total == base_rows + rows_appended`;
+* **bounded fold lag** — the maximum unfolded delta backlog never
+  exceeds the fold threshold plus one append's worth of blocks, at any
+  ingest rate (load-paced maintenance keeps up);
+* **maintenance liveness** — at least one fold fired at every rate;
+* **baseline** — every simulated counter (appends, delta blocks, tail
+  rewrites, folds, backlog, row totals, read p95) matches the committed
+  baseline bit-identically.
+
+Wall-clock p95 milliseconds are machine-dependent and never compared to
+the baseline; the p95 of simulated reads is deterministic and gated
+exactly.
+"""
+
+import json
+import math
+import sys
+
+REQUIRED_TOP = [
+    "bench",
+    "scale",
+    "seed",
+    "rows_per_block",
+    "fold_blocks",
+    "rounds",
+    "base_rows",
+    "cells",
+]
+REQUIRED_CELL = [
+    "rate",
+    "rounds",
+    "appends",
+    "rows_appended",
+    "delta_blocks_written",
+    "tail_rewrites",
+    "folds",
+    "blocks_folded",
+    "max_backlog",
+    "rows_total",
+    "query_rows_out",
+    "reads_p95",
+    "p95_ms",
+]
+# Deterministic counters compared bit-exactly to the baseline
+# (everything but the wall-clock column).
+BASELINE_EXACT = [k for k in REQUIRED_CELL if k != "p95_ms"]
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench_ingest: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {path}: {e}")
+
+
+def validate(doc: dict, path: str) -> None:
+    for key in REQUIRED_TOP:
+        if key not in doc:
+            fail(f"{path}: missing key {key!r}")
+    if doc["bench"] != "ingest":
+        fail(f"{path}: bench is {doc['bench']!r}, expected 'ingest'")
+    if not doc["cells"]:
+        fail(f"{path}: no cells")
+    for cell in doc["cells"]:
+        for key in REQUIRED_CELL:
+            if key not in cell:
+                fail(f"{path}: cell missing key {key!r}")
+    rates = [c["rate"] for c in doc["cells"]]
+    if rates != sorted(rates) or len(set(rates)) != len(rates):
+        fail(f"{path}: cells must be sorted by strictly ascending rate, got {rates}")
+
+
+def check_contracts(doc: dict, path: str) -> None:
+    fold_blocks = doc["fold_blocks"]
+    rows_per_block = doc["rows_per_block"]
+    for c in doc["cells"]:
+        rate = c["rate"]
+        if c["appends"] != c["rounds"]:
+            fail(f"{path}: rate {rate}: appends {c['appends']} != rounds {c['rounds']}")
+        if c["rows_appended"] != rate * c["rounds"]:
+            fail(
+                f"{path}: rate {rate}: rows_appended {c['rows_appended']} "
+                f"!= rate * rounds {rate * c['rounds']}"
+            )
+        if c["rows_total"] != doc["base_rows"] + c["rows_appended"]:
+            fail(
+                f"{path}: rate {rate}: conservation broken — rows_total "
+                f"{c['rows_total']} != base {doc['base_rows']} + appended "
+                f"{c['rows_appended']} (rows lost or duplicated)"
+            )
+        if c["folds"] <= 0:
+            fail(f"{path}: rate {rate}: load-paced maintenance never folded")
+        bound = fold_blocks + math.ceil(rate / rows_per_block) + 1
+        if c["max_backlog"] > bound:
+            fail(
+                f"{path}: rate {rate}: fold backlog {c['max_backlog']} exceeds "
+                f"bound {bound} (threshold {fold_blocks} + one append)"
+            )
+    written = [c["delta_blocks_written"] for c in doc["cells"]]
+    if written != sorted(written):
+        fail(f"{path}: delta blocks written must grow with the ingest rate, got {written}")
+
+
+def check_baseline(fresh: dict, base: dict) -> None:
+    """Every simulated counter must match the committed baseline exactly;
+    wall-clock p95 is the only machine-dependent field and never diffs."""
+    if fresh["rounds"] != base["rounds"]:
+        fail(
+            f"rounds {fresh['rounds']} != baseline {base['rounds']} "
+            f"(quick run against a full baseline? regenerate with matching flags)"
+        )
+    if fresh["base_rows"] != base["base_rows"]:
+        fail(f"base_rows {fresh['base_rows']} vs baseline {base['base_rows']}")
+    if len(fresh["cells"]) != len(base["cells"]):
+        fail(f"cell count {len(fresh['cells'])} vs baseline {len(base['cells'])}")
+    for f, b in zip(fresh["cells"], base["cells"]):
+        for metric in BASELINE_EXACT:
+            if f[metric] != b[metric]:
+                fail(
+                    f"rate {f['rate']}: {metric} {f[metric]} vs baseline "
+                    f"{b[metric]} (ingest counters are deterministic)"
+                )
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        fail("usage: check_bench_ingest.py <fresh.json> <baseline.json>")
+    fresh_path, base_path = sys.argv[1], sys.argv[2]
+    fresh, base = load(fresh_path), load(base_path)
+    validate(fresh, fresh_path)
+    validate(base, base_path)
+    check_contracts(fresh, fresh_path)
+    check_baseline(fresh, base)
+    lags = ", ".join(f"{c['rate']}:{c['max_backlog']}" for c in fresh["cells"])
+    print(
+        f"check_bench_ingest: OK (fold lag bounded at every rate [{lags}]; "
+        f"row conservation exact; counters match baseline)"
+    )
+
+
+if __name__ == "__main__":
+    main()
