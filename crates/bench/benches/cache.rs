@@ -1,0 +1,78 @@
+//! Criterion microbenchmarks of the per-node block cache's read path:
+//! a steady-state cache hit, a cache miss under eviction churn
+//! (lookup + store read + admission duel + eviction), and the
+//! uncached baseline the `cache = 0` invariant pins. The store's
+//! backing read is already in-memory in this simulator — the cache's
+//! payoff is in *simulated* remote-fetch seconds (see `fig_cache`),
+//! not wall-clock — so what these benches pin is that the cache
+//! machinery itself stays within noise of the bare read on both the
+//! hit path and the worst-case churn path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use adaptdb_common::{row, CostParams, Row};
+use adaptdb_dfs::SimClock;
+use adaptdb_storage::BlockStore;
+
+const ROWS_PER_BLOCK: usize = 50;
+const BLOCKS: usize = 32;
+const NODES: usize = 4;
+
+fn populate(store: &BlockStore) -> Vec<u32> {
+    (0..BLOCKS)
+        .map(|b| {
+            let lo = (b * ROWS_PER_BLOCK) as i64;
+            let rows: Vec<Row> = (lo..lo + ROWS_PER_BLOCK as i64).map(|i| row![i, i * 2]).collect();
+            store.write_block("t", rows, 2, None)
+        })
+        .collect()
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let params = CostParams::default();
+    let clock = SimClock::new();
+
+    // Hit path: budget covers the working set, every block pre-warmed —
+    // the steady-state read a Zipfian re-access trace mostly sees.
+    let hot = BlockStore::new(NODES, 1, 7);
+    hot.enable_cache(BLOCKS, params.remote_read_penalty);
+    let hot_ids = populate(&hot);
+    for &id in &hot_ids {
+        hot.read_block("t", id, 0, &clock).expect("warm read");
+    }
+    c.bench_function("cache_hit_read_50rows", |b| {
+        b.iter(|| black_box(hot.read_block("t", hot_ids[0], 0, &clock).unwrap()))
+    });
+
+    // Miss path under churn: a one-block budget with alternating reads
+    // forces every lookup to miss and run the full admission/eviction
+    // machinery on top of the store read.
+    let churn = BlockStore::new(NODES, 1, 7);
+    churn.enable_cache(1, params.remote_read_penalty);
+    let churn_ids = populate(&churn);
+    let mut flip = false;
+    c.bench_function("cache_miss_churn_read_50rows", |b| {
+        b.iter(|| {
+            flip = !flip;
+            let id = churn_ids[usize::from(flip)];
+            black_box(churn.read_block("t", id, 0, &clock).unwrap())
+        })
+    });
+
+    // Uncached baseline: the exact read the cache=0 equivalence tests
+    // pin — what the miss path's overhead is measured against.
+    let bare = BlockStore::new(NODES, 1, 7);
+    let bare_ids = populate(&bare);
+    let mut flip_bare = false;
+    c.bench_function("uncached_read_50rows", |b| {
+        b.iter(|| {
+            flip_bare = !flip_bare;
+            let id = bare_ids[usize::from(flip_bare)];
+            black_box(bare.read_block("t", id, 0, &clock).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

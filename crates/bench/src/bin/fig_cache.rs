@@ -1,0 +1,322 @@
+//! Block-cache figure: hit rate and remote-fetch cost vs per-node
+//! cache budget on a skewed re-access workload, plus hot-build reuse
+//! on a repeated shuffle join.
+//!
+//! AdaptDB's repartitioning reacts to workload drift on the timescale
+//! of maintenance passes; the per-node block cache is the short-
+//! timescale complement — Zipfian re-access means a small resident set
+//! absorbs most reads *between* adaptations. This figure sweeps the
+//! per-node budget over a Zipf(1.1) block-access trace and reports the
+//! hit rate and the remote-fetch simulated seconds per cell. The
+//! `cache_blocks = 0` cell is asserted bit-identical to a store with
+//! no cache attached at all (the off == today invariant every
+//! equivalence test also pins), every cell obeys the one-for-one
+//! exchange `reads + hits == accesses`, and the default budget must
+//! cut remote-fetch cost by at least 3× against the uncached cell.
+//!
+//! The second sweep repeats one identical shuffle join: pass 1 builds
+//! cold, later passes serve the build side from the hot-build cache —
+//! fewer spill blocks, same rows.
+//!
+//! Usage: `fig_cache [--scale X] [--seed N] [--quick]`
+
+use adaptdb_bench::{parse_args, print_table, BenchOpts};
+use adaptdb_common::{rng, row, CostParams, PredicateSet, Row};
+use adaptdb_dfs::SimClock;
+use adaptdb_exec::{shuffle_join, ExecContext, ShuffleJoinSpec};
+use adaptdb_storage::BlockStore;
+use adaptdb_workloads::zipf::Zipf;
+
+const ROWS_PER_BLOCK: usize = 50;
+const BLOCKS: usize = 96;
+const NODES: usize = 4;
+/// The featured per-node budget (2/3 of the working set): the cell the
+/// ≥ 3× remote-fetch reduction gate checks.
+const DEFAULT_BUDGET: usize = 64;
+const ZIPF_S: f64 = 1.1;
+
+/// One cell of the budget sweep.
+struct Cell {
+    cache_blocks: usize,
+    accesses: usize,
+    hits: usize,
+    misses: usize,
+    hit_rate: f64,
+    local_reads: usize,
+    remote_reads: usize,
+    evictions: usize,
+    remote_fetch_secs: f64,
+    sim_secs: f64,
+}
+
+/// One cell of the hot-build sweep.
+struct BuildCell {
+    pass: usize,
+    spill_blocks: usize,
+    cache_hits: usize,
+    sim_secs: f64,
+}
+
+fn accesses_for(opts: &BenchOpts) -> usize {
+    if opts.quick {
+        800
+    } else {
+        ((12_000.0 * opts.scale).round() as usize).max(1_200)
+    }
+}
+
+/// Replay the same Zipfian block-access trace against a store with the
+/// given per-node budget (0 = cache detached) and measure it.
+fn measure(opts: &BenchOpts, cache_blocks: usize) -> Cell {
+    let params = CostParams::default();
+    let store = BlockStore::new(NODES, 1, opts.seed);
+    store.enable_cache(cache_blocks, params.remote_read_penalty);
+    let ids: Vec<u32> = (0..BLOCKS)
+        .map(|b| {
+            let lo = (b * ROWS_PER_BLOCK) as i64;
+            let rows: Vec<Row> = (lo..lo + ROWS_PER_BLOCK as i64).map(|i| row![i, i * 2]).collect();
+            store.write_block("t", rows, 2, None)
+        })
+        .collect();
+    let zipf = Zipf::new(BLOCKS, ZIPF_S);
+    let mut trace_rng = rng::derived(opts.seed, "fig-cache-trace");
+    let clock = SimClock::new();
+    let accesses = accesses_for(opts);
+    for _ in 0..accesses {
+        let b = ids[zipf.sample(&mut trace_rng) as usize];
+        // One pinned reader node: the skew is in *which* block, the
+        // locality split (1/NODES local) comes from real placement.
+        store.read_block("t", b, 0, &clock).expect("block exists");
+    }
+    let io = clock.snapshot();
+    let cache = clock.cache_snapshot();
+    assert_eq!(io.reads() + cache.hits(), accesses, "hits must replace reads one-for-one");
+    assert_eq!(io.writes, 0, "a read-only trace must never write");
+    Cell {
+        cache_blocks,
+        accesses,
+        hits: cache.hits(),
+        misses: cache.misses,
+        hit_rate: cache.hit_rate(),
+        local_reads: io.local_reads,
+        remote_reads: io.remote_reads,
+        evictions: cache.evictions,
+        remote_fetch_secs: io.remote_reads as f64
+            * params.block_read_secs
+            * params.remote_read_penalty
+            / params.parallelism.max(1) as f64,
+        sim_secs: io.simulated_secs(&params) + cache.hit_secs(&params),
+    }
+}
+
+/// Repeat one identical shuffle join `passes` times on a cached store:
+/// the cold pass spills; warm passes reuse the hot build.
+fn measure_builds(opts: &BenchOpts, passes: usize) -> Vec<BuildCell> {
+    let params = CostParams::default();
+    let store = BlockStore::new(NODES, 1, opts.seed);
+    store.enable_cache(DEFAULT_BUDGET, params.remote_read_penalty);
+    let n = if opts.quick { 800i64 } else { 1600i64 };
+    let mut lids = Vec::new();
+    let mut rids = Vec::new();
+    let mut k = 0i64;
+    while k < n {
+        let hi = k + ROWS_PER_BLOCK as i64;
+        lids.push(store.write_block("l", (k..hi).map(|i| row![i % 97, i]).collect(), 2, None));
+        rids.push(store.write_block("r", (k..hi).map(|i| row![i, i * 3]).collect(), 2, None));
+        k = hi;
+    }
+    let none = PredicateSet::none();
+    let mut cells = Vec::new();
+    let mut rows_cold = None;
+    for pass in 1..=passes {
+        let clock = SimClock::new();
+        let rows = shuffle_join(
+            ExecContext::single(&store, &clock),
+            ShuffleJoinSpec {
+                left_table: "l",
+                left_blocks: &lids,
+                right_table: "r",
+                right_blocks: &rids,
+                left_attr: 0,
+                right_attr: 0,
+                left_preds: &none,
+                right_preds: &none,
+                rows_per_block: ROWS_PER_BLOCK,
+            },
+        )
+        .expect("shuffle join");
+        let mut sorted = rows;
+        sorted.sort_by(|a, b| a.values().cmp(b.values()));
+        match &rows_cold {
+            None => rows_cold = Some(sorted),
+            Some(cold) => assert_eq!(cold, &sorted, "hot-build reuse changed the join rows"),
+        }
+        let io = clock.snapshot();
+        let sh = clock.shuffle_snapshot();
+        let cache = clock.cache_snapshot();
+        cells.push(BuildCell {
+            pass,
+            spill_blocks: sh.blocks_spilled,
+            cache_hits: cache.hits(),
+            sim_secs: io.simulated_secs(&params) + cache.hit_secs(&params),
+        });
+    }
+    cells
+}
+
+fn write_json(path: &str, sweep: &[Cell], builds: &[BuildCell], opts: &BenchOpts) {
+    let cells: Vec<String> = sweep
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"cache_blocks\": {}, \"accesses\": {}, \"hits\": {}, \"misses\": {}, \
+                 \"hit_rate\": {:.4}, \"local_reads\": {}, \"remote_reads\": {}, \
+                 \"evictions\": {}, \"remote_fetch_secs\": {:.4}, \"sim_secs\": {:.4}}}",
+                c.cache_blocks,
+                c.accesses,
+                c.hits,
+                c.misses,
+                c.hit_rate,
+                c.local_reads,
+                c.remote_reads,
+                c.evictions,
+                c.remote_fetch_secs,
+                c.sim_secs
+            )
+        })
+        .collect();
+    let build_cells: Vec<String> = builds
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"pass\": {}, \"spill_blocks\": {}, \"cache_hits\": {}, \
+                 \"sim_secs\": {:.4}}}",
+                c.pass, c.spill_blocks, c.cache_hits, c.sim_secs
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"cache\",\n  \"scale\": {},\n  \"seed\": {},\n  \
+         \"rows_per_block\": {},\n  \"blocks\": {},\n  \"nodes\": {},\n  \
+         \"zipf_s\": {},\n  \"default_budget\": {},\n  \"budget_sweep\": [\n{}\n  ],\n  \
+         \"build_sweep\": [\n{}\n  ]\n}}\n",
+        opts.scale,
+        opts.seed,
+        ROWS_PER_BLOCK,
+        BLOCKS,
+        NODES,
+        ZIPF_S,
+        DEFAULT_BUDGET,
+        cells.join(",\n"),
+        build_cells.join(",\n")
+    );
+    std::fs::write(path, json).expect("write BENCH_cache.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let (opts, _) = parse_args();
+    let budgets: &[usize] =
+        if opts.quick { &[0, 16, DEFAULT_BUDGET] } else { &[0, 8, 16, 32, DEFAULT_BUDGET, 128] };
+    let sweep: Vec<Cell> = budgets.iter().map(|&b| measure(&opts, b)).collect();
+    let builds = measure_builds(&opts, 3);
+
+    print_table(
+        "Block-cache hit rate and remote-fetch cost vs per-node budget (Zipf 1.1 re-access)",
+        &["budget", "accesses", "hits", "hit rate", "local/remote", "evict", "remote s", "sim s"],
+        &sweep
+            .iter()
+            .map(|c| {
+                vec![
+                    c.cache_blocks.to_string(),
+                    c.accesses.to_string(),
+                    c.hits.to_string(),
+                    format!("{:.2}", c.hit_rate),
+                    format!("{}/{}", c.local_reads, c.remote_reads),
+                    c.evictions.to_string(),
+                    format!("{:.1}", c.remote_fetch_secs),
+                    format!("{:.1}", c.sim_secs),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    print_table(
+        "Hot-build reuse on a repeated identical shuffle join (budget 64)",
+        &["pass", "spill blocks", "cache hits", "sim s"],
+        &builds
+            .iter()
+            .map(|c| {
+                vec![
+                    c.pass.to_string(),
+                    c.spill_blocks.to_string(),
+                    c.cache_hits.to_string(),
+                    format!("{:.1}", c.sim_secs),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    // The cache-off cell is bit-identical to a store that never had a
+    // cache attached — the "0 = today's behavior" invariant.
+    let off = &sweep[0];
+    assert_eq!(off.cache_blocks, 0);
+    assert_eq!((off.hits, off.misses, off.evictions), (0, 0, 0), "off cell must not cache");
+    {
+        let bare = BlockStore::new(NODES, 1, opts.seed);
+        let ids: Vec<u32> = (0..BLOCKS)
+            .map(|b| {
+                let lo = (b * ROWS_PER_BLOCK) as i64;
+                let rows: Vec<Row> =
+                    (lo..lo + ROWS_PER_BLOCK as i64).map(|i| row![i, i * 2]).collect();
+                bare.write_block("t", rows, 2, None)
+            })
+            .collect();
+        let zipf = Zipf::new(BLOCKS, ZIPF_S);
+        let mut trace_rng = rng::derived(opts.seed, "fig-cache-trace");
+        let clock = SimClock::new();
+        for _ in 0..off.accesses {
+            let b = ids[zipf.sample(&mut trace_rng) as usize];
+            bare.read_block("t", b, 0, &clock).expect("block exists");
+        }
+        let io = clock.snapshot();
+        assert_eq!(
+            (io.local_reads, io.remote_reads),
+            (off.local_reads, off.remote_reads),
+            "cache=0 must be byte-identical to no cache at all"
+        );
+        assert_eq!(clock.cache_snapshot(), Default::default());
+    }
+
+    // Monotone: a bigger budget never hits less, never fetches more.
+    for pair in sweep.windows(2) {
+        assert!(pair[1].hits >= pair[0].hits, "hit count must grow with budget");
+        assert!(
+            pair[1].remote_reads <= pair[0].remote_reads,
+            "remote reads must shrink with budget"
+        );
+    }
+    // The headline gate: the featured budget cuts remote-fetch cost by
+    // at least 3× against the uncached run.
+    let featured = sweep.iter().find(|c| c.cache_blocks == DEFAULT_BUDGET).expect("featured cell");
+    let reduction = off.remote_fetch_secs / featured.remote_fetch_secs.max(1e-9);
+    assert!(
+        reduction >= 3.0,
+        "default budget must cut remote-fetch sim-secs ≥ 3× (got {reduction:.2}×)"
+    );
+
+    // Hot-build reuse: warm passes spill strictly less than the cold
+    // pass and end up cheaper.
+    assert!(builds[0].spill_blocks > 0, "the cold pass must spill");
+    for warm in &builds[1..] {
+        assert!(
+            warm.spill_blocks < builds[0].spill_blocks,
+            "warm pass {} must reuse the hot build: {} vs {} spills",
+            warm.pass,
+            warm.spill_blocks,
+            builds[0].spill_blocks
+        );
+        assert!(warm.sim_secs < builds[0].sim_secs, "warm pass must be cheaper");
+    }
+
+    write_json("BENCH_cache.json", &sweep, &builds, &opts);
+}

@@ -34,6 +34,10 @@ pub struct CostParams {
     /// Degree of parallelism the simulated cluster provides (blocks are
     /// processed by `parallelism` workers; simulated time divides by it).
     pub parallelism: usize,
+    /// Seconds charged for a block served from the node-local cache
+    /// (`ReadKind::CacheHit`). Near-zero — a memory copy plus decode —
+    /// but not free, so cache-heavy plans still pay something per block.
+    pub cache_hit_secs: f64,
 }
 
 impl Default for CostParams {
@@ -45,6 +49,7 @@ impl Default for CostParams {
             block_write_secs: 1.0,
             cpu_per_block_secs: 0.1,
             parallelism: 10,
+            cache_hit_secs: 0.02,
         }
     }
 }

@@ -77,7 +77,7 @@ pub use query::{JoinQuery, JoinStep, Query, ScanQuery};
 pub use range::ValueRange;
 pub use row::Row;
 pub use schema::{AttrId, Field, Schema};
-pub use stats::{IngestStats, IoStats, OverlapStats, QueryStats, ShuffleStats};
+pub use stats::{CacheStats, IngestStats, IoStats, OverlapStats, QueryStats, ShuffleStats};
 pub use telemetry::{
     chrome_trace_json, AttrValue, Histogram, Journal, JournalEvent, MetricsRegistry, Span, SpanId,
     Trace, Tracer,

@@ -196,6 +196,18 @@ pub struct DbConfig {
     /// ingest block counts identical to bulk ingest of the same rows.
     /// On by default; disable to make every append its own block run.
     pub ingest_merge_tail: bool,
+    /// Per-node block-cache budget, in blocks: each simulated node
+    /// keeps up to this many recently-fetched encoded blocks resident,
+    /// evicting by cost-weighted frequency/recency (a remote block is
+    /// worth its local-vs-remote cost delta more than a local one).
+    /// Cache hits are charged near-zero cost as
+    /// `ReadKind::CacheHit` on the cache breakdown — never on the
+    /// local/remote I/O tallies — so rows *and* every non-cache counter
+    /// are bit-identical with the cache off. `0` (the default) disables
+    /// caching entirely: today's exact behavior. Defaults honor the
+    /// `ADAPTDB_CACHE` environment variable; see
+    /// [`DbConfig::env_cache`].
+    pub cache_blocks_per_node: usize,
     /// Durable-journal directory: when set, every block write/remove
     /// and every committed catalog snapshot is logged to a write-ahead
     /// manifest journal under this path (`FileDfs` backend), and
@@ -242,6 +254,7 @@ impl Default for DbConfig {
             trace: DbConfig::env_trace(),
             ingest_fold_blocks: DbConfig::env_ingest_fold().unwrap_or(8),
             ingest_merge_tail: true,
+            cache_blocks_per_node: DbConfig::env_cache().unwrap_or(0),
             durable_path: DbConfig::env_durable_path(),
             cost: CostParams::default(),
             mode: Mode::Adaptive,
@@ -319,6 +332,15 @@ impl DbConfig {
     /// *when* background fold I/O happens, never any query's rows.
     pub fn env_ingest_fold() -> Option<usize> {
         std::env::var("ADAPTDB_INGEST_FOLD").ok()?.trim().parse::<usize>().ok().filter(|n| *n > 0)
+    }
+
+    /// The `ADAPTDB_CACHE` override, if set to a non-negative integer:
+    /// the per-node block-cache budget in blocks (`0` = off). Caching
+    /// never changes a query's rows, and hits land on the dedicated
+    /// cache breakdown — the local/remote I/O tallies are identical at
+    /// every setting.
+    pub fn env_cache() -> Option<usize> {
+        std::env::var("ADAPTDB_CACHE").ok()?.trim().parse::<usize>().ok()
     }
 
     /// The `ADAPTDB_DURABLE_PATH` override, if set to a non-empty
@@ -472,6 +494,16 @@ mod tests {
         if std::env::var("ADAPTDB_DURABLE_PATH").is_err() {
             assert_eq!(c.durable_path, None, "durability is opt-in; SimDfs stays the default");
         }
+    }
+
+    #[test]
+    fn cache_defaults_off_and_honors_env() {
+        if std::env::var("ADAPTDB_CACHE").is_err() {
+            assert_eq!(DbConfig::default().cache_blocks_per_node, 0, "caching is opt-in");
+            assert_eq!(DbConfig::small().cache_blocks_per_node, 0);
+        }
+        let c = DbConfig { cache_blocks_per_node: 32, ..DbConfig::small() };
+        assert_eq!(c.cache_blocks_per_node, 32);
     }
 
     #[test]

@@ -10,8 +10,11 @@
 //! fetch leg split local/remote by real placement instead of being
 //! charged flat-local as the old in-process shuffle did.
 
+use std::cell::RefCell;
+
 use adaptdb_common::{AttrId, BlockId, PredicateSet, Result, Row};
-use adaptdb_dfs::{secs_to_us, SimClock, SpanGuard};
+use adaptdb_dfs::{secs_to_us, ReadKind, SimClock, SpanGuard};
+use adaptdb_storage::{BuildKey, HotBuild};
 
 use crate::context::ExecContext;
 use crate::hash_table::JoinHashTable;
@@ -122,8 +125,36 @@ fn traced_reduce(
     Ok(out)
 }
 
+/// Fingerprint of a join's *build side* — the side with fewer
+/// candidate blocks, the one worth remembering. Equal keys shuffle
+/// identical data: blocks are immutable and ids never reused, so the
+/// sorted block list pins the snapshot epoch.
+fn build_key(spec: &ShuffleJoinSpec<'_>, partitions: usize, build_left: bool) -> BuildKey {
+    let (table, blocks, attr, preds) = if build_left {
+        (spec.left_table, spec.left_blocks, spec.left_attr, spec.left_preds)
+    } else {
+        (spec.right_table, spec.right_blocks, spec.right_attr, spec.right_preds)
+    };
+    let mut ids = blocks.to_vec();
+    ids.sort_unstable();
+    BuildKey {
+        table: table.to_string(),
+        attr,
+        preds: format!("{preds:?}"),
+        partitions,
+        blocks: ids,
+    }
+}
+
 /// Execute a shuffle join over stored blocks through the shuffle
 /// service (map spill to DFS, reducer fetch with locality accounting).
+///
+/// When the store's block cache is on, the build side (fewer candidate
+/// blocks) is also fingerprinted against the hot-build cache: a later
+/// query re-shuffling the identical side skips its map spill and
+/// reducer fetch entirely, paying one [`ReadKind::CacheHit`] per run
+/// block the original spill wrote instead of the full
+/// read + write + fetch round-trip.
 pub fn shuffle_join(ctx: ExecContext<'_>, spec: ShuffleJoinSpec<'_>) -> Result<Vec<Row>> {
     let (ctx, span) = ctx.traced("shuffle-join");
     let mappers = ctx.store.dfs().live_nodes();
@@ -141,59 +172,180 @@ pub fn shuffle_join(ctx: ExecContext<'_>, spec: ShuffleJoinSpec<'_>) -> Result<V
         s.attr_i("partitions", svc.partitions() as i64);
         s.attr_i("input_blocks", (spec.left_blocks.len() + spec.right_blocks.len()) as i64);
     }
-    let result = if ctx.fetch_window > 1 {
+    let build_left = spec.left_blocks.len() <= spec.right_blocks.len();
+    let cache = ctx.store.cache();
+    let key = cache.as_ref().map(|_| build_key(&spec, svc.partitions(), build_left));
+    let hot = match (&cache, &key) {
+        (Some(c), Some(k)) => c.lookup_build(k),
+        _ => None,
+    };
+    let result = match hot {
+        Some(hot) => {
+            if let Some(s) = &span {
+                s.attr_i("hot_build_reuse_blocks", hot.spill_blocks as i64);
+            }
+            // Reuse is charged as cache hits: one per run block the
+            // original query spilled — the fetch leg the reuse replaces
+            // (its spill-write leg is simply avoided).
+            for _ in 0..hot.spill_blocks {
+                ctx.clock.record_cache_hit(ReadKind::Local, 0);
+            }
+            hot_exchange(&svc, ctx, &spec, build_left, &hot)
+        }
+        None => {
+            let mut collected = cache.as_ref().map(|_| vec![Vec::new(); svc.partitions()]);
+            let out = cold_exchange(&svc, ctx, &spec, build_left, collected.as_deref_mut());
+            match out {
+                Ok((rows, build_side)) => {
+                    if let (Some(c), Some(k), Some(collected), Some(side)) =
+                        (cache, key, collected, build_side)
+                    {
+                        let spill_blocks = side.runs.iter().map(Vec::len).sum();
+                        c.insert_build(
+                            k,
+                            HotBuild { rows: collected, hist: side.rows, spill_blocks },
+                        );
+                    }
+                    Ok(rows)
+                }
+                Err(e) => Err(e),
+            }
+        }
+    };
+    svc.cleanup();
+    drop(span);
+    result
+}
+
+/// The cold (no hot build) exchange: today's serial or pipelined data
+/// flow, optionally capturing the build side's per-partition rows into
+/// `collect` so the hot-build cache can retain them. Returns the joined
+/// rows plus the build side (for its histogram and spill footprint)
+/// when collection was requested.
+fn cold_exchange<'a>(
+    svc: &ShuffleService<'a>,
+    ctx: ExecContext<'a>,
+    spec: &ShuffleJoinSpec<'_>,
+    build_left: bool,
+    collect: Option<&mut [Vec<Row>]>,
+) -> Result<(Vec<Row>, Option<ShuffledSide>)> {
+    let want_build = collect.is_some();
+    let collect = RefCell::new(collect);
+    let build_out = RefCell::new(None);
+    // Spill one side; the build side also feeds the collector and
+    // records its `ShuffledSide` for the caller.
+    let spill = |on_task: &mut dyn FnMut(&ShuffledSide), left: bool| -> Result<ShuffledSide> {
+        let (table, blocks, attr, preds) = if left {
+            (spec.left_table, spec.left_blocks, spec.left_attr, spec.left_preds)
+        } else {
+            (spec.right_table, spec.right_blocks, spec.right_attr, spec.right_preds)
+        };
+        let is_build = left == build_left && want_build;
+        let mut guard = collect.borrow_mut();
+        let c = if is_build { guard.as_deref_mut() } else { None };
+        let side = svc.spill_blocks_collecting(table, blocks, attr, preds, on_task, c)?;
+        drop(guard);
+        if is_build {
+            *build_out.borrow_mut() = Some(side.clone());
+        }
+        Ok(side)
+    };
+    let rows = if ctx.fetch_window > 1 {
         pipelined_exchange(
-            &svc,
+            svc,
             ctx.threads,
             spec.left_attr,
             spec.right_attr,
-            |svc, on_task| {
-                svc.spill_blocks_observed(
-                    spec.left_table,
-                    spec.left_blocks,
-                    spec.left_attr,
-                    spec.left_preds,
-                    on_task,
-                )
-            },
-            |svc, on_task| {
-                svc.spill_blocks_observed(
-                    spec.right_table,
-                    spec.right_blocks,
-                    spec.right_attr,
-                    spec.right_preds,
-                    on_task,
-                )
-            },
+            |_, on_task| spill(on_task, true),
+            |_, on_task| spill(on_task, false),
+            None,
         )
     } else {
         (|| {
             let (left, right) = {
                 let (_mctx, mspan) = ctx.traced("map-spill");
                 let before = mspan.as_ref().map(|_| ctx.clock.shuffle_snapshot());
-                let left = svc.spill_blocks(
-                    spec.left_table,
-                    spec.left_blocks,
-                    spec.left_attr,
-                    spec.left_preds,
-                )?;
-                let right = svc.spill_blocks(
-                    spec.right_table,
-                    spec.right_blocks,
-                    spec.right_attr,
-                    spec.right_preds,
-                )?;
+                let left = spill(&mut |_| {}, true)?;
+                let right = spill(&mut |_| {}, false)?;
                 annotate_map(&mspan, ctx.clock, before);
                 (left, right)
             };
             traced_reduce(ctx, || {
-                reduce_join(&svc, ctx.threads, &left, &right, spec.left_attr, spec.right_attr)
+                reduce_join(svc, ctx.threads, &left, &right, spec.left_attr, spec.right_attr, None)
             })
         })()
+    }?;
+    Ok((rows, build_out.into_inner()))
+}
+
+/// The hot exchange: the build side's per-partition rows come from a
+/// retained [`HotBuild`] — no map spill, no reducer fetch for that side
+/// — while the other side shuffles normally. Split planning sees the
+/// retained histogram (identical to the one the original query
+/// produced), so the plan matches the cold run's.
+fn hot_exchange<'a>(
+    svc: &ShuffleService<'a>,
+    ctx: ExecContext<'a>,
+    spec: &ShuffleJoinSpec<'_>,
+    build_left: bool,
+    hot: &HotBuild,
+) -> Result<Vec<Row>> {
+    let fabricated =
+        ShuffledSide { runs: vec![Vec::new(); svc.partitions()], rows: hot.hist.clone() };
+    let spill_other = |on_task: &mut dyn FnMut(&ShuffledSide)| -> Result<ShuffledSide> {
+        let (table, blocks, attr, preds) = if build_left {
+            (spec.right_table, spec.right_blocks, spec.right_attr, spec.right_preds)
+        } else {
+            (spec.left_table, spec.left_blocks, spec.left_attr, spec.left_preds)
+        };
+        svc.spill_blocks_observed(table, blocks, attr, preds, on_task)
     };
-    svc.cleanup();
-    drop(span);
-    result
+    if ctx.fetch_window > 1 {
+        if build_left {
+            pipelined_exchange(
+                svc,
+                ctx.threads,
+                spec.left_attr,
+                spec.right_attr,
+                |_, _| Ok(fabricated),
+                |_, on_task| spill_other(on_task),
+                Some((hot, true)),
+            )
+        } else {
+            pipelined_exchange(
+                svc,
+                ctx.threads,
+                spec.left_attr,
+                spec.right_attr,
+                |_, on_task| spill_other(on_task),
+                |_, _| Ok(fabricated),
+                Some((hot, false)),
+            )
+        }
+    } else {
+        let (left, right) = {
+            let (_mctx, mspan) = ctx.traced("map-spill");
+            let before = mspan.as_ref().map(|_| ctx.clock.shuffle_snapshot());
+            let other = spill_other(&mut |_| {})?;
+            annotate_map(&mspan, ctx.clock, before);
+            if build_left {
+                (fabricated, other)
+            } else {
+                (other, fabricated)
+            }
+        };
+        traced_reduce(ctx, || {
+            reduce_join(
+                svc,
+                ctx.threads,
+                &left,
+                &right,
+                spec.left_attr,
+                spec.right_attr,
+                Some((hot, build_left)),
+            )
+        })
+    }
 }
 
 /// The pipelined exchange: per-reducer [`adaptdb_storage::FetchStream`]s
@@ -210,6 +362,7 @@ fn pipelined_exchange<'a>(
     right_attr: AttrId,
     spill_left: impl FnOnce(&ShuffleService<'a>, &mut dyn FnMut(&ShuffledSide)) -> Result<ShuffledSide>,
     spill_right: impl FnOnce(&ShuffleService<'a>, &mut dyn FnMut(&ShuffledSide)) -> Result<ShuffledSide>,
+    hot: Option<(&HotBuild, bool)>,
 ) -> Result<Vec<Row>> {
     let ctx = svc.ctx();
     let mut streams = svc.partition_streams();
@@ -242,7 +395,16 @@ fn pipelined_exchange<'a>(
         let tasks: Vec<_> = streams.into_iter().enumerate().collect();
         let results =
             parallel::map_ordered(tasks, threads, |(p, mut stream)| -> Result<Vec<Row>> {
-                let (l, r) = svc.drain_partition(&mut stream)?;
+                let (mut l, mut r) = svc.drain_partition(&mut stream)?;
+                if let Some((build, build_left)) = hot {
+                    // The hot side announced no runs, so its drained
+                    // half is empty: substitute the retained rows.
+                    if build_left {
+                        l = build.rows[p].clone();
+                    } else {
+                        r = build.rows[p].clone();
+                    }
+                }
                 join_partition(svc, p, plan[p], l, r, left_attr, right_attr, &left, &right)
             });
         let mut out = Vec::new();
@@ -258,6 +420,7 @@ fn pipelined_exchange<'a>(
 /// them under the context's memory budget, splitting hot partitions
 /// per the histogram-driven plan. Partitions run in parallel; output
 /// order is partition order.
+#[allow(clippy::too_many_arguments)]
 fn reduce_join(
     svc: &ShuffleService<'_>,
     threads: usize,
@@ -265,11 +428,21 @@ fn reduce_join(
     right: &ShuffledSide,
     left_attr: AttrId,
     right_attr: AttrId,
+    hot: Option<(&HotBuild, bool)>,
 ) -> Result<Vec<Row>> {
     let plan = svc.split_plan(left, right);
     let tasks: Vec<usize> = (0..svc.partitions()).collect();
     let results = parallel::map_ordered(tasks, threads, |p| -> Result<Vec<Row>> {
-        reduce_partition(svc, p, plan[p], left, right, left_attr, right_attr)
+        match hot {
+            None => reduce_partition(svc, p, plan[p], left, right, left_attr, right_attr),
+            Some((build, build_left)) => {
+                // The hot side spilled no runs; its rows come straight
+                // from the retained build instead of a fetch.
+                let l = if build_left { build.rows[p].clone() } else { svc.fetch(p, left)? };
+                let r = if build_left { svc.fetch(p, right)? } else { build.rows[p].clone() };
+                join_partition(svc, p, plan[p], l, r, left_attr, right_attr, left, right)
+            }
+        }
     });
     let mut out = Vec::new();
     for r in results {
@@ -544,6 +717,7 @@ pub fn shuffle_join_rows(
             right_attr,
             |svc, on_task| svc.spill_rows_observed(left, left_attr, on_task),
             |svc, on_task| svc.spill_rows_observed(right, right_attr, on_task),
+            None,
         )
     } else {
         (|| {
@@ -555,7 +729,9 @@ pub fn shuffle_join_rows(
                 annotate_map(&mspan, ctx.clock, before);
                 (l, r)
             };
-            traced_reduce(ctx, || reduce_join(&svc, ctx.threads, &l, &r, left_attr, right_attr))
+            traced_reduce(ctx, || {
+                reduce_join(&svc, ctx.threads, &l, &r, left_attr, right_attr, None)
+            })
         })()
     };
     svc.cleanup();
@@ -930,6 +1106,86 @@ mod tests {
         // separately, never on local/remote_fetches.
         assert_eq!(sh.fetches(), sh.blocks_spilled);
         assert_eq!(c_plain.shuffle_snapshot().split_partitions, 0);
+    }
+
+    #[test]
+    fn hot_build_reuse_serves_identical_rows_and_skips_build_io() {
+        let (store, lids, rids) = setup(400, 25);
+        store.enable_cache(64, 1.25);
+        let none = PredicateSet::none();
+        let c1 = SimClock::new();
+        let first =
+            shuffle_join(ctx_with(&store, &c1, 1, 4), spec(&lids, &rids, &none, 25)).unwrap();
+        let report = store.cache().unwrap().report();
+        assert_eq!(report.build_entries, 1, "cold run must retain its build side");
+        assert_eq!(report.build_hits, 0);
+
+        // Identical re-query: the build side neither spills nor fetches.
+        let c2 = SimClock::new();
+        let second =
+            shuffle_join(ctx_with(&store, &c2, 1, 4), spec(&lids, &rids, &none, 25)).unwrap();
+        assert_eq!(sorted(first.clone()), sorted(second), "reuse changed the join");
+        assert_eq!(store.cache().unwrap().report().build_hits, 1);
+        let (s1, s2) = (c1.shuffle_snapshot(), c2.shuffle_snapshot());
+        assert!(
+            s2.blocks_spilled < s1.blocks_spilled,
+            "build side must not re-spill: {} vs {}",
+            s2.blocks_spilled,
+            s1.blocks_spilled
+        );
+        assert_eq!(s2.fetches(), s2.blocks_spilled, "per-run fetch invariant survives reuse");
+        // Reuse is charged on the cache breakdown, one hit per avoided
+        // run block (plus block-cache hits on the probe side's inputs).
+        let cs = c2.cache_snapshot();
+        let avoided = s1.blocks_spilled - s2.blocks_spilled;
+        assert!(cs.hits() >= avoided, "hits {} < avoided run blocks {avoided}", cs.hits());
+
+        // A pipelined re-query reuses the same entry and agrees too.
+        let c3 = SimClock::new();
+        let third = shuffle_join(
+            ctx_with(&store, &c3, 1, 4).with_fetch_window(4),
+            spec(&lids, &rids, &none, 25),
+        )
+        .unwrap();
+        assert_eq!(sorted(first), sorted(third), "pipelined reuse changed the join");
+        assert_eq!(store.cache().unwrap().report().build_hits, 2);
+        assert_eq!(c3.shuffle_snapshot().blocks_spilled, s2.blocks_spilled);
+    }
+
+    #[test]
+    fn retired_build_block_and_changed_predicates_prevent_reuse() {
+        let (store, lids, rids) = setup(100, 10);
+        store.enable_cache(64, 1.25);
+        let none = PredicateSet::none();
+        // Cold pipelined run populates the build cache (collection must
+        // work through the streamed exchange as well).
+        let clock = SimClock::new();
+        shuffle_join(
+            ctx_with(&store, &clock, 1, 4).with_fetch_window(4),
+            spec(&lids, &rids, &none, 10),
+        )
+        .unwrap();
+        let cache = store.cache().unwrap();
+        assert_eq!(cache.report().build_entries, 1);
+
+        // Different predicates fingerprint differently: no reuse.
+        let preds = PredicateSet::none().and(Predicate::new(0, CmpOp::Lt, 50i64));
+        let c2 = SimClock::new();
+        let rows =
+            shuffle_join(ctx_with(&store, &c2, 1, 4), spec(&lids, &rids, &preds, 10)).unwrap();
+        assert_eq!(rows.len(), 50);
+        assert_eq!(cache.report().build_hits, 0, "changed predicates must not reuse");
+
+        // Retiring a build-side block kills every retained build for
+        // the table — a reused build may never feed on retired data.
+        store.remove_block("l", *lids.last().unwrap()).unwrap();
+        assert_eq!(cache.report().build_entries, 0, "retirement must purge hot builds");
+        let keep = &lids[..lids.len() - 1];
+        let c3 = SimClock::new();
+        let s = ShuffleJoinSpec { left_blocks: keep, ..spec(&lids, &rids, &none, 10) };
+        let rows = shuffle_join(ctx_with(&store, &c3, 1, 4), s).unwrap();
+        assert_eq!(rows.len(), 90, "post-retirement join sees the surviving blocks");
+        assert_eq!(cache.report().build_hits, 0);
     }
 
     #[test]

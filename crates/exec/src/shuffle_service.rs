@@ -159,6 +159,24 @@ impl<'a> ShuffleService<'a> {
         preds: &PredicateSet,
         on_task: &mut dyn FnMut(&ShuffledSide),
     ) -> Result<ShuffledSide> {
+        self.spill_blocks_collecting(table, blocks, attr, preds, on_task, None)
+    }
+
+    /// [`ShuffleService::spill_blocks_observed`] that additionally
+    /// copies every routed row into `collect[partition]` — the exact
+    /// per-partition row sets the reducers will fetch, captured for
+    /// free during the map phase (no extra I/O, the rows pass through
+    /// the mapper anyway). The hot-build cache retains them so a later
+    /// identical shuffle can skip this side's spill *and* fetch.
+    pub fn spill_blocks_collecting(
+        &self,
+        table: &str,
+        blocks: &[BlockId],
+        attr: AttrId,
+        preds: &PredicateSet,
+        on_task: &mut dyn FnMut(&ShuffledSide),
+        mut collect: Option<&mut [Vec<Row>]>,
+    ) -> Result<ShuffledSide> {
         // One map task per node, processing its blocks in input order.
         let per_node = {
             let dfs = self.ctx.store.dfs();
@@ -174,7 +192,11 @@ impl<'a> ShuffleService<'a> {
                 for row in block.rows {
                     if preds.matches(&row) {
                         kept += 1;
-                        mapper.push(row.get(attr).stable_hash(), row);
+                        let hash = row.get(attr).stable_hash();
+                        if let Some(c) = collect.as_deref_mut() {
+                            c[(hash % self.partitions as u64) as usize].push(row.clone());
+                        }
+                        mapper.push(hash, row);
                     }
                 }
                 self.ctx.clock.record_rows(scanned, kept);

@@ -354,6 +354,12 @@ pub struct SubmitOptions {
     /// Latency deadline. Lane-aware policies promote the query ahead
     /// of lane order once half the deadline has elapsed in the queue.
     pub deadline: Option<Duration>,
+    /// Session scheduling weight under [`SchedPolicy::Fair`]: scales
+    /// the session's per-rotation DRR credit, so a weight-4 session is
+    /// granted 4× the cost-blocks per rotation of a weight-1 peer in
+    /// the same lane (clamped to [0.1, 16]; `None` = 1.0). Ignored by
+    /// FIFO and plain lane policies.
+    pub weight: Option<f64>,
 }
 
 /// A concurrent query server over a loaded [`Database`].
@@ -498,6 +504,7 @@ impl DbServer {
             self.shared.maint_deferrals.load(Ordering::SeqCst),
             ingest,
             delta_blocks,
+            self.shared.store.cache().map(|c| c.report()),
         )
     }
 
@@ -714,7 +721,10 @@ fn submit(
             );
         }
     }
-    let meta = JobMeta::new(session, lane, est.blocks, opts.deadline);
+    let meta = match opts.weight {
+        Some(w) => JobMeta::new(session, lane, est.blocks, opts.deadline).with_weight(w),
+        None => JobMeta::new(session, lane, est.blocks, opts.deadline),
+    };
     let (reply, rx) = mpsc::channel();
     if shared.queue.push(Job { query: query.clone(), reply }, meta).is_err() {
         return (Err(Error::Plan("server is shut down".into())), lane);
@@ -773,6 +783,7 @@ fn worker_loop(shared: &Shared) {
                 stats.query_io = clock.snapshot();
                 stats.shuffle = clock.shuffle_snapshot();
                 stats.overlap = clock.overlap_snapshot();
+                stats.cache = clock.cache_snapshot();
                 stats.estimated_c_hyj = c_hyj;
                 // Submit-to-finish, so admission wait shows up under load.
                 stats.wall_secs = meta.submitted.elapsed().as_secs_f64();
@@ -782,6 +793,10 @@ fn worker_loop(shared: &Shared) {
                     t.attr_s(root, "strategy", &format!("{strategy:?}"));
                     t.attr_i(root, "rows", rows.len() as i64);
                     t.attr_i(root, "blocks_read", stats.query_io.reads() as i64);
+                    if stats.cache.lookups() > 0 {
+                        t.attr_i(root, "cache_hits", stats.cache.hits() as i64);
+                        t.attr_i(root, "cache_misses", stats.cache.misses as i64);
+                    }
                     t.end(root, adaptdb_dfs::secs_to_us(stats.query_io.simulated_secs(&params)));
                     Arc::new(t.finish())
                 });

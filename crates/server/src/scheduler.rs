@@ -20,8 +20,12 @@
 //!   lane: each rotation grants a session `quantum` cost-blocks of
 //!   credit, and a job runs when its projected cost fits the credit,
 //!   so a session flooding expensive scans gets proportionally fewer
-//!   turns in its lane than sessions running cheap work. Deadline
-//!   promotion applies across sessions.
+//!   turns in its lane than sessions running cheap work. A session
+//!   weight (`SubmitOptions::weight`) scales the per-rotation top-up,
+//!   so a weight-4 session drains roughly 4× the cost-blocks of a
+//!   weight-1 peer per rotation. Deadline promotion applies across
+//!   sessions, and a starvation cap guarantees the maintenance lane a
+//!   turn after [`MAINT_STARVATION_CAP`] consecutive pops bypass it.
 //!
 //! Policies are pure data structures (no locks, no waiting); the
 //! blocking machinery lives in [`crate::queue::SchedQueue`]. All
@@ -49,6 +53,11 @@ pub struct JobMeta {
     /// ahead of lane order once half the deadline has elapsed in the
     /// queue.
     pub deadline: Option<Duration>,
+    /// Session scheduling weight under [`FairShare`]: the per-rotation
+    /// DRR top-up is `quantum × session_weight`, so a weight-2 session
+    /// is granted twice the cost-blocks per rotation. Clamped to
+    /// [0.1, 16]; 1.0 (the default) reproduces unweighted DRR exactly.
+    pub session_weight: f64,
     /// When the client submitted.
     pub submitted: Instant,
     /// Set by the policy when the job was served via deadline
@@ -59,7 +68,22 @@ pub struct JobMeta {
 impl JobMeta {
     /// Metadata for a fresh submission (submitted = now).
     pub fn new(session: u64, lane: Lane, cost_blocks: usize, deadline: Option<Duration>) -> Self {
-        JobMeta { session, lane, cost_blocks, deadline, submitted: Instant::now(), promoted: false }
+        JobMeta {
+            session,
+            lane,
+            cost_blocks,
+            deadline,
+            session_weight: 1.0,
+            submitted: Instant::now(),
+            promoted: false,
+        }
+    }
+
+    /// Set the session scheduling weight (clamped to [0.1, 16] so a
+    /// typo can neither zero a session out nor let it monopolize).
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.session_weight = if weight.is_finite() { weight.clamp(0.1, 16.0) } else { 1.0 };
+        self
     }
 
     /// DRR weight: projected blocks, at least 1 so zero-cost estimates
@@ -296,37 +320,42 @@ impl<T> DrrLane<T> {
     /// 100k-block head job would otherwise spin thousands of
     /// iterations under the queue mutex): the session at rotation
     /// position `p` is visited at steps `p, p+n, …` and can serve at
-    /// its `v`-th top-up where `v = ceil((weight − deficit)/quantum)`,
-    /// so the winner is the smallest `p + v·n` — identical schedule,
-    /// O(sessions) per pop. The deficit is dropped when a session
-    /// drains, so idle sessions cannot bank credit.
+    /// its `v`-th top-up where `v = ceil((weight − deficit)/q_s)` with
+    /// `q_s = quantum × session_weight` (the per-session effective
+    /// quantum), so the winner is the smallest `p + v·n` — identical
+    /// schedule, O(sessions) per pop. The deficit is dropped when a
+    /// session drains, so idle sessions cannot bank credit.
     fn pop(&mut self, quantum: f64) -> Option<(T, JobMeta)> {
         let n = self.order.len();
         if n == 0 {
             return None;
         }
         // The step at which each session could first serve; all steps
-        // are distinct mod n, so the minimum is unique.
+        // are distinct mod n, so the minimum is unique. The effective
+        // quantum is read off the head job — it is the only job whose
+        // affordability this pop decides, and its weight rides with it.
         let (t_star, winner_pos) = self
             .order
             .iter()
             .enumerate()
             .map(|(pos, sid)| {
                 let sq = &self.sessions[sid];
-                let weight = sq.jobs.front().expect("ordered session has work").1.weight();
-                let gap = (weight - sq.deficit).max(0.0);
-                let visits = (gap / quantum).ceil() as usize;
+                let head = &sq.jobs.front().expect("ordered session has work").1;
+                let gap = (head.weight() - sq.deficit).max(0.0);
+                let visits = (gap / (quantum * head.session_weight)).ceil() as usize;
                 (pos + visits * n, pos)
             })
             .min()
             .expect("non-empty order");
         // Replay the credit every session would have accrued over the
         // skipped steps: position p is topped up at steps p, p+n, …
-        // strictly before t_star.
+        // strictly before t_star, each top-up scaled by that session's
+        // weight.
         for (pos, sid) in self.order.iter().enumerate() {
             let visits = if pos < t_star { (t_star - pos).div_ceil(n) } else { 0 };
-            self.sessions.get_mut(sid).expect("ordered session exists").deficit +=
-                visits as f64 * quantum;
+            let sq = self.sessions.get_mut(sid).expect("ordered session exists");
+            let q = quantum * sq.jobs.front().expect("ordered session has work").1.session_weight;
+            sq.deficit += visits as f64 * q;
         }
         // The loop would have rotated once per skipped step, leaving
         // the winner at the front.
@@ -366,17 +395,28 @@ impl<T> DrrLane<T> {
     }
 }
 
+/// Consecutive [`FairShare`] pops allowed to bypass a non-empty
+/// maintenance lane before it is force-served one job. Strict lane
+/// priority otherwise starves maintenance forever under sustained
+/// foreground load — folds and adaptations would never run — so at
+/// worst maintenance gets 1 in every `MAINT_STARVATION_CAP + 1` pops.
+pub const MAINT_STARVATION_CAP: u32 = 8;
+
 /// Per-session fair share: lanes keep their strict priority (so the
 /// interactive lane is as protected as under [`PriorityLanes`]), and
 /// *within* each lane sessions share by deficit-weighted round-robin —
 /// one session's scan storm cannot crowd other sessions out of its own
 /// lane either. Deadline promotion applies across sessions and lanes,
-/// exactly as in [`PriorityLanes`].
+/// exactly as in [`PriorityLanes`]; the maintenance lane additionally
+/// carries a starvation cap (see [`MAINT_STARVATION_CAP`]).
 #[derive(Debug)]
 pub struct FairShare<T> {
     lanes: [DrrLane<T>; LANE_COUNT],
     quantum: f64,
     caps: [usize; LANE_COUNT],
+    /// Consecutive pops that served another lane while maintenance
+    /// work was queued.
+    maint_bypassed: u32,
 }
 
 impl<T> FairShare<T> {
@@ -387,6 +427,7 @@ impl<T> FairShare<T> {
             lanes: std::array::from_fn(|_| DrrLane::new()),
             quantum: quantum.max(1.0),
             caps: caps.map(|c| c.max(1)),
+            maint_bypassed: 0,
         }
     }
 }
@@ -412,7 +453,24 @@ impl<T: Send> Scheduler<T> for FairShare<T> {
             return Some(promoted);
         }
         let quantum = self.quantum;
-        self.lanes.iter_mut().find_map(|l| l.pop(quantum))
+        let maint = Lane::Maintenance.index();
+        // Starvation cap: once enough consecutive pops have bypassed
+        // queued maintenance work, serve it regardless of lane order.
+        if self.maint_bypassed >= MAINT_STARVATION_CAP && self.lanes[maint].depth > 0 {
+            if let Some(job) = self.lanes[maint].pop(quantum) {
+                self.maint_bypassed = 0;
+                return Some(job);
+            }
+        }
+        let out = self.lanes.iter_mut().find_map(|l| l.pop(quantum));
+        if let Some((_, meta)) = &out {
+            if meta.lane != Lane::Maintenance && self.lanes[maint].depth > 0 {
+                self.maint_bypassed += 1;
+            } else {
+                self.maint_bypassed = 0;
+            }
+        }
+        out
     }
 
     fn len(&self) -> usize {
@@ -563,21 +621,25 @@ mod tests {
     }
 
     /// Literal one-step DRR rotation — the specification the
-    /// closed-form [`DrrLane::pop`] must reproduce exactly.
-    fn reference_drr(jobs: &[(u64, usize)], quantum: f64) -> Vec<i32> {
+    /// closed-form [`DrrLane::pop`] must reproduce exactly. Each job is
+    /// `(session, cost_blocks, session_weight)`; the per-visit top-up
+    /// is `quantum × head job's session weight`.
+    fn reference_drr(jobs: &[(u64, usize, f64)], quantum: f64) -> Vec<i32> {
         use std::collections::BTreeMap;
-        let mut queues: BTreeMap<u64, (VecDeque<(i32, f64)>, f64)> = BTreeMap::new();
+        /// One session's FIFO of `(job, cost, session_weight)` plus its deficit.
+        type SessionQueue = (VecDeque<(i32, f64, f64)>, f64);
+        let mut queues: BTreeMap<u64, SessionQueue> = BTreeMap::new();
         let mut order: VecDeque<u64> = VecDeque::new();
-        for (i, (sid, w)) in jobs.iter().enumerate() {
+        for (i, (sid, w, sw)) in jobs.iter().enumerate() {
             if !queues.contains_key(sid) {
                 order.push_back(*sid);
             }
-            queues.entry(*sid).or_default().0.push_back((i as i32, *w.max(&1) as f64));
+            queues.entry(*sid).or_default().0.push_back((i as i32, *w.max(&1) as f64, *sw));
         }
         let mut out = Vec::new();
         while let Some(&sid) = order.front() {
             let (q, deficit) = queues.get_mut(&sid).unwrap();
-            let (item, w) = *q.front().unwrap();
+            let (item, w, sw) = *q.front().unwrap();
             if *deficit >= w {
                 q.pop_front();
                 *deficit -= w;
@@ -587,7 +649,7 @@ mod tests {
                     order.retain(|&s| s != sid);
                 }
             } else {
-                *deficit += quantum;
+                *deficit += quantum * sw;
                 order.rotate_left(1);
             }
         }
@@ -600,25 +662,95 @@ mod tests {
         // heavier than the quantum (the case the closed form exists
         // for): the schedule must be identical to literal rotation.
         let quantum = 8.0;
-        let jobs: &[(u64, usize)] = &[
-            (1, 50),
-            (2, 1),
-            (3, 7),
-            (1, 3),
-            (2, 120_000),
-            (3, 8),
-            (4, 1),
-            (1, 9),
-            (4, 33),
-            (2, 2),
-            (5, 4),
+        let jobs: &[(u64, usize, f64)] = &[
+            (1, 50, 1.0),
+            (2, 1, 1.0),
+            (3, 7, 1.0),
+            (1, 3, 1.0),
+            (2, 120_000, 1.0),
+            (3, 8, 1.0),
+            (4, 1, 1.0),
+            (1, 9, 1.0),
+            (4, 33, 1.0),
+            (2, 2, 1.0),
+            (5, 4, 1.0),
         ];
         let mut fair = FairShare::new([64; LANE_COUNT], quantum);
-        for (i, (sid, w)) in jobs.iter().enumerate() {
+        for (i, (sid, w, _)) in jobs.iter().enumerate() {
             fair.push(i as i32, meta(*sid, Lane::Interactive, *w));
         }
         let got: Vec<i32> = drain(&mut fair).into_iter().map(|(v, _)| v).collect();
         assert_eq!(got, reference_drr(jobs, quantum));
+    }
+
+    #[test]
+    fn weighted_closed_form_matches_reference_rotation() {
+        // Session weights scale the per-visit top-up; the closed form
+        // must still reproduce literal rotation exactly, including a
+        // heavy job under a fractional weight (many skipped visits).
+        let quantum = 8.0;
+        let jobs: &[(u64, usize, f64)] = &[
+            (1, 50, 0.5),
+            (2, 1, 4.0),
+            (3, 7, 1.0),
+            (1, 3, 0.5),
+            (2, 9_000, 4.0),
+            (3, 8, 1.0),
+            (4, 64, 2.0),
+            (1, 9, 0.5),
+            (4, 33, 2.0),
+            (5, 4, 16.0),
+        ];
+        let mut fair = FairShare::new([64; LANE_COUNT], quantum);
+        for (i, (sid, w, sw)) in jobs.iter().enumerate() {
+            fair.push(i as i32, meta(*sid, Lane::Interactive, *w).with_weight(*sw));
+        }
+        let got: Vec<i32> = drain(&mut fair).into_iter().map(|(v, _)| v).collect();
+        assert_eq!(got, reference_drr(jobs, quantum));
+    }
+
+    #[test]
+    fn weighted_session_drains_proportionally_faster() {
+        // Equal-cost jobs, one weight-4 session vs a weight-1 peer at
+        // quantum 4: the weighted session affords its 16-block job every
+        // rotation while the peer needs 4 top-ups per job, so the
+        // weighted session finishes all its work before the peer serves
+        // a second job.
+        let mut f = FairShare::new([64; LANE_COUNT], 4.0);
+        for i in 0..4 {
+            f.push(100 + i, meta(1, Lane::Interactive, 16).with_weight(4.0));
+            f.push(200 + i, meta(2, Lane::Interactive, 16));
+        }
+        let order: Vec<i32> = drain(&mut f).into_iter().map(|(v, _)| v).collect();
+        let last_weighted = order.iter().position(|&v| v == 103).unwrap();
+        let second_peer = order.iter().position(|&v| v == 201).unwrap();
+        assert!(
+            last_weighted < second_peer,
+            "weight-4 session must drain before the peer's second job: {order:?}"
+        );
+        // Both sessions keep FIFO order internally.
+        let s1: Vec<i32> = order.iter().copied().filter(|v| (100..200).contains(v)).collect();
+        assert_eq!(s1, vec![100, 101, 102, 103]);
+    }
+
+    #[test]
+    fn maintenance_lane_escapes_starvation_at_cap() {
+        let mut f = FairShare::new([64; LANE_COUNT], 8.0);
+        f.push(999, meta(9, Lane::Maintenance, 1));
+        for i in 0..20 {
+            f.push(i, meta(1, Lane::Interactive, 1));
+        }
+        // Strict priority serves interactive work until the bypass
+        // counter hits the cap, then maintenance gets exactly one turn.
+        let mut served = Vec::new();
+        for _ in 0..=MAINT_STARVATION_CAP {
+            served.push(f.pop().unwrap().0);
+        }
+        assert_eq!(*served.last().unwrap(), 999, "maintenance served at the cap: {served:?}");
+        assert_eq!(served[..MAINT_STARVATION_CAP as usize], (0..8).collect::<Vec<i32>>()[..]);
+        // With maintenance drained the counter resets and interactive
+        // work resumes in FIFO order.
+        assert_eq!(f.pop().unwrap().0, 8);
     }
 
     #[test]

@@ -1,0 +1,523 @@
+//! The per-node block cache: AdaptDB's short-timescale complement to
+//! adaptive repartitioning.
+//!
+//! Repartitioning reduces remote reads over the long timescale of
+//! workload drift; between adaptation passes, every scan, shuffle
+//! fetch, and hyper-join probe re-reads the same blocks from the DFS at
+//! full Local/Remote cost. [`BlockCache`] is a budgeted buffer pool per
+//! simulated node that absorbs those re-reads:
+//!
+//! * **Budget** — at most `blocks_per_node` encoded blocks per node
+//!   (`DbConfig::cache_blocks_per_node`; 0 disables the cache and
+//!   restores today's behavior bit-for-bit).
+//! * **Eviction** — cost-weighted frequency/recency. Each resident
+//!   entry scores `weight × freq / (1 + age)`, where `weight` is 1 for
+//!   a block that was local when admitted and the Remote-vs-Local cost
+//!   ratio (`CostParams::remote_read_penalty`) for a remote one — a
+//!   remote block is worth its cost delta to keep — `freq` is the
+//!   block's lifetime access count (the same per-block access tallying
+//!   the adaptation engine feeds on), and `age` is ticks since last
+//!   use on a logical counter (no wall clock, so eviction order is
+//!   reproducible).
+//! * **Admission** — TinyLFU-style: when the node is at budget, a
+//!   candidate is admitted only if its score beats the victim's, so
+//!   one-shot streams (e.g. shuffle scratch runs, each fetched exactly
+//!   once) cannot flush blocks with a re-access history.
+//! * **Invalidation** — strict: block retirement
+//!   ([`crate::BlockStore::remove_block`] — repartitioning, GC, delta
+//!   folds) and table drops purge every resident copy *and* the
+//!   frequency history, so a hit can never serve bytes from a retired
+//!   block. Blocks are immutable and ids are never reused, which makes
+//!   purge-on-remove a complete invalidation story.
+//!
+//! Hits are charged on the query clock as
+//! [`ReadKind::CacheHit`](adaptdb_dfs::ReadKind) — near-zero cost,
+//! tallied on the `CacheStats` breakdown, never on the local/remote
+//! I/O legs — so cache-off counters stay bit-identical and
+//! `local + remote + hits` is workload-invariant at any cache size.
+//!
+//! The module also hosts the hot-build cache ([`BuildKey`] → [`HotBuild`]) used by shuffle joins:
+//! when a later query re-shuffles the *same* build side (same table,
+//! join attribute, predicates, partition fan-out, and candidate block
+//! set — identical block ids imply an identical snapshot epoch, since
+//! blocks are immutable and ids never reused), its per-partition rows
+//! are served from memory instead of re-spilling and re-fetching runs.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use adaptdb_common::{AttrId, BlockId, GlobalBlockId, Row};
+use adaptdb_dfs::{NodeId, ReadKind};
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+/// How many hot shuffle builds are retained at once.
+const BUILD_CACHE_ENTRIES: usize = 4;
+
+/// One resident cache entry: the encoded block plus its score inputs.
+#[derive(Debug)]
+struct Entry {
+    bytes: Bytes,
+    /// Cost weight fixed at admission: 1.0 for a block that was local
+    /// to the caching node, the remote penalty ratio otherwise.
+    weight: f64,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    /// Logical access counter — the cache's clock.
+    tick: u64,
+    /// Lifetime per-block access counts, kept across evictions so
+    /// admission can compare a returning block's history against the
+    /// victim's (TinyLFU). Purged with the block on invalidation.
+    freq: HashMap<GlobalBlockId, u64>,
+    /// Per-node resident sets. `BTreeMap` so eviction scans are
+    /// deterministic (ties break toward the smallest block id).
+    nodes: HashMap<NodeId, BTreeMap<GlobalBlockId, Entry>>,
+}
+
+/// Aggregate, store-lifetime cache counters for server reporting
+/// (per-query figures live on the clock's `CacheStats` instead).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheReport {
+    /// Lookups served from a node's resident set.
+    pub hits: usize,
+    /// Lookups that fell through to the DFS.
+    pub misses: usize,
+    /// Entries displaced to admit hotter blocks.
+    pub evictions: usize,
+    /// Entries purged by block retirement or table drops.
+    pub invalidations: usize,
+    /// Blocks currently resident across all nodes.
+    pub resident_blocks: usize,
+    /// Configured per-node budget in blocks.
+    pub budget_per_node: usize,
+    /// Shuffle build sides served from the hot-build cache.
+    pub build_hits: usize,
+    /// Hot-build entries currently retained.
+    pub build_entries: usize,
+}
+
+/// The budgeted per-node block cache. See the module docs for the
+/// eviction/admission/invalidation policy.
+#[derive(Debug)]
+pub struct BlockCache {
+    budget_per_node: usize,
+    remote_weight: f64,
+    inner: Mutex<CacheInner>,
+    builds: Mutex<BuildInner>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    evictions: AtomicUsize,
+    invalidations: AtomicUsize,
+    build_hits: AtomicUsize,
+}
+
+impl BlockCache {
+    /// A cache holding at most `blocks_per_node` blocks per node.
+    /// `remote_weight` is the eviction weight of remotely-sourced
+    /// blocks relative to local ones (the Remote-vs-Local cost ratio;
+    /// values below 1 are clamped to 1 — a remote block is never worth
+    /// *less* than a local one).
+    pub fn new(blocks_per_node: usize, remote_weight: f64) -> Self {
+        BlockCache {
+            budget_per_node: blocks_per_node,
+            remote_weight: remote_weight.max(1.0),
+            inner: Mutex::new(CacheInner::default()),
+            builds: Mutex::new(BuildInner::default()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+            invalidations: AtomicUsize::new(0),
+            build_hits: AtomicUsize::new(0),
+        }
+    }
+
+    /// Configured per-node budget in blocks.
+    pub fn budget_per_node(&self) -> usize {
+        self.budget_per_node
+    }
+
+    /// Look `gid` up in `node`'s resident set. Every lookup (hit or
+    /// miss) advances the logical clock and the block's lifetime
+    /// frequency — the same access tally admission scores against.
+    pub fn lookup(&self, node: NodeId, gid: &GlobalBlockId) -> Option<Bytes> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let now = inner.tick;
+        *inner.freq.entry(gid.clone()).or_insert(0) += 1;
+        let entry = inner.nodes.get_mut(&node).and_then(|m| m.get_mut(gid));
+        match entry {
+            Some(e) => {
+                e.last_used = now;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.bytes.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Whether `gid` is resident at `node` — a read-only probe (no
+    /// clock advance, no frequency bump) for EXPLAIN's projected hit
+    /// rate.
+    pub fn contains(&self, node: NodeId, gid: &GlobalBlockId) -> bool {
+        self.inner.lock().nodes.get(&node).is_some_and(|m| m.contains_key(gid))
+    }
+
+    /// Admit `gid` (read as `kind`) into `node`'s resident set after a
+    /// miss. Returns how many entries were evicted (0 or 1; also 0 when
+    /// the candidate lost the admission duel and was not cached).
+    pub fn insert(&self, node: NodeId, gid: GlobalBlockId, bytes: Bytes, kind: ReadKind) -> usize {
+        if self.budget_per_node == 0 {
+            return 0;
+        }
+        let weight = match kind {
+            ReadKind::Remote => self.remote_weight,
+            ReadKind::Local | ReadKind::CacheHit => 1.0,
+        };
+        let mut guard = self.inner.lock();
+        let CacheInner { tick, freq, nodes } = &mut *guard;
+        let now = *tick;
+        let candidate_score = weight * freq.get(&gid).copied().unwrap_or(1) as f64;
+        let slots = nodes.entry(node).or_default();
+        if let Some(e) = slots.get_mut(&gid) {
+            // Concurrent readers can race to admit the same block;
+            // refresh recency and keep the heavier weight.
+            e.last_used = now;
+            e.weight = e.weight.max(weight);
+            return 0;
+        }
+        let mut evicted = 0;
+        if slots.len() >= self.budget_per_node {
+            // Deterministic victim scan: minimum score, ties broken by
+            // the BTreeMap's ascending (table, id) order.
+            let victim = slots
+                .iter()
+                .map(|(g, e)| {
+                    let f = freq.get(g).copied().unwrap_or(1) as f64;
+                    let age = now.saturating_sub(e.last_used) as f64;
+                    (g.clone(), e.weight * f / (1.0 + age))
+                })
+                .fold(None::<(GlobalBlockId, f64)>, |best, (g, score)| match best {
+                    Some((_, s)) if s <= score => best,
+                    _ => Some((g, score)),
+                });
+            match victim {
+                Some((vg, vscore)) if candidate_score >= vscore => {
+                    slots.remove(&vg);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    evicted = 1;
+                }
+                // The resident set is hotter than the candidate: keep it.
+                _ => return 0,
+            }
+        }
+        slots.insert(gid, Entry { bytes, weight, last_used: now });
+        evicted
+    }
+
+    /// Purge every resident copy of `gid` and its frequency history —
+    /// block retirement (repartitioning, GC, delta folds) must leave no
+    /// way for a hit to serve retired bytes. Hot builds referencing the
+    /// block's table are purged with it.
+    pub fn invalidate(&self, gid: &GlobalBlockId) {
+        let mut inner = self.inner.lock();
+        let mut purged = 0;
+        for slots in inner.nodes.values_mut() {
+            if slots.remove(gid).is_some() {
+                purged += 1;
+            }
+        }
+        inner.freq.remove(gid);
+        drop(inner);
+        if purged > 0 {
+            self.invalidations.fetch_add(purged, Ordering::Relaxed);
+        }
+        self.invalidate_builds_for(&gid.table);
+    }
+
+    /// Purge every resident block of `table` (and the table's frequency
+    /// history and hot builds) — the table-drop counterpart of
+    /// [`BlockCache::invalidate`].
+    pub fn invalidate_table(&self, table: &str) {
+        let mut inner = self.inner.lock();
+        let mut purged = 0;
+        for slots in inner.nodes.values_mut() {
+            let before = slots.len();
+            slots.retain(|g, _| g.table != table);
+            purged += before - slots.len();
+        }
+        inner.freq.retain(|g, _| g.table != table);
+        drop(inner);
+        if purged > 0 {
+            self.invalidations.fetch_add(purged, Ordering::Relaxed);
+        }
+        self.invalidate_builds_for(table);
+    }
+
+    /// Look a shuffle build side up by its exact fingerprint.
+    pub fn lookup_build(&self, key: &BuildKey) -> Option<Arc<HotBuild>> {
+        let mut builds = self.builds.lock();
+        builds.tick += 1;
+        let now = builds.tick;
+        for (k, build, last_used) in builds.entries.iter_mut() {
+            if k == key {
+                *last_used = now;
+                self.build_hits.fetch_add(1, Ordering::Relaxed);
+                return Some(Arc::clone(build));
+            }
+        }
+        None
+    }
+
+    /// Retain a fetched build side for reuse by later identical
+    /// shuffles. Bounded LRU; replaces an existing entry with the same
+    /// key.
+    pub fn insert_build(&self, key: BuildKey, build: HotBuild) {
+        let mut builds = self.builds.lock();
+        builds.tick += 1;
+        let now = builds.tick;
+        builds.entries.retain(|(k, _, _)| k != &key);
+        while builds.entries.len() >= BUILD_CACHE_ENTRIES {
+            // Evict the least-recently-used entry.
+            let oldest = builds
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, _, used))| *used)
+                .map(|(i, _)| i);
+            match oldest {
+                Some(i) => {
+                    builds.entries.remove(i);
+                }
+                None => break,
+            }
+        }
+        builds.entries.push_back((key, Arc::new(build), now));
+    }
+
+    /// Drop every hot build whose source table is `table` (strict
+    /// invalidation: a retired block must never feed a reused build).
+    fn invalidate_builds_for(&self, table: &str) {
+        self.builds.lock().entries.retain(|(k, _, _)| k.table != table);
+    }
+
+    /// Store-lifetime counters for server reporting.
+    pub fn report(&self) -> CacheReport {
+        let resident = self.inner.lock().nodes.values().map(BTreeMap::len).sum();
+        CacheReport {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            resident_blocks: resident,
+            budget_per_node: self.budget_per_node,
+            build_hits: self.build_hits.load(Ordering::Relaxed),
+            build_entries: self.builds.lock().entries.len(),
+        }
+    }
+}
+
+/// Fingerprint of one shuffle build side. Two queries whose build sides
+/// produce equal keys shuffle *identical* data: blocks are immutable
+/// and ids never reused, so an equal candidate block set pins the
+/// snapshot epoch, and equal predicates/attribute/fan-out pin the
+/// partitioning of its rows.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BuildKey {
+    /// Source table of the build side.
+    pub table: String,
+    /// Join attribute the side was partitioned on.
+    pub attr: AttrId,
+    /// Debug-formatted predicate set applied before partitioning.
+    pub preds: String,
+    /// Reduce-side partition fan-out.
+    pub partitions: usize,
+    /// Sorted candidate block ids the side scanned.
+    pub blocks: Vec<BlockId>,
+}
+
+/// A retained shuffle build side: the exact per-partition rows a
+/// reducer would have fetched, plus the map-side row histogram (for
+/// split planning) and the spill footprint it saved (for hit charging).
+#[derive(Debug)]
+pub struct HotBuild {
+    /// Rows per reduce partition, in the order the original query's
+    /// reducers received them.
+    pub rows: Vec<Vec<Row>>,
+    /// Per-partition row counts (the map-side histogram).
+    pub hist: Vec<usize>,
+    /// Run blocks the original query spilled for this side — the reads
+    /// *and* writes a reusing query avoids.
+    pub spill_blocks: usize,
+}
+
+#[derive(Debug, Default)]
+struct BuildInner {
+    tick: u64,
+    entries: VecDeque<(BuildKey, Arc<HotBuild>, u64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gid(table: &str, id: BlockId) -> GlobalBlockId {
+        GlobalBlockId::new(table, id)
+    }
+
+    fn bytes(n: u8) -> Bytes {
+        Bytes::from(vec![n; 4])
+    }
+
+    #[test]
+    fn lookup_hits_after_insert_and_respects_node_isolation() {
+        let c = BlockCache::new(2, 1.25);
+        assert!(c.lookup(0, &gid("t", 1)).is_none());
+        c.insert(0, gid("t", 1), bytes(1), ReadKind::Local);
+        assert_eq!(c.lookup(0, &gid("t", 1)).unwrap(), bytes(1));
+        // Another node's cache is independent.
+        assert!(c.lookup(1, &gid("t", 1)).is_none());
+        let r = c.report();
+        assert_eq!((r.hits, r.misses), (1, 2));
+        assert_eq!(r.resident_blocks, 1);
+    }
+
+    #[test]
+    fn budget_zero_caches_nothing() {
+        let c = BlockCache::new(0, 1.25);
+        c.insert(0, gid("t", 1), bytes(1), ReadKind::Local);
+        assert!(c.lookup(0, &gid("t", 1)).is_none());
+        assert_eq!(c.report().resident_blocks, 0);
+    }
+
+    #[test]
+    fn eviction_prefers_cold_low_weight_blocks() {
+        let c = BlockCache::new(2, 2.0);
+        // A hot local block and a cold remote one fill the budget.
+        c.insert(0, gid("t", 0), bytes(0), ReadKind::Local);
+        c.insert(0, gid("t", 1), bytes(1), ReadKind::Remote);
+        for _ in 0..4 {
+            assert!(c.lookup(0, &gid("t", 0)).is_some());
+        }
+        // Build the candidate's access history first so admission lets
+        // it in; the coldest resident is the victim.
+        for _ in 0..8 {
+            c.lookup(0, &gid("t", 2));
+        }
+        assert_eq!(c.insert(0, gid("t", 2), bytes(2), ReadKind::Local), 1);
+        // The hot local block survived; the cold remote was the victim.
+        assert!(c.lookup(0, &gid("t", 0)).is_some());
+        assert!(c.lookup(0, &gid("t", 2)).is_some());
+        assert!(c.lookup(0, &gid("t", 1)).is_none());
+        assert_eq!(c.report().evictions, 1);
+    }
+
+    #[test]
+    fn admission_duel_rejects_one_shot_candidates() {
+        let c = BlockCache::new(1, 1.25);
+        c.insert(0, gid("t", 0), bytes(0), ReadKind::Local);
+        for _ in 0..5 {
+            assert!(c.lookup(0, &gid("t", 0)).is_some());
+        }
+        // A first-touch candidate (freq 1) cannot displace freq-6.
+        c.lookup(0, &gid("__scratch", 0));
+        assert_eq!(c.insert(0, gid("__scratch", 0), bytes(9), ReadKind::Local), 0);
+        assert!(c.lookup(0, &gid("t", 0)).is_some());
+        assert!(c.lookup(0, &gid("__scratch", 0)).is_none());
+        assert_eq!(c.report().evictions, 0);
+    }
+
+    #[test]
+    fn remote_weight_keeps_remote_blocks_over_equally_hot_locals() {
+        let c = BlockCache::new(2, 2.0);
+        c.insert(0, gid("t", 0), bytes(0), ReadKind::Local);
+        c.insert(0, gid("t", 1), bytes(1), ReadKind::Remote);
+        // Equal frequency; the remote block is *older*-used, so with
+        // equal weights it would be the victim below.
+        c.lookup(0, &gid("t", 1));
+        c.lookup(0, &gid("t", 0));
+        // Candidate hot enough to beat the weaker resident.
+        for _ in 0..6 {
+            c.lookup(0, &gid("t", 2));
+        }
+        c.insert(0, gid("t", 2), bytes(2), ReadKind::Local);
+        // The remote block's cost weight doubled its score: the local
+        // resident was the victim.
+        assert!(c.lookup(0, &gid("t", 1)).is_some());
+        assert!(c.lookup(0, &gid("t", 0)).is_none());
+    }
+
+    #[test]
+    fn invalidation_purges_bytes_and_history() {
+        let c = BlockCache::new(4, 1.25);
+        c.insert(0, gid("t", 0), bytes(0), ReadKind::Local);
+        c.insert(1, gid("t", 0), bytes(0), ReadKind::Remote);
+        c.insert(0, gid("t", 1), bytes(1), ReadKind::Local);
+        c.invalidate(&gid("t", 0));
+        assert!(c.lookup(0, &gid("t", 0)).is_none());
+        assert!(c.lookup(1, &gid("t", 0)).is_none());
+        assert!(c.lookup(0, &gid("t", 1)).is_some());
+        assert_eq!(c.report().invalidations, 2);
+        // Table drops purge everything under the table.
+        c.invalidate_table("t");
+        assert!(c.lookup(0, &gid("t", 1)).is_none());
+        assert_eq!(c.report().resident_blocks, 0);
+    }
+
+    #[test]
+    fn hot_build_round_trip_and_invalidation() {
+        let c = BlockCache::new(4, 1.25);
+        let key = BuildKey {
+            table: "part".into(),
+            attr: 0,
+            preds: "[]".into(),
+            partitions: 2,
+            blocks: vec![0, 1, 2],
+        };
+        assert!(c.lookup_build(&key).is_none());
+        c.insert_build(
+            key.clone(),
+            HotBuild { rows: vec![vec![], vec![]], hist: vec![0, 0], spill_blocks: 3 },
+        );
+        let b = c.lookup_build(&key).expect("inserted build resolves");
+        assert_eq!(b.spill_blocks, 3);
+        assert_eq!(c.report().build_hits, 1);
+        // A different candidate set is a different epoch: no hit.
+        let other = BuildKey { blocks: vec![0, 1, 3], ..key.clone() };
+        assert!(c.lookup_build(&other).is_none());
+        // Retiring any block of the table kills the build entry.
+        c.invalidate(&gid("part", 1));
+        assert!(c.lookup_build(&key).is_none());
+        assert_eq!(c.report().build_entries, 0);
+    }
+
+    #[test]
+    fn build_cache_is_bounded_lru() {
+        let c = BlockCache::new(4, 1.25);
+        let key = |i: usize| BuildKey {
+            table: format!("t{i}"),
+            attr: 0,
+            preds: String::new(),
+            partitions: 1,
+            blocks: vec![],
+        };
+        for i in 0..BUILD_CACHE_ENTRIES {
+            c.insert_build(key(i), HotBuild { rows: vec![], hist: vec![], spill_blocks: 0 });
+        }
+        // Touch entry 0 so entry 1 is the LRU victim.
+        assert!(c.lookup_build(&key(0)).is_some());
+        c.insert_build(
+            key(BUILD_CACHE_ENTRIES),
+            HotBuild { rows: vec![], hist: vec![], spill_blocks: 0 },
+        );
+        assert_eq!(c.report().build_entries, BUILD_CACHE_ENTRIES);
+        assert!(c.lookup_build(&key(0)).is_some());
+        assert!(c.lookup_build(&key(1)).is_none(), "LRU entry evicted");
+    }
+}

@@ -40,6 +40,8 @@
 //! (mixed arity, which fall back to whole-block `ADB1`) keep the
 //! columnar writer lossless for any input [`decode_block`] accepts.
 
+use std::sync::Arc;
+
 use adaptdb_common::{ColumnVec, Error, RecordBatch, Result, Row, Value};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -302,6 +304,27 @@ struct ColRegion {
     end: usize,
 }
 
+/// The validated column directory of an `ADB2` block: where each
+/// column's payload lives, plus enough framing (total encoded length,
+/// payload offset) to re-attach the directory to the same encoded bytes
+/// without re-validating them.
+///
+/// Blocks are immutable and block ids are never reused, so a directory
+/// memoized per [`adaptdb_common::GlobalBlockId`] stays valid for the
+/// block's whole lifetime — multi-column access paths that re-fetch a
+/// block can skip the header/directory walk entirely
+/// ([`LazyBlock::parse_with_directory`]). As a cheap guard the encoded
+/// length is still checked; a mismatch falls back to a full parse.
+#[derive(Debug)]
+pub struct ColDirectory {
+    rows: usize,
+    cols: Vec<ColRegion>,
+    /// Byte offset where column payloads begin (header + directory).
+    payload_offset: usize,
+    /// Total encoded length the directory was validated against.
+    encoded_len: usize,
+}
+
 /// Payload of a parsed block that has *not* (necessarily) been
 /// decoded to rows yet.
 ///
@@ -323,8 +346,9 @@ pub struct LazyBlock {
 enum LazyInner {
     /// Row-format payload, fully decoded at parse time.
     Rows(Vec<Row>),
-    /// Columnar payload: validated directory over undecoded bytes.
-    Columnar { rows: usize, cols: Vec<ColRegion>, bytes: Bytes },
+    /// Columnar payload: validated (possibly memoized) directory over
+    /// undecoded payload bytes.
+    Columnar { dir: Arc<ColDirectory>, bytes: Bytes },
 }
 
 impl LazyBlock {
@@ -334,14 +358,38 @@ impl LazyBlock {
     /// so any codec error in either format still surfaces at parse
     /// time or at first column access — never silently.
     pub fn parse(buf: Bytes) -> Result<LazyBlock> {
-        if buf.remaining() >= 4 && &buf[0..4] == BLOCK_MAGIC_V2 {
-            return LazyBlock::parse_columnar(buf);
-        }
-        let block = decode_block_v1(buf)?;
-        Ok(LazyBlock { id: block.id, inner: LazyInner::Rows(block.rows) })
+        LazyBlock::parse_with_directory(buf, None).map(|(lazy, _)| lazy)
     }
 
-    fn parse_columnar(mut buf: Bytes) -> Result<LazyBlock> {
+    /// Like [`LazyBlock::parse`], but reuse a memoized [`ColDirectory`]
+    /// from an earlier parse of the *same* encoded block, skipping
+    /// header and directory validation. Returns the freshly validated
+    /// directory when the block is columnar and `memo` was not usable
+    /// (so the caller can memoize it), `None` otherwise. A stale memo
+    /// (encoded length mismatch) silently falls back to a full parse —
+    /// correctness never depends on the memo.
+    pub fn parse_with_directory(
+        buf: Bytes,
+        memo: Option<&Arc<ColDirectory>>,
+    ) -> Result<(LazyBlock, Option<Arc<ColDirectory>>)> {
+        if buf.remaining() >= 4 && &buf[0..4] == BLOCK_MAGIC_V2 {
+            if let Some(dir) = memo {
+                if buf.len() == dir.encoded_len {
+                    let id = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+                    let bytes = buf.slice(dir.payload_offset..buf.len());
+                    let inner = LazyInner::Columnar { dir: Arc::clone(dir), bytes };
+                    return Ok((LazyBlock { id, inner }, None));
+                }
+            }
+            let (lazy, dir) = LazyBlock::parse_columnar(buf)?;
+            return Ok((lazy, Some(dir)));
+        }
+        let block = decode_block_v1(buf)?;
+        Ok((LazyBlock { id: block.id, inner: LazyInner::Rows(block.rows) }, None))
+    }
+
+    fn parse_columnar(mut buf: Bytes) -> Result<(LazyBlock, Arc<ColDirectory>)> {
+        let encoded_len = buf.remaining();
         if buf.remaining() < 14 {
             return Err(Error::Codec("truncated columnar block header".into()));
         }
@@ -380,7 +428,15 @@ impl LazyBlock {
                 buf.remaining()
             )));
         }
-        Ok(LazyBlock { id, inner: LazyInner::Columnar { rows, cols, bytes: buf } })
+        let dir = Arc::new(ColDirectory {
+            rows,
+            cols,
+            payload_offset: encoded_len - buf.remaining(),
+            encoded_len,
+        });
+        let lazy =
+            LazyBlock { id, inner: LazyInner::Columnar { dir: Arc::clone(&dir), bytes: buf } };
+        Ok((lazy, dir))
     }
 
     /// Block id carried in the encoding.
@@ -392,7 +448,7 @@ impl LazyBlock {
     pub fn row_count(&self) -> usize {
         match &self.inner {
             LazyInner::Rows(rows) => rows.len(),
-            LazyInner::Columnar { rows, .. } => *rows,
+            LazyInner::Columnar { dir, .. } => dir.rows,
         }
     }
 
@@ -403,7 +459,7 @@ impl LazyBlock {
     pub fn num_columns(&self) -> usize {
         match &self.inner {
             LazyInner::Rows(rows) => rows.first().map_or(0, Row::arity),
-            LazyInner::Columnar { cols, .. } => cols.len(),
+            LazyInner::Columnar { dir, .. } => dir.cols.len(),
         }
     }
 
@@ -425,8 +481,8 @@ impl LazyBlock {
                 }
                 Ok(ColumnVec::from_values(values))
             }
-            LazyInner::Columnar { rows, cols, bytes } => match cols.get(idx) {
-                Some(col) => decode_column(col.tag, *rows, bytes.slice(col.start..col.end)),
+            LazyInner::Columnar { dir, bytes } => match dir.cols.get(idx) {
+                Some(col) => decode_column(col.tag, dir.rows, bytes.slice(col.start..col.end)),
                 None => Err(Error::Codec(format!("column {idx} out of range"))),
             },
         }
@@ -449,7 +505,8 @@ impl LazyBlock {
         let picked: Vec<usize> = (start..end).filter(|&i| sel.get(i)).collect();
         match &self.inner {
             LazyInner::Rows(rows) => Ok(picked.iter().map(|&i| rows[i].clone()).collect()),
-            LazyInner::Columnar { cols, bytes, .. } => {
+            LazyInner::Columnar { dir, bytes } => {
+                let cols = &dir.cols;
                 let mut out: Vec<Vec<Value>> =
                     picked.iter().map(|_| Vec::with_capacity(cols.len())).collect();
                 for col in cols {
@@ -527,9 +584,10 @@ impl LazyBlock {
     pub fn into_block(self) -> Result<Block> {
         match self.inner {
             LazyInner::Rows(rows) => Ok(Block::new(self.id, rows)),
-            LazyInner::Columnar { rows, cols, bytes } => {
-                let mut columns = Vec::with_capacity(cols.len());
-                for col in &cols {
+            LazyInner::Columnar { dir, bytes } => {
+                let rows = dir.rows;
+                let mut columns = Vec::with_capacity(dir.cols.len());
+                for col in &dir.cols {
                     columns.push(decode_column(col.tag, rows, bytes.slice(col.start..col.end))?);
                 }
                 let batch = RecordBatch::from_columns(columns);
@@ -791,6 +849,31 @@ mod tests {
             let none = adaptdb_common::BitSet::new(4);
             assert!(lazy.gather_range(0, 4, &none).unwrap().is_empty());
         }
+    }
+
+    #[test]
+    fn memoized_directory_parse_is_equivalent() {
+        let block = Block::new(2, vec![row![1i64, "aa", 1.5], row![2i64, "bb", 2.5]]);
+        let enc = encode_block_columnar(&block);
+        let (first, dir) = LazyBlock::parse_with_directory(enc.clone(), None).unwrap();
+        let dir = dir.expect("columnar parse yields a directory");
+        // Re-parse with the memo: no new directory, identical payload.
+        let (second, fresh) = LazyBlock::parse_with_directory(enc, Some(&dir)).unwrap();
+        assert!(fresh.is_none(), "memo hit must not re-validate");
+        assert_eq!(second.id(), first.id());
+        assert_eq!(second.row_count(), first.row_count());
+        assert_eq!(second.column(1).unwrap(), first.column(1).unwrap());
+        assert_eq!(second.into_block().unwrap(), block);
+        // A stale memo (encoded length mismatch) falls back to a full parse.
+        let other = encode_block_columnar(&Block::new(9, vec![row![1i64]]));
+        let (lazy, fresh) = LazyBlock::parse_with_directory(other, Some(&dir)).unwrap();
+        assert!(fresh.is_some());
+        assert_eq!(lazy.into_block().unwrap(), Block::new(9, vec![row![1i64]]));
+        // ADB1 blocks never produce (or consume) a directory.
+        let (lazy1, none) =
+            LazyBlock::parse_with_directory(encode_block(&block), Some(&dir)).unwrap();
+        assert!(none.is_none());
+        assert_eq!(lazy1.into_block().unwrap(), block);
     }
 
     #[test]

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""CI gate for the block-cache benchmark.
+
+Usage: check_bench_cache.py <fresh BENCH_cache.json> <committed baseline>
+
+Fails (exit 1) when the fresh run is missing required keys, when the
+cache-off cell caches anything (the `0 = today's behavior` invariant),
+when any cell breaks the one-for-one read/hit exchange
+(`local_reads + remote_reads + hits == accesses`), when the sweep is
+not monotone in the budget, when the featured budget stops cutting
+remote-fetch cost by the minimum factor, when hot-build reuse stops
+spilling less than the cold pass, or when any cell drifts more than
+20% against the committed baseline. The benchmark is fully
+deterministic (simulated I/O, fixed seed), so drift inside the
+tolerance still means a code-level accounting change — the tolerance
+only absorbs intentional retunes of the eviction policy.
+"""
+
+import json
+import sys
+
+REQUIRED_TOP = [
+    "bench",
+    "scale",
+    "seed",
+    "rows_per_block",
+    "blocks",
+    "nodes",
+    "zipf_s",
+    "default_budget",
+    "budget_sweep",
+    "build_sweep",
+]
+REQUIRED_CELL = [
+    "cache_blocks",
+    "accesses",
+    "hits",
+    "misses",
+    "hit_rate",
+    "local_reads",
+    "remote_reads",
+    "evictions",
+    "remote_fetch_secs",
+    "sim_secs",
+]
+REQUIRED_BUILD_CELL = ["pass", "spill_blocks", "cache_hits", "sim_secs"]
+TOLERANCE = 0.20
+# The featured (default) budget must cut remote-fetch simulated seconds
+# by at least this factor against the uncached cell.
+MIN_REMOTE_REDUCTION = 3.0
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench_cache: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {path}: {e}")
+
+
+def validate(doc: dict, path: str) -> None:
+    for key in REQUIRED_TOP:
+        if key not in doc:
+            fail(f"{path}: missing key {key!r}")
+    if doc["bench"] != "cache":
+        fail(f"{path}: bench is {doc['bench']!r}, expected 'cache'")
+    for sweep, required in (
+        ("budget_sweep", REQUIRED_CELL),
+        ("build_sweep", REQUIRED_BUILD_CELL),
+    ):
+        if not doc[sweep]:
+            fail(f"{path}: {sweep} is empty")
+        for cell in doc[sweep]:
+            for key in required:
+                if key not in cell:
+                    fail(f"{path}: {sweep} cell missing key {key!r}")
+
+
+def check_invariants(doc: dict, path: str) -> None:
+    sweep = doc["budget_sweep"]
+    off = [c for c in sweep if c["cache_blocks"] == 0]
+    if not off:
+        fail(f"{path}: budget_sweep has no cache_blocks=0 cell")
+    off = off[0]
+    if (off["hits"], off["misses"], off["evictions"]) != (0, 0, 0):
+        fail(f"{path}: the cache-off cell must not cache anything: {off}")
+    for cell in sweep:
+        reads = cell["local_reads"] + cell["remote_reads"]
+        if reads + cell["hits"] != cell["accesses"]:
+            fail(
+                f"{path}: budget {cell['cache_blocks']} breaks the exchange "
+                f"invariant: {reads} reads + {cell['hits']} hits != "
+                f"{cell['accesses']} accesses"
+            )
+        if reads != off["local_reads"] + off["remote_reads"] - cell["hits"]:
+            fail(f"{path}: budget {cell['cache_blocks']} reads don't trade against hits")
+    for lo, hi in zip(sweep, sweep[1:]):
+        if hi["cache_blocks"] <= lo["cache_blocks"]:
+            fail(f"{path}: budget_sweep must be sorted by budget")
+        if hi["hits"] < lo["hits"]:
+            fail(f"{path}: hits must be monotone in the budget")
+        if hi["remote_reads"] > lo["remote_reads"]:
+            fail(f"{path}: remote reads must shrink with the budget")
+
+    featured = [c for c in sweep if c["cache_blocks"] == doc["default_budget"]]
+    if not featured:
+        fail(f"{path}: budget_sweep is missing the default budget cell")
+    featured = featured[0]
+    reduction = off["remote_fetch_secs"] / max(featured["remote_fetch_secs"], 1e-9)
+    if reduction < MIN_REMOTE_REDUCTION:
+        fail(
+            f"{path}: default budget cuts remote-fetch cost only "
+            f"{reduction:.2f}x (< {MIN_REMOTE_REDUCTION}x)"
+        )
+
+    builds = doc["build_sweep"]
+    cold = builds[0]
+    if cold["pass"] != 1 or cold["spill_blocks"] == 0:
+        fail(f"{path}: build_sweep must start with a spilling cold pass: {cold}")
+    for warm in builds[1:]:
+        if warm["spill_blocks"] >= cold["spill_blocks"]:
+            fail(
+                f"{path}: warm pass {warm['pass']} does not reuse the hot build: "
+                f"{warm['spill_blocks']} vs cold {cold['spill_blocks']} spills"
+            )
+        if warm["sim_secs"] >= cold["sim_secs"]:
+            fail(f"{path}: warm pass {warm['pass']} is not cheaper than cold")
+
+
+def diff_against_baseline(fresh: dict, base: dict) -> None:
+    def by_key(doc, sweep, key):
+        return {c[key]: c for c in doc[sweep]}
+
+    for sweep, key, fields in (
+        ("budget_sweep", "cache_blocks", ("hit_rate", "remote_fetch_secs", "sim_secs")),
+        ("build_sweep", "pass", ("spill_blocks", "sim_secs")),
+    ):
+        fresh_cells = by_key(fresh, sweep, key)
+        base_cells = by_key(base, sweep, key)
+        for k, bc in base_cells.items():
+            fc = fresh_cells.get(k)
+            if fc is None:
+                fail(f"fresh run dropped {sweep} cell {key}={k}")
+            for field in fields:
+                b, f = float(bc[field]), float(fc[field])
+                if b == 0.0 and f == 0.0:
+                    continue
+                drift = abs(f - b) / max(abs(b), 1e-9)
+                if drift > TOLERANCE:
+                    fail(
+                        f"{sweep} cell {key}={k} field {field!r} drifted "
+                        f"{drift:.1%} ({b} -> {f})"
+                    )
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        fail("usage: check_bench_cache.py <fresh.json> <baseline.json>")
+    fresh = load(sys.argv[1])
+    base = load(sys.argv[2])
+    validate(fresh, sys.argv[1])
+    validate(base, sys.argv[2])
+    check_invariants(fresh, sys.argv[1])
+    diff_against_baseline(fresh, base)
+    print("check_bench_cache: OK")
+
+
+if __name__ == "__main__":
+    main()
